@@ -1,0 +1,102 @@
+// Figure 3: "if read locks are not used, an anomaly may occur."
+// Randomized concurrent trials of the inventory application under 2PL
+// with and without read registration, plus HDD — whose cross-class reads
+// are ALSO unregistered yet never violate serializability.
+
+#include <iomanip>
+#include <iostream>
+
+#include "cc/two_phase_locking.h"
+#include "engine/executor.h"
+#include "engine/inventory_workload.h"
+#include "hdd/hdd_controller.h"
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+namespace {
+
+constexpr int kTrials = 25;
+constexpr std::uint64_t kTxnsPerTrial = 120;
+
+InventoryWorkloadParams TrialParams() {
+  InventoryWorkloadParams params;
+  params.items = 2;  // tiny database maximizes conflict pressure
+  params.event_slots_per_item = 1;
+  params.read_only_weight = 0;
+  params.yield_between_ops = true;
+  return params;
+}
+
+struct TrialResult {
+  int violations = 0;
+  std::uint64_t registered_reads = 0;
+  std::uint64_t unregistered_reads = 0;
+};
+
+template <typename MakeCc>
+TrialResult RunTrials(const MakeCc& make_cc) {
+  TrialResult result;
+  InventoryWorkload workload(TrialParams());
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto db = workload.MakeDatabase();
+    LogicalClock clock;
+    auto cc = make_cc(db.get(), &clock);
+    ExecutorOptions options;
+    options.num_threads = 4;
+    options.seed = 100 + static_cast<std::uint64_t>(trial);
+    (void)RunWorkload(*cc, workload, kTxnsPerTrial, options);
+    if (!CheckSerializability(cc->recorder()).serializable) {
+      ++result.violations;
+    }
+    result.registered_reads += cc->metrics().read_locks_acquired.load() +
+                               cc->metrics().read_timestamps_written.load();
+    result.unregistered_reads += cc->metrics().unregistered_reads.load();
+  }
+  return result;
+}
+
+void PrintRow(const std::string& name, const TrialResult& r) {
+  std::cout << std::left << std::setw(26) << name << std::right
+            << std::setw(8) << kTrials << std::setw(12) << r.violations
+            << std::setw(14) << r.registered_reads << std::setw(14)
+            << r.unregistered_reads << "\n";
+}
+
+void Run() {
+  std::cout << "=== Figure 3: serializability vs read registration "
+               "(2PL), "
+            << kTrials << " randomized concurrent trials ===\n\n";
+  std::cout << std::left << std::setw(26) << "configuration" << std::right
+            << std::setw(8) << "trials" << std::setw(12) << "violations"
+            << std::setw(14) << "reg. reads" << std::setw(14)
+            << "unreg. reads" << "\n";
+
+  auto schema = HierarchySchema::Create(InventoryWorkload::Spec());
+
+  PrintRow("2pl + read locks", RunTrials([](Database* db,
+                                            LogicalClock* clock) {
+             return std::make_unique<TwoPhaseLocking>(db, clock);
+           }));
+  PrintRow("2pl - read locks", RunTrials([](Database* db,
+                                            LogicalClock* clock) {
+             TwoPhaseLockingOptions options;
+             options.register_reads = false;
+             return std::make_unique<TwoPhaseLocking>(db, clock, options);
+           }));
+  PrintRow("hdd (unregistered reads)",
+           RunTrials([&schema](Database* db, LogicalClock* clock) {
+             return std::make_unique<HddController>(db, clock, &*schema);
+           }));
+
+  std::cout << "\nExpected shape: registered 2PL and HDD show 0 "
+               "violations; unregistered 2PL shows > 0. HDD achieves 0 "
+               "while registering no cross-class read.\n";
+}
+
+}  // namespace
+}  // namespace hdd
+
+int main() {
+  hdd::Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 5 machinery: cost of the graph-theoretic operations backing the
+// decomposition — transitive-semi-tree recognition, transitive reduction,
+// critical paths and UCPs — as the hierarchy grows.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/decomposition.h"
+#include "graph/semi_tree.h"
+
+namespace hdd {
+namespace {
+
+// Random TST: a random tree (each node points at a random earlier node —
+// arcs low->high toward node 0) plus transitively induced shortcuts.
+Digraph RandomTst(int n, Rng& rng) {
+  Digraph g(n);
+  std::vector<NodeId> parent(n, -1);
+  for (NodeId v = 1; v < n; ++v) {
+    parent[v] = static_cast<NodeId>(rng.NextBounded(v));
+    g.AddArc(v, parent[v]);
+  }
+  // Shortcuts along ancestor chains.
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId ancestor = parent[v];
+    while (ancestor > 0 && rng.NextBool(0.3)) {
+      ancestor = parent[ancestor];
+      g.AddArc(v, ancestor);
+    }
+  }
+  return g;
+}
+
+void BM_IsTransitiveSemiTree(benchmark::State& state) {
+  Rng rng(7);
+  Digraph g = RandomTst(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsTransitiveSemiTree(g));
+  }
+}
+BENCHMARK(BM_IsTransitiveSemiTree)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TransitiveReduction(benchmark::State& state) {
+  Rng rng(8);
+  Digraph g = RandomTst(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransitiveReduction(g));
+  }
+}
+BENCHMARK(BM_TransitiveReduction)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TstAnalysisCreate(benchmark::State& state) {
+  Rng rng(9);
+  Digraph g = RandomTst(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto analysis = TstAnalysis::Create(g);
+    benchmark::DoNotOptimize(analysis.ok());
+  }
+}
+BENCHMARK(BM_TstAnalysisCreate)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CriticalPathQuery(benchmark::State& state) {
+  Rng rng(10);
+  const int n = static_cast<int>(state.range(0));
+  Digraph g = RandomTst(n, rng);
+  auto analysis = TstAnalysis::Create(g);
+  NodeId q = n - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis->CriticalPath(q, 0));
+  }
+}
+BENCHMARK(BM_CriticalPathQuery)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_UcpQuery(benchmark::State& state) {
+  Rng rng(11);
+  const int n = static_cast<int>(state.range(0));
+  Digraph g = RandomTst(n, rng);
+  auto analysis = TstAnalysis::Create(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis->Ucp(n - 1, n - 2));
+  }
+}
+BENCHMARK(BM_UcpQuery)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_MakeTstMergePlan(benchmark::State& state) {
+  Rng rng(12);
+  const int n = static_cast<int>(state.range(0));
+  // Random DAG (usually not a semi-tree): exercises the §7.2.1 transform.
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.NextBool(0.25)) g.AddArc(v, u);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeTstMergePlan(g));
+  }
+}
+BENCHMARK(BM_MakeTstMergePlan)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace hdd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Figure 6 machinery: evaluation cost of the activity link functions —
+// the per-read overhead Protocol A pays INSTEAD of writing a read
+// timestamp — versus hierarchy depth and activity-history size.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "hdd/link_functions.h"
+#include "hdd/time_wall.h"
+
+namespace hdd {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<TstAnalysis> tst;
+  std::vector<ClassActivityTable> tables;
+  std::unique_ptr<ActivityLinkEvaluator> eval;
+  Timestamp now = 1;
+
+  // Chain of `depth` classes with `history` finished txns per class and a
+  // couple of live ones.
+  Fixture(int depth, int history) {
+    Digraph g(depth);
+    for (int c = depth - 1; c > 0; --c) g.AddArc(c, c - 1);
+    auto analysis = TstAnalysis::Create(g);
+    tst = std::make_unique<TstAnalysis>(std::move(analysis).value());
+    tables.resize(depth);
+    Rng rng(13);
+    for (int c = 0; c < depth; ++c) {
+      for (int h = 0; h < history; ++h) {
+        const Timestamp begin = ++now;
+        tables[c].OnBegin(begin);
+        tables[c].OnFinish(begin, begin + 1 + rng.NextBounded(5));
+        now += 2;
+      }
+      tables[c].OnBegin(++now);  // one live txn per class
+    }
+    eval = std::make_unique<ActivityLinkEvaluator>(tst.get(), &tables);
+  }
+};
+
+void BM_ActivityLinkA(benchmark::State& state) {
+  Fixture fx(static_cast<int>(state.range(0)),
+             static_cast<int>(state.range(1)));
+  const ClassId bottom = fx.tst->graph().num_nodes() - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.eval->A(bottom, 0, fx.now));
+  }
+}
+BENCHMARK(BM_ActivityLinkA)
+    ->Args({2, 100})
+    ->Args({4, 100})
+    ->Args({8, 100})
+    ->Args({4, 1000})
+    ->Args({4, 10000});
+
+void BM_IOldQuery(benchmark::State& state) {
+  Fixture fx(2, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.tables[0].OldestActiveAt(fx.now));
+  }
+}
+BENCHMARK(BM_IOldQuery)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ComputeTimeWall(benchmark::State& state) {
+  Fixture fx(static_cast<int>(state.range(0)), 200);
+  // Finish the live txns so C^late is computable.
+  for (auto& table : fx.tables) {
+    const Timestamp live = table.OldestActiveNow();
+    table.OnFinish(live, ++fx.now);
+  }
+  const ClassId anchor = PickWallAnchor(*fx.tst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeTimeWall(
+        *fx.eval, fx.tst->graph().num_nodes(), anchor, fx.now));
+  }
+}
+BENCHMARK(BM_ComputeTimeWall)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace hdd
+
+BENCHMARK_MAIN();

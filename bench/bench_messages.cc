@@ -1,0 +1,68 @@
+// §7.5: inter-level synchronization messages in a hierarchical database
+// computer. Each segment controller is a processor level; the model
+// counts remote request/response pairs, remote read registrations (the
+// messages HDD deletes) and blocking notifications.
+
+#include <iomanip>
+#include <iostream>
+
+#include "engine/harness.h"
+#include "engine/inventory_workload.h"
+#include "engine/message_model.h"
+
+namespace hdd {
+namespace {
+
+void Run() {
+  InventoryWorkloadParams params;
+  params.items = 16;
+  params.read_only_weight = 0.10;
+  params.yield_between_ops = true;
+  InventoryWorkload workload(params);
+  auto schema = HierarchySchema::Create(InventoryWorkload::Spec());
+
+  std::cout << "=== section 7.5: inter-level synchronization messages "
+               "(database-computer model, inventory app, 1500 txns) "
+               "===\n\n";
+  std::cout << std::left << std::setw(14) << "controller" << std::right
+            << std::setw(12) << "remote" << std::setw(12) << "transfer"
+            << std::setw(14) << "registration" << std::setw(12)
+            << "blocking" << std::setw(12) << "total" << std::setw(12)
+            << "msg/txn" << "\n";
+
+  ExecutorOptions options;
+  options.num_threads = 4;
+  for (ControllerKind kind :
+       {ControllerKind::kHdd, ControllerKind::kTwoPhase,
+        ControllerKind::kTimestampOrdering, ControllerKind::kMvto,
+        ControllerKind::kMv2pl, ControllerKind::kSdd1,
+        ControllerKind::kOcc}) {
+    auto db = workload.MakeDatabase();
+    LogicalClock clock;
+    auto cc = CreateController(kind, db.get(), &clock, &*schema);
+    (void)RunWorkload(*cc, workload, 1500, options);
+    MessageStats stats =
+        ComputeMessageStats(cc->recorder().steps(),
+                            cc->recorder().identities(), cc->metrics());
+    std::cout << std::left << std::setw(14) << ControllerKindName(kind)
+              << std::right << std::setw(12) << stats.remote_accesses
+              << std::setw(12) << stats.transfer_messages << std::setw(14)
+              << stats.registration_messages << std::setw(12)
+              << stats.blocking_messages << std::setw(12)
+              << stats.total_messages << std::setw(12) << std::fixed
+              << std::setprecision(2) << stats.per_commit << "\n";
+  }
+  std::cout << "\nExpected shape: every technique pays the same transfer "
+               "messages (the data must move), but hdd's registration "
+               "column is ZERO — the §7.5 claim that HDD reduces "
+               "inter-level synchronization communication. sdd1 also "
+               "registers nothing but pays blocking notifications.\n";
+}
+
+}  // namespace
+}  // namespace hdd
+
+int main() {
+  hdd::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// §7.1.1 ablation: dynamic restructuring. Measures the latency of merging
+// classes while unrelated classes keep running, and the throughput of the
+// merged system before/after.
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+
+#include "engine/executor.h"
+#include "engine/synthetic_workload.h"
+#include "hdd/hdd_controller.h"
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+namespace {
+
+void Run() {
+  std::cout << "=== section 7.1.1: dynamic restructuring ===\n\n";
+  std::cout << std::left << std::setw(8) << "depth" << std::right
+            << std::setw(18) << "merge latency us" << std::setw(16)
+            << "txn/s before" << std::setw(16) << "txn/s after"
+            << std::setw(14) << "serializable" << "\n";
+
+  for (int depth : {3, 4, 6}) {
+    SyntheticWorkloadParams params;
+    params.depth = depth;
+    params.granules_per_segment = 16;
+    params.read_only_fraction = 0;
+    SyntheticWorkload workload(params);
+    auto schema = HierarchySchema::Create(workload.Spec());
+    auto db = workload.MakeDatabase();
+    LogicalClock clock;
+    HddController cc(db.get(), &clock, &*schema);
+
+    ExecutorOptions options;
+    options.num_threads = 2;
+    ExecutorStats before = RunWorkload(cc, workload, 600, options);
+
+    // Merge the two lowest classes while the rest of the world is idle
+    // but warm (activity tables populated).
+    const auto t0 = std::chrono::steady_clock::now();
+    auto merged = cc.Restructure({depth - 1, depth - 2}, {});
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!merged.ok()) {
+      std::cerr << merged.status() << "\n";
+      continue;
+    }
+
+    // After the merge the old per-depth classes are renumbered; the
+    // workload must target the live classes, so re-derive a workload over
+    // the merged structure by declaring per-segment classes dynamically.
+    class MergedWorkload : public Workload {
+     public:
+      MergedWorkload(const SyntheticWorkload& inner, const HddController& cc)
+          : inner_(inner), cc_(cc) {}
+      TxnProgram Make(std::uint64_t index, Rng& rng) const override {
+        TxnProgram program = inner_.Make(index, rng);
+        if (!program.options.read_only) {
+          // Remap the declared class onto the merged class structure.
+          program.options.txn_class =
+              cc_.ClassOfSegment(program.options.txn_class);
+        }
+        return program;
+      }
+
+     private:
+      const SyntheticWorkload& inner_;
+      const HddController& cc_;
+    };
+    MergedWorkload merged_workload(workload, cc);
+    ExecutorStats after = RunWorkload(cc, merged_workload, 600, options);
+
+    const bool serializable =
+        CheckSerializability(cc.recorder()).serializable;
+    std::cout << std::left << std::setw(8) << depth << std::right
+              << std::setw(18) << std::fixed << std::setprecision(1)
+              << std::chrono::duration<double, std::micro>(t1 - t0).count()
+              << std::setw(16)
+              << static_cast<std::uint64_t>(before.Throughput())
+              << std::setw(16)
+              << static_cast<std::uint64_t>(after.Throughput())
+              << std::setw(14) << (serializable ? "yes" : "NO") << "\n";
+  }
+  std::cout << "\nExpected shape: merging is cheap when the affected "
+               "classes are drained; the whole history (across the merge) "
+               "stays serializable.\n";
+}
+
+}  // namespace
+}  // namespace hdd
+
+int main() {
+  hdd::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// §1.2.2 / §7.5: the deeper the application hierarchy, the larger the
+// share of accesses HDD serves without registration. Sweeps synthetic
+// chain depth and reports the unregistered-read fraction and throughput.
+
+#include <iomanip>
+#include <iostream>
+
+#include "engine/executor.h"
+#include "engine/harness.h"
+#include "engine/synthetic_workload.h"
+
+namespace hdd {
+namespace {
+
+void Run() {
+  std::cout << "=== hierarchy-depth sweep (synthetic chain, 800 txns, "
+               "4 threads) ===\n\n";
+  std::cout << std::left << std::setw(8) << "depth" << std::right
+            << std::setw(16) << "hdd unreg%" << std::setw(14)
+            << "hdd txn/s" << std::setw(14) << "2pl txn/s" << std::setw(14)
+            << "to txn/s" << std::setw(14) << "sdd1 blk-rd" << "\n";
+
+  for (int depth : {1, 2, 3, 4, 6, 8}) {
+    SyntheticWorkloadParams params;
+    params.depth = depth;
+    params.granules_per_segment = 32;
+    params.read_only_fraction = 0.1;
+    SyntheticWorkload workload(params);
+    auto schema = HierarchySchema::Create(workload.Spec());
+    auto make_db = [&] { return workload.MakeDatabase(); };
+    ExecutorOptions options;
+    options.num_threads = 4;
+
+    auto hdd_row = MeasureController(ControllerKind::kHdd, workload,
+                                     make_db, &*schema, 800, options);
+    auto tp_row = MeasureController(ControllerKind::kTwoPhase, workload,
+                                    make_db, &*schema, 800, options);
+    auto to_row = MeasureController(ControllerKind::kTimestampOrdering,
+                                    workload, make_db, &*schema, 800,
+                                    options);
+    auto sdd_row = MeasureController(ControllerKind::kSdd1, workload,
+                                     make_db, &*schema, 800, options);
+
+    const double unreg_fraction =
+        static_cast<double>(hdd_row.unregistered_reads) /
+        static_cast<double>(hdd_row.unregistered_reads +
+                            hdd_row.read_timestamps + 1);
+    std::cout << std::left << std::setw(8) << depth << std::right
+              << std::setw(15) << std::fixed << std::setprecision(1)
+              << 100 * unreg_fraction << "%" << std::setw(14)
+              << static_cast<std::uint64_t>(hdd_row.stats.Throughput())
+              << std::setw(14)
+              << static_cast<std::uint64_t>(tp_row.stats.Throughput())
+              << std::setw(14)
+              << static_cast<std::uint64_t>(to_row.stats.Throughput())
+              << std::setw(14) << sdd_row.blocked_reads << "\n";
+  }
+  std::cout << "\nExpected shape: the unregistered share rises with depth "
+               "(more reads land in higher segments); sdd1's blocked "
+               "reads rise with depth while hdd never blocks a "
+               "cross-class read.\n";
+}
+
+}  // namespace
+}  // namespace hdd
+
+int main() {
+  hdd::Run();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// §1.3 (Papadimitriou 82): "the more versions a DBMS keeps, the higher
+// the level of concurrency it may achieve." Runs MVTO with a bounded
+// number of retained versions per granule — 1 degenerates toward
+// single-version TO, 2 models the one-previous-version schemes (Bayer 80)
+// — against long snapshot readers under an update stream, and measures
+// how many reads die because their version was pruned.
+
+#include <iomanip>
+#include <iostream>
+#include <thread>
+
+#include "cc/mvto.h"
+#include "engine/executor.h"
+#include "engine/txn_program.h"
+#include "storage/database.h"
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+namespace {
+
+// Mix of fast writers and slow multi-granule snapshot readers: old
+// readers are exactly who bounded version stores hurt.
+class SnapshotReaderWorkload : public Workload {
+ public:
+  explicit SnapshotReaderWorkload(std::uint32_t granules)
+      : granules_(granules) {}
+
+  TxnProgram Make(std::uint64_t, Rng& rng) const override {
+    TxnProgram program;
+    program.options.txn_class = 0;
+    if (rng.NextBool(0.6)) {
+      const std::uint32_t g =
+          static_cast<std::uint32_t>(rng.NextBounded(granules_));
+      program.body = [g](ConcurrencyController& cc,
+                         const TxnDescriptor& txn) -> Status {
+        HDD_ASSIGN_OR_RETURN(Value v, cc.Read(txn, {0, g}));
+        return cc.Write(txn, {0, g}, v + 1);
+      };
+      return program;
+    }
+    const std::uint32_t granules = granules_;
+    program.options.read_only = true;
+    program.body = [granules](ConcurrencyController& cc,
+                              const TxnDescriptor& txn) -> Status {
+      Value sum = 0;
+      for (std::uint32_t g = 0; g < granules; ++g) {
+        // Yield between reads: the reader ages while writers churn.
+        std::this_thread::yield();
+        HDD_ASSIGN_OR_RETURN(Value v, cc.Read(txn, {0, g}));
+        sum += v;
+      }
+      (void)sum;
+      return Status::OK();
+    };
+    return program;
+  }
+
+ private:
+  std::uint32_t granules_;
+};
+
+void Run() {
+  std::cout << "=== section 1.3: the multi-version hierarchy "
+               "(Papadimitriou 82) ===\n"
+               "MVTO with at most K committed versions per granule; 2000 "
+               "txns (60% hot writes, 40% slow snapshot scans), 4 "
+               "threads\n\n";
+  std::cout << std::left << std::setw(14) << "K versions" << std::right
+            << std::setw(12) << "commits" << std::setw(14)
+            << "conflict rst" << std::setw(16) << "total versions"
+            << std::setw(14) << "serializable" << "\n";
+
+  for (std::size_t max_versions : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}, std::size_t{16},
+                                   std::size_t{0}}) {
+    Database db(1, 16, 0);
+    LogicalClock clock;
+    MvtoOptions options;
+    options.max_versions = max_versions;
+    Mvto cc(&db, &clock, options);
+    SnapshotReaderWorkload workload(16);
+    ExecutorOptions exec;
+    exec.num_threads = 4;
+    ExecutorStats stats = RunWorkload(cc, workload, 2000, exec);
+    const bool serializable =
+        CheckSerializability(cc.recorder()).serializable;
+    std::cout << std::left << std::setw(14)
+              << (max_versions == 0 ? std::string("unbounded")
+                                    : std::to_string(max_versions))
+              << std::right << std::setw(12) << stats.committed
+              << std::setw(14) << stats.aborted_attempts << std::setw(16)
+              << db.TotalVersions() << std::setw(14)
+              << (serializable ? "yes" : "NO") << "\n";
+  }
+  std::cout << "\nExpected shape: conflict restarts FALL monotonically as "
+               "K grows (more versions, more concurrency), at the price "
+               "of retained versions; every configuration stays "
+               "serializable.\n";
+}
+
+}  // namespace
+}  // namespace hdd
+
+int main() {
+  hdd::Run();
+  return 0;
+}

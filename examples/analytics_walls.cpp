@@ -1,0 +1,84 @@
+// Ad-hoc analytics with time walls (paper §5): long read-only audit
+// transactions run against a live update stream without a single lock or
+// read timestamp, each served a consistent cut by Protocol C.
+//
+// Usage: ./build/examples/analytics_walls
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "engine/inventory_workload.h"
+#include "hdd/hdd_controller.h"
+#include "txn/dependency_graph.h"
+
+int main() {
+  using namespace hdd;
+
+  InventoryWorkloadParams params;
+  params.items = 8;
+  params.read_only_weight = 0;  // updates only; we run audits by hand
+  InventoryWorkload workload(params);
+  auto schema = HierarchySchema::Create(InventoryWorkload::Spec());
+  if (!schema.ok()) {
+    std::cerr << schema.status() << "\n";
+    return 1;
+  }
+  auto db = workload.MakeDatabase();
+  LogicalClock clock;
+  HddController cc(db.get(), &clock, &*schema);
+
+  // Background updaters.
+  std::atomic<bool> stop{false};
+  std::thread updater([&] {
+    Rng rng(99);
+    std::uint64_t index = 0;
+    while (!stop.load()) {
+      TxnProgram program = workload.Make(index++, rng);
+      auto txn = cc.Begin(program.options);
+      if (!txn.ok()) continue;
+      if (program.body(cc, *txn).ok()) {
+        (void)cc.Commit(*txn);
+      } else {
+        (void)cc.Abort(*txn);
+      }
+    }
+  });
+
+  // §5.2 batched releases: the system publishes a fresh wall on a cadence
+  // and every read-only transaction rides the latest released one.
+  cc.StartWallPacer(std::chrono::milliseconds(10));
+
+  // Foreground: periodic audits, each pinned to a released time wall.
+  for (int audit = 0; audit < 5; ++audit) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto reader = cc.Begin({.read_only = true});
+    Value events = 0, inventory = 0, orders = 0;
+    for (std::uint32_t item = 0; item < params.items; ++item) {
+      const std::uint32_t base = item * params.event_slots_per_item;
+      for (std::uint32_t s = 0; s < params.event_slots_per_item; ++s) {
+        events += *cc.Read(*reader, {0, base + s});
+      }
+      inventory += *cc.Read(*reader, {1, item});
+      orders += *cc.Read(*reader, {2, item});
+    }
+    (void)cc.Commit(*reader);
+    std::cout << "audit " << audit << ": events=" << events
+              << " inventory=" << inventory << " orders=" << orders
+              << " (walls released so far: " << cc.num_walls() << ")\n";
+  }
+  cc.StopWallPacer();
+  stop = true;
+  updater.join();
+
+  const CcMetrics& m = cc.metrics();
+  std::cout << "\naudits acquired " << m.read_locks_acquired.load()
+            << " read locks and wrote 0 cross-segment read timestamps;\n"
+            << "unregistered reads: " << m.unregistered_reads.load()
+            << ", blocked reads: " << m.blocked_reads.load() << "\n";
+  auto report = CheckSerializability(cc.recorder());
+  std::cout << "serializable: " << (report.serializable ? "yes" : "NO")
+            << "\n";
+  return report.serializable ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// The paper's Figure 1 banking scenario: demonstrates the lost-update
+// anomaly when interleaving is uncontrolled, then shows every controller
+// in the library preventing it on a concurrent transfer workload.
+//
+// Usage: ./build/examples/bank_teller
+
+#include <iostream>
+
+#include "engine/banking_workload.h"
+#include "engine/harness.h"
+#include "txn/dependency_graph.h"
+
+namespace {
+
+// Replays Figure 1's exact six-step schedule by hand against the raw
+// version store (no concurrency control at all) and shows the lost
+// deposit, witnessed by the dependency-graph checker.
+void Figure1ByHand() {
+  using namespace hdd;
+  std::cout << "--- Figure 1: uncontrolled interleaving ---\n";
+  ScheduleRecorder recorder;
+  Value balance = 100;
+
+  const Value t1_read = balance;  // t1 reads Smith's balance
+  recorder.RecordRead(1, {0, 0}, 0);
+  const Value t2_read = balance;  // t2 reads Smith's balance
+  recorder.RecordRead(2, {0, 0}, 0);
+  balance = t1_read + 50;  // t1 deposits $50
+  recorder.RecordWrite(1, {0, 0}, 1);
+  balance = t2_read - 50;  // t2 withdraws $50 — t1's deposit is LOST
+  recorder.RecordWrite(2, {0, 0}, 2);
+  recorder.RecordOutcome(1, TxnState::kCommitted);
+  recorder.RecordOutcome(2, TxnState::kCommitted);
+
+  std::cout << "final balance: $" << balance
+            << " (a serial execution would give $100)\n";
+  auto report = CheckSerializability(recorder);
+  std::cout << "checker verdict: "
+            << (report.serializable ? "serializable" : "NOT serializable");
+  if (!report.witness_cycle.empty()) {
+    std::cout << "; dependency cycle:";
+    for (TxnId t : report.witness_cycle) std::cout << " t" << t;
+  }
+  std::cout << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace hdd;
+  Figure1ByHand();
+
+  std::cout << "--- the same workload under real controllers ---\n";
+  BankingWorkloadParams params;
+  params.accounts = 16;
+  params.deposit_weight = 0;  // transfers only: total must be conserved
+  params.transfer_weight = 0.9;
+  params.audit_weight = 0.1;
+  BankingWorkload workload(params);
+  auto schema = HierarchySchema::Create(workload.Spec());
+  if (!schema.ok()) {
+    std::cerr << schema.status() << "\n";
+    return 1;
+  }
+
+  ExecutorOptions options;
+  options.num_threads = 4;
+  std::vector<ComparisonRow> rows;
+  for (ControllerKind kind : AllControllerKinds()) {
+    rows.push_back(MeasureController(
+        kind, workload, [&] { return workload.MakeDatabase(); }, &*schema,
+        500, options));
+  }
+  PrintComparisonTable(rows, std::cout);
+  for (const ComparisonRow& row : rows) {
+    if (!row.serializable) return 1;
+  }
+  std::cout << "\nall controllers preserved serializability; no deposit "
+               "was lost.\n";
+  return 0;
+}

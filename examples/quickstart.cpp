@@ -1,0 +1,71 @@
+// Quickstart: declare a hierarchical decomposition, run a few
+// transactions under the HDD controller, and audit serializability.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "graph/dhg.h"
+#include "hdd/hdd_controller.h"
+#include "storage/database.h"
+#include "txn/dependency_graph.h"
+
+int main() {
+  using namespace hdd;
+
+  // 1. Describe the application: two segments. "events" is written by
+  //    type `log`, "summary" is written by type `post` which also reads
+  //    events. The induced DHG (summary -> events) is a transitive
+  //    semi-tree, so the decomposition is legal.
+  PartitionSpec spec;
+  spec.segment_names = {"events", "summary"};
+  spec.transaction_types = {
+      {"log", /*root=*/0, /*reads=*/{}},
+      {"post", /*root=*/1, /*reads=*/{0}},
+  };
+  auto schema = HierarchySchema::Create(spec);
+  if (!schema.ok()) {
+    std::cerr << "illegal decomposition: " << schema.status() << "\n";
+    return 1;
+  }
+
+  // 2. Build a database (1 granule per segment here) and the controller.
+  Database db({"events", "summary"}, /*granules_per_segment=*/1);
+  LogicalClock clock;
+  HddController cc(&db, &clock, &*schema);
+
+  // 3. An event logger (class 0) and a summarizer (class 1), interleaved.
+  auto logger = cc.Begin({.txn_class = 0});
+  auto summarizer = cc.Begin({.txn_class = 1});
+
+  // The logger records an event but has not committed yet...
+  (void)cc.Write(*logger, {0, 0}, 42);
+
+  // ...so the summarizer's *unregistered* Protocol A read is steered to
+  // the consistent pre-logger state: no lock, no timestamp, no waiting.
+  auto seen = cc.Read(*summarizer, {0, 0});
+  std::cout << "summarizer saw events=" << *seen
+            << " (logger still in flight)\n";
+  (void)cc.Write(*summarizer, {1, 0}, *seen);
+  (void)cc.Commit(*summarizer);
+  (void)cc.Commit(*logger);
+
+  // A later summarizer sees the committed event.
+  auto late = cc.Begin({.txn_class = 1});
+  std::cout << "later summarizer saw events=" << *cc.Read(*late, {0, 0})
+            << "\n";
+  (void)cc.Commit(*late);
+
+  // 4. Audit: the recorded schedule must be serializable, and the
+  //    cross-segment reads must have been free of registration.
+  auto report = CheckSerializability(cc.recorder());
+  std::cout << "serializable: " << (report.serializable ? "yes" : "NO")
+            << "\n";
+  std::cout << "equivalent serial order:";
+  for (TxnId t : report.serial_order) std::cout << " t" << t;
+  std::cout << "\nread locks taken: "
+            << cc.metrics().read_locks_acquired.load()
+            << ", unregistered reads: "
+            << cc.metrics().unregistered_reads.load() << "\n";
+  return report.serializable ? 0 : 1;
+}

@@ -1,0 +1,247 @@
+// Interactive experiment driver: pick a workload, a controller set, and a
+// size from the command line, get the comparison table, the
+// serializability audit and the modeled §7.4 costs.
+//
+// Usage:
+//   workbench [--workload inventory|synthetic|banking|ledger]
+//             [--txns N] [--threads N] [--depth N] [--items N]
+//             [--yield] [--csv] [--controllers hdd,2pl,to,...]
+//             [--reg-cost US]
+//
+// Examples:
+//   ./build/examples/workbench --workload inventory --txns 5000
+//   ./build/examples/workbench --workload synthetic --depth 6 --yield
+//   ./build/examples/workbench --controllers hdd,sdd1 --reg-cost 25
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/banking_workload.h"
+#include "engine/cost_model.h"
+#include "engine/harness.h"
+#include "engine/inventory_workload.h"
+#include "engine/ledger_workload.h"
+#include "engine/synthetic_workload.h"
+#include "txn/dependency_graph.h"
+
+namespace {
+
+using namespace hdd;
+
+struct Args {
+  std::string workload = "inventory";
+  std::uint64_t txns = 2000;
+  int threads = 4;
+  int depth = 4;
+  std::uint32_t items = 16;
+  bool yield = false;
+  bool csv = false;
+  double reg_cost = 2.0;
+  std::vector<std::string> controllers;  // empty = all
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--workload") {
+      const char* v = next();
+      if (!v) return false;
+      args->workload = v;
+    } else if (flag == "--txns") {
+      const char* v = next();
+      if (!v) return false;
+      args->txns = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      args->threads = std::atoi(v);
+    } else if (flag == "--depth") {
+      const char* v = next();
+      if (!v) return false;
+      args->depth = std::atoi(v);
+    } else if (flag == "--items") {
+      const char* v = next();
+      if (!v) return false;
+      args->items = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (flag == "--yield") {
+      args->yield = true;
+    } else if (flag == "--csv") {
+      args->csv = true;
+    } else if (flag == "--reg-cost") {
+      const char* v = next();
+      if (!v) return false;
+      args->reg_cost = std::atof(v);
+    } else if (flag == "--controllers") {
+      const char* v = next();
+      if (!v) return false;
+      std::stringstream ss(v);
+      std::string token;
+      while (std::getline(ss, token, ',')) {
+        args->controllers.push_back(token);
+      }
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunWorkbench(const Args& args) {
+  // Assemble workload + schema + database factory.
+  std::unique_ptr<Workload> workload;
+  std::function<std::unique_ptr<Database>()> make_db;
+  PartitionSpec spec;
+  if (args.workload == "inventory") {
+    InventoryWorkloadParams params;
+    params.items = args.items;
+    params.yield_between_ops = args.yield;
+    auto w = std::make_unique<InventoryWorkload>(params);
+    spec = InventoryWorkload::Spec();
+    make_db = [w = w.get()] { return w->MakeDatabase(); };
+    workload = std::move(w);
+  } else if (args.workload == "synthetic") {
+    SyntheticWorkloadParams params;
+    params.depth = args.depth;
+    auto w = std::make_unique<SyntheticWorkload>(params);
+    spec = w->Spec();
+    make_db = [w = w.get()] { return w->MakeDatabase(); };
+    workload = std::move(w);
+  } else if (args.workload == "banking") {
+    BankingWorkloadParams params;
+    params.accounts = args.items;
+    auto w = std::make_unique<BankingWorkload>(params);
+    spec = w->Spec();
+    make_db = [w = w.get()] { return w->MakeDatabase(); };
+    workload = std::move(w);
+  } else if (args.workload == "ledger") {
+    LedgerWorkloadParams params;
+    params.items = args.items;
+    auto w = std::make_unique<LedgerWorkload>(params);
+    spec = w->Spec();
+    make_db = [w = w.get()] { return w->MakeDatabase(); };
+    workload = std::move(w);
+  } else {
+    std::cerr << "unknown workload: " << args.workload << "\n";
+    return 2;
+  }
+
+  auto schema = HierarchySchema::Create(spec);
+  if (!schema.ok()) {
+    std::cerr << "illegal decomposition: " << schema.status() << "\n";
+    return 2;
+  }
+
+  // Which controllers?
+  std::vector<ControllerKind> kinds;
+  if (args.controllers.empty()) {
+    kinds = AllControllerKinds();
+  } else {
+    for (const std::string& name : args.controllers) {
+      bool found = false;
+      for (ControllerKind kind : AllControllerKinds()) {
+        if (name == ControllerKindName(kind)) {
+          kinds.push_back(kind);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::cerr << "unknown controller: " << name << "\n";
+        return 2;
+      }
+    }
+  }
+
+  if (!args.csv) {
+    std::cout << "workload=" << args.workload << " txns=" << args.txns
+              << " threads=" << args.threads << "\n\n";
+  }
+  ExecutorOptions options;
+  options.num_threads = args.threads;
+  std::vector<ComparisonRow> rows;
+  std::map<std::string, double> modeled;
+  for (ControllerKind kind : kinds) {
+    auto db = make_db();
+    LogicalClock clock;
+    auto cc = CreateController(kind, db.get(), &clock, &*schema);
+    ComparisonRow row;
+    row.controller = std::string(ControllerKindName(kind));
+    row.stats = RunWorkload(*cc, *workload, args.txns, options);
+    const CcMetrics& m = cc->metrics();
+    row.read_locks = m.read_locks_acquired.load();
+    row.read_timestamps = m.read_timestamps_written.load();
+    row.unregistered_reads = m.unregistered_reads.load();
+    row.blocked_reads = m.blocked_reads.load();
+    row.blocked_writes = m.blocked_writes.load();
+    row.aborts = m.aborts.load();
+    row.deadlocks = m.deadlocks.load();
+    row.serializable =
+        CheckSerializability(cc->recorder()).serializable;
+    CostModel model;
+    model.registration_us = args.reg_cost;
+    modeled[row.controller] =
+        EstimateCost(m, row.stats, model).per_commit_us;
+    rows.push_back(row);
+  }
+  if (args.csv) {
+    std::cout << "controller,commits,txn_per_s,read_locks,read_stamps,"
+                 "unregistered_reads,blocked_reads,blocked_writes,aborts,"
+                 "deadlocks,p50_us,p99_us,modeled_us_per_commit,"
+                 "serializable\n";
+    for (const ComparisonRow& row : rows) {
+      std::cout << row.controller << ',' << row.stats.committed << ','
+                << static_cast<std::uint64_t>(row.stats.Throughput()) << ','
+                << row.read_locks << ',' << row.read_timestamps << ','
+                << row.unregistered_reads << ',' << row.blocked_reads << ','
+                << row.blocked_writes << ',' << row.aborts << ','
+                << row.deadlocks << ',' << row.stats.latency_p50_us << ','
+                << row.stats.latency_p99_us << ','
+                << modeled[row.controller] << ','
+                << (row.serializable ? "yes" : "no") << "\n";
+    }
+    for (const ComparisonRow& row : rows) {
+      if (!row.serializable) return 1;
+    }
+    return 0;
+  }
+  PrintComparisonTable(rows, std::cout);
+
+  std::cout << "\nmodeled cost per commit (us) at registration cost "
+            << args.reg_cost << "us:\n";
+  for (const auto& [name, cost] : modeled) {
+    std::cout << "  " << name << ": " << cost << "\n";
+  }
+  for (const ComparisonRow& row : rows) {
+    if (!row.serializable) {
+      std::cerr << "\nWARNING: " << row.controller
+                << " produced a NON-SERIALIZABLE execution\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::cerr
+        << "usage: workbench [--workload inventory|synthetic|banking|"
+           "ledger] [--txns N] [--threads N] [--depth N] [--items N] "
+           "[--yield] [--csv] [--controllers a,b,...] [--reg-cost US]\n";
+    return 2;
+  }
+  return RunWorkbench(args);
+}

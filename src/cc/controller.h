@@ -1,0 +1,71 @@
+#ifndef HDD_CC_CONTROLLER_H_
+#define HDD_CC_CONTROLLER_H_
+
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "txn/schedule.h"
+#include "txn/transaction.h"
+
+namespace hdd {
+
+/// Common interface of every concurrency-control technique in the library
+/// (HDD and all baselines). Usage protocol:
+///
+///   auto txn = controller.Begin(options);          // fresh I(t)
+///   auto value = controller.Read(*txn, granule);   // may block
+///   controller.Write(*txn, granule, new_value);    // may fail kAborted
+///   controller.Commit(*txn);                       // or Abort
+///
+/// Any operation may return a retryable status (kAborted / kDeadlock); the
+/// caller must then call Abort() and restart the whole transaction with a
+/// new Begin(). Blocking techniques park the calling thread internally.
+///
+/// Every successful read/write is recorded in the schedule recorder so the
+/// §2 serializability checker can audit the execution offline, and every
+/// synchronization action is counted in the metrics — the quantities the
+/// paper's comparison (Figure 10) is about.
+class ConcurrencyController {
+ public:
+  ConcurrencyController(Database* db, LogicalClock* clock)
+      : db_(db), clock_(clock) {}
+  virtual ~ConcurrencyController() = default;
+
+  ConcurrencyController(const ConcurrencyController&) = delete;
+  ConcurrencyController& operator=(const ConcurrencyController&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  /// Starts a transaction; assigns I(t) from the shared logical clock.
+  virtual Result<TxnDescriptor> Begin(const TxnOptions& options) = 0;
+
+  /// Reads one granule on behalf of `txn`.
+  virtual Result<Value> Read(const TxnDescriptor& txn, GranuleRef granule) = 0;
+
+  /// Writes one granule on behalf of `txn`.
+  virtual Status Write(const TxnDescriptor& txn, GranuleRef granule,
+                       Value value) = 0;
+
+  virtual Status Commit(const TxnDescriptor& txn) = 0;
+  virtual Status Abort(const TxnDescriptor& txn) = 0;
+
+  Database& db() { return *db_; }
+  LogicalClock& clock() { return *clock_; }
+  CcMetrics& metrics() { return metrics_; }
+  const CcMetrics& metrics() const { return metrics_; }
+  ScheduleRecorder& recorder() { return recorder_; }
+  const ScheduleRecorder& recorder() const { return recorder_; }
+
+ protected:
+  Database* db_;
+  LogicalClock* clock_;
+  CcMetrics metrics_;
+  ScheduleRecorder recorder_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_CC_CONTROLLER_H_

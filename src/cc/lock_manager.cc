@@ -1,0 +1,221 @@
+#include "cc/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <vector>
+
+namespace hdd {
+
+namespace {
+
+constexpr auto kLockWaitTimeout = std::chrono::seconds(30);
+
+bool Compatible(LockMode a, LockMode b) {
+  return a == LockMode::kShared && b == LockMode::kShared;
+}
+
+}  // namespace
+
+bool LockManager::CanGrant(const LockState& state,
+                           const Request& request) const {
+  for (const Request& other : state.queue) {
+    if (&other == &request) {
+      // FIFO fairness: nothing ahead blocked us, grantable.
+      return true;
+    }
+    if (other.txn == request.txn) continue;
+    // Both granted holders and earlier waiters gate the request, so a
+    // stream of shared requests cannot starve a waiting upgrade/writer.
+    if (!Compatible(other.mode, request.mode)) return false;
+  }
+  return true;
+}
+
+void LockManager::GrantEligible(LockState& state) {
+  bool granted_any = false;
+  for (Request& request : state.queue) {
+    if (request.granted) continue;
+    if (CanGrant(state, request)) {
+      request.granted = true;
+      granted_any = true;
+    } else {
+      break;  // FIFO: once one waiter stays blocked, later ones do too
+    }
+  }
+  if (granted_any) cv_.notify_all();
+}
+
+bool LockManager::WouldDeadlock(TxnId requester, GranuleRef granule) {
+  // Build the waits-for graph from the whole table: each ungranted request
+  // waits for every incompatible request ahead of it in its queue.
+  std::unordered_map<TxnId, std::vector<TxnId>> waits_for;
+  auto add_edges = [&](const LockState& state) {
+    for (auto it = state.queue.begin(); it != state.queue.end(); ++it) {
+      if (it->granted) continue;
+      for (auto ahead = state.queue.begin(); ahead != it; ++ahead) {
+        if (ahead->txn != it->txn && !Compatible(ahead->mode, it->mode)) {
+          waits_for[it->txn].push_back(ahead->txn);
+        }
+      }
+    }
+  };
+  for (const auto& [ref, state] : table_) {
+    (void)ref;
+    add_edges(state);
+  }
+  (void)granule;
+  // DFS from the requester looking for a path back to it.
+  std::vector<TxnId> stack = {requester};
+  std::unordered_set<TxnId> seen;
+  bool first = true;
+  while (!stack.empty()) {
+    const TxnId t = stack.back();
+    stack.pop_back();
+    if (!first && t == requester) return true;
+    first = false;
+    auto it = waits_for.find(t);
+    if (it == waits_for.end()) continue;
+    for (TxnId next : it->second) {
+      if (next == requester) return true;
+      if (seen.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, Timestamp txn_ts, GranuleRef granule,
+                            LockMode mode, bool* waited) {
+  if (waited != nullptr) *waited = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  LockState& state = table_[granule];
+
+  // Re-entrant / upgrade handling.
+  for (auto it = state.queue.begin(); it != state.queue.end(); ++it) {
+    if (it->txn != txn) continue;
+    assert(it->granted && "transaction issued a request while blocked");
+    if (it->mode == LockMode::kExclusive || it->mode == mode) {
+      return Status::OK();  // already covered
+    }
+    // S -> X upgrade.
+    const bool sole_holder = std::none_of(
+        state.queue.begin(), state.queue.end(), [&](const Request& r) {
+          return r.granted && r.txn != txn;
+        });
+    if (sole_holder) {
+      it->mode = LockMode::kExclusive;
+      return Status::OK();
+    }
+    if (policy_ == DeadlockPolicy::kNoWait) {
+      return Status::Busy("upgrade conflict");
+    }
+    if (policy_ == DeadlockPolicy::kWaitDie) {
+      for (const Request& r : state.queue) {
+        if (r.granted && r.txn != txn && r.ts < txn_ts) {
+          return Status::Deadlock("wait-die: younger upgrader dies");
+        }
+      }
+    }
+    // Re-queue the upgrade as a fresh high-priority waiter: demote to an
+    // ungranted X request placed after the granted holders so it is next
+    // in FIFO order. The shared lock stays held.
+    Request upgrade;
+    upgrade.txn = txn;
+    upgrade.ts = txn_ts;
+    upgrade.mode = LockMode::kExclusive;
+    upgrade.granted = false;
+    auto pos = state.queue.begin();
+    while (pos != state.queue.end() && pos->granted) ++pos;
+    auto upgrade_it = state.queue.insert(pos, upgrade);
+    if (policy_ == DeadlockPolicy::kDetect && WouldDeadlock(txn, granule)) {
+      state.queue.erase(upgrade_it);
+      return Status::Deadlock("deadlock detected on upgrade");
+    }
+    if (waited != nullptr) *waited = true;
+    // Wait until every *other* holder releases.
+    const bool ok = cv_.wait_for(lock, kLockWaitTimeout, [&] {
+      return std::none_of(state.queue.begin(), state.queue.end(),
+                          [&](const Request& r) {
+                            return r.granted && r.txn != txn;
+                          });
+    });
+    if (!ok) {
+      state.queue.erase(upgrade_it);
+      GrantEligible(state);
+      return Status::Internal("lock wait timeout (upgrade)");
+    }
+    state.queue.erase(upgrade_it);
+    for (Request& r : state.queue) {
+      if (r.txn == txn && r.granted) r.mode = LockMode::kExclusive;
+    }
+    return Status::OK();
+  }
+
+  // Fresh request.
+  Request request;
+  request.txn = txn;
+  request.ts = txn_ts;
+  request.mode = mode;
+  request.granted = false;
+  auto it = state.queue.insert(state.queue.end(), request);
+  if (CanGrant(state, *it)) {
+    it->granted = true;
+    held_[txn].insert(granule);
+    return Status::OK();
+  }
+  if (policy_ == DeadlockPolicy::kNoWait) {
+    state.queue.erase(it);
+    return Status::Busy("lock conflict");
+  }
+  if (policy_ == DeadlockPolicy::kWaitDie) {
+    for (const Request& r : state.queue) {
+      if (&r != &*it && r.txn != txn && !Compatible(r.mode, it->mode) &&
+          r.ts < txn_ts) {
+        state.queue.erase(it);
+        return Status::Deadlock("wait-die: younger requester dies");
+      }
+    }
+  }
+  if (policy_ == DeadlockPolicy::kDetect && WouldDeadlock(txn, granule)) {
+    state.queue.erase(it);
+    return Status::Deadlock("deadlock detected");
+  }
+  if (waited != nullptr) *waited = true;
+  const bool ok =
+      cv_.wait_for(lock, kLockWaitTimeout, [&] { return it->granted; });
+  if (!ok) {
+    state.queue.erase(it);
+    GrantEligible(state);
+    return Status::Internal("lock wait timeout");
+  }
+  held_[txn].insert(granule);
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto held_it = held_.find(txn);
+  if (held_it == held_.end()) return;
+  for (GranuleRef granule : held_it->second) {
+    auto table_it = table_.find(granule);
+    if (table_it == table_.end()) continue;
+    LockState& state = table_it->second;
+    state.queue.remove_if(
+        [&](const Request& r) { return r.txn == txn && r.granted; });
+    if (state.queue.empty()) {
+      table_.erase(table_it);
+    } else {
+      GrantEligible(state);
+    }
+  }
+  held_.erase(held_it);
+  cv_.notify_all();
+}
+
+std::size_t LockManager::NumHeld(TxnId txn) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+}  // namespace hdd

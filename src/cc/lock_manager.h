@@ -1,0 +1,85 @@
+#ifndef HDD_CC_LOCK_MANAGER_H_
+#define HDD_CC_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "storage/version.h"
+
+namespace hdd {
+
+enum class LockMode { kShared, kExclusive };
+
+/// How lock waits that could deadlock are resolved.
+enum class DeadlockPolicy {
+  /// Build the waits-for graph on every block; if the requester closes a
+  /// cycle it is chosen as the victim (returns kDeadlock).
+  kDetect,
+  /// Wait-die: an older requester (smaller timestamp) waits; a younger one
+  /// dies immediately (returns kDeadlock).
+  kWaitDie,
+  /// Never wait: any conflict returns kBusy to the caller.
+  kNoWait,
+};
+
+/// Granule-level S/X lock table with FIFO-fair waiting, supporting
+/// S->X upgrade for the sole shared holder. Used by the 2PL and MV2PL
+/// baselines. The paper's point of comparison: every registered read here
+/// costs a shared-lock acquisition and possibly a wait.
+class LockManager {
+ public:
+  explicit LockManager(DeadlockPolicy policy = DeadlockPolicy::kDetect)
+      : policy_(policy) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires (or upgrades to) `mode` on `granule` for `txn`.
+  /// `txn_ts` is the transaction's initiation timestamp (used by
+  /// wait-die). On success sets *waited to whether the call blocked.
+  /// Retryable failures: kDeadlock (victim under either policy) or kBusy
+  /// (kNoWait conflict).
+  Status Acquire(TxnId txn, Timestamp txn_ts, GranuleRef granule,
+                 LockMode mode, bool* waited);
+
+  /// Releases every lock held by `txn` and wakes eligible waiters.
+  void ReleaseAll(TxnId txn);
+
+  /// Locks currently held by `txn` (diagnostics/tests).
+  std::size_t NumHeld(TxnId txn) const;
+
+ private:
+  struct Request {
+    TxnId txn;
+    Timestamp ts;
+    LockMode mode;
+    bool granted = false;
+  };
+
+  struct LockState {
+    // Holders first (granted == true), then FIFO waiters.
+    std::list<Request> queue;
+  };
+
+  // All private helpers assume mu_ is held.
+  bool CanGrant(const LockState& state, const Request& request) const;
+  void GrantEligible(LockState& state);
+  bool WouldDeadlock(TxnId requester, GranuleRef granule);
+
+  DeadlockPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<GranuleRef, LockState> table_;
+  std::unordered_map<TxnId, std::unordered_set<GranuleRef>> held_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_CC_LOCK_MANAGER_H_

@@ -1,0 +1,165 @@
+#include "cc/mvto.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace hdd {
+
+Mvto::Mvto(Database* db, LogicalClock* clock, MvtoOptions options)
+    : ConcurrencyController(db, clock), options_(std::move(options)) {}
+
+Result<TxnDescriptor> Mvto::Begin(const TxnOptions& options) {
+  std::lock_guard<std::mutex> guard(mu_);
+  TxnRuntime runtime;
+  runtime.descriptor.id = next_txn_id_++;
+  runtime.descriptor.init_ts = clock_->Tick();
+  runtime.descriptor.txn_class = options.txn_class;
+  runtime.descriptor.read_only = options.read_only;
+  const TxnDescriptor descriptor = runtime.descriptor;
+  txns_.emplace(descriptor.id, std::move(runtime));
+  recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
+                        descriptor.read_only);
+  metrics_.begins.fetch_add(1);
+  return descriptor;
+}
+
+Result<Mvto::TxnRuntime*> Mvto::FindTxn(const TxnDescriptor& txn) {
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  return &it->second;
+}
+
+Result<Value> Mvto::Read(const TxnDescriptor& txn, GranuleRef granule) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  std::unique_lock<std::mutex> lock(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  (void)runtime;
+
+  if (options_.max_versions > 0) {
+    auto floor_it = prune_floor_.find(granule);
+    if (floor_it != prune_floor_.end() &&
+        txn.init_ts <= floor_it->second) {
+      // The version this transaction must read was pruned by the
+      // bounded-version policy: the read cannot be served consistently.
+      return Status::Aborted("MVTO read: snapshot version pruned");
+    }
+  }
+  bool waited = false;
+  for (;;) {
+    Granule& g = db_->granule(granule);
+    // Own version (wts == our I(t)) is always readable.
+    Version* own = g.Find(txn.init_ts);
+    Version* version = own != nullptr ? own : g.VersionBefore(txn.init_ts);
+    assert(version != nullptr);
+    if (!version->committed && version->creator != txn.id) {
+      // The chosen version's creator is strictly older (wts < our I(t)),
+      // so waiting points only at older transactions: deadlock-free.
+      waited = true;
+      cv_.wait(lock);
+      continue;
+    }
+    if (waited) metrics_.blocked_reads.fetch_add(1);
+    if (options_.register_reads) {
+      if (txn.init_ts > version->rts) version->rts = txn.init_ts;
+      metrics_.read_timestamps_written.fetch_add(1);
+    } else {
+      metrics_.unregistered_reads.fetch_add(1);
+    }
+    metrics_.version_reads.fetch_add(1);
+    recorder_.RecordRead(txn.id, granule, version->order_key,
+                         options_.register_reads);
+    return version->value;
+  }
+}
+
+Status Mvto::Write(const TxnDescriptor& txn, GranuleRef granule,
+                   Value value) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  std::lock_guard<std::mutex> guard(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  if (txn.read_only) {
+    return Status::FailedPrecondition("read-only transaction wrote");
+  }
+
+  Granule& g = db_->granule(granule);
+  Version* own = g.Find(txn.init_ts);
+  if (own != nullptr) {
+    own->value = value;
+    recorder_.RecordWrite(txn.id, granule, own->order_key);
+    return Status::OK();
+  }
+  // Reject when any version older than us was already read by a younger
+  // transaction: our new version would invalidate that read.
+  if (g.MaxRtsOfVersionsBefore(txn.init_ts) > txn.init_ts) {
+    return Status::Aborted("MVTO write: younger read of older version");
+  }
+  Version version;
+  version.order_key = txn.init_ts;
+  version.wts = txn.init_ts;
+  version.creator = txn.id;
+  version.value = value;
+  version.committed = false;
+  HDD_RETURN_IF_ERROR(g.Insert(version));
+  runtime->writes.push_back(granule);
+  metrics_.versions_created.fetch_add(1);
+  recorder_.RecordWrite(txn.id, granule, version.order_key);
+  return Status::OK();
+}
+
+void Mvto::EnforceVersionCap(GranuleRef granule) {
+  Granule& g = db_->granule(granule);
+  // Committed count (chain is sorted by order_key == wts).
+  std::vector<std::uint64_t> committed_keys;
+  for (const Version& v : g.versions()) {
+    if (v.committed) committed_keys.push_back(v.order_key);
+  }
+  if (committed_keys.size() <= options_.max_versions) return;
+  const std::size_t drop = committed_keys.size() - options_.max_versions;
+  for (std::size_t i = 0; i < drop; ++i) {
+    Status removed = g.Remove(committed_keys[i]);
+    assert(removed.ok());
+    (void)removed;
+  }
+  // Oldest retained committed version defines the read floor.
+  Timestamp& floor = prune_floor_[granule];
+  floor = std::max(floor, static_cast<Timestamp>(committed_keys[drop]));
+}
+
+Status Mvto::Commit(const TxnDescriptor& txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  for (GranuleRef granule : runtime->writes) {
+    Version* version = db_->granule(granule).Find(txn.init_ts);
+    assert(version != nullptr);
+    version->committed = true;
+    if (options_.max_versions > 0) EnforceVersionCap(granule);
+  }
+  txns_.erase(txn.id);
+  recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
+  metrics_.commits.fetch_add(1);
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status Mvto::Abort(const TxnDescriptor& txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  for (GranuleRef granule : it->second.writes) {
+    Status removed = db_->granule(granule).Remove(txn.init_ts);
+    assert(removed.ok());
+    (void)removed;
+  }
+  txns_.erase(it);
+  recorder_.RecordOutcome(txn.id, TxnState::kAborted);
+  metrics_.aborts.fetch_add(1);
+  cv_.notify_all();
+  return Status::OK();
+}
+
+}  // namespace hdd

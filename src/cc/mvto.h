@@ -1,0 +1,72 @@
+#ifndef HDD_CC_MVTO_H_
+#define HDD_CC_MVTO_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/controller.h"
+
+namespace hdd {
+
+struct MvtoOptions {
+  /// When false, reads leave no read timestamp — unsound, for anomaly
+  /// experiments only (the MV analogue of the paper's Figure 4).
+  bool register_reads = true;
+
+  /// Cap on committed versions retained per granule (0 = unbounded).
+  /// 1 degenerates to single-version TO; 2 models the one-previous-
+  /// version schemes the paper cites (Bayer 80); larger values climb
+  /// Papadimitriou's hierarchy — "the more versions a DBMS keeps, the
+  /// higher the level of concurrency it may achieve" (§1.3). A read
+  /// whose target version was pruned aborts with kAborted.
+  std::size_t max_versions = 0;
+
+  std::string name = "mvto";
+};
+
+/// Multi-version timestamp ordering [Reed 78]. A read is served the
+/// version with the largest write timestamp below the reader's I(t) and
+/// registers a read timestamp on it; reads therefore never abort but may
+/// wait for the chosen version's creator to commit. A write aborts when a
+/// younger transaction already read the state the write would change.
+class Mvto : public ConcurrencyController {
+ public:
+  Mvto(Database* db, LogicalClock* clock, MvtoOptions options = {});
+
+  std::string_view name() const override { return options_.name; }
+
+  Result<TxnDescriptor> Begin(const TxnOptions& options) override;
+  Result<Value> Read(const TxnDescriptor& txn, GranuleRef granule) override;
+  Status Write(const TxnDescriptor& txn, GranuleRef granule,
+               Value value) override;
+  Status Commit(const TxnDescriptor& txn) override;
+  Status Abort(const TxnDescriptor& txn) override;
+
+ private:
+  struct TxnRuntime {
+    TxnDescriptor descriptor;
+    std::vector<GranuleRef> writes;
+  };
+
+  Result<TxnRuntime*> FindTxn(const TxnDescriptor& txn);
+
+  /// Enforces options_.max_versions on `granule` after a commit; updates
+  /// prune_floor_. Caller holds mu_.
+  void EnforceVersionCap(GranuleRef granule);
+
+  MvtoOptions options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<TxnId, TxnRuntime> txns_;
+  /// Per granule: wts of the oldest retained committed version after a
+  /// prune. Readers at or below the floor abort (version unavailable).
+  std::unordered_map<GranuleRef, Timestamp> prune_floor_;
+  TxnId next_txn_id_ = 1;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_CC_MVTO_H_

@@ -1,0 +1,78 @@
+#ifndef HDD_CC_OCC_H_
+#define HDD_CC_OCC_H_
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cc/controller.h"
+
+namespace hdd {
+
+struct OccOptions {
+  /// Committed write-sets older than this many commits are pruned; a
+  /// validating transaction that began before the prune horizon aborts
+  /// conservatively. Bounds validation memory.
+  std::size_t history_limit = 4096;
+
+  std::string name = "occ";
+};
+
+/// Optimistic concurrency control with backward validation
+/// [Kung & Robinson 81] — contemporary with the paper and its natural
+/// foil: like HDD it registers NO reads at all, but instead of steering
+/// reads to provably-safe versions it lets transactions run against the
+/// latest committed state and validates at commit, aborting whenever a
+/// concurrently committed transaction wrote anything the validator read.
+/// Under contention the unregistered reads come back as validation
+/// aborts — which is exactly the trade-off Figure 10's comparison is
+/// about.
+class Occ : public ConcurrencyController {
+ public:
+  Occ(Database* db, LogicalClock* clock, OccOptions options = {});
+
+  std::string_view name() const override { return options_.name; }
+
+  Result<TxnDescriptor> Begin(const TxnOptions& options) override;
+  Result<Value> Read(const TxnDescriptor& txn, GranuleRef granule) override;
+  Status Write(const TxnDescriptor& txn, GranuleRef granule,
+               Value value) override;
+  Status Commit(const TxnDescriptor& txn) override;
+  Status Abort(const TxnDescriptor& txn) override;
+
+ private:
+  struct TxnRuntime {
+    TxnDescriptor descriptor;
+    /// Commit-sequence watermark at Begin: validation checks every
+    /// write-set committed after it.
+    std::uint64_t start_seq = 0;
+    std::unordered_set<GranuleRef> read_set;
+    std::unordered_map<GranuleRef, Value> write_buffer;
+    /// Read steps deferred to commit time: recorded only if validation
+    /// passes, with the version actually observed.
+    std::vector<Step> pending_reads;
+  };
+
+  struct CommittedRecord {
+    std::uint64_t seq;
+    std::vector<GranuleRef> write_set;
+  };
+
+  Result<TxnRuntime*> FindTxn(const TxnDescriptor& txn);
+
+  OccOptions options_;
+  std::mutex mu_;
+  std::unordered_map<TxnId, TxnRuntime> txns_;
+  std::deque<CommittedRecord> committed_history_;
+  std::uint64_t next_commit_seq_ = 1;
+  std::uint64_t pruned_below_seq_ = 0;
+  std::uint64_t next_write_key_ = 1;
+  TxnId next_txn_id_ = 1;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_CC_OCC_H_

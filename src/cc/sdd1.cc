@@ -1,0 +1,160 @@
+#include "cc/sdd1.h"
+
+#include <cassert>
+
+namespace hdd {
+
+Sdd1::Sdd1(Database* db, LogicalClock* clock, Sdd1Options options)
+    : ConcurrencyController(db, clock), options_(std::move(options)) {}
+
+Result<TxnDescriptor> Sdd1::Begin(const TxnOptions& options) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!options.read_only &&
+      (options.txn_class < 0 || options.txn_class >= db_->num_segments())) {
+    return Status::InvalidArgument(
+        "SDD-1 update transactions must declare their class");
+  }
+  TxnRuntime runtime;
+  runtime.descriptor.id = next_txn_id_++;
+  runtime.descriptor.init_ts = clock_->Tick();
+  runtime.descriptor.txn_class =
+      options.read_only ? kReadOnlyClass : options.txn_class;
+  runtime.descriptor.read_only = options.read_only;
+  const TxnDescriptor descriptor = runtime.descriptor;
+  txns_.emplace(descriptor.id, std::move(runtime));
+  if (!descriptor.read_only) {
+    active_[descriptor.txn_class].insert(descriptor.init_ts);
+  }
+  recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
+                        descriptor.read_only);
+  metrics_.begins.fetch_add(1);
+  return descriptor;
+}
+
+Result<Sdd1::TxnRuntime*> Sdd1::FindTxn(const TxnDescriptor& txn) {
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  return &it->second;
+}
+
+bool Sdd1::PipelineDrainedBelow(ClassId cls, Timestamp ts) const {
+  auto it = active_.find(cls);
+  if (it == active_.end() || it->second.empty()) return true;
+  return *it->second.begin() >= ts;
+}
+
+Result<Value> Sdd1::Read(const TxnDescriptor& txn, GranuleRef granule) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  std::unique_lock<std::mutex> lock(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  (void)runtime;
+
+  const ClassId writer_class = granule.segment;
+  bool waited = false;
+  if (writer_class == txn.txn_class) {
+    // Intra-class: serialized pipelining — proceed as the class's oldest.
+    while (!active_[txn.txn_class].empty() &&
+           *active_[txn.txn_class].begin() < txn.init_ts) {
+      waited = true;
+      cv_.wait(lock);
+    }
+  } else {
+    // Inter-class: wait for the writer class's pipeline to pass our I(t).
+    while (!PipelineDrainedBelow(writer_class, txn.init_ts)) {
+      waited = true;
+      cv_.wait(lock);
+    }
+  }
+  if (waited) metrics_.blocked_reads.fetch_add(1);
+
+  Granule& g = db_->granule(granule);
+  const Version* version = g.Find(txn.init_ts) != nullptr
+                               ? g.Find(txn.init_ts)
+                               : g.LatestCommittedBefore(txn.init_ts);
+  assert(version != nullptr);
+  metrics_.unregistered_reads.fetch_add(1);
+  metrics_.version_reads.fetch_add(1);
+  recorder_.RecordRead(txn.id, granule, version->order_key);
+  return version->value;
+}
+
+Status Sdd1::Write(const TxnDescriptor& txn, GranuleRef granule,
+                   Value value) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  std::unique_lock<std::mutex> lock(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  if (txn.read_only) {
+    return Status::FailedPrecondition("read-only transaction wrote");
+  }
+  if (granule.segment != txn.txn_class) {
+    return Status::InvalidArgument(
+        "SDD-1 class may only write its own segment");
+  }
+
+  // Serialized pipelining within the class.
+  bool waited = false;
+  while (!active_[txn.txn_class].empty() &&
+         *active_[txn.txn_class].begin() < txn.init_ts) {
+    waited = true;
+    cv_.wait(lock);
+  }
+  if (waited) metrics_.blocked_writes.fetch_add(1);
+
+  Granule& g = db_->granule(granule);
+  Version* own = g.Find(txn.init_ts);
+  if (own != nullptr) {
+    own->value = value;
+    recorder_.RecordWrite(txn.id, granule, own->order_key);
+    return Status::OK();
+  }
+  Version version;
+  version.order_key = txn.init_ts;
+  version.wts = txn.init_ts;
+  version.creator = txn.id;
+  version.value = value;
+  version.committed = false;
+  HDD_RETURN_IF_ERROR(g.Insert(version));
+  runtime->writes.push_back(granule);
+  metrics_.versions_created.fetch_add(1);
+  recorder_.RecordWrite(txn.id, granule, version.order_key);
+  return Status::OK();
+}
+
+Status Sdd1::Commit(const TxnDescriptor& txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  for (GranuleRef granule : runtime->writes) {
+    Version* version = db_->granule(granule).Find(txn.init_ts);
+    assert(version != nullptr);
+    version->committed = true;
+  }
+  if (!txn.read_only) active_[txn.txn_class].erase(txn.init_ts);
+  txns_.erase(txn.id);
+  recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
+  metrics_.commits.fetch_add(1);
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status Sdd1::Abort(const TxnDescriptor& txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  for (GranuleRef granule : it->second.writes) {
+    Status removed = db_->granule(granule).Remove(txn.init_ts);
+    assert(removed.ok());
+    (void)removed;
+  }
+  if (!txn.read_only) active_[txn.txn_class].erase(txn.init_ts);
+  txns_.erase(it);
+  recorder_.RecordOutcome(txn.id, TxnState::kAborted);
+  metrics_.aborts.fetch_add(1);
+  cv_.notify_all();
+  return Status::OK();
+}
+
+}  // namespace hdd

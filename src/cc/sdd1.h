@@ -1,0 +1,73 @@
+#ifndef HDD_CC_SDD1_H_
+#define HDD_CC_SDD1_H_
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/controller.h"
+
+namespace hdd {
+
+struct Sdd1Options {
+  std::string name = "sdd1";
+};
+
+/// Single-node rendition of the SDD-1 conflict-analysis approach
+/// [Bernstein 80], the comparison point of the paper's Figure 10.
+///
+/// Transactions are grouped into classes (class = root segment, as in
+/// HDD's transaction analysis). Conflict analysis is implicit in the
+/// segment structure: a read of segment `s` conflicts exactly with the
+/// class rooted at `s`. Synchronization is conservative:
+///
+///  * intra-class: serialized pipelining — a transaction touches its own
+///    segment only when it is the oldest active transaction of its class;
+///  * inter-class: a read of segment `s` waits until class `s` has no
+///    active transaction older than the reader (its pipeline low-water
+///    mark passed the reader's timestamp), then reads the latest version
+///    older than the reader's I(t).
+///
+/// Reads are never rejected and leave no read timestamps, but — unlike HDD
+/// Protocol A — they BLOCK on the writer class's pipeline. Every wait
+/// targets a strictly older transaction, so the scheme is deadlock-free.
+class Sdd1 : public ConcurrencyController {
+ public:
+  Sdd1(Database* db, LogicalClock* clock, Sdd1Options options = {});
+
+  std::string_view name() const override { return options_.name; }
+
+  Result<TxnDescriptor> Begin(const TxnOptions& options) override;
+  Result<Value> Read(const TxnDescriptor& txn, GranuleRef granule) override;
+  Status Write(const TxnDescriptor& txn, GranuleRef granule,
+               Value value) override;
+  Status Commit(const TxnDescriptor& txn) override;
+  Status Abort(const TxnDescriptor& txn) override;
+
+ private:
+  struct TxnRuntime {
+    TxnDescriptor descriptor;
+    std::vector<GranuleRef> writes;
+  };
+
+  Result<TxnRuntime*> FindTxn(const TxnDescriptor& txn);
+
+  /// True when class `cls` has no active transaction with I(t) < ts.
+  bool PipelineDrainedBelow(ClassId cls, Timestamp ts) const;
+
+  Sdd1Options options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<TxnId, TxnRuntime> txns_;
+  /// Active initiation timestamps per class.
+  std::map<ClassId, std::set<Timestamp>> active_;
+  TxnId next_txn_id_ = 1;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_CC_SDD1_H_

@@ -1,0 +1,115 @@
+#include "cc/serial.h"
+
+#include <cassert>
+
+namespace hdd {
+
+Result<TxnDescriptor> SerialController::Begin(const TxnOptions& options) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !busy_; });
+  busy_ = true;
+  TxnRuntime runtime;
+  runtime.descriptor.id = next_txn_id_++;
+  runtime.descriptor.init_ts = clock_->Tick();
+  runtime.descriptor.txn_class = options.txn_class;
+  runtime.descriptor.read_only = options.read_only;
+  const TxnDescriptor descriptor = runtime.descriptor;
+  txns_.emplace(descriptor.id, std::move(runtime));
+  recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
+                        descriptor.read_only);
+  metrics_.begins.fetch_add(1);
+  return descriptor;
+}
+
+Result<Value> SerialController::Read(const TxnDescriptor& txn,
+                                     GranuleRef granule) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  Granule& g = db_->granule(granule);
+  const Version* version = nullptr;
+  auto write_it = it->second.writes.find(granule);
+  if (write_it != it->second.writes.end()) {
+    version = g.Find(write_it->second);
+  } else {
+    version = g.LatestCommitted();
+  }
+  assert(version != nullptr);
+  metrics_.version_reads.fetch_add(1);
+  recorder_.RecordRead(txn.id, granule, version->order_key);
+  return version->value;
+}
+
+Status SerialController::Write(const TxnDescriptor& txn, GranuleRef granule,
+                               Value value) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  if (txn.read_only) {
+    return Status::FailedPrecondition("read-only transaction wrote");
+  }
+  Granule& g = db_->granule(granule);
+  auto write_it = it->second.writes.find(granule);
+  if (write_it != it->second.writes.end()) {
+    Version* own = g.Find(write_it->second);
+    own->value = value;
+    recorder_.RecordWrite(txn.id, granule, own->order_key);
+    return Status::OK();
+  }
+  Version version;
+  version.order_key = next_write_key_++;
+  version.wts = kTimestampMin;
+  version.creator = txn.id;
+  version.value = value;
+  version.committed = false;
+  HDD_RETURN_IF_ERROR(g.Insert(version));
+  it->second.writes.emplace(granule, version.order_key);
+  metrics_.versions_created.fetch_add(1);
+  recorder_.RecordWrite(txn.id, granule, version.order_key);
+  return Status::OK();
+}
+
+Status SerialController::Commit(const TxnDescriptor& txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  const Timestamp commit_ts = clock_->Tick();
+  for (const auto& [granule, order_key] : it->second.writes) {
+    Version* version = db_->granule(granule).Find(order_key);
+    version->wts = commit_ts;
+    version->committed = true;
+  }
+  txns_.erase(it);
+  busy_ = false;
+  recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
+  metrics_.commits.fetch_add(1);
+  cv_.notify_one();
+  return Status::OK();
+}
+
+Status SerialController::Abort(const TxnDescriptor& txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  for (const auto& [granule, order_key] : it->second.writes) {
+    (void)db_->granule(granule).Remove(order_key);
+  }
+  txns_.erase(it);
+  busy_ = false;
+  recorder_.RecordOutcome(txn.id, TxnState::kAborted);
+  metrics_.aborts.fetch_add(1);
+  cv_.notify_one();
+  return Status::OK();
+}
+
+}  // namespace hdd

@@ -1,0 +1,48 @@
+#ifndef HDD_CC_SERIAL_H_
+#define HDD_CC_SERIAL_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cc/controller.h"
+
+namespace hdd {
+
+/// Degenerate reference controller: a single global ticket serializes
+/// whole transactions — Begin blocks until no other transaction is in
+/// flight. Trivially serializable, zero registration, zero concurrency.
+/// Used as the lower bound in cost-model comparisons: any useful
+/// technique must beat it when transactions can overlap.
+class SerialController : public ConcurrencyController {
+ public:
+  SerialController(Database* db, LogicalClock* clock)
+      : ConcurrencyController(db, clock) {}
+
+  std::string_view name() const override { return "serial"; }
+
+  Result<TxnDescriptor> Begin(const TxnOptions& options) override;
+  Result<Value> Read(const TxnDescriptor& txn, GranuleRef granule) override;
+  Status Write(const TxnDescriptor& txn, GranuleRef granule,
+               Value value) override;
+  Status Commit(const TxnDescriptor& txn) override;
+  Status Abort(const TxnDescriptor& txn) override;
+
+ private:
+  struct TxnRuntime {
+    TxnDescriptor descriptor;
+    std::unordered_map<GranuleRef, std::uint64_t> writes;
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool busy_ = false;
+  std::unordered_map<TxnId, TxnRuntime> txns_;  // holds at most one entry
+  TxnId next_txn_id_ = 1;
+  std::uint64_t next_write_key_ = 1;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_CC_SERIAL_H_

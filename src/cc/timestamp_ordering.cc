@@ -1,0 +1,159 @@
+#include "cc/timestamp_ordering.h"
+
+#include <cassert>
+
+namespace hdd {
+
+TimestampOrdering::TimestampOrdering(Database* db, LogicalClock* clock,
+                                     TimestampOrderingOptions options)
+    : ConcurrencyController(db, clock), options_(std::move(options)) {}
+
+Result<TxnDescriptor> TimestampOrdering::Begin(const TxnOptions& options) {
+  std::lock_guard<std::mutex> guard(mu_);
+  TxnRuntime runtime;
+  runtime.descriptor.id = next_txn_id_++;
+  runtime.descriptor.init_ts = clock_->Tick();
+  runtime.descriptor.txn_class = options.txn_class;
+  runtime.descriptor.read_only = options.read_only;
+  const TxnDescriptor descriptor = runtime.descriptor;
+  txns_.emplace(descriptor.id, std::move(runtime));
+  recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
+                        descriptor.read_only);
+  metrics_.begins.fetch_add(1);
+  return descriptor;
+}
+
+Result<TimestampOrdering::TxnRuntime*> TimestampOrdering::FindTxn(
+    const TxnDescriptor& txn) {
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  return &it->second;
+}
+
+Result<Value> TimestampOrdering::Read(const TxnDescriptor& txn,
+                                      GranuleRef granule) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  std::unique_lock<std::mutex> lock(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  (void)runtime;
+
+  if (!options_.register_reads) {
+    // Figure 4 anomaly mode: a completely unsynchronized read — no read
+    // timestamp, no wts check, latest committed state. Unsound by design.
+    const Version* version = db_->granule(granule).LatestCommitted();
+    assert(version != nullptr);
+    metrics_.unregistered_reads.fetch_add(1);
+    metrics_.version_reads.fetch_add(1);
+    recorder_.RecordRead(txn.id, granule, version->order_key);
+    return version->value;
+  }
+
+  bool waited = false;
+  for (;;) {
+    Version* tip = db_->granule(granule).Latest();
+    assert(tip != nullptr);
+    if (tip->wts > txn.init_ts && tip->creator != txn.id) {
+      // A younger transaction already overwrote the granule.
+      return Status::Aborted("TO read: granule overwritten by younger txn");
+    }
+    if (!tip->committed && tip->creator != txn.id) {
+      waited = true;
+      cv_.wait(lock);
+      continue;
+    }
+    if (waited) metrics_.blocked_reads.fetch_add(1);
+    if (txn.init_ts > tip->rts) tip->rts = txn.init_ts;
+    metrics_.read_timestamps_written.fetch_add(1);
+    metrics_.version_reads.fetch_add(1);
+    recorder_.RecordRead(txn.id, granule, tip->order_key, true);
+    return tip->value;
+  }
+}
+
+Status TimestampOrdering::Write(const TxnDescriptor& txn, GranuleRef granule,
+                                Value value) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  std::unique_lock<std::mutex> lock(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  if (txn.read_only) {
+    return Status::FailedPrecondition("read-only transaction wrote");
+  }
+
+  bool waited = false;
+  for (;;) {
+    Granule& g = db_->granule(granule);
+    Version* tip = g.Latest();
+    assert(tip != nullptr);
+    if (tip->creator == txn.id) {
+      // Re-write of our own version.
+      tip->value = value;
+      recorder_.RecordWrite(txn.id, granule, tip->order_key);
+      return Status::OK();
+    }
+    if (tip->rts > txn.init_ts) {
+      return Status::Aborted("TO write: younger read already registered");
+    }
+    if (tip->wts > txn.init_ts) {
+      if (options_.thomas_write_rule) {
+        // Obsolete write: drop it silently. Not recorded — the value
+        // never becomes a version.
+        return Status::OK();
+      }
+      return Status::Aborted("TO write: granule overwritten by younger txn");
+    }
+    if (!tip->committed) {
+      waited = true;
+      cv_.wait(lock);
+      continue;
+    }
+    if (waited) metrics_.blocked_writes.fetch_add(1);
+    Version version;
+    version.order_key = txn.init_ts;
+    version.wts = txn.init_ts;
+    version.creator = txn.id;
+    version.value = value;
+    version.committed = false;
+    HDD_RETURN_IF_ERROR(g.Insert(version));
+    runtime->writes.push_back(granule);
+    metrics_.versions_created.fetch_add(1);
+    recorder_.RecordWrite(txn.id, granule, version.order_key);
+    return Status::OK();
+  }
+}
+
+Status TimestampOrdering::Commit(const TxnDescriptor& txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  for (GranuleRef granule : runtime->writes) {
+    Version* version = db_->granule(granule).Find(txn.init_ts);
+    assert(version != nullptr);
+    version->committed = true;
+  }
+  txns_.erase(txn.id);
+  recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
+  metrics_.commits.fetch_add(1);
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status TimestampOrdering::Abort(const TxnDescriptor& txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  for (GranuleRef granule : it->second.writes) {
+    Status removed = db_->granule(granule).Remove(txn.init_ts);
+    assert(removed.ok());
+    (void)removed;
+  }
+  txns_.erase(it);
+  recorder_.RecordOutcome(txn.id, TxnState::kAborted);
+  metrics_.aborts.fetch_add(1);
+  cv_.notify_all();
+  return Status::OK();
+}
+
+}  // namespace hdd

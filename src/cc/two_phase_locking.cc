@@ -1,0 +1,182 @@
+#include "cc/two_phase_locking.h"
+
+#include <cassert>
+
+namespace hdd {
+
+TwoPhaseLocking::TwoPhaseLocking(Database* db, LogicalClock* clock,
+                                 TwoPhaseLockingOptions options)
+    : ConcurrencyController(db, clock),
+      options_(std::move(options)),
+      locks_(options_.deadlock_policy) {}
+
+Result<TxnDescriptor> TwoPhaseLocking::Begin(const TxnOptions& options) {
+  std::lock_guard<std::mutex> guard(mu_);
+  TxnRuntime runtime;
+  runtime.descriptor.id = next_txn_id_++;
+  runtime.descriptor.init_ts = clock_->Tick();
+  runtime.descriptor.txn_class = options.txn_class;
+  runtime.descriptor.read_only = options.read_only;
+  if (options.read_only && options_.snapshot_read_only) {
+    // MV2PL: read the database state as of begin. clock_->Now() is the
+    // largest timestamp issued so far, hence >= every commit timestamp
+    // already assigned; commits stamped later get larger timestamps.
+    runtime.snapshot_bound = clock_->Now() + 1;
+  }
+  const TxnDescriptor descriptor = runtime.descriptor;
+  txns_.emplace(descriptor.id, std::move(runtime));
+  recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
+                        descriptor.read_only);
+  metrics_.begins.fetch_add(1);
+  return descriptor;
+}
+
+Result<TwoPhaseLocking::TxnRuntime*> TwoPhaseLocking::FindTxn(
+    const TxnDescriptor& txn) {
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  return &it->second;
+}
+
+Result<Value> TwoPhaseLocking::Read(const TxnDescriptor& txn,
+                                    GranuleRef granule) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+
+  // Snapshot path for read-only transactions under MV2PL: no locks.
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+    if (runtime->snapshot_bound != kTimestampInfinity) {
+      const Version* version =
+          db_->granule(granule).LatestCommittedBefore(runtime->snapshot_bound);
+      assert(version != nullptr);
+      metrics_.unregistered_reads.fetch_add(1);
+      metrics_.version_reads.fetch_add(1);
+      recorder_.RecordRead(txn.id, granule, version->order_key);
+      return version->value;
+    }
+  }
+
+  if (options_.register_reads) {
+    bool waited = false;
+    Status status = locks_.Acquire(txn.id, txn.init_ts, granule,
+                                   LockMode::kShared, &waited);
+    metrics_.read_locks_acquired.fetch_add(1);
+    if (waited) metrics_.blocked_reads.fetch_add(1);
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kDeadlock) {
+        metrics_.deadlocks.fetch_add(1);
+      }
+      return status;
+    }
+  } else {
+    metrics_.unregistered_reads.fetch_add(1);
+  }
+
+  std::lock_guard<std::mutex> guard(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  Granule& g = db_->granule(granule);
+  // Own uncommitted write wins; otherwise the latest committed version.
+  auto write_it = runtime->writes.find(granule);
+  const Version* version = nullptr;
+  if (write_it != runtime->writes.end()) {
+    version = g.Find(write_it->second);
+  } else {
+    version = g.LatestCommitted();
+  }
+  assert(version != nullptr);
+  metrics_.version_reads.fetch_add(1);
+  recorder_.RecordRead(txn.id, granule, version->order_key,
+                       options_.register_reads);
+  return version->value;
+}
+
+Status TwoPhaseLocking::Write(const TxnDescriptor& txn, GranuleRef granule,
+                              Value value) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+    if (runtime->descriptor.read_only) {
+      return Status::FailedPrecondition("read-only transaction wrote");
+    }
+  }
+
+  bool waited = false;
+  Status status = locks_.Acquire(txn.id, txn.init_ts, granule,
+                                 LockMode::kExclusive, &waited);
+  metrics_.write_locks_acquired.fetch_add(1);
+  if (waited) metrics_.blocked_writes.fetch_add(1);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kDeadlock) {
+      metrics_.deadlocks.fetch_add(1);
+    }
+    return status;
+  }
+
+  std::lock_guard<std::mutex> guard(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  Granule& g = db_->granule(granule);
+  auto write_it = runtime->writes.find(granule);
+  if (write_it != runtime->writes.end()) {
+    Version* own = g.Find(write_it->second);
+    assert(own != nullptr);
+    own->value = value;
+    recorder_.RecordWrite(txn.id, granule, own->order_key);
+    return Status::OK();
+  }
+  Version version;
+  version.order_key = next_write_key_++;
+  version.wts = kTimestampMin;  // stamped at commit
+  version.creator = txn.id;
+  version.value = value;
+  version.committed = false;
+  HDD_RETURN_IF_ERROR(g.Insert(version));
+  runtime->writes.emplace(granule, version.order_key);
+  metrics_.versions_created.fetch_add(1);
+  recorder_.RecordWrite(txn.id, granule, version.order_key);
+  return Status::OK();
+}
+
+Status TwoPhaseLocking::Commit(const TxnDescriptor& txn) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+    const Timestamp commit_ts = clock_->Tick();
+    for (const auto& [granule, order_key] : runtime->writes) {
+      Version* version = db_->granule(granule).Find(order_key);
+      assert(version != nullptr);
+      version->wts = commit_ts;
+      version->committed = true;
+    }
+    txns_.erase(txn.id);
+  }
+  locks_.ReleaseAll(txn.id);
+  recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
+  metrics_.commits.fetch_add(1);
+  return Status::OK();
+}
+
+Status TwoPhaseLocking::Abort(const TxnDescriptor& txn) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = txns_.find(txn.id);
+    if (it == txns_.end()) {
+      return Status::FailedPrecondition("unknown or finished transaction");
+    }
+    for (const auto& [granule, order_key] : it->second.writes) {
+      Status removed = db_->granule(granule).Remove(order_key);
+      assert(removed.ok());
+      (void)removed;
+    }
+    txns_.erase(it);
+  }
+  locks_.ReleaseAll(txn.id);
+  recorder_.RecordOutcome(txn.id, TxnState::kAborted);
+  metrics_.aborts.fetch_add(1);
+  return Status::OK();
+}
+
+}  // namespace hdd

@@ -1,0 +1,72 @@
+#ifndef HDD_CC_TWO_PHASE_LOCKING_H_
+#define HDD_CC_TWO_PHASE_LOCKING_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cc/controller.h"
+#include "cc/lock_manager.h"
+
+namespace hdd {
+
+struct TwoPhaseLockingOptions {
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
+
+  /// When false, reads acquire no shared lock — the configuration the
+  /// paper's Figure 3 constructs to show that skipping read registration
+  /// under 2PL breaks serializability. Never use outside experiments.
+  bool register_reads = true;
+
+  /// When true, read-only transactions bypass the lock table entirely and
+  /// read a committed snapshot as of their begin time — the MV2PL
+  /// technique of the paper's Figure 10 comparison (the Bayer 80 /
+  /// Stearns 81 / Chan 82 family).
+  bool snapshot_read_only = false;
+
+  /// Display name override (e.g. "mv2pl" when snapshot_read_only is set).
+  std::string name = "2pl";
+};
+
+/// Strict two-phase locking over the versioned store. Writes install an
+/// uncommitted tip version immediately (protected by the X lock); commit
+/// stamps the versions with the commit timestamp and releases all locks.
+/// The per-granule version order is the physical write order, which under
+/// strict 2PL coincides with commit order.
+class TwoPhaseLocking : public ConcurrencyController {
+ public:
+  TwoPhaseLocking(Database* db, LogicalClock* clock,
+                  TwoPhaseLockingOptions options = {});
+
+  std::string_view name() const override { return options_.name; }
+
+  Result<TxnDescriptor> Begin(const TxnOptions& options) override;
+  Result<Value> Read(const TxnDescriptor& txn, GranuleRef granule) override;
+  Status Write(const TxnDescriptor& txn, GranuleRef granule,
+               Value value) override;
+  Status Commit(const TxnDescriptor& txn) override;
+  Status Abort(const TxnDescriptor& txn) override;
+
+ private:
+  struct TxnRuntime {
+    TxnDescriptor descriptor;
+    /// Granule -> order_key of the uncommitted version this txn installed.
+    std::unordered_map<GranuleRef, std::uint64_t> writes;
+    /// Snapshot bound for read-only transactions under MV2PL
+    /// (kTimestampInfinity for update transactions).
+    Timestamp snapshot_bound = kTimestampInfinity;
+  };
+
+  Result<TxnRuntime*> FindTxn(const TxnDescriptor& txn);
+
+  TwoPhaseLockingOptions options_;
+  LockManager locks_;
+  std::mutex mu_;  // guards txns_ and all version-chain manipulation
+  std::unordered_map<TxnId, TxnRuntime> txns_;
+  TxnId next_txn_id_ = 1;
+  std::uint64_t next_write_key_ = 1;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_CC_TWO_PHASE_LOCKING_H_

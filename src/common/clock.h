@@ -1,0 +1,47 @@
+#ifndef HDD_COMMON_CLOCK_H_
+#define HDD_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+namespace hdd {
+
+/// Logical time. The paper's `I(t)`, `C(t)` and version timestamps `TS(d^v)`
+/// are all drawn from one totally ordered logical clock, so initiation and
+/// commit events of all transactions are comparable.
+using Timestamp = std::uint64_t;
+
+/// "No time" sentinel: smaller than every real timestamp.
+inline constexpr Timestamp kTimestampMin = 0;
+/// "Not yet happened" sentinel (e.g. commit time of an active transaction).
+inline constexpr Timestamp kTimestampInfinity =
+    std::numeric_limits<Timestamp>::max();
+
+/// Monotone logical clock. `Tick()` returns a fresh, strictly increasing
+/// timestamp; `Now()` peeks at the latest issued value. Thread-safe.
+class LogicalClock {
+ public:
+  LogicalClock() : next_(1) {}
+
+  LogicalClock(const LogicalClock&) = delete;
+  LogicalClock& operator=(const LogicalClock&) = delete;
+
+  /// Issues the next timestamp (1, 2, 3, ...).
+  Timestamp Tick() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Latest timestamp issued so far (0 if none).
+  Timestamp Now() const {
+    return next_.load(std::memory_order_relaxed) - 1;
+  }
+
+  /// Resets to the initial state (single-threaded use only; for tests).
+  void Reset() { next_.store(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Timestamp> next_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_COMMON_CLOCK_H_

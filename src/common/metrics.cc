@@ -1,0 +1,22 @@
+#include "common/metrics.h"
+
+namespace hdd {
+
+std::map<std::string, std::uint64_t> CcMetrics::ToMap() const {
+  return {
+      {"read_locks_acquired", read_locks_acquired.load()},
+      {"write_locks_acquired", write_locks_acquired.load()},
+      {"read_timestamps_written", read_timestamps_written.load()},
+      {"unregistered_reads", unregistered_reads.load()},
+      {"blocked_reads", blocked_reads.load()},
+      {"blocked_writes", blocked_writes.load()},
+      {"aborts", aborts.load()},
+      {"deadlocks", deadlocks.load()},
+      {"commits", commits.load()},
+      {"begins", begins.load()},
+      {"versions_created", versions_created.load()},
+      {"version_reads", version_reads.load()},
+  };
+}
+
+}  // namespace hdd

@@ -1,0 +1,56 @@
+#ifndef HDD_COMMON_METRICS_H_
+#define HDD_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hdd {
+
+/// Counters every concurrency controller reports. These quantify the
+/// paper's headline claim — how much *read registration* (read locks /
+/// read timestamps) and how much waiting/aborting each technique incurs.
+struct CcMetrics {
+  // Registration overhead.
+  std::atomic<std::uint64_t> read_locks_acquired{0};
+  std::atomic<std::uint64_t> write_locks_acquired{0};
+  std::atomic<std::uint64_t> read_timestamps_written{0};
+  std::atomic<std::uint64_t> unregistered_reads{0};  // HDD Protocol A/C reads.
+
+  // Conflict outcomes.
+  std::atomic<std::uint64_t> blocked_reads{0};
+  std::atomic<std::uint64_t> blocked_writes{0};
+  std::atomic<std::uint64_t> aborts{0};
+  std::atomic<std::uint64_t> deadlocks{0};
+
+  // Transaction outcomes.
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> begins{0};
+
+  // Versioned-store activity.
+  std::atomic<std::uint64_t> versions_created{0};
+  std::atomic<std::uint64_t> version_reads{0};
+
+  void Reset() {
+    read_locks_acquired = 0;
+    write_locks_acquired = 0;
+    read_timestamps_written = 0;
+    unregistered_reads = 0;
+    blocked_reads = 0;
+    blocked_writes = 0;
+    aborts = 0;
+    deadlocks = 0;
+    commits = 0;
+    begins = 0;
+    versions_created = 0;
+    version_reads = 0;
+  }
+
+  /// Flattens into name -> value, for table printers and tests.
+  std::map<std::string, std::uint64_t> ToMap() const;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_COMMON_METRICS_H_

@@ -1,0 +1,163 @@
+#ifndef HDD_COMMON_STATUS_H_
+#define HDD_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hdd {
+
+/// Error category of a `Status`.
+///
+/// The concurrency-control layer distinguishes outcomes a caller must react
+/// to differently:
+///  - `kAborted`: the transaction lost a conflict and must be retried by the
+///    caller with a fresh timestamp (the classical TO/2PL restart).
+///  - `kDeadlock`: the transaction was chosen as a deadlock victim; retry.
+///  - `kBusy`: a non-blocking call could not make progress right now.
+/// Everything else signals a programming or configuration error.
+enum class StatusCode {
+  kOk = 0,
+  kAborted,
+  kDeadlock,
+  kBusy,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name ("Ok", "Aborted", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier used throughout the library instead of
+/// exceptions. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True for the outcomes that mean "restart the transaction".
+  bool IsRetryable() const {
+    return code_ == StatusCode::kAborted || code_ == StatusCode::kDeadlock;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Minimal StatusOr: either a `Status` (never OK) or a value of `T`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error status, so call sites can
+  /// `return value;` / `return Status::...;` naturally.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK when value_ present.
+  std::optional<T> value_;
+};
+
+}  // namespace hdd
+
+/// Propagates a non-OK status to the caller.
+#define HDD_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::hdd::Status _hdd_status = (expr);      \
+    if (!_hdd_status.ok()) return _hdd_status; \
+  } while (0)
+
+#define HDD_CONCAT_INNER_(a, b) a##b
+#define HDD_CONCAT_(a, b) HDD_CONCAT_INNER_(a, b)
+
+/// `HDD_ASSIGN_OR_RETURN(auto v, SomeResultCall());`
+#define HDD_ASSIGN_OR_RETURN(decl, expr)                        \
+  auto HDD_CONCAT_(_hdd_result_, __LINE__) = (expr);            \
+  if (!HDD_CONCAT_(_hdd_result_, __LINE__).ok())                \
+    return HDD_CONCAT_(_hdd_result_, __LINE__).status();        \
+  decl = std::move(HDD_CONCAT_(_hdd_result_, __LINE__)).value()
+
+#endif  // HDD_COMMON_STATUS_H_

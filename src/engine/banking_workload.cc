@@ -1,0 +1,77 @@
+#include "engine/banking_workload.h"
+
+#include <memory>
+
+namespace hdd {
+
+BankingWorkload::BankingWorkload(BankingWorkloadParams params)
+    : params_(params) {}
+
+PartitionSpec BankingWorkload::Spec() const {
+  PartitionSpec spec;
+  spec.segment_names = {"accounts"};
+  spec.transaction_types = {
+      {"transfer", 0, {}},
+      {"deposit", 0, {}},
+  };
+  return spec;
+}
+
+std::unique_ptr<Database> BankingWorkload::MakeDatabase() const {
+  return std::make_unique<Database>(std::vector<std::string>{"accounts"},
+                                    params_.accounts,
+                                    params_.initial_balance);
+}
+
+TxnProgram BankingWorkload::Make(std::uint64_t index, Rng& rng) const {
+  (void)index;
+  const double total = params_.transfer_weight + params_.deposit_weight +
+                       params_.audit_weight;
+  const double roll = rng.NextDouble() * total;
+  TxnProgram program;
+  if (roll < params_.transfer_weight) {
+    const std::uint32_t from =
+        static_cast<std::uint32_t>(rng.NextBounded(params_.accounts));
+    std::uint32_t to =
+        static_cast<std::uint32_t>(rng.NextBounded(params_.accounts));
+    if (to == from) to = (to + 1) % params_.accounts;
+    const Value amount = static_cast<Value>(rng.NextInRange(1, 10));
+    program.options.txn_class = 0;
+    program.body = [from, to, amount](ConcurrencyController& cc,
+                                      const TxnDescriptor& txn) -> Status {
+      HDD_ASSIGN_OR_RETURN(Value a, cc.Read(txn, {0, from}));
+      HDD_ASSIGN_OR_RETURN(Value b, cc.Read(txn, {0, to}));
+      HDD_RETURN_IF_ERROR(cc.Write(txn, {0, from}, a - amount));
+      return cc.Write(txn, {0, to}, b + amount);
+    };
+    return program;
+  }
+  if (roll < params_.transfer_weight + params_.deposit_weight) {
+    const std::uint32_t account =
+        static_cast<std::uint32_t>(rng.NextBounded(params_.accounts));
+    const Value amount = static_cast<Value>(rng.NextInRange(1, 10));
+    program.options.txn_class = 0;
+    program.body = [account, amount](ConcurrencyController& cc,
+                                     const TxnDescriptor& txn) -> Status {
+      HDD_ASSIGN_OR_RETURN(Value balance, cc.Read(txn, {0, account}));
+      return cc.Write(txn, {0, account}, balance + amount);
+    };
+    return program;
+  }
+  const std::uint32_t accounts = params_.accounts;
+  program.options.read_only = true;
+  program.options.txn_class = kReadOnlyClass;
+  program.body = [accounts](ConcurrencyController& cc,
+                            const TxnDescriptor& txn) -> Status {
+    Value sum = 0;
+    for (std::uint32_t a = 0; a < accounts; ++a) {
+      HDD_ASSIGN_OR_RETURN(Value balance, cc.Read(txn, {0, a}));
+      sum += balance;
+    }
+    (void)sum;
+    return Status::OK();
+  };
+  return program;
+}
+
+}  // namespace hdd

@@ -1,0 +1,48 @@
+#ifndef HDD_ENGINE_BANKING_WORKLOAD_H_
+#define HDD_ENGINE_BANKING_WORKLOAD_H_
+
+#include <memory>
+
+#include "engine/txn_program.h"
+#include "graph/dhg.h"
+#include "storage/database.h"
+
+namespace hdd {
+
+/// The paper's Figure 1 banking scenario, scaled out: one `accounts`
+/// segment; deposit/withdraw and transfer transactions, plus audits that
+/// sum every balance. The invariant "total money is conserved by
+/// transfers" makes lost updates observable, which is exactly what
+/// Figure 1 is about.
+struct BankingWorkloadParams {
+  std::uint32_t accounts = 32;
+  Value initial_balance = 100;
+  double transfer_weight = 0.6;
+  double deposit_weight = 0.3;
+  double audit_weight = 0.1;
+};
+
+class BankingWorkload : public Workload {
+ public:
+  explicit BankingWorkload(BankingWorkloadParams params = {});
+
+  PartitionSpec Spec() const;
+  std::unique_ptr<Database> MakeDatabase() const;
+
+  TxnProgram Make(std::uint64_t index, Rng& rng) const override;
+
+  /// Expected total across all accounts if and only if no update was lost
+  /// (audits and transfers conserve it; deposits add their recorded sum).
+  Value InitialTotal() const {
+    return static_cast<Value>(params_.accounts) * params_.initial_balance;
+  }
+
+  const BankingWorkloadParams& params() const { return params_; }
+
+ private:
+  BankingWorkloadParams params_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_ENGINE_BANKING_WORKLOAD_H_

@@ -1,0 +1,34 @@
+#include "engine/cost_model.h"
+
+namespace hdd {
+
+CostEstimate EstimateCost(const CcMetrics& metrics,
+                          const ExecutorStats& stats,
+                          const CostModel& model) {
+  const double registrations =
+      static_cast<double>(metrics.read_locks_acquired.load() +
+                          metrics.read_timestamps_written.load());
+  const double blocks = static_cast<double>(metrics.blocked_reads.load() +
+                                            metrics.blocked_writes.load());
+  CostEstimate estimate;
+  estimate.total_us =
+      static_cast<double>(metrics.version_reads.load()) *
+          model.read_version_us +
+      static_cast<double>(metrics.versions_created.load()) *
+          model.write_version_us +
+      registrations * model.registration_us +
+      static_cast<double>(metrics.write_locks_acquired.load()) *
+          model.lock_bookkeeping_us +
+      blocks * model.block_us +
+      static_cast<double>(stats.aborted_attempts) * model.restart_us +
+      static_cast<double>(metrics.unregistered_reads.load()) *
+          model.link_eval_us;
+  if (stats.committed > 0) {
+    estimate.per_commit_us =
+        estimate.total_us / static_cast<double>(stats.committed);
+    estimate.modeled_tps = 1e6 / estimate.per_commit_us;
+  }
+  return estimate;
+}
+
+}  // namespace hdd

@@ -1,0 +1,50 @@
+#ifndef HDD_ENGINE_COST_MODEL_H_
+#define HDD_ENGINE_COST_MODEL_H_
+
+#include "common/metrics.h"
+#include "engine/executor.h"
+
+namespace hdd {
+
+/// §7.4 efficacy analysis. This library's substrate is an in-memory
+/// simulator, so wall-clock throughput does not reflect the paper's
+/// claim: there, *registering a read* (setting a read lock or writing a
+/// read timestamp) is an extra database write — orders of magnitude more
+/// expensive than the in-memory counter bump the simulator pays. The cost
+/// model prices each recorded synchronization action so the claim can be
+/// evaluated under explicit assumptions, swept in bench_cost_model.
+struct CostModel {
+  /// Serving one version to a read.
+  double read_version_us = 1.0;
+  /// Creating one version (the transaction's useful write work).
+  double write_version_us = 2.0;
+  /// Registering a read: a read lock set or a read timestamp written.
+  /// The paper's central overhead; sweep it.
+  double registration_us = 2.0;
+  /// Lock-manager bookkeeping for a write lock.
+  double lock_bookkeeping_us = 0.5;
+  /// One blocking episode (enqueue, context switch, wake).
+  double block_us = 50.0;
+  /// One transaction restart (wasted work plus rollback).
+  double restart_us = 20.0;
+  /// One activity-link / pipeline-gate evaluation — what HDD (and the
+  /// SDD-1 read rule) computes INSTEAD of registering.
+  double link_eval_us = 0.5;
+};
+
+struct CostEstimate {
+  double total_us = 0;
+  double per_commit_us = 0;
+  /// Committed transactions per second of modeled work (single-server
+  /// sequential-cost view; relative numbers are what matter).
+  double modeled_tps = 0;
+};
+
+/// Prices a finished run.
+CostEstimate EstimateCost(const CcMetrics& metrics,
+                          const ExecutorStats& stats,
+                          const CostModel& model);
+
+}  // namespace hdd
+
+#endif  // HDD_ENGINE_COST_MODEL_H_

@@ -1,0 +1,120 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace hdd {
+
+namespace {
+
+// Runs one program to completion (commit, or failure after the retry
+// budget). Returns the number of aborted attempts consumed; sets *failed.
+std::uint64_t RunOne(ConcurrencyController& cc, const TxnProgram& program,
+                     int max_retries, bool* failed) {
+  std::uint64_t aborted = 0;
+  *failed = false;
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    auto txn = cc.Begin(program.options);
+    if (!txn.ok()) {
+      *failed = true;
+      return aborted;
+    }
+    Status status = program.body(cc, *txn);
+    if (status.ok()) {
+      status = cc.Commit(*txn);
+      if (status.ok()) return aborted;
+      if (status.IsRetryable()) {
+        // Commit-time validation failure (e.g. OCC): the controller has
+        // already discarded the transaction; just restart the program.
+        ++aborted;
+        continue;
+      }
+      *failed = true;
+      return aborted;
+    }
+    (void)cc.Abort(*txn);  // best effort; the txn may already be gone
+    if (status.IsRetryable() || status.code() == StatusCode::kBusy) {
+      ++aborted;
+      // Exponential backoff breaks symmetric abort-retry livelocks
+      // (e.g. TO read-modify-write storms on a hot granule).
+      if (attempt > 2) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min(1 << std::min(attempt, 12), 2000)));
+      }
+      continue;
+    }
+    *failed = true;
+    return aborted;
+  }
+  *failed = true;
+  return aborted;
+}
+
+}  // namespace
+
+ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
+                          std::uint64_t total_txns,
+                          const ExecutorOptions& options) {
+  std::atomic<std::uint64_t> next_index{0};
+  std::atomic<std::uint64_t> committed{0};
+  std::atomic<std::uint64_t> aborted{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::vector<std::vector<double>> latencies_us(options.num_threads);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto worker = [&](int worker_id) {
+    Rng rng(options.seed * 7919 + static_cast<std::uint64_t>(worker_id));
+    for (;;) {
+      const std::uint64_t index = next_index.fetch_add(1);
+      if (index >= total_txns) return;
+      const TxnProgram program = workload.Make(index, rng);
+      bool this_failed = false;
+      const auto t0 = std::chrono::steady_clock::now();
+      aborted.fetch_add(RunOne(cc, program, options.max_retries,
+                               &this_failed));
+      const auto t1 = std::chrono::steady_clock::now();
+      if (this_failed) {
+        failed.fetch_add(1);
+      } else {
+        committed.fetch_add(1);
+        latencies_us[worker_id].push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options.num_threads);
+  for (int i = 0; i < options.num_threads; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  ExecutorStats stats;
+  stats.committed = committed.load();
+  stats.aborted_attempts = aborted.load();
+  stats.failed = failed.load();
+  stats.seconds = std::chrono::duration<double>(end - start).count();
+
+  std::vector<double> all;
+  for (auto& v : latencies_us) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    auto percentile = [&](double p) {
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(all.size() - 1));
+      return all[idx];
+    };
+    stats.latency_p50_us = percentile(0.50);
+    stats.latency_p95_us = percentile(0.95);
+    stats.latency_p99_us = percentile(0.99);
+    stats.latency_max_us = all.back();
+  }
+  return stats;
+}
+
+}  // namespace hdd

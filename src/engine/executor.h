@@ -1,0 +1,45 @@
+#ifndef HDD_ENGINE_EXECUTOR_H_
+#define HDD_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "cc/controller.h"
+#include "engine/txn_program.h"
+
+namespace hdd {
+
+struct ExecutorOptions {
+  int num_threads = 4;
+  /// Restart budget per transaction before it is counted as failed.
+  int max_retries = 10000;
+  std::uint64_t seed = 1;
+};
+
+struct ExecutorStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted_attempts = 0;  // retries consumed by conflicts
+  std::uint64_t failed = 0;            // budget exhausted / hard errors
+  double seconds = 0.0;
+
+  /// End-to-end latency (first Begin to final Commit, retries included)
+  /// of committed transactions, in microseconds.
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  double latency_max_us = 0.0;
+
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(committed) / seconds : 0;
+  }
+};
+
+/// Runs `total_txns` programs from `workload` against `cc` with
+/// `num_threads` workers, retrying on retryable conflicts (kAborted,
+/// kDeadlock, kBusy). Blocking controllers park workers internally.
+ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
+                          std::uint64_t total_txns,
+                          const ExecutorOptions& options = {});
+
+}  // namespace hdd
+
+#endif  // HDD_ENGINE_EXECUTOR_H_

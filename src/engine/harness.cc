@@ -1,0 +1,157 @@
+#include "engine/harness.h"
+
+#include <iomanip>
+
+#include "cc/mvto.h"
+#include "cc/sdd1.h"
+#include "cc/occ.h"
+#include "cc/serial.h"
+#include "cc/timestamp_ordering.h"
+#include "cc/two_phase_locking.h"
+#include "hdd/hdd_controller.h"
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+
+std::string_view ControllerKindName(ControllerKind kind) {
+  switch (kind) {
+    case ControllerKind::kHdd:
+      return "hdd";
+    case ControllerKind::kHddBasicTo:
+      return "hdd-basic-to";
+    case ControllerKind::kTwoPhase:
+      return "2pl";
+    case ControllerKind::kTwoPhaseWaitDie:
+      return "2pl-wait-die";
+    case ControllerKind::kTwoPhaseNoWait:
+      return "2pl-nowait";
+    case ControllerKind::kTimestampOrdering:
+      return "to";
+    case ControllerKind::kMvto:
+      return "mvto";
+    case ControllerKind::kMv2pl:
+      return "mv2pl";
+    case ControllerKind::kSdd1:
+      return "sdd1";
+    case ControllerKind::kOcc:
+      return "occ";
+    case ControllerKind::kSerial:
+      return "serial";
+  }
+  return "unknown";
+}
+
+std::vector<ControllerKind> AllControllerKinds() {
+  return {ControllerKind::kHdd,
+          ControllerKind::kHddBasicTo,
+          ControllerKind::kTwoPhase,
+          ControllerKind::kTwoPhaseWaitDie,
+          ControllerKind::kTwoPhaseNoWait,
+          ControllerKind::kTimestampOrdering,
+          ControllerKind::kMvto,
+          ControllerKind::kMv2pl,
+          ControllerKind::kSdd1,
+          ControllerKind::kOcc,
+          ControllerKind::kSerial};
+}
+
+std::unique_ptr<ConcurrencyController> CreateController(
+    ControllerKind kind, Database* db, LogicalClock* clock,
+    const HierarchySchema* schema) {
+  switch (kind) {
+    case ControllerKind::kHdd: {
+      return std::make_unique<HddController>(db, clock, schema);
+    }
+    case ControllerKind::kHddBasicTo: {
+      HddControllerOptions options;
+      options.protocol_b = ProtocolBEngine::kBasicTo;
+      options.name = "hdd-basic-to";
+      return std::make_unique<HddController>(db, clock, schema, options);
+    }
+    case ControllerKind::kTwoPhase: {
+      return std::make_unique<TwoPhaseLocking>(db, clock);
+    }
+    case ControllerKind::kTwoPhaseWaitDie: {
+      TwoPhaseLockingOptions options;
+      options.deadlock_policy = DeadlockPolicy::kWaitDie;
+      options.name = "2pl-wait-die";
+      return std::make_unique<TwoPhaseLocking>(db, clock, options);
+    }
+    case ControllerKind::kTwoPhaseNoWait: {
+      TwoPhaseLockingOptions options;
+      options.deadlock_policy = DeadlockPolicy::kNoWait;
+      options.name = "2pl-nowait";
+      return std::make_unique<TwoPhaseLocking>(db, clock, options);
+    }
+    case ControllerKind::kTimestampOrdering: {
+      return std::make_unique<TimestampOrdering>(db, clock);
+    }
+    case ControllerKind::kMvto: {
+      return std::make_unique<Mvto>(db, clock);
+    }
+    case ControllerKind::kMv2pl: {
+      TwoPhaseLockingOptions options;
+      options.snapshot_read_only = true;
+      options.name = "mv2pl";
+      return std::make_unique<TwoPhaseLocking>(db, clock, options);
+    }
+    case ControllerKind::kSdd1: {
+      return std::make_unique<Sdd1>(db, clock);
+    }
+    case ControllerKind::kOcc: {
+      return std::make_unique<Occ>(db, clock);
+    }
+    case ControllerKind::kSerial: {
+      return std::make_unique<SerialController>(db, clock);
+    }
+  }
+  return nullptr;
+}
+
+ComparisonRow MeasureController(
+    ControllerKind kind, const Workload& workload,
+    const std::function<std::unique_ptr<Database>()>& make_db,
+    const HierarchySchema* schema, std::uint64_t total_txns,
+    const ExecutorOptions& options) {
+  auto db = make_db();
+  LogicalClock clock;
+  auto cc = CreateController(kind, db.get(), &clock, schema);
+  ComparisonRow row;
+  row.controller = std::string(ControllerKindName(kind));
+  row.stats = RunWorkload(*cc, workload, total_txns, options);
+  const CcMetrics& m = cc->metrics();
+  row.read_locks = m.read_locks_acquired.load();
+  row.read_timestamps = m.read_timestamps_written.load();
+  row.unregistered_reads = m.unregistered_reads.load();
+  row.blocked_reads = m.blocked_reads.load();
+  row.blocked_writes = m.blocked_writes.load();
+  row.aborts = m.aborts.load();
+  row.deadlocks = m.deadlocks.load();
+  row.serializable = CheckSerializability(cc->recorder()).serializable;
+  return row;
+}
+
+void PrintComparisonTable(const std::vector<ComparisonRow>& rows,
+                          std::ostream& os) {
+  os << std::left << std::setw(14) << "controller" << std::right
+     << std::setw(10) << "commits" << std::setw(10) << "txn/s"
+     << std::setw(11) << "rd-locks" << std::setw(11) << "rd-stamps"
+     << std::setw(11) << "unreg-rd" << std::setw(10) << "blk-rd"
+     << std::setw(10) << "blk-wr" << std::setw(9) << "aborts"
+     << std::setw(10) << "deadlk" << std::setw(10) << "p99 us"
+     << std::setw(13) << "serializable" << "\n";
+  for (const ComparisonRow& row : rows) {
+    os << std::left << std::setw(14) << row.controller << std::right
+       << std::setw(10) << row.stats.committed << std::setw(10)
+       << static_cast<std::uint64_t>(row.stats.Throughput())
+       << std::setw(11) << row.read_locks << std::setw(11)
+       << row.read_timestamps << std::setw(11) << row.unregistered_reads
+       << std::setw(10) << row.blocked_reads << std::setw(10)
+       << row.blocked_writes << std::setw(9) << row.aborts << std::setw(10)
+       << row.deadlocks << std::setw(10)
+       << static_cast<std::uint64_t>(row.stats.latency_p99_us)
+       << std::setw(13) << (row.serializable ? "yes" : "NO") << "\n";
+  }
+}
+
+}  // namespace hdd

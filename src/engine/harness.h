@@ -1,0 +1,70 @@
+#ifndef HDD_ENGINE_HARNESS_H_
+#define HDD_ENGINE_HARNESS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cc/controller.h"
+#include "engine/executor.h"
+#include "engine/txn_program.h"
+#include "graph/dhg.h"
+
+namespace hdd {
+
+/// Every concurrency-control technique the library implements, by name.
+enum class ControllerKind {
+  kHdd,         // the paper's technique, Protocol B = MVTO
+  kHddBasicTo,  // ablation: Protocol B = basic TO
+  kTwoPhase,    // strict 2PL, waits-for deadlock detection
+  kTwoPhaseWaitDie,
+  kTwoPhaseNoWait,  // conflicts answered kBusy; caller restarts
+  kTimestampOrdering,
+  kMvto,
+  kMv2pl,   // 2PL updates + snapshot read-only transactions
+  kSdd1,    // conservative class pipelines
+  kOcc,     // optimistic, backward validation [Kung & Robinson 81]
+  kSerial,  // one transaction at a time (reference lower bound)
+};
+
+std::string_view ControllerKindName(ControllerKind kind);
+std::vector<ControllerKind> AllControllerKinds();
+
+/// Instantiates a controller over `db`/`clock`. `schema` is required for
+/// kHdd/kHddBasicTo and ignored elsewhere.
+std::unique_ptr<ConcurrencyController> CreateController(
+    ControllerKind kind, Database* db, LogicalClock* clock,
+    const HierarchySchema* schema);
+
+/// One row of a Figure-10-style comparison table.
+struct ComparisonRow {
+  std::string controller;
+  ExecutorStats stats;
+  std::uint64_t read_locks = 0;
+  std::uint64_t read_timestamps = 0;
+  std::uint64_t unregistered_reads = 0;
+  std::uint64_t blocked_reads = 0;
+  std::uint64_t blocked_writes = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t deadlocks = 0;
+  bool serializable = false;
+};
+
+/// Runs `workload` for `total_txns` transactions on a fresh database under
+/// `kind`, audits the recorded schedule for serializability, and returns
+/// the comparison row. `make_db` rebuilds the database per run so
+/// controllers do not observe each other's versions.
+ComparisonRow MeasureController(
+    ControllerKind kind, const Workload& workload,
+    const std::function<std::unique_ptr<Database>()>& make_db,
+    const HierarchySchema* schema, std::uint64_t total_txns,
+    const ExecutorOptions& options = {});
+
+/// Pretty-prints rows as an aligned table.
+void PrintComparisonTable(const std::vector<ComparisonRow>& rows,
+                          std::ostream& os);
+
+}  // namespace hdd
+
+#endif  // HDD_ENGINE_HARNESS_H_

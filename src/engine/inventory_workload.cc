@@ -1,0 +1,169 @@
+#include "engine/inventory_workload.h"
+
+#include <memory>
+#include <thread>
+
+namespace hdd {
+
+namespace {
+
+constexpr SegmentId kEvents = 0;
+constexpr SegmentId kInventory = 1;
+constexpr SegmentId kOrders = 2;
+constexpr SegmentId kSuppliers = 3;
+
+}  // namespace
+
+InventoryWorkload::InventoryWorkload(InventoryWorkloadParams params)
+    : params_(params) {
+  const double weights[5] = {params_.type1_weight, params_.type2_weight,
+                             params_.type3_weight, params_.type4_weight,
+                             params_.read_only_weight};
+  double total = 0;
+  for (double w : weights) total += w;
+  double acc = 0;
+  for (int i = 0; i < 5; ++i) {
+    acc += weights[i] / total;
+    cumulative_[i] = acc;
+  }
+  if (params_.item_skew > 0) {
+    item_picker_.emplace(params_.items, params_.item_skew);
+  }
+}
+
+PartitionSpec InventoryWorkload::Spec() {
+  PartitionSpec spec;
+  spec.segment_names = {"events", "inventory", "orders", "suppliers"};
+  spec.transaction_types = {
+      {"log_event", kEvents, {}},
+      {"post_inventory", kInventory, {kEvents}},
+      {"reorder", kOrders, {kEvents, kInventory}},
+      {"supplier_profile", kSuppliers, {kEvents, kOrders}},
+  };
+  return spec;
+}
+
+std::unique_ptr<Database> InventoryWorkload::MakeDatabase() const {
+  auto db = std::make_unique<Database>(
+      std::vector<std::string>{"events", "inventory", "orders", "suppliers"},
+      0u);
+  for (std::uint32_t i = 0;
+       i < params_.items * params_.event_slots_per_item; ++i) {
+    db->segment(kEvents).Allocate(0);
+  }
+  for (std::uint32_t i = 0; i < params_.items; ++i) {
+    db->segment(kInventory).Allocate(0);
+    db->segment(kOrders).Allocate(0);
+    db->segment(kSuppliers).Allocate(0);
+  }
+  return db;
+}
+
+TxnProgram InventoryWorkload::Make(std::uint64_t index, Rng& rng) const {
+  (void)index;
+  const std::uint32_t item = static_cast<std::uint32_t>(
+      item_picker_.has_value() ? item_picker_->Next(rng)
+                               : rng.NextBounded(params_.items));
+  const double roll = rng.NextDouble();
+  if (roll < cumulative_[0]) return MakeType1(item, rng);
+  if (roll < cumulative_[1]) return MakeType2(item);
+  if (roll < cumulative_[2]) return MakeType3(item);
+  if (roll < cumulative_[3]) return MakeType4(item);
+  return MakeReadOnly(item);
+}
+
+TxnProgram InventoryWorkload::MakeType1(std::uint32_t item, Rng& rng) const {
+  const std::uint32_t slot = static_cast<std::uint32_t>(
+      rng.NextBounded(params_.event_slots_per_item));
+  const std::uint32_t granule = item * params_.event_slots_per_item + slot;
+  const Value delta = static_cast<Value>(rng.NextInRange(-3, 5));
+  TxnProgram program;
+  program.options.txn_class = kEvents;
+  const bool yield = params_.yield_between_ops;
+  program.body = [granule, delta, yield](ConcurrencyController& cc,
+                                         const TxnDescriptor& txn) -> Status {
+    const GranuleRef ref{kEvents, granule};
+    HDD_ASSIGN_OR_RETURN(Value current, cc.Read(txn, ref));
+    if (yield) std::this_thread::yield();
+    return cc.Write(txn, ref, current + delta);
+  };
+  return program;
+}
+
+TxnProgram InventoryWorkload::MakeType2(std::uint32_t item) const {
+  const std::uint32_t base = item * params_.event_slots_per_item;
+  const std::uint32_t slots = params_.event_slots_per_item;
+  TxnProgram program;
+  program.options.txn_class = kInventory;
+  const bool yield = params_.yield_between_ops;
+  program.body = [base, slots, item, yield](ConcurrencyController& cc,
+                                            const TxnDescriptor& txn) -> Status {
+    Value net = 0;
+    for (std::uint32_t s = 0; s < slots; ++s) {
+      HDD_ASSIGN_OR_RETURN(Value v, cc.Read(txn, {kEvents, base + s}));
+      net += v;
+      if (yield) std::this_thread::yield();
+    }
+    return cc.Write(txn, {kInventory, item}, net);
+  };
+  return program;
+}
+
+TxnProgram InventoryWorkload::MakeType3(std::uint32_t item) const {
+  const std::uint32_t base = item * params_.event_slots_per_item;
+  TxnProgram program;
+  program.options.txn_class = kOrders;
+  const bool yield = params_.yield_between_ops;
+  program.body = [base, item, yield](ConcurrencyController& cc,
+                                     const TxnDescriptor& txn) -> Status {
+    // Read one arrival stream plus the posted level; decide reorder.
+    HDD_ASSIGN_OR_RETURN(Value arrivals, cc.Read(txn, {kEvents, base}));
+    if (yield) std::this_thread::yield();
+    HDD_ASSIGN_OR_RETURN(Value level, cc.Read(txn, {kInventory, item}));
+    if (yield) std::this_thread::yield();
+    const Value gross = level + arrivals;
+    const Value order = gross < 10 ? 10 - gross : 0;
+    return cc.Write(txn, {kOrders, item}, order);
+  };
+  return program;
+}
+
+TxnProgram InventoryWorkload::MakeType4(std::uint32_t item) const {
+  const std::uint32_t base = item * params_.event_slots_per_item;
+  TxnProgram program;
+  program.options.txn_class = kSuppliers;
+  const bool yield = params_.yield_between_ops;
+  program.body = [base, item, yield](ConcurrencyController& cc,
+                                     const TxnDescriptor& txn) -> Status {
+    HDD_ASSIGN_OR_RETURN(Value arrivals, cc.Read(txn, {kEvents, base}));
+    if (yield) std::this_thread::yield();
+    HDD_ASSIGN_OR_RETURN(Value on_order, cc.Read(txn, {kOrders, item}));
+    if (yield) std::this_thread::yield();
+    return cc.Write(txn, {kSuppliers, item}, arrivals + on_order);
+  };
+  return program;
+}
+
+TxnProgram InventoryWorkload::MakeReadOnly(std::uint32_t item) const {
+  const std::uint32_t base = item * params_.event_slots_per_item;
+  TxnProgram program;
+  program.options.read_only = true;
+  program.options.txn_class = kReadOnlyClass;
+  program.body = [base, item](ConcurrencyController& cc,
+                              const TxnDescriptor& txn) -> Status {
+    Value checksum = 0;
+    HDD_ASSIGN_OR_RETURN(Value ev, cc.Read(txn, {kEvents, base}));
+    checksum += ev;
+    HDD_ASSIGN_OR_RETURN(Value level, cc.Read(txn, {kInventory, item}));
+    checksum += level;
+    HDD_ASSIGN_OR_RETURN(Value order, cc.Read(txn, {kOrders, item}));
+    checksum += order;
+    HDD_ASSIGN_OR_RETURN(Value supplier, cc.Read(txn, {kSuppliers, item}));
+    checksum += supplier;
+    (void)checksum;
+    return Status::OK();
+  };
+  return program;
+}
+
+}  // namespace hdd

@@ -1,0 +1,78 @@
+#ifndef HDD_ENGINE_INVENTORY_WORKLOAD_H_
+#define HDD_ENGINE_INVENTORY_WORKLOAD_H_
+
+#include <memory>
+#include <optional>
+
+#include "engine/txn_program.h"
+#include "graph/dhg.h"
+#include "storage/database.h"
+
+namespace hdd {
+
+/// Parameters of the paper's Figure 2 retail-inventory application.
+struct InventoryWorkloadParams {
+  /// Number of merchandise items.
+  std::uint32_t items = 16;
+  /// Event-accumulator granules per item (sales / sales-modification /
+  /// merchandise-arrival streams collapse onto these).
+  std::uint32_t event_slots_per_item = 4;
+
+  /// Transaction mix (weights; normalized internally).
+  /// type1: log an event (writes events).
+  /// type2: post inventory level (reads events, writes inventory).
+  /// type3: reorder decision (reads events+inventory, writes orders).
+  /// type4: supplier profile (reads events+orders, writes suppliers).
+  /// read_only: ad-hoc audit over all four segments.
+  double type1_weight = 0.40;
+  double type2_weight = 0.25;
+  double type3_weight = 0.20;
+  double type4_weight = 0.10;
+  double read_only_weight = 0.05;
+
+  /// Zipfian skew on item choice (0 = uniform).
+  double item_skew = 0.0;
+
+  /// Yield the CPU between operations. On few-core hosts transactions
+  /// otherwise tend to run to completion within one timeslice; yielding
+  /// forces the adversarial interleavings the anomaly experiments need.
+  bool yield_between_ops = false;
+};
+
+/// The paper's motivating application (Figure 2 plus the §1.2.2
+/// supplier-profile extension), runnable against any controller.
+///
+/// Segment layout:
+///   0 events     (granule e = item * event_slots + slot)
+///   1 inventory  (granule = item)
+///   2 orders     (granule = item)
+///   3 suppliers  (granule = item)
+class InventoryWorkload : public Workload {
+ public:
+  explicit InventoryWorkload(InventoryWorkloadParams params = {});
+
+  /// The TST-hierarchical decomposition of this application.
+  static PartitionSpec Spec();
+
+  /// A database shaped for `params`.
+  std::unique_ptr<Database> MakeDatabase() const;
+
+  TxnProgram Make(std::uint64_t index, Rng& rng) const override;
+
+  const InventoryWorkloadParams& params() const { return params_; }
+
+ private:
+  TxnProgram MakeType1(std::uint32_t item, Rng& rng) const;
+  TxnProgram MakeType2(std::uint32_t item) const;
+  TxnProgram MakeType3(std::uint32_t item) const;
+  TxnProgram MakeType4(std::uint32_t item) const;
+  TxnProgram MakeReadOnly(std::uint32_t item) const;
+
+  InventoryWorkloadParams params_;
+  double cumulative_[5];
+  std::optional<ZipfianGenerator> item_picker_;  // set when item_skew > 0
+};
+
+}  // namespace hdd
+
+#endif  // HDD_ENGINE_INVENTORY_WORKLOAD_H_

@@ -1,0 +1,102 @@
+#include "engine/ledger_workload.h"
+
+#include <memory>
+
+namespace hdd {
+
+LedgerWorkload::LedgerWorkload(LedgerWorkloadParams params)
+    : params_(params) {}
+
+PartitionSpec LedgerWorkload::Spec() const {
+  PartitionSpec spec;
+  spec.segment_names = {"ledger", "summary"};
+  spec.transaction_types = {
+      {"append", 0, {}},
+      {"summarize", 1, {0}},
+  };
+  return spec;
+}
+
+std::unique_ptr<Database> LedgerWorkload::MakeDatabase() const {
+  auto db = std::make_unique<Database>(
+      std::vector<std::string>{"ledger", "summary"}, 0u);
+  for (std::uint32_t i = 0; i < params_.items * (params_.capacity + 1);
+       ++i) {
+    db->segment(0).Allocate(0);
+  }
+  for (std::uint32_t i = 0; i < params_.items; ++i) {
+    db->segment(1).Allocate(0);
+  }
+  return db;
+}
+
+TxnProgram LedgerWorkload::Make(std::uint64_t index, Rng& rng) const {
+  (void)index;
+  const std::uint32_t item =
+      static_cast<std::uint32_t>(rng.NextBounded(params_.items));
+  const double total = params_.append_weight + params_.summarize_weight +
+                       params_.audit_weight;
+  const double roll = rng.NextDouble() * total;
+  TxnProgram program;
+
+  if (roll < params_.append_weight) {
+    // Append: claim the cursor slot, write the immutable event, advance.
+    const Value amount = static_cast<Value>(rng.NextInRange(1, 9));
+    const LedgerWorkload* self = this;
+    program.options.txn_class = 0;
+    program.body = [self, item, amount](ConcurrencyController& cc,
+                                        const TxnDescriptor& txn) -> Status {
+      HDD_ASSIGN_OR_RETURN(Value cursor, cc.Read(txn, self->Cursor(item)));
+      const auto slot = static_cast<std::uint32_t>(cursor);
+      if (slot >= self->params_.capacity) return Status::OK();  // full
+      HDD_RETURN_IF_ERROR(cc.Write(txn, self->Event(item, slot), amount));
+      return cc.Write(txn, self->Cursor(item), cursor + 1);
+    };
+    return program;
+  }
+
+  if (roll < params_.append_weight + params_.summarize_weight) {
+    // Summarize: cross-class prefix scan, then post.
+    const LedgerWorkload* self = this;
+    program.options.txn_class = 1;
+    program.body = [self, item](ConcurrencyController& cc,
+                                const TxnDescriptor& txn) -> Status {
+      HDD_ASSIGN_OR_RETURN(Value cursor, cc.Read(txn, self->Cursor(item)));
+      Value sum = 0;
+      for (std::uint32_t slot = 0;
+           slot < static_cast<std::uint32_t>(cursor); ++slot) {
+        HDD_ASSIGN_OR_RETURN(Value v, cc.Read(txn, self->Event(item, slot)));
+        // Write-once invariant: a slot below the cursor read from the
+        // same consistent cut is always a committed, non-zero event.
+        if (v == 0) {
+          return Status::Internal(
+              "ledger consistency violated: unwritten slot below cursor");
+        }
+        sum += v;
+      }
+      return cc.Write(txn, self->Summary(item), sum);
+    };
+    return program;
+  }
+
+  // Audit (read-only).
+  const LedgerWorkload* self = this;
+  program.options.read_only = true;
+  program.options.txn_class = kReadOnlyClass;
+  program.body = [self, item](ConcurrencyController& cc,
+                              const TxnDescriptor& txn) -> Status {
+    HDD_ASSIGN_OR_RETURN(Value cursor, cc.Read(txn, self->Cursor(item)));
+    HDD_ASSIGN_OR_RETURN(Value summary, cc.Read(txn, self->Summary(item)));
+    // Every event is at most 9, so a consistent summary cannot exceed
+    // 9 * cursor for the cut the audit observes... the summary may lag
+    // the cursor (it was posted from an older prefix), so only the upper
+    // bound is checkable.
+    if (summary > 9 * cursor) {
+      return Status::Internal("audit saw a summary ahead of the ledger");
+    }
+    return Status::OK();
+  };
+  return program;
+}
+
+}  // namespace hdd

@@ -1,0 +1,64 @@
+#ifndef HDD_ENGINE_LEDGER_WORKLOAD_H_
+#define HDD_ENGINE_LEDGER_WORKLOAD_H_
+
+#include <memory>
+
+#include "engine/txn_program.h"
+#include "graph/dhg.h"
+#include "storage/database.h"
+
+namespace hdd {
+
+/// The paper's §1.2.1 observation made executable: "the sales records,
+/// once committed, will not be modified ... have become read-only
+/// records." An append-only event ledger per item plus derived summaries:
+///
+///   segment 0 "ledger":  per item, a cursor granule followed by
+///                        `capacity` write-once event slots;
+///   segment 1 "summary": one granule per item.
+///
+/// Transaction types:
+///   append (class 0):    reads the cursor c, writes event slot c, then
+///                        advances the cursor — the record becomes
+///                        immutable after commit;
+///   summarize (class 1): reads the cursor and every event below it
+///                        (all cross-class, unregistered under HDD!) and
+///                        posts the sum;
+///   audit (read-only):   reads cursor + summary, checks the summary
+///                        never exceeds the ledger prefix it was built
+///                        from (consistency witness).
+struct LedgerWorkloadParams {
+  std::uint32_t items = 8;
+  std::uint32_t capacity = 64;  // event slots per item
+  double append_weight = 0.6;
+  double summarize_weight = 0.3;
+  double audit_weight = 0.1;
+};
+
+class LedgerWorkload : public Workload {
+ public:
+  explicit LedgerWorkload(LedgerWorkloadParams params = {});
+
+  PartitionSpec Spec() const;
+  std::unique_ptr<Database> MakeDatabase() const;
+
+  TxnProgram Make(std::uint64_t index, Rng& rng) const override;
+
+  const LedgerWorkloadParams& params() const { return params_; }
+
+  /// Granule addresses.
+  GranuleRef Cursor(std::uint32_t item) const {
+    return {0, item * (params_.capacity + 1)};
+  }
+  GranuleRef Event(std::uint32_t item, std::uint32_t slot) const {
+    return {0, item * (params_.capacity + 1) + 1 + slot};
+  }
+  GranuleRef Summary(std::uint32_t item) const { return {1, item}; }
+
+ private:
+  LedgerWorkloadParams params_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_ENGINE_LEDGER_WORKLOAD_H_

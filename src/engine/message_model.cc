@@ -1,0 +1,39 @@
+#include "engine/message_model.h"
+
+namespace hdd {
+
+MessageStats ComputeMessageStats(
+    const std::vector<Step>& steps,
+    const std::unordered_map<TxnId, ScheduleRecorder::TxnIdentity>&
+        identities,
+    const CcMetrics& metrics) {
+  MessageStats stats;
+  for (const Step& step : steps) {
+    auto it = identities.find(step.txn);
+    const ClassId home =
+        it == identities.end() ? kReadOnlyClass : it->second.txn_class;
+    const bool remote = home != step.granule.segment;
+    if (!remote) {
+      ++stats.local_accesses;
+      continue;
+    }
+    ++stats.remote_accesses;
+    stats.transfer_messages += 2;
+    if (step.action == Step::Action::kRead && step.registered) {
+      stats.registration_messages += 1;
+    }
+  }
+  stats.blocking_messages =
+      2 * (metrics.blocked_reads.load() + metrics.blocked_writes.load());
+  stats.total_messages = stats.transfer_messages +
+                         stats.registration_messages +
+                         stats.blocking_messages;
+  const std::uint64_t commits = metrics.commits.load();
+  if (commits > 0) {
+    stats.per_commit = static_cast<double>(stats.total_messages) /
+                       static_cast<double>(commits);
+  }
+  return stats;
+}
+
+}  // namespace hdd

@@ -1,0 +1,43 @@
+#ifndef HDD_ENGINE_MESSAGE_MODEL_H_
+#define HDD_ENGINE_MESSAGE_MODEL_H_
+
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "txn/schedule.h"
+
+namespace hdd {
+
+/// §7.5: the INFOPLEX database computer motivation. Each data segment is
+/// served by its own segment controller (processor level); a transaction
+/// executes at its class's level. This model counts the inter-level
+/// synchronization messages a finished execution would have cost:
+///
+///  * an access to a granule OUTSIDE the transaction's root segment is a
+///    remote request/response pair (2 messages); root-segment accesses
+///    are local (0);
+///  * a *registered* remote read additionally writes its registration at
+///    the remote controller (+1 message) — the cost HDD deletes;
+///  * every blocking episode is a park/wake notification pair
+///    (+2 messages, taken from the metrics);
+///  * read-only transactions run on a query processor: every access of
+///    theirs is remote.
+struct MessageStats {
+  std::uint64_t remote_accesses = 0;
+  std::uint64_t local_accesses = 0;
+  std::uint64_t transfer_messages = 0;      // 2 per remote access
+  std::uint64_t registration_messages = 0;  // 1 per registered remote read
+  std::uint64_t blocking_messages = 0;      // 2 per blocking episode
+  std::uint64_t total_messages = 0;
+  double per_commit = 0.0;
+};
+
+MessageStats ComputeMessageStats(
+    const std::vector<Step>& steps,
+    const std::unordered_map<TxnId, ScheduleRecorder::TxnIdentity>&
+        identities,
+    const CcMetrics& metrics);
+
+}  // namespace hdd
+
+#endif  // HDD_ENGINE_MESSAGE_MODEL_H_

@@ -1,0 +1,103 @@
+#include "engine/synthetic_workload.h"
+
+#include <string>
+#include <vector>
+
+namespace hdd {
+
+SyntheticWorkload::SyntheticWorkload(SyntheticWorkloadParams params)
+    : params_(params) {
+  if (params_.granule_skew > 0) {
+    granule_picker_.emplace(params_.granules_per_segment,
+                            params_.granule_skew);
+  }
+}
+
+PartitionSpec SyntheticWorkload::Spec() const {
+  PartitionSpec spec;
+  for (int d = 0; d < params_.depth; ++d) {
+    spec.segment_names.push_back("L" + std::to_string(d));
+  }
+  for (int d = 0; d < params_.depth; ++d) {
+    TransactionTypeSpec type;
+    type.name = "class" + std::to_string(d);
+    type.root_segment = d;
+    for (int up = d - 1; up >= 0; --up) type.read_segments.push_back(up);
+    spec.transaction_types.push_back(type);
+  }
+  return spec;
+}
+
+std::unique_ptr<Database> SyntheticWorkload::MakeDatabase() const {
+  return std::make_unique<Database>(params_.depth,
+                                    params_.granules_per_segment, 0);
+}
+
+std::uint32_t SyntheticWorkload::PickGranule(Rng& rng) const {
+  return static_cast<std::uint32_t>(
+      granule_picker_.has_value()
+          ? granule_picker_->Next(rng)
+          : rng.NextBounded(params_.granules_per_segment));
+}
+
+TxnProgram SyntheticWorkload::Make(std::uint64_t index, Rng& rng) const {
+  (void)index;
+  TxnProgram program;
+  if (rng.NextBool(params_.read_only_fraction)) {
+    std::vector<GranuleRef> reads;
+    for (int d = 0; d < params_.depth; ++d) {
+      for (int r = 0; r < params_.upper_reads; ++r) {
+        reads.push_back({d, PickGranule(rng)});
+      }
+    }
+    program.options.read_only = true;
+    program.options.txn_class = kReadOnlyClass;
+    program.body = [reads](ConcurrencyController& cc,
+                           const TxnDescriptor& txn) -> Status {
+      Value checksum = 0;
+      for (GranuleRef ref : reads) {
+        HDD_ASSIGN_OR_RETURN(Value v, cc.Read(txn, ref));
+        checksum += v;
+      }
+      (void)checksum;
+      return Status::OK();
+    };
+    return program;
+  }
+
+  const int cls = static_cast<int>(rng.NextBounded(params_.depth));
+  std::vector<GranuleRef> upper;
+  for (int d = cls - 1; d >= 0; --d) {
+    for (int r = 0; r < params_.upper_reads; ++r) {
+      upper.push_back({d, PickGranule(rng)});
+    }
+  }
+  std::vector<std::uint32_t> own_read_granules, own_write_granules;
+  for (int r = 0; r < params_.own_reads; ++r) {
+    own_read_granules.push_back(PickGranule(rng));
+  }
+  for (int w = 0; w < params_.own_writes; ++w) {
+    own_write_granules.push_back(PickGranule(rng));
+  }
+  program.options.txn_class = cls;
+  program.body = [cls, upper, own_read_granules, own_write_granules](
+                     ConcurrencyController& cc,
+                     const TxnDescriptor& txn) -> Status {
+    Value acc = 0;
+    for (GranuleRef ref : upper) {
+      HDD_ASSIGN_OR_RETURN(Value v, cc.Read(txn, ref));
+      acc += v;
+    }
+    for (std::uint32_t g : own_read_granules) {
+      HDD_ASSIGN_OR_RETURN(Value v, cc.Read(txn, {cls, g}));
+      acc += v;
+    }
+    for (std::uint32_t g : own_write_granules) {
+      HDD_RETURN_IF_ERROR(cc.Write(txn, {cls, g}, acc + 1));
+    }
+    return Status::OK();
+  };
+  return program;
+}
+
+}  // namespace hdd

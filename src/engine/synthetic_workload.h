@@ -1,0 +1,53 @@
+#ifndef HDD_ENGINE_SYNTHETIC_WORKLOAD_H_
+#define HDD_ENGINE_SYNTHETIC_WORKLOAD_H_
+
+#include <memory>
+#include <optional>
+
+#include "engine/txn_program.h"
+#include "graph/dhg.h"
+#include "storage/database.h"
+
+namespace hdd {
+
+/// Parameterized chain-hierarchy workload for sweeps: segment `depth-1` is
+/// the lowest class, segment 0 the highest; every class reads all segments
+/// above its own (the transitively-closed chain DHG, still a TST).
+struct SyntheticWorkloadParams {
+  int depth = 4;
+  std::uint32_t granules_per_segment = 64;
+
+  /// Accesses per transaction.
+  int own_reads = 2;
+  int own_writes = 2;
+  /// Reads against EACH segment above the transaction's class.
+  int upper_reads = 2;
+
+  /// Fraction of ad-hoc read-only transactions (read every level).
+  double read_only_fraction = 0.1;
+
+  /// Zipfian skew on granule choice within a segment (0 = uniform).
+  double granule_skew = 0.0;
+};
+
+class SyntheticWorkload : public Workload {
+ public:
+  explicit SyntheticWorkload(SyntheticWorkloadParams params = {});
+
+  PartitionSpec Spec() const;
+  std::unique_ptr<Database> MakeDatabase() const;
+
+  TxnProgram Make(std::uint64_t index, Rng& rng) const override;
+
+  const SyntheticWorkloadParams& params() const { return params_; }
+
+ private:
+  std::uint32_t PickGranule(Rng& rng) const;
+
+  SyntheticWorkloadParams params_;
+  std::optional<ZipfianGenerator> granule_picker_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_ENGINE_SYNTHETIC_WORKLOAD_H_

@@ -1,0 +1,35 @@
+#ifndef HDD_ENGINE_TXN_PROGRAM_H_
+#define HDD_ENGINE_TXN_PROGRAM_H_
+
+#include <functional>
+
+#include "cc/controller.h"
+#include "common/rng.h"
+#include "txn/transaction.h"
+
+namespace hdd {
+
+/// One executable transaction: its declared options (class, read-only)
+/// plus a body run between Begin and Commit. The body returns:
+///  * OK            -> the executor commits;
+///  * a retryable   -> the executor aborts and restarts the program with a
+///    status           fresh Begin (fresh timestamp);
+///  * other errors  -> the executor aborts and surfaces the error.
+struct TxnProgram {
+  TxnOptions options;
+  std::function<Status(ConcurrencyController&, const TxnDescriptor&)> body;
+};
+
+/// A stream of transaction programs. `Make` must be thread-safe for
+/// distinct indices; `rng` is the calling worker's private generator.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// The program for the `index`-th transaction of the run.
+  virtual TxnProgram Make(std::uint64_t index, Rng& rng) const = 0;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_ENGINE_TXN_PROGRAM_H_

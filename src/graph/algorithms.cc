@@ -1,0 +1,275 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <stack>
+
+namespace hdd {
+
+namespace {
+
+enum class Color { kWhite, kGray, kBlack };
+
+// Iterative DFS that reports the first back arc (u, v) found, i.e. the
+// entry point of a directed cycle. Returns true when a cycle exists.
+bool FindBackArc(const Digraph& g, NodeId* cycle_u, NodeId* cycle_v,
+                 std::vector<NodeId>* parent) {
+  const int n = g.num_nodes();
+  std::vector<Color> color(n, Color::kWhite);
+  parent->assign(n, -1);
+  for (NodeId root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    // Stack of (node, iterator position into OutNeighbors).
+    std::stack<std::pair<NodeId, std::set<NodeId>::const_iterator>> stack;
+    color[root] = Color::kGray;
+    stack.push({root, g.OutNeighbors(root).begin()});
+    while (!stack.empty()) {
+      auto& [u, it] = stack.top();
+      if (it == g.OutNeighbors(u).end()) {
+        color[u] = Color::kBlack;
+        stack.pop();
+        continue;
+      }
+      const NodeId v = *it;
+      ++it;
+      if (color[v] == Color::kGray) {
+        *cycle_u = u;
+        *cycle_v = v;
+        return true;
+      }
+      if (color[v] == Color::kWhite) {
+        color[v] = Color::kGray;
+        (*parent)[v] = u;
+        stack.push({v, g.OutNeighbors(v).begin()});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsAcyclic(const Digraph& g) {
+  NodeId u, v;
+  std::vector<NodeId> parent;
+  return !FindBackArc(g, &u, &v, &parent);
+}
+
+std::optional<std::vector<NodeId>> FindCycle(const Digraph& g) {
+  NodeId u, v;
+  std::vector<NodeId> parent;
+  if (!FindBackArc(g, &u, &v, &parent)) return std::nullopt;
+  // Back arc u -> v closes the cycle v -> ... -> u -> v.
+  std::vector<NodeId> cycle;
+  for (NodeId x = u; x != v; x = parent[x]) cycle.push_back(x);
+  cycle.push_back(v);
+  std::reverse(cycle.begin(), cycle.end());
+  cycle.push_back(v);  // first == last
+  return cycle;
+}
+
+std::optional<std::vector<NodeId>> TopologicalOrder(const Digraph& g) {
+  const int n = g.num_nodes();
+  std::vector<int> indegree(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    indegree[u] = static_cast<int>(g.InNeighbors(u).size());
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> frontier;
+  for (NodeId u = 0; u < n; ++u) {
+    if (indegree[u] == 0) frontier.push_back(u);
+  }
+  while (!frontier.empty()) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    order.push_back(u);
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (--indegree[v] == 0) frontier.push_back(v);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) return std::nullopt;
+  return order;
+}
+
+std::vector<NodeId> ReachableFrom(const Digraph& g, NodeId from) {
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<NodeId> stack = {from};
+  std::vector<NodeId> result;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        result.push_back(v);
+        stack.push_back(v);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<std::vector<bool>> TransitiveClosureMatrix(const Digraph& g) {
+  const int n = g.num_nodes();
+  std::vector<std::vector<bool>> closure(n, std::vector<bool>(n, false));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : ReachableFrom(g, u)) closure[u][v] = true;
+  }
+  return closure;
+}
+
+Digraph TransitiveClosure(const Digraph& g) {
+  Digraph closure(g.num_nodes());
+  const auto matrix = TransitiveClosureMatrix(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (matrix[u][v] && u != v) closure.AddArc(u, v);
+    }
+  }
+  return closure;
+}
+
+Digraph TransitiveReduction(const Digraph& g) {
+  assert(IsAcyclic(g));
+  // For a DAG, arc u->v is redundant iff v is reachable from some other
+  // out-neighbor w of u. Quadratic in arcs times reachability, which is
+  // ample for DHG/THG-sized graphs.
+  const auto closure = TransitiveClosureMatrix(g);
+  Digraph reduction(g.num_nodes());
+  for (const auto& [u, v] : g.Arcs()) {
+    bool redundant = false;
+    for (NodeId w : g.OutNeighbors(u)) {
+      if (w != v && closure[w][v]) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) reduction.AddArc(u, v);
+  }
+  return reduction;
+}
+
+std::vector<int> StronglyConnectedComponents(const Digraph& g,
+                                             int* num_components) {
+  const int n = g.num_nodes();
+  std::vector<int> comp(n, -1), low(n, 0), disc(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> scc_stack;
+  int timer = 0;
+  int components = 0;
+
+  // Iterative Tarjan.
+  struct Frame {
+    NodeId u;
+    std::set<NodeId>::const_iterator it;
+  };
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] != -1) continue;
+    std::stack<Frame> frames;
+    disc[root] = low[root] = timer++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+    frames.push({root, g.OutNeighbors(root).begin()});
+    while (!frames.empty()) {
+      auto& [u, it] = frames.top();
+      if (it != g.OutNeighbors(u).end()) {
+        const NodeId v = *it;
+        ++it;
+        if (disc[v] == -1) {
+          disc[v] = low[v] = timer++;
+          scc_stack.push_back(v);
+          on_stack[v] = true;
+          frames.push({v, g.OutNeighbors(v).begin()});
+        } else if (on_stack[v]) {
+          low[u] = std::min(low[u], disc[v]);
+        }
+        continue;
+      }
+      if (low[u] == disc[u]) {
+        for (;;) {
+          const NodeId w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = components;
+          if (w == u) break;
+        }
+        ++components;
+      }
+      const NodeId done = u;
+      frames.pop();
+      if (!frames.empty()) {
+        low[frames.top().u] = std::min(low[frames.top().u], low[done]);
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = components;
+  return comp;
+}
+
+Digraph Quotient(const Digraph& g, const std::vector<int>& labels,
+                 int num_labels) {
+  assert(static_cast<int>(labels.size()) == g.num_nodes());
+  Digraph q(num_labels);
+  for (const auto& [u, v] : g.Arcs()) {
+    if (labels[u] != labels[v]) q.AddArc(labels[u], labels[v]);
+  }
+  return q;
+}
+
+bool UnderlyingUndirectedIsForest(const Digraph& g) {
+  const int n = g.num_nodes();
+  // Antiparallel arcs are two undirected paths between their endpoints.
+  for (const auto& [u, v] : g.Arcs()) {
+    if (g.HasArc(v, u)) return false;
+  }
+  // Union-find cycle check over undirected edges.
+  std::vector<int> parent(n);
+  for (int i = 0; i < n; ++i) parent[i] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& [u, v] : g.Arcs()) {
+    const int ru = find(u), rv = find(v);
+    if (ru == rv) return false;
+    parent[ru] = rv;
+  }
+  return true;
+}
+
+std::optional<std::vector<NodeId>> UndirectedTreePath(const Digraph& g,
+                                                      NodeId a, NodeId b) {
+  assert(UnderlyingUndirectedIsForest(g));
+  if (a == b) return std::vector<NodeId>{a};
+  const int n = g.num_nodes();
+  std::vector<NodeId> parent(n, -1);
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack = {a};
+  seen[a] = true;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    auto visit = [&](NodeId v) {
+      if (!seen[v]) {
+        seen[v] = true;
+        parent[v] = u;
+        stack.push_back(v);
+      }
+    };
+    for (NodeId v : g.OutNeighbors(u)) visit(v);
+    for (NodeId v : g.InNeighbors(u)) visit(v);
+  }
+  if (!seen[b]) return std::nullopt;
+  std::vector<NodeId> path;
+  for (NodeId x = b; x != -1; x = parent[x]) path.push_back(x);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace hdd

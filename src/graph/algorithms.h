@@ -1,0 +1,63 @@
+#ifndef HDD_GRAPH_ALGORITHMS_H_
+#define HDD_GRAPH_ALGORITHMS_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace hdd {
+
+/// True iff the digraph has no directed cycle.
+bool IsAcyclic(const Digraph& g);
+
+/// Returns some directed cycle as a node sequence (first == last), or
+/// nullopt when acyclic. Used by the serializability checker to produce
+/// witness cycles for anomaly reports.
+std::optional<std::vector<NodeId>> FindCycle(const Digraph& g);
+
+/// Topological order of an acyclic digraph; nullopt when cyclic.
+std::optional<std::vector<NodeId>> TopologicalOrder(const Digraph& g);
+
+/// Nodes reachable from `from` via directed arcs (excluding `from` itself
+/// unless it lies on a cycle through itself, which `Digraph` cannot hold).
+std::vector<NodeId> ReachableFrom(const Digraph& g, NodeId from);
+
+/// Boolean reachability matrix: closure[u][v] == true iff a nonempty
+/// directed path u -> ... -> v exists.
+std::vector<std::vector<bool>> TransitiveClosureMatrix(const Digraph& g);
+
+/// Transitive closure as a digraph (arc u->v for every nonempty path).
+Digraph TransitiveClosure(const Digraph& g);
+
+/// Transitive reduction of an *acyclic* digraph: the unique minimal
+/// subgraph with the same reachability. Precondition: IsAcyclic(g).
+Digraph TransitiveReduction(const Digraph& g);
+
+/// Strongly connected components (Tarjan). Returns component index per
+/// node; components are numbered in reverse topological order.
+std::vector<int> StronglyConnectedComponents(const Digraph& g,
+                                             int* num_components);
+
+/// Quotient graph obtained by merging nodes with equal labels.
+/// `labels[u]` in [0, num_labels). Self-loops produced by a merge are
+/// dropped (Digraph cannot represent them), so the caller must check for
+/// intra-group arcs separately when they matter.
+Digraph Quotient(const Digraph& g, const std::vector<int>& labels,
+                 int num_labels);
+
+/// True iff the *underlying undirected* graph is simple and acyclic, i.e.
+/// at most one undirected path joins any pair of nodes. A pair of
+/// antiparallel arcs u->v, v->u counts as two undirected paths and thus
+/// disqualifies the graph.
+bool UnderlyingUndirectedIsForest(const Digraph& g);
+
+/// Unique undirected path between a and b in a graph whose underlying
+/// undirected graph is a forest; nullopt when a and b are disconnected.
+/// Returned as the node sequence a ... b.
+std::optional<std::vector<NodeId>> UndirectedTreePath(const Digraph& g,
+                                                      NodeId a, NodeId b);
+
+}  // namespace hdd
+
+#endif  // HDD_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,164 @@
+#include "graph/decomposition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "graph/algorithms.h"
+#include "graph/semi_tree.h"
+
+namespace hdd {
+
+namespace {
+
+// Simple union-find over [0, n).
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns false when already joined.
+  bool Union(int a, int b) {
+    const int ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+  // Compacts roots into dense labels [0, k); returns k.
+  int Compact(std::vector<int>* labels) {
+    const int n = static_cast<int>(parent_.size());
+    labels->assign(n, -1);
+    std::vector<int> root_label(n, -1);
+    int next = 0;
+    for (int i = 0; i < n; ++i) {
+      const int r = Find(i);
+      if (root_label[r] == -1) root_label[r] = next++;
+      (*labels)[i] = root_label[r];
+    }
+    return next;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+// Finds one arc of the transitive reduction that closes an undirected
+// cycle, or returns false when the underlying undirected graph is a
+// forest. Also reports antiparallel pairs as closing arcs.
+bool FindClosingArc(const Digraph& reduction, NodeId* u, NodeId* v) {
+  for (const auto& [a, b] : reduction.Arcs()) {
+    if (reduction.HasArc(b, a)) {
+      *u = a;
+      *v = b;
+      return true;
+    }
+  }
+  UnionFind uf(reduction.num_nodes());
+  for (const auto& [a, b] : reduction.Arcs()) {
+    if (!uf.Union(a, b)) {
+      *u = a;
+      *v = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+MergePlan MakeTstMergePlan(const Digraph& g) {
+  const int n = g.num_nodes();
+  MergePlan plan;
+  plan.labels.resize(n);
+  std::iota(plan.labels.begin(), plan.labels.end(), 0);
+  plan.num_groups = n;
+
+  // Start by collapsing directed cycles.
+  {
+    int num_scc = 0;
+    std::vector<int> scc = StronglyConnectedComponents(g, &num_scc);
+    if (num_scc != n) plan.merges += n - num_scc;
+    plan.labels = scc;
+    plan.num_groups = num_scc;
+  }
+
+  for (;;) {
+    Digraph quotient = Quotient(g, plan.labels, plan.num_groups);
+    // Merging along reduction arcs preserves acyclicity, and the initial
+    // condensation is acyclic, so the quotient stays a DAG.
+    assert(IsAcyclic(quotient));
+    Digraph reduction = TransitiveReduction(quotient);
+    NodeId u, v;
+    if (!FindClosingArc(reduction, &u, &v)) {
+      plan.num_groups = quotient.num_nodes();
+      return plan;
+    }
+    // Merge groups u and v.
+    UnionFind uf(plan.num_groups);
+    uf.Union(u, v);
+    std::vector<int> group_labels;
+    const int next = uf.Compact(&group_labels);
+    for (int& label : plan.labels) label = group_labels[label];
+    plan.num_groups = next;
+    ++plan.merges;
+  }
+}
+
+Result<Decomposition> DecomposeFromAccessSets(
+    std::uint32_t num_granules, const std::vector<AccessFootprint>& types) {
+  UnionFind uf(static_cast<int>(num_granules));
+  for (const auto& type : types) {
+    for (std::uint32_t granule : type.write_granules) {
+      if (granule >= num_granules) {
+        return Status::InvalidArgument("write granule out of range");
+      }
+    }
+    for (std::uint32_t granule : type.read_granules) {
+      if (granule >= num_granules) {
+        return Status::InvalidArgument("read granule out of range");
+      }
+    }
+    // A type writes into a single segment: union its write set.
+    for (std::size_t i = 1; i < type.write_granules.size(); ++i) {
+      uf.Union(static_cast<int>(type.write_granules[0]),
+               static_cast<int>(type.write_granules[i]));
+    }
+  }
+  std::vector<int> seg_of_granule;
+  const int num_initial = uf.Compact(&seg_of_granule);
+
+  // Segment graph induced by the footprints.
+  Digraph seg_graph(num_initial);
+  for (const auto& type : types) {
+    if (type.write_granules.empty()) continue;
+    const int root = seg_of_granule[type.write_granules[0]];
+    for (std::uint32_t granule : type.read_granules) {
+      const int s = seg_of_granule[granule];
+      if (s != root) seg_graph.AddArc(root, s);
+    }
+  }
+
+  MergePlan plan = MakeTstMergePlan(seg_graph);
+  Decomposition out;
+  out.num_segments = plan.num_groups;
+  out.merges = plan.merges;
+  out.granule_segment.resize(num_granules);
+  for (std::uint32_t granule = 0; granule < num_granules; ++granule) {
+    out.granule_segment[granule] = plan.labels[seg_of_granule[granule]];
+  }
+  out.dhg = Quotient(seg_graph, plan.labels, plan.num_groups);
+  assert(IsTransitiveSemiTree(out.dhg));
+  return out;
+}
+
+}  // namespace hdd

@@ -1,0 +1,61 @@
+#ifndef HDD_GRAPH_DECOMPOSITION_H_
+#define HDD_GRAPH_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace hdd {
+
+/// Result of a merge-based legalization: `labels[u]` maps original node u
+/// to its merged group in [0, num_groups). The quotient graph is a
+/// transitive semi-tree.
+struct MergePlan {
+  std::vector<int> labels;
+  int num_groups = 0;
+  /// How many merge steps were taken (0 when the input was already legal);
+  /// a granularity-loss indicator for §7.2.1 experiments.
+  int merges = 0;
+};
+
+/// §7.2.1: transforms an arbitrary digraph (typically an acyclic DHG that
+/// fails the semi-tree requirement) into a legal partition by merging
+/// segments, preserving granularity as much as the greedy heuristic
+/// allows. Directed cycles are first collapsed via SCC condensation; then,
+/// while the transitive reduction of the quotient has an undirected cycle,
+/// the endpoints of a cycle-closing critical arc are merged. Merging the
+/// endpoints of a *reduction* arc can never create a directed cycle (a
+/// reduction arc admits no alternative directed path), so the loop
+/// terminates with a transitive semi-tree.
+MergePlan MakeTstMergePlan(const Digraph& g);
+
+/// Access footprint of one update-transaction type over raw granules, the
+/// input to §7.2.2 decomposition-by-data-analysis.
+struct AccessFootprint {
+  std::vector<std::uint32_t> write_granules;
+  std::vector<std::uint32_t> read_granules;
+};
+
+/// Result of decomposition from data analysis.
+struct Decomposition {
+  /// granule -> segment.
+  std::vector<int> granule_segment;
+  int num_segments = 0;
+  /// The resulting legal (TST) data hierarchy graph over the segments.
+  Digraph dhg;
+  int merges = 0;
+};
+
+/// §7.2.2: clusters `num_granules` granules into a legal hierarchical
+/// decomposition given the access footprints of all update-transaction
+/// types. Granules co-written by one type are first unioned (a type must
+/// write into a single segment); the induced segment graph is then
+/// legalized with `MakeTstMergePlan`.
+Result<Decomposition> DecomposeFromAccessSets(
+    std::uint32_t num_granules, const std::vector<AccessFootprint>& types);
+
+}  // namespace hdd
+
+#endif  // HDD_GRAPH_DECOMPOSITION_H_

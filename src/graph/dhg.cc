@@ -1,0 +1,91 @@
+#include "graph/dhg.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "graph/algorithms.h"
+
+namespace hdd {
+
+namespace {
+
+std::string NodeName(NodeId node, const std::vector<std::string>& names) {
+  if (node < static_cast<NodeId>(names.size())) return names[node];
+  return "D" + std::to_string(node);
+}
+
+}  // namespace
+
+std::string ExplainIllegalDhg(const Digraph& dhg,
+                              const std::vector<std::string>& names) {
+  auto cycle = FindCycle(dhg);
+  if (cycle.has_value()) {
+    std::ostringstream os;
+    os << "segments are mutually derived (directed cycle): ";
+    for (std::size_t i = 0; i < cycle->size(); ++i) {
+      if (i > 0) os << " -> ";
+      os << NodeName((*cycle)[i], names);
+    }
+    os << ". Merge these segments into one class, or split the "
+          "transaction types that write into each other's inputs.";
+    return os.str();
+  }
+  const Digraph reduction = TransitiveReduction(dhg);
+  // Find a critical arc closing an undirected cycle and name the two
+  // distinct undirected paths it creates.
+  std::vector<int> component(reduction.num_nodes());
+  std::iota(component.begin(), component.end(), 0);
+  Digraph forest(reduction.num_nodes());
+  for (const auto& [u, v] : reduction.Arcs()) {
+    auto existing = UndirectedTreePath(forest, u, v);
+    if (existing.has_value()) {
+      std::ostringstream os;
+      os << "two distinct derivation paths between "
+         << NodeName(u, names) << " and " << NodeName(v, names)
+         << " (a diamond): the critical arc " << NodeName(u, names)
+         << " -> " << NodeName(v, names) << " closes the path ";
+      for (std::size_t i = 0; i < existing->size(); ++i) {
+        if (i > 0) os << " - ";
+        os << NodeName((*existing)[i], names);
+      }
+      os << ". Merge two of the segments on this cycle (see "
+            "MakeTstMergePlan) or remove one of the read dependencies.";
+      return os.str();
+    }
+    forest.AddArc(u, v);
+  }
+  return "";
+}
+
+Result<Digraph> BuildDhg(const PartitionSpec& spec) {
+  const int n = static_cast<int>(spec.segment_names.size());
+  Digraph dhg(n);
+  for (const auto& type : spec.transaction_types) {
+    if (type.root_segment < 0 || type.root_segment >= n) {
+      return Status::InvalidArgument("transaction type '" + type.name +
+                                     "': root segment out of range");
+    }
+    for (SegmentId s : type.read_segments) {
+      if (s < 0 || s >= n) {
+        return Status::InvalidArgument("transaction type '" + type.name +
+                                       "': read segment out of range");
+      }
+      if (s != type.root_segment) dhg.AddArc(type.root_segment, s);
+    }
+  }
+  return dhg;
+}
+
+Result<HierarchySchema> HierarchySchema::Create(PartitionSpec spec) {
+  HDD_ASSIGN_OR_RETURN(Digraph dhg, BuildDhg(spec));
+  auto tst = TstAnalysis::Create(dhg);
+  if (!tst.ok()) {
+    std::ostringstream os;
+    os << "partition is not TST-hierarchical: "
+       << ExplainIllegalDhg(dhg, spec.segment_names);
+    return Status::InvalidArgument(os.str());
+  }
+  return HierarchySchema(std::move(spec), std::move(tst).value());
+}
+
+}  // namespace hdd

@@ -1,0 +1,88 @@
+#ifndef HDD_GRAPH_DHG_H_
+#define HDD_GRAPH_DHG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/digraph.h"
+#include "graph/semi_tree.h"
+
+namespace hdd {
+
+/// Identifier of a data segment in a partition. The paper's transaction
+/// classification is one class per segment (`t ∈ T_i` iff `t` writes
+/// `D_i`), so class ids coincide with segment ids throughout the library.
+using SegmentId = int;
+using ClassId = int;
+
+/// Fictitious class id used for ad-hoc read-only transactions that are
+/// "hosted" below the lowest class of a critical path (paper §5.0).
+inline constexpr ClassId kReadOnlyClass = -1;
+
+/// A declared update-transaction type: writes only inside `root_segment`,
+/// may additionally read the listed other segments. Several types may share
+/// a root segment — they belong to the same transaction class.
+struct TransactionTypeSpec {
+  std::string name;
+  SegmentId root_segment = 0;
+  std::vector<SegmentId> read_segments;
+};
+
+/// Raw description of a hierarchical decomposition: segment names plus the
+/// update-transaction types that will run against it.
+struct PartitionSpec {
+  std::vector<std::string> segment_names;
+  std::vector<TransactionTypeSpec> transaction_types;
+};
+
+/// A validated TST-hierarchical decomposition. Owns the data hierarchy
+/// graph (DHG) built per the paper's §3.2 rule — arc `D_i -> D_j` iff some
+/// declared type writes in `D_i` and accesses `D_j` — and the semi-tree
+/// analysis that the activity-link machinery queries. Since classes map
+/// 1:1 onto segments, the transaction hierarchy graph (THG) is the same
+/// digraph under the class reading, so no second graph is materialized.
+class HierarchySchema {
+ public:
+  /// Validates the spec: ids in range, and DHG must be a transitive
+  /// semi-tree. Returns InvalidArgument otherwise.
+  static Result<HierarchySchema> Create(PartitionSpec spec);
+
+  int num_segments() const {
+    return static_cast<int>(spec_.segment_names.size());
+  }
+  const PartitionSpec& spec() const { return spec_; }
+  const Digraph& dhg() const { return tst_.graph(); }
+  const TstAnalysis& tst() const { return tst_; }
+  const std::string& segment_name(SegmentId s) const {
+    return spec_.segment_names[s];
+  }
+
+  /// Class of a declared transaction type == its root segment.
+  ClassId ClassOfType(int type_index) const {
+    return spec_.transaction_types[type_index].root_segment;
+  }
+
+ private:
+  HierarchySchema(PartitionSpec spec, TstAnalysis tst)
+      : spec_(std::move(spec)), tst_(std::move(tst)) {}
+
+  PartitionSpec spec_;
+  TstAnalysis tst_;
+};
+
+/// Builds the (unvalidated) DHG digraph from a spec. Exposed separately so
+/// the decomposition tooling can inspect illegal graphs.
+Result<Digraph> BuildDhg(const PartitionSpec& spec);
+
+/// Explains WHY a digraph fails the transitive-semi-tree requirement, in
+/// terms a schema designer can act on: either the directed cycle of
+/// mutually-derived segments, or the two distinct undirected critical
+/// paths (a "diamond") between a pair of segments. Returns an empty
+/// string when the graph is legal. `names` (optional) labels nodes.
+std::string ExplainIllegalDhg(const Digraph& dhg,
+                              const std::vector<std::string>& names = {});
+
+}  // namespace hdd
+
+#endif  // HDD_GRAPH_DHG_H_

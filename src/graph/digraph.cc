@@ -1,0 +1,62 @@
+#include "graph/digraph.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace hdd {
+
+NodeId Digraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size()) - 1;
+}
+
+bool Digraph::AddArc(NodeId u, NodeId v) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  if (u == v) return false;
+  if (!out_[u].insert(v).second) return false;
+  in_[v].insert(u);
+  ++num_arcs_;
+  return true;
+}
+
+bool Digraph::RemoveArc(NodeId u, NodeId v) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  if (out_[u].erase(v) == 0) return false;
+  in_[v].erase(u);
+  --num_arcs_;
+  return true;
+}
+
+bool Digraph::HasArc(NodeId u, NodeId v) const {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  return out_[u].count(v) > 0;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Digraph::Arcs() const {
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  arcs.reserve(num_arcs_);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : out_[u]) arcs.emplace_back(u, v);
+  }
+  return arcs;
+}
+
+std::string Digraph::ToDot(const std::vector<std::string>& labels) const {
+  std::ostringstream os;
+  os << "digraph G {\n";
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    os << "  n" << u;
+    if (u < static_cast<NodeId>(labels.size())) {
+      os << " [label=\"" << labels[u] << "\"]";
+    }
+    os << ";\n";
+  }
+  for (const auto& [u, v] : Arcs()) {
+    os << "  n" << u << " -> n" << v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hdd

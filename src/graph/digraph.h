@@ -1,0 +1,61 @@
+#ifndef HDD_GRAPH_DIGRAPH_H_
+#define HDD_GRAPH_DIGRAPH_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hdd {
+
+/// Node handle in a `Digraph`. Dense, 0-based.
+using NodeId = int;
+
+/// Simple directed graph over dense node ids with set-based adjacency.
+/// No parallel arcs; self-loops are rejected (the paper's DHG/THG and
+/// transaction-dependency graphs never need them: DHG arcs require
+/// `i != j` and TG self-dependencies are meaningless).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int num_nodes)
+      : out_(num_nodes), in_(num_nodes) {}
+
+  int num_nodes() const { return static_cast<int>(out_.size()); }
+  std::size_t num_arcs() const { return num_arcs_; }
+
+  /// Appends a node, returning its id.
+  NodeId AddNode();
+
+  /// Adds arc u -> v. Returns false (and does nothing) when the arc already
+  /// exists or u == v.
+  bool AddArc(NodeId u, NodeId v);
+
+  /// Removes arc u -> v if present; returns whether it was present.
+  bool RemoveArc(NodeId u, NodeId v);
+
+  bool HasArc(NodeId u, NodeId v) const;
+
+  const std::set<NodeId>& OutNeighbors(NodeId u) const { return out_[u]; }
+  const std::set<NodeId>& InNeighbors(NodeId u) const { return in_[u]; }
+
+  /// All arcs as (u, v) pairs, ordered.
+  std::vector<std::pair<NodeId, NodeId>> Arcs() const;
+
+  /// Structural equality (same node count and arc set).
+  friend bool operator==(const Digraph& a, const Digraph& b) {
+    return a.out_ == b.out_;
+  }
+
+  /// Graphviz dump for debugging / docs.
+  std::string ToDot(const std::vector<std::string>& labels = {}) const;
+
+ private:
+  std::vector<std::set<NodeId>> out_;
+  std::vector<std::set<NodeId>> in_;
+  std::size_t num_arcs_ = 0;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_GRAPH_DIGRAPH_H_

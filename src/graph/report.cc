@@ -1,0 +1,68 @@
+#include "graph/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/algorithms.h"
+
+namespace hdd {
+
+std::vector<int> HierarchyLevels(const TstAnalysis& tst) {
+  const Digraph& reduction = tst.reduction();
+  const int n = reduction.num_nodes();
+  std::vector<int> level(n, 0);
+  // Arcs point lower -> higher; process in reverse topological order so
+  // every node sees its (already-leveled) higher neighbors.
+  auto order = TopologicalOrder(reduction);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId u = *it;
+    for (NodeId higher : reduction.OutNeighbors(u)) {
+      level[u] = std::max(level[u], level[higher] + 1);
+    }
+  }
+  return level;
+}
+
+std::string DescribeHierarchy(const HierarchySchema& schema) {
+  std::ostringstream os;
+  const TstAnalysis& tst = schema.tst();
+  const std::vector<int> levels = HierarchyLevels(tst);
+
+  os << "hierarchical decomposition: " << schema.num_segments()
+     << " segments\n";
+  for (SegmentId s = 0; s < schema.num_segments(); ++s) {
+    os << "  D" << s << " '" << schema.segment_name(s) << "' level "
+       << levels[s];
+    std::vector<SegmentId> reads_up, read_by;
+    for (SegmentId other = 0; other < schema.num_segments(); ++other) {
+      if (tst.graph().HasArc(s, other)) reads_up.push_back(other);
+      if (tst.graph().HasArc(other, s)) read_by.push_back(other);
+    }
+    if (!reads_up.empty()) {
+      os << "; reads";
+      for (SegmentId r : reads_up) {
+        os << " D" << r
+           << (tst.IsCriticalArc(s, r) ? "(critical)" : "(induced)");
+      }
+    }
+    if (!read_by.empty()) {
+      os << "; read by";
+      for (SegmentId r : read_by) os << " D" << r;
+    }
+    os << "\n";
+  }
+
+  // Declared transaction types.
+  os << "transaction types:\n";
+  for (const auto& type : schema.spec().transaction_types) {
+    os << "  " << type.name << ": writes D" << type.root_segment;
+    if (!type.read_segments.empty()) {
+      os << ", reads";
+      for (SegmentId r : type.read_segments) os << " D" << r;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hdd

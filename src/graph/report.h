@@ -1,0 +1,23 @@
+#ifndef HDD_GRAPH_REPORT_H_
+#define HDD_GRAPH_REPORT_H_
+
+#include <string>
+
+#include "graph/dhg.h"
+
+namespace hdd {
+
+/// Human-readable analysis of a validated decomposition: per-segment
+/// level (longest critical path to a top segment), critical vs induced
+/// arcs, readers per segment, and which class PickWallAnchor-style logic
+/// would anchor time walls at. For operators and the decompose tooling.
+std::string DescribeHierarchy(const HierarchySchema& schema);
+
+/// Level of each node in a TST: 0 for top segments (no higher segment),
+/// otherwise 1 + max level of... measured DOWNWARD: the length of the
+/// longest critical path from the node up to a top segment.
+std::vector<int> HierarchyLevels(const TstAnalysis& tst);
+
+}  // namespace hdd
+
+#endif  // HDD_GRAPH_REPORT_H_

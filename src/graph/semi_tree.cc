@@ -1,0 +1,55 @@
+#include "graph/semi_tree.h"
+
+#include <cassert>
+
+namespace hdd {
+
+bool IsSemiTree(const Digraph& g) { return UnderlyingUndirectedIsForest(g); }
+
+bool IsTransitiveSemiTree(const Digraph& g) {
+  if (!IsAcyclic(g)) return false;
+  return IsSemiTree(TransitiveReduction(g));
+}
+
+TstAnalysis::TstAnalysis(Digraph g)
+    : graph_(std::move(g)),
+      reduction_(TransitiveReduction(graph_)),
+      reduction_closure_(TransitiveClosureMatrix(reduction_)) {}
+
+Result<TstAnalysis> TstAnalysis::Create(const Digraph& g) {
+  if (!IsAcyclic(g)) {
+    return Status::InvalidArgument("graph is not acyclic");
+  }
+  if (!IsSemiTree(TransitiveReduction(g))) {
+    return Status::InvalidArgument(
+        "transitive reduction is not a semi-tree");
+  }
+  return TstAnalysis(g);
+}
+
+std::optional<std::vector<NodeId>> TstAnalysis::CriticalPath(NodeId i,
+                                                             NodeId j) const {
+  if (i == j) return std::vector<NodeId>{i};
+  if (!reduction_closure_[i][j]) return std::nullopt;
+  // In a semi-tree the undirected path is unique, so the directed critical
+  // path, when it exists, is that same node sequence.
+  auto path = UndirectedTreePath(reduction_, i, j);
+  assert(path.has_value());
+  // Verify all arcs run i-to-j; reachability guarantees it, but assert in
+  // debug builds.
+  for (std::size_t k = 0; k + 1 < path->size(); ++k) {
+    assert(reduction_.HasArc((*path)[k], (*path)[k + 1]));
+  }
+  return path;
+}
+
+bool TstAnalysis::Higher(NodeId j, NodeId i) const {
+  if (i == j) return false;
+  return reduction_closure_[i][j];
+}
+
+std::optional<std::vector<NodeId>> TstAnalysis::Ucp(NodeId i, NodeId j) const {
+  return UndirectedTreePath(reduction_, i, j);
+}
+
+}  // namespace hdd

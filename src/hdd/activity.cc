@@ -1,0 +1,78 @@
+#include "hdd/activity.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hdd {
+
+void ClassActivityTable::OnBegin(Timestamp init) {
+  const bool inserted = active_.insert(init).second;
+  assert(inserted && "duplicate initiation timestamp");
+  (void)inserted;
+}
+
+void ClassActivityTable::OnFinish(Timestamp init, Timestamp end) {
+  assert(end > init);
+  const std::size_t erased = active_.erase(init);
+  assert(erased == 1 && "finishing a transaction that never began");
+  (void)erased;
+  finished_by_init_.emplace(init, end);
+  finished_by_end_.emplace(end, init);
+}
+
+Timestamp ClassActivityTable::OldestActiveAt(Timestamp m) const {
+  Timestamp best = m;
+  // Currently active transactions that started before m.
+  auto active_it = active_.begin();
+  if (active_it != active_.end() && *active_it < m) {
+    best = std::min(best, *active_it);
+  }
+  // Finished transactions that straddled m (I < m < end): only records
+  // with end > m qualify, i.e. the suffix of the by-end index.
+  for (auto it = finished_by_end_.upper_bound(m);
+       it != finished_by_end_.end(); ++it) {
+    if (it->second < best) best = it->second;
+  }
+  return best;
+}
+
+Result<Timestamp> ClassActivityTable::LatestEndAt(Timestamp m) const {
+  if (!ComputableAt(m)) {
+    return Status::Busy("C^late not computable: transaction active");
+  }
+  // Largest end among straddlers of m: walk ends descending and stop at
+  // the first record that started before m — nothing below can beat it.
+  for (auto it = finished_by_end_.rbegin(); it != finished_by_end_.rend();
+       ++it) {
+    if (it->first <= m) break;  // remaining ends are <= m: no straddlers
+    if (it->second < m) return it->first;
+  }
+  return m;
+}
+
+bool ClassActivityTable::ComputableAt(Timestamp m) const {
+  // Active set is ordered by I: computable iff no active I <= m.
+  return active_.empty() || *active_.begin() > m;
+}
+
+Timestamp ClassActivityTable::OldestActiveNow() const {
+  return active_.empty() ? kTimestampInfinity : *active_.begin();
+}
+
+void ClassActivityTable::MergeFrom(ClassActivityTable&& other) {
+  active_.merge(other.active_);
+  finished_by_init_.merge(other.finished_by_init_);
+  finished_by_end_.merge(other.finished_by_end_);
+  assert(other.active_.empty() && other.finished_by_init_.empty() &&
+         "duplicate timestamps across merged classes");
+}
+
+void ClassActivityTable::TrimFinishedBefore(Timestamp ts) {
+  auto end_of_prefix = finished_by_end_.upper_bound(ts);
+  for (auto it = finished_by_end_.begin(); it != end_of_prefix; ++it) {
+    finished_by_init_.erase(it->second);
+  }
+  finished_by_end_.erase(finished_by_end_.begin(), end_of_prefix);
+}
+
+}  // namespace hdd

@@ -1,0 +1,575 @@
+#include "hdd/hdd_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/algorithms.h"
+#include "graph/decomposition.h"
+
+namespace hdd {
+
+HddController::HddController(Database* db, LogicalClock* clock,
+                             const HierarchySchema* schema,
+                             HddControllerOptions options)
+    : ConcurrencyController(db, clock), options_(std::move(options)) {
+  num_classes_ = schema->num_segments();
+  class_of_segment_.resize(num_classes_);
+  for (SegmentId s = 0; s < num_classes_; ++s) class_of_segment_[s] = s;
+  tst_ = std::make_unique<TstAnalysis>(schema->tst());
+  tables_.resize(num_classes_);
+  draining_.assign(num_classes_, false);
+  eval_ = std::make_unique<ActivityLinkEvaluator>(tst_.get(), &tables_);
+}
+
+HddController::~HddController() { StopWallPacer(); }
+
+void HddController::StartWallPacer(std::chrono::milliseconds interval) {
+  StopWallPacer();
+  pacer_stop_.store(false);
+  pacer_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(pacer_mu_);
+    while (!pacer_stop_.load()) {
+      if (pacer_cv_.wait_for(lock, interval,
+                             [this] { return pacer_stop_.load(); })) {
+        return;
+      }
+      lock.unlock();
+      (void)ReleaseNewWall();
+      lock.lock();
+    }
+  });
+}
+
+void HddController::StopWallPacer() {
+  {
+    std::lock_guard<std::mutex> guard(pacer_mu_);
+    pacer_stop_.store(true);
+  }
+  pacer_cv_.notify_all();
+  if (pacer_.joinable()) pacer_.join();
+}
+
+ClassId HddController::ClassOfSegment(SegmentId segment) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return class_of_segment_[segment];
+}
+
+std::size_t HddController::num_walls() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return walls_.size();
+}
+
+Result<TxnDescriptor> HddController::Begin(const TxnOptions& options) {
+  std::unique_lock<std::mutex> lock(mu_);
+  TxnRuntime runtime;
+  runtime.descriptor.id = next_txn_id_++;
+  runtime.descriptor.read_only = options.read_only;
+  if (options.read_only) {
+    runtime.descriptor.txn_class = kReadOnlyClass;
+    if (!options.read_scope.empty()) {
+      HDD_ASSIGN_OR_RETURN(runtime.hosted_below,
+                           ResolveHostClass(options.read_scope));
+    }
+    if (options.as_of_wall >= 0) {
+      if (runtime.hosted_below != kReadOnlyClass) {
+        return Status::InvalidArgument(
+            "as_of_wall cannot combine with a hosted read scope");
+      }
+      if (static_cast<std::size_t>(options.as_of_wall) >= walls_.size()) {
+        return Status::InvalidArgument("no such time wall");
+      }
+      const TimeWall& wall = walls_[options.as_of_wall];
+      for (Timestamp bound : wall.bound) {
+        if (bound < last_gc_horizon_) {
+          return Status::FailedPrecondition(
+              "time wall predates the garbage-collection horizon; its "
+              "versions may be gone");
+        }
+      }
+      runtime.wall = &wall;
+    }
+  } else {
+    if (options.txn_class < 0 || options.txn_class >= num_classes_) {
+      return Status::InvalidArgument(
+          "HDD update transactions must declare their class");
+    }
+    cv_.wait(lock, [&] { return !draining_[options.txn_class]; });
+    runtime.descriptor.txn_class = options.txn_class;
+  }
+  runtime.descriptor.init_ts = clock_->Tick();
+  if (!options.read_only) {
+    tables_[runtime.descriptor.txn_class].OnBegin(runtime.descriptor.init_ts);
+  }
+  const TxnDescriptor descriptor = runtime.descriptor;
+  txns_.emplace(descriptor.id, std::move(runtime));
+  recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
+                        descriptor.read_only);
+  metrics_.begins.fetch_add(1);
+  return descriptor;
+}
+
+Result<ClassId> HddController::ResolveHostClass(
+    const std::vector<SegmentId>& scope) {
+  if (scope.empty()) {
+    return Status::InvalidArgument("empty read scope");
+  }
+  // Map to classes and find the lowest: the class from which every other
+  // scoped class is reachable by a critical path.
+  std::vector<ClassId> classes;
+  for (SegmentId s : scope) {
+    if (s < 0 || s >= static_cast<int>(class_of_segment_.size())) {
+      return Status::InvalidArgument("read scope segment out of range");
+    }
+    classes.push_back(class_of_segment_[s]);
+  }
+  ClassId lowest = classes[0];
+  for (ClassId c : classes) {
+    if (c == lowest || tst_->Higher(lowest, c)) {
+      lowest = c;  // c is lower than (or equal to) the current lowest
+    }
+  }
+  for (ClassId c : classes) {
+    if (c != lowest && !tst_->Higher(c, lowest)) {
+      return Status::InvalidArgument(
+          "read scope is not reachable by critical paths from one host "
+          "class; use an undeclared read-only transaction (Protocol C) "
+          "instead");
+    }
+  }
+  return lowest;
+}
+
+Result<HddController::TxnRuntime*> HddController::FindTxn(
+    const TxnDescriptor& txn) {
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  return &it->second;
+}
+
+Result<Value> HddController::Read(const TxnDescriptor& txn,
+                                  GranuleRef granule) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  std::unique_lock<std::mutex> lock(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  if (runtime->descriptor.read_only) {
+    if (runtime->hosted_below != kReadOnlyClass) {
+      return ReadHosted(runtime, granule);
+    }
+    return ReadUnderWall(lock, runtime, granule);
+  }
+  const ClassId own_class = runtime->descriptor.txn_class;
+  const ClassId target_class = class_of_segment_[granule.segment];
+  if (own_class == target_class) {
+    return ReadOwnSegment(lock, runtime, granule);
+  }
+  return ReadHigherSegment(runtime, granule, own_class, target_class);
+}
+
+Result<Value> HddController::ReadHigherSegment(TxnRuntime* runtime,
+                                               GranuleRef granule,
+                                               ClassId own_class,
+                                               ClassId target_class) {
+  // Protocol A. The activity link function is defined exactly when the
+  // target class lies higher on a critical path — which the schema
+  // guarantees for every declared read segment.
+  auto bound = eval_->A(own_class, target_class,
+                        runtime->descriptor.init_ts);
+  if (!bound.ok()) {
+    return Status::InvalidArgument(
+        "segment not on a critical path above the transaction's class");
+  }
+  Granule& g = db_->granule(granule);
+  const Version* version = g.LatestCommittedBefore(*bound);
+  assert(version != nullptr);
+  // Theorem-backed invariant: every version below the activity link bound
+  // was created by a transaction that already finished, hence the latest
+  // *committed* version below the bound is the latest version, period.
+  assert(g.VersionBefore(*bound) != nullptr &&
+         g.VersionBefore(*bound)->wts == version->wts);
+  // "No trace of this access needs to be registered in any form" (§4.2).
+  metrics_.unregistered_reads.fetch_add(1);
+  metrics_.version_reads.fetch_add(1);
+  recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key);
+  return version->value;
+}
+
+Result<Value> HddController::ReadHosted(TxnRuntime* runtime,
+                                        GranuleRef granule) {
+  // §5.0: the transaction behaves like an update transaction of a
+  // fictitious class immediately below `hosted_below`, so ALL its reads —
+  // including those against the host class's own segment — are Protocol A
+  // reads through one extra I^old hop at the host class.
+  const ClassId target_class = class_of_segment_[granule.segment];
+  const ClassId host = runtime->hosted_below;
+  if (target_class != host && !tst_->Higher(target_class, host)) {
+    return Status::InvalidArgument("read outside the declared read scope");
+  }
+  const Timestamp base =
+      tables_[host].OldestActiveAt(runtime->descriptor.init_ts);
+  auto bound = eval_->A(host, target_class, base);
+  if (!bound.ok()) return bound.status();
+  Granule& g = db_->granule(granule);
+  const Version* version = g.LatestCommittedBefore(*bound);
+  assert(version != nullptr);
+  assert(g.VersionBefore(*bound) != nullptr &&
+         g.VersionBefore(*bound)->wts == version->wts);
+  metrics_.unregistered_reads.fetch_add(1);
+  metrics_.version_reads.fetch_add(1);
+  recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key);
+  return version->value;
+}
+
+Result<Value> HddController::ReadOwnSegment(
+    std::unique_lock<std::mutex>& lock, TxnRuntime* runtime,
+    GranuleRef granule) {
+  const TxnDescriptor& txn = runtime->descriptor;
+  bool waited = false;
+  for (;;) {
+    Granule& g = db_->granule(granule);
+    Version* version = nullptr;
+    if (options_.protocol_b == ProtocolBEngine::kMvto) {
+      Version* own = g.Find(txn.init_ts);
+      version = own != nullptr ? own : g.VersionBefore(txn.init_ts);
+    } else {
+      version = g.Latest();
+      if (version->wts > txn.init_ts && version->creator != txn.id) {
+        return Status::Aborted(
+            "Protocol B (basic TO): granule overwritten by younger txn");
+      }
+    }
+    assert(version != nullptr);
+    if (!version->committed && version->creator != txn.id) {
+      waited = true;
+      cv_.wait(lock);
+      continue;
+    }
+    if (waited) metrics_.blocked_reads.fetch_add(1);
+    if (txn.init_ts > version->rts) version->rts = txn.init_ts;
+    metrics_.read_timestamps_written.fetch_add(1);
+    metrics_.version_reads.fetch_add(1);
+    recorder_.RecordRead(txn.id, granule, version->order_key, true);
+    return version->value;
+  }
+}
+
+Result<Value> HddController::ReadUnderWall(std::unique_lock<std::mutex>& lock,
+                                           TxnRuntime* runtime,
+                                           GranuleRef granule) {
+  // Protocol C: pin the wall on first read so the whole transaction sees
+  // one consistent cut.
+  if (runtime->wall == nullptr) {
+    const TimeWall* chosen = nullptr;
+    for (auto it = walls_.rbegin(); it != walls_.rend(); ++it) {
+      if (it->release_time < runtime->descriptor.init_ts) {
+        chosen = &*it;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      // No wall released before we started: release one now and use it —
+      // still a consistent cut by Theorem 2, just fresher than the paper's
+      // batched variant.
+      HDD_ASSIGN_OR_RETURN(chosen, ReleaseWallLocked(lock));
+    }
+    runtime->wall = chosen;
+  }
+  const ClassId target_class = class_of_segment_[granule.segment];
+  const Timestamp bound = runtime->wall->bound[target_class];
+  bool waited = false;
+  for (;;) {
+    Granule& g = db_->granule(granule);
+    Version* version = g.VersionBefore(bound);
+    assert(version != nullptr);
+    if (!version->committed) {
+      // A below-wall version is still in flight (possible only for classes
+      // the wall reaches through a descending run); its fate decides what
+      // we must read, so wait for the creator to resolve.
+      waited = true;
+      cv_.wait(lock);
+      continue;
+    }
+    if (waited) metrics_.blocked_reads.fetch_add(1);
+    metrics_.unregistered_reads.fetch_add(1);
+    metrics_.version_reads.fetch_add(1);
+    recorder_.RecordRead(runtime->descriptor.id, granule,
+                         version->order_key);
+    return version->value;
+  }
+}
+
+Result<const TimeWall*> HddController::ReleaseWallLocked(
+    std::unique_lock<std::mutex>& lock) {
+  const ClassId anchor = PickWallAnchor(*tst_);
+  const Timestamp m = clock_->Tick();
+  for (;;) {
+    auto wall = ComputeTimeWall(*eval_, num_classes_, anchor, m);
+    if (wall.ok()) {
+      wall->release_time = clock_->Tick();
+      walls_.push_back(*std::move(wall));
+      cv_.notify_all();
+      return &walls_.back();
+    }
+    if (wall.status().code() != StatusCode::kBusy) return wall.status();
+    // Some C^late is not yet computable: wait for a transaction to finish.
+    cv_.wait(lock);
+  }
+}
+
+Status HddController::ReleaseNewWall() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return ReleaseWallLocked(lock).status();
+}
+
+Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
+                            Value value) {
+  HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  std::unique_lock<std::mutex> lock(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  if (runtime->descriptor.read_only) {
+    return Status::FailedPrecondition("read-only transaction wrote");
+  }
+  const ClassId own_class = runtime->descriptor.txn_class;
+  if (class_of_segment_[granule.segment] != own_class) {
+    return Status::FailedPrecondition(
+        "transaction may write only its root segment");
+  }
+  const Timestamp ts = runtime->descriptor.init_ts;
+
+  bool waited = false;
+  for (;;) {
+    Granule& g = db_->granule(granule);
+    Version* own = g.Find(ts);
+    if (own != nullptr) {
+      own->value = value;
+      recorder_.RecordWrite(txn.id, granule, own->order_key);
+      return Status::OK();
+    }
+    if (options_.protocol_b == ProtocolBEngine::kBasicTo) {
+      Version* tip = g.Latest();
+      if (tip->rts > ts) {
+        return Status::Aborted("Protocol B: younger read already registered");
+      }
+      if (tip->wts > ts) {
+        return Status::Aborted("Protocol B: overwritten by younger txn");
+      }
+      if (!tip->committed) {
+        waited = true;
+        cv_.wait(lock);
+        continue;
+      }
+    } else {
+      if (g.MaxRtsOfVersionsBefore(ts) > ts) {
+        return Status::Aborted("Protocol B: younger read of older version");
+      }
+    }
+    if (waited) metrics_.blocked_writes.fetch_add(1);
+    Version version;
+    version.order_key = ts;
+    version.wts = ts;
+    version.creator = txn.id;
+    version.value = value;
+    version.committed = false;
+    HDD_RETURN_IF_ERROR(g.Insert(version));
+    runtime->writes.push_back(granule);
+    metrics_.versions_created.fetch_add(1);
+    recorder_.RecordWrite(txn.id, granule, version.order_key);
+    return Status::OK();
+  }
+}
+
+Status HddController::Commit(const TxnDescriptor& txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  for (GranuleRef granule : runtime->writes) {
+    Version* version =
+        db_->granule(granule).Find(runtime->descriptor.init_ts);
+    assert(version != nullptr);
+    version->committed = true;
+  }
+  if (!runtime->descriptor.read_only) {
+    tables_[runtime->descriptor.txn_class].OnFinish(
+        runtime->descriptor.init_ts, clock_->Tick());
+  }
+  txns_.erase(txn.id);
+  recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
+  metrics_.commits.fetch_add(1);
+  MaybeTrimHistoryLocked();
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status HddController::Abort(const TxnDescriptor& txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn.id);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  TxnRuntime& runtime = it->second;
+  for (GranuleRef granule : runtime.writes) {
+    Status removed =
+        db_->granule(granule).Remove(runtime.descriptor.init_ts);
+    assert(removed.ok());
+    (void)removed;
+  }
+  if (!runtime.descriptor.read_only) {
+    tables_[runtime.descriptor.txn_class].OnFinish(
+        runtime.descriptor.init_ts, clock_->Tick());
+  }
+  txns_.erase(it);
+  recorder_.RecordOutcome(txn.id, TxnState::kAborted);
+  metrics_.aborts.fetch_add(1);
+  MaybeTrimHistoryLocked();
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Result<ClassId> HddController::Restructure(
+    const std::vector<SegmentId>& write_segments,
+    const std::vector<SegmentId>& read_segments) {
+  if (write_segments.empty()) {
+    return Status::InvalidArgument("restructure needs a write segment");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  for (SegmentId s : write_segments) {
+    if (s < 0 || s >= static_cast<int>(class_of_segment_.size())) {
+      return Status::InvalidArgument("write segment out of range");
+    }
+  }
+  for (SegmentId s : read_segments) {
+    if (s < 0 || s >= static_cast<int>(class_of_segment_.size())) {
+      return Status::InvalidArgument("read segment out of range");
+    }
+  }
+
+  // Extend the current class graph with the ad-hoc pattern: force all
+  // write classes into one group (antiparallel arcs collapse under SCC
+  // condensation) and add the new read arcs, then legalize by merging.
+  Digraph extended = tst_->graph();
+  const ClassId primary = class_of_segment_[write_segments[0]];
+  for (SegmentId s : write_segments) {
+    const ClassId c = class_of_segment_[s];
+    if (c != primary) {
+      extended.AddArc(primary, c);
+      extended.AddArc(c, primary);
+    }
+  }
+  for (SegmentId s : read_segments) {
+    const ClassId c = class_of_segment_[s];
+    if (c != primary) extended.AddArc(primary, c);
+  }
+  MergePlan plan = MakeTstMergePlan(extended);
+
+  // Classes whose group gained members must drain before their activity
+  // tables merge.
+  std::vector<int> group_size(plan.num_groups, 0);
+  for (int label : plan.labels) ++group_size[label];
+  std::vector<bool> affected(num_classes_, false);
+  for (ClassId c = 0; c < num_classes_; ++c) {
+    affected[c] = group_size[plan.labels[c]] > 1;
+    if (affected[c]) draining_[c] = true;
+  }
+  cv_.wait(lock, [&] {
+    for (ClassId c = 0; c < num_classes_; ++c) {
+      if (affected[c] && tables_[c].num_active() > 0) return false;
+    }
+    return true;
+  });
+
+  // Apply: rebuild segment->class map, merge activity tables, rebuild the
+  // semi-tree analysis and evaluator, and remap released walls (new bound
+  // = min of merged old bounds, the conservative cut).
+  std::vector<ClassActivityTable> new_tables(plan.num_groups);
+  for (ClassId c = 0; c < num_classes_; ++c) {
+    new_tables[plan.labels[c]].MergeFrom(std::move(tables_[c]));
+  }
+  for (SegmentId s = 0; s < static_cast<int>(class_of_segment_.size());
+       ++s) {
+    class_of_segment_[s] = plan.labels[class_of_segment_[s]];
+  }
+  for (auto& [id, runtime] : txns_) {
+    (void)id;
+    if (!runtime.descriptor.read_only) {
+      runtime.descriptor.txn_class = plan.labels[runtime.descriptor.txn_class];
+    }
+  }
+  for (TimeWall& wall : walls_) {
+    std::vector<Timestamp> new_bound(plan.num_groups, kTimestampInfinity);
+    for (ClassId c = 0; c < num_classes_; ++c) {
+      new_bound[plan.labels[c]] =
+          std::min(new_bound[plan.labels[c]], wall.bound[c]);
+    }
+    wall.bound = std::move(new_bound);
+  }
+  Digraph quotient = Quotient(extended, plan.labels, plan.num_groups);
+  auto tst = TstAnalysis::Create(quotient);
+  assert(tst.ok());
+  tst_ = std::make_unique<TstAnalysis>(std::move(tst).value());
+  tables_ = std::move(new_tables);
+  num_classes_ = plan.num_groups;
+  draining_.assign(num_classes_, false);
+  eval_ = std::make_unique<ActivityLinkEvaluator>(tst_.get(), &tables_);
+  cv_.notify_all();
+  return plan.labels[primary];
+}
+
+Timestamp HddController::SafeGcHorizon() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return SafeGcHorizonLocked();
+}
+
+std::size_t HddController::CollectGarbage() {
+  // Holding mu_ across the sweep is what makes this safe against running
+  // transactions: every version-chain access in this controller happens
+  // under mu_.
+  std::lock_guard<std::mutex> guard(mu_);
+  const Timestamp horizon = SafeGcHorizonLocked();
+  last_gc_horizon_ = std::max(last_gc_horizon_, horizon);
+  return db_->CollectGarbage(horizon);
+}
+
+std::size_t HddController::ActivityHistorySize() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::size_t total = 0;
+  for (const ClassActivityTable& table : tables_) {
+    total += table.history_size();
+  }
+  return total;
+}
+
+void HddController::MaybeTrimHistoryLocked() {
+  if (!options_.auto_trim_history || !txns_.empty()) return;
+  // Idle point: no transaction of any kind in flight. Every future
+  // activity-link chain starts at an initiation time above the current
+  // clock and, by induction over the chain, never stabs a time at or
+  // below it; records that ended by now are dead.
+  const Timestamp now = clock_->Now();
+  for (ClassActivityTable& table : tables_) {
+    table.TrimFinishedBefore(now);
+  }
+}
+
+Timestamp HddController::SafeGcHorizonLocked() const {
+  Timestamp horizon = clock_->Now() + 1;
+  for (const ClassActivityTable& table : tables_) {
+    horizon = std::min(horizon, table.OldestActiveNow());
+  }
+  auto wall_min = [](const TimeWall& wall) {
+    Timestamp lo = kTimestampInfinity;
+    for (Timestamp b : wall.bound) lo = std::min(lo, b);
+    return lo;
+  };
+  if (!walls_.empty()) {
+    horizon = std::min(horizon, wall_min(walls_.back()));
+  }
+  for (const auto& [id, runtime] : txns_) {
+    (void)id;
+    if (runtime.wall != nullptr) {
+      horizon = std::min(horizon, wall_min(*runtime.wall));
+    }
+  }
+  return horizon;
+}
+
+}  // namespace hdd

@@ -1,0 +1,186 @@
+#ifndef HDD_HDD_HDD_CONTROLLER_H_
+#define HDD_HDD_HDD_CONTROLLER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/controller.h"
+#include "graph/dhg.h"
+#include "hdd/activity.h"
+#include "hdd/link_functions.h"
+#include "hdd/time_wall.h"
+
+namespace hdd {
+
+/// Which protocol governs accesses inside a transaction's own root
+/// segment (the paper's Protocol B allows either).
+enum class ProtocolBEngine {
+  kMvto,     // multi-version timestamp ordering [Reed 78]
+  kBasicTo,  // basic timestamp ordering [Bernstein 80]
+};
+
+struct HddControllerOptions {
+  ProtocolBEngine protocol_b = ProtocolBEngine::kMvto;
+
+  /// Trim every class's finished-transaction history whenever the system
+  /// reaches an idle point (no transaction of any kind in flight). At an
+  /// idle point every future activity-link chain provably stays above the
+  /// current clock, so records finished earlier can never be stabbed
+  /// again: trimming is exact, not approximate.
+  bool auto_trim_history = true;
+
+  std::string name = "hdd";
+};
+
+/// The paper's contribution: concurrency control by Hierarchical Database
+/// Decomposition.
+///
+///  * Protocol A (§4.2): an update transaction of class `i` reading a
+///    granule of a *higher* segment `j` is served the latest version with
+///    write timestamp below A_i^j(I(t)). The read leaves no lock and no
+///    timestamp, never waits and never aborts.
+///  * Protocol B (§4.2): accesses to the transaction's own root segment
+///    use (multi-version) timestamp ordering; these reads are registered.
+///  * Protocol C (§5.2): an ad-hoc read-only transaction reads, in every
+///    segment, below the corresponding component of a released time wall;
+///    it registers nothing and never invalidates an update transaction.
+///
+/// Classes start out 1:1 with the schema's segments; `Restructure`
+/// (paper §7.1.1) merges classes at run time to legalize an ad-hoc access
+/// pattern, draining only the affected classes first.
+class HddController : public ConcurrencyController {
+ public:
+  /// The schema must be TST-hierarchical (enforced by HierarchySchema).
+  HddController(Database* db, LogicalClock* clock,
+                const HierarchySchema* schema,
+                HddControllerOptions options = {});
+  ~HddController() override;
+
+  std::string_view name() const override { return options_.name; }
+
+  Result<TxnDescriptor> Begin(const TxnOptions& options) override;
+  Result<Value> Read(const TxnDescriptor& txn, GranuleRef granule) override;
+  Status Write(const TxnDescriptor& txn, GranuleRef granule,
+               Value value) override;
+  Status Commit(const TxnDescriptor& txn) override;
+  Status Abort(const TxnDescriptor& txn) override;
+
+  /// Class currently owning a segment (identity until a Restructure).
+  ClassId ClassOfSegment(SegmentId segment) const;
+
+  /// Forces release of a fresh time wall anchored per PickWallAnchor at
+  /// m = now. Blocks until computable. Also called lazily by the first
+  /// read-only transaction that finds no released wall.
+  Status ReleaseNewWall();
+
+  /// §5.2's batched operation: starts a background pacer that releases a
+  /// fresh wall every `interval` (releases are skipped while one is
+  /// already computing). Idempotent restart with a new interval. The
+  /// pacer stops on StopWallPacer() or destruction.
+  void StartWallPacer(std::chrono::milliseconds interval);
+  void StopWallPacer();
+
+  /// Number of walls released so far.
+  std::size_t num_walls() const;
+
+  /// §7.1.1 dynamic restructuring: merges classes so that a transaction
+  /// type writing `write_segments` while reading `read_segments` becomes
+  /// legal, then returns the class that type must declare. Blocks until
+  /// the classes being merged have no active transactions (partial
+  /// quiescence — only affected classes drain; others keep running).
+  Result<ClassId> Restructure(const std::vector<SegmentId>& write_segments,
+                              const std::vector<SegmentId>& read_segments);
+
+  /// A version-GC horizon currently safe for Database::CollectGarbage:
+  /// below the initiation time of every active transaction and below every
+  /// wall component still reachable by read-only transactions (§7.3).
+  Timestamp SafeGcHorizon() const;
+
+  /// §7.3 garbage collection, safe to call concurrently with running
+  /// transactions: holds the controller's latch (which serializes all
+  /// version-chain access) while pruning at the safe horizon. Returns the
+  /// number of versions removed.
+  std::size_t CollectGarbage();
+
+  /// Total finished-history records across all class activity tables
+  /// (observability for the trimming behaviour).
+  std::size_t ActivityHistorySize() const;
+
+  /// Exposes the evaluator for tests and benchmarks of the link functions.
+  const ActivityLinkEvaluator& evaluator() const { return *eval_; }
+  const TstAnalysis& class_tst() const { return *tst_; }
+
+ private:
+  struct TxnRuntime {
+    TxnDescriptor descriptor;
+    std::vector<GranuleRef> writes;
+    const TimeWall* wall = nullptr;  // Protocol C wall, fixed at first read
+    /// For hosted read-only transactions (§5.0): the lowest class of the
+    /// declared critical path; kReadOnlyClass when not hosted.
+    ClassId hosted_below = kReadOnlyClass;
+  };
+
+  Result<TxnRuntime*> FindTxn(const TxnDescriptor& txn);
+
+  /// Validates a read_scope declaration and returns the lowest class of
+  /// the critical path it spans, or an error.
+  Result<ClassId> ResolveHostClass(const std::vector<SegmentId>& scope);
+
+  Result<Value> ReadHosted(TxnRuntime* runtime, GranuleRef granule);
+
+  Timestamp SafeGcHorizonLocked() const;
+  void MaybeTrimHistoryLocked();
+
+  /// Protocol B read/write under mu_.
+  Result<Value> ReadOwnSegment(std::unique_lock<std::mutex>& lock,
+                               TxnRuntime* runtime, GranuleRef granule);
+  Result<Value> ReadHigherSegment(TxnRuntime* runtime, GranuleRef granule,
+                                  ClassId own_class, ClassId target_class);
+  Result<Value> ReadUnderWall(std::unique_lock<std::mutex>& lock,
+                              TxnRuntime* runtime, GranuleRef granule);
+
+  /// Computes and releases a wall; assumes lock held, may wait on cv_.
+  Result<const TimeWall*> ReleaseWallLocked(
+      std::unique_lock<std::mutex>& lock);
+
+  HddControllerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+  // Class structure (mutable via Restructure).
+  std::vector<ClassId> class_of_segment_;
+  int num_classes_ = 0;
+  std::unique_ptr<TstAnalysis> tst_;
+  std::vector<ClassActivityTable> tables_;
+  std::unique_ptr<ActivityLinkEvaluator> eval_;
+
+  /// Classes currently draining for a Restructure; Begins targeting them
+  /// wait so the drain cannot be starved by a stream of new transactions.
+  std::vector<bool> draining_;
+
+  std::deque<TimeWall> walls_;  // released walls, stable addresses
+  /// Highest horizon ever passed to CollectGarbage; AS-OF transactions
+  /// targeting walls below it are rejected (their versions may be gone).
+  /// Note: collections issued directly on the Database bypass this guard.
+  Timestamp last_gc_horizon_ = kTimestampMin;
+  std::unordered_map<TxnId, TxnRuntime> txns_;
+  TxnId next_txn_id_ = 1;
+
+  // §5.2 wall pacer.
+  std::thread pacer_;
+  std::atomic<bool> pacer_stop_{false};
+  std::mutex pacer_mu_;
+  std::condition_variable pacer_cv_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_HDD_HDD_CONTROLLER_H_

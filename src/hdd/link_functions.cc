@@ -1,0 +1,79 @@
+#include "hdd/link_functions.h"
+
+#include <cassert>
+
+namespace hdd {
+
+ActivityLinkEvaluator::ActivityLinkEvaluator(
+    const TstAnalysis* tst, const std::vector<ClassActivityTable>* tables)
+    : tst_(tst), tables_(tables) {
+  assert(static_cast<int>(tables_->size()) == tst_->graph().num_nodes());
+}
+
+Result<Timestamp> ActivityLinkEvaluator::A(ClassId i, ClassId j,
+                                           Timestamp m) const {
+  auto path = tst_->CriticalPath(i, j);
+  if (!path.has_value()) {
+    return Status::InvalidArgument("no critical path for A");
+  }
+  Timestamp value = m;
+  for (std::size_t k = 1; k < path->size(); ++k) {
+    value = (*tables_)[(*path)[k]].OldestActiveAt(value);
+  }
+  return value;
+}
+
+Result<Timestamp> ActivityLinkEvaluator::B(ClassId j, ClassId i,
+                                           Timestamp m) const {
+  auto path = tst_->CriticalPath(i, j);  // directed i -> ... -> j
+  if (!path.has_value()) {
+    return Status::InvalidArgument("no critical path for B");
+  }
+  Timestamp value = m;
+  // Apply C^late from the top class j down to — but excluding — the bottom
+  // class i, pairing each C^late_k against the I^old_k that A applies:
+  // that pairing is what makes Properties 2.1 (A(B(m)) >= m) and 2.2
+  // (A(B(m)-e) < m) hold class by class.
+  for (auto it = path->rbegin(); std::next(it) != path->rend(); ++it) {
+    HDD_ASSIGN_OR_RETURN(value, (*tables_)[*it].LatestEndAt(value));
+  }
+  return value;
+}
+
+Result<Timestamp> ActivityLinkEvaluator::E(ClassId s, ClassId i,
+                                           Timestamp m) const {
+  auto ucp = tst_->Ucp(s, i);
+  if (!ucp.has_value()) {
+    return Status::InvalidArgument("classes in different components");
+  }
+  Timestamp value = m;
+  std::size_t pos = 0;
+  while (pos + 1 < ucp->size()) {
+    const ClassId here = (*ucp)[pos];
+    const ClassId next = (*ucp)[pos + 1];
+    if (tst_->IsCriticalArc(here, next)) {
+      // Ascending run: apply I^old at each class strictly above the run's
+      // start, as A does.
+      while (pos + 1 < ucp->size() &&
+             tst_->IsCriticalArc((*ucp)[pos], (*ucp)[pos + 1])) {
+        value = (*tables_)[(*ucp)[pos + 1]].OldestActiveAt(value);
+        ++pos;
+      }
+    } else {
+      assert(tst_->IsCriticalArc(next, here));
+      // Descending run: apply C^late at every class from the run's top
+      // down to — but excluding — the run's bottom, as B does.
+      HDD_ASSIGN_OR_RETURN(value, (*tables_)[here].LatestEndAt(value));
+      ++pos;  // now standing on the class below the run's top
+      while (pos + 1 < ucp->size() &&
+             tst_->IsCriticalArc((*ucp)[pos + 1], (*ucp)[pos])) {
+        HDD_ASSIGN_OR_RETURN(value,
+                             (*tables_)[(*ucp)[pos]].LatestEndAt(value));
+        ++pos;
+      }
+    }
+  }
+  return value;
+}
+
+}  // namespace hdd

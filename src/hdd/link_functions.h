@@ -1,0 +1,55 @@
+#ifndef HDD_HDD_LINK_FUNCTIONS_H_
+#define HDD_HDD_LINK_FUNCTIONS_H_
+
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "graph/dhg.h"
+#include "graph/semi_tree.h"
+#include "hdd/activity.h"
+
+namespace hdd {
+
+/// Evaluates the paper's activity-link machinery over a transaction
+/// hierarchy graph (a TstAnalysis over class nodes) backed by one
+/// ClassActivityTable per class:
+///
+///  * A_i^j(m) (§4.1): walk the critical path i -> ... -> j upward,
+///    applying I^old at every class above i. A_i^i(m) = m.
+///  * B_j^i(m) (§5.1): walk the critical path downward from j to i,
+///    applying C^late at every class from j through i *inclusive* — the
+///    composition the proofs of Properties 2.1/2.2 expand
+///    (B_j^1(m) = C_1(...C_n(C_j(m))...)).
+///  * E_s^i(m) (§5.1): walk the undirected critical path from s to i,
+///    decomposed into maximal ascending and descending runs; ascending
+///    runs apply A, descending runs apply B. E_s^s(m) = m.
+///
+/// B and E can be temporarily not computable (kBusy) when a C^late stabs a
+/// time with an unresolved transaction; callers retry after commits.
+class ActivityLinkEvaluator {
+ public:
+  /// Neither pointer is owned; `tables` must have one entry per class node
+  /// of `tst`.
+  ActivityLinkEvaluator(const TstAnalysis* tst,
+                        const std::vector<ClassActivityTable>* tables);
+
+  /// A_i^j(m). InvalidArgument when no critical path i -> j exists.
+  Result<Timestamp> A(ClassId i, ClassId j, Timestamp m) const;
+
+  /// B_j^i(m). InvalidArgument when no critical path i -> j exists;
+  /// kBusy when a C^late along the descent is not yet computable.
+  Result<Timestamp> B(ClassId j, ClassId i, Timestamp m) const;
+
+  /// E_s^i(m). InvalidArgument when s and i are in different weak
+  /// components of the THG; kBusy as for B.
+  Result<Timestamp> E(ClassId s, ClassId i, Timestamp m) const;
+
+ private:
+  const TstAnalysis* tst_;
+  const std::vector<ClassActivityTable>* tables_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_HDD_LINK_FUNCTIONS_H_

@@ -1,0 +1,42 @@
+#include "hdd/time_wall.h"
+
+namespace hdd {
+
+Result<TimeWall> ComputeTimeWall(const ActivityLinkEvaluator& eval,
+                                 int num_classes, ClassId s, Timestamp m) {
+  TimeWall wall;
+  wall.m = m;
+  wall.s = s;
+  wall.bound.resize(num_classes, m);
+  for (ClassId c = 0; c < num_classes; ++c) {
+    auto bound = eval.E(s, c, m);
+    if (bound.ok()) {
+      wall.bound[c] = *bound;
+    } else if (bound.status().code() == StatusCode::kBusy) {
+      return bound.status();
+    } else {
+      // Different weak component: keep the default m.
+      wall.bound[c] = m;
+    }
+  }
+  return wall;
+}
+
+ClassId PickWallAnchor(const TstAnalysis& tst) {
+  const int n = tst.graph().num_nodes();
+  ClassId best = 0;
+  int best_above = -1;
+  for (ClassId c = 0; c < n; ++c) {
+    int above = 0;
+    for (ClassId other = 0; other < n; ++other) {
+      if (tst.Higher(other, c)) ++above;
+    }
+    if (above > best_above) {
+      best_above = above;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace hdd

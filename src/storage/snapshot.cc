@@ -1,0 +1,122 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace hdd {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'D', 'D', 'B'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+Status SaveDatabase(Database& db, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  WritePod<std::uint32_t>(os, kFormatVersion);
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(db.num_segments()));
+  for (SegmentId s = 0; s < db.num_segments(); ++s) {
+    Segment& segment = db.segment(s);
+    const std::uint32_t count = segment.size();
+    std::lock_guard<std::mutex> guard(segment.latch());
+    const std::string& name = segment.name();
+    WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WritePod<std::uint32_t>(os, count);
+    for (std::uint32_t g = 0; g < count; ++g) {
+      const Granule& granule = segment.granule(g);
+      WritePod<std::uint32_t>(
+          os, static_cast<std::uint32_t>(granule.num_versions()));
+      for (const Version& v : granule.versions()) {
+        WritePod<std::uint64_t>(os, v.order_key);
+        WritePod<std::uint64_t>(os, v.wts);
+        WritePod<std::uint64_t>(os, v.rts);
+        WritePod<std::uint64_t>(os, v.creator);
+        WritePod<std::int64_t>(os, v.value);
+        WritePod<std::uint8_t>(os, v.committed ? 1 : 0);
+      }
+    }
+  }
+  if (!os) return Status::Internal("write failure while saving snapshot");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> LoadDatabase(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a database snapshot");
+  }
+  std::uint32_t format = 0;
+  if (!ReadPod(is, &format) || format != kFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot format version");
+  }
+  std::uint32_t num_segments = 0;
+  if (!ReadPod(is, &num_segments) || num_segments > 1u << 20) {
+    return Status::InvalidArgument("corrupt snapshot: segment count");
+  }
+
+  // First pass: read everything into memory, then build the database.
+  std::vector<std::string> names;
+  std::vector<std::vector<std::vector<Version>>> segments;
+  names.reserve(num_segments);
+  segments.resize(num_segments);
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    std::uint32_t name_len = 0;
+    if (!ReadPod(is, &name_len) || name_len > 1u << 16) {
+      return Status::InvalidArgument("corrupt snapshot: segment name");
+    }
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (!is) return Status::InvalidArgument("corrupt snapshot: truncated");
+    names.push_back(std::move(name));
+    std::uint32_t num_granules = 0;
+    if (!ReadPod(is, &num_granules) || num_granules > 1u << 26) {
+      return Status::InvalidArgument("corrupt snapshot: granule count");
+    }
+    segments[s].resize(num_granules);
+    for (std::uint32_t g = 0; g < num_granules; ++g) {
+      std::uint32_t num_versions = 0;
+      if (!ReadPod(is, &num_versions) || num_versions == 0 ||
+          num_versions > 1u << 26) {
+        return Status::InvalidArgument("corrupt snapshot: version count");
+      }
+      std::vector<Version>& chain = segments[s][g];
+      chain.resize(num_versions);
+      for (Version& v : chain) {
+        std::uint8_t committed = 0;
+        if (!ReadPod(is, &v.order_key) || !ReadPod(is, &v.wts) ||
+            !ReadPod(is, &v.rts) || !ReadPod(is, &v.creator) ||
+            !ReadPod(is, &v.value) || !ReadPod(is, &committed)) {
+          return Status::InvalidArgument("corrupt snapshot: truncated");
+        }
+        v.committed = committed != 0;
+      }
+    }
+  }
+
+  auto db = std::make_unique<Database>(names, /*granules_per_segment=*/0u);
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    for (auto& chain : segments[s]) {
+      const std::uint32_t index = db->segment(s).Allocate(0);
+      HDD_RETURN_IF_ERROR(db->granule({static_cast<SegmentId>(s), index})
+                              .RestoreVersions(std::move(chain)));
+    }
+  }
+  return db;
+}
+
+}  // namespace hdd

@@ -1,0 +1,31 @@
+#ifndef HDD_STORAGE_SNAPSHOT_H_
+#define HDD_STORAGE_SNAPSHOT_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace hdd {
+
+/// Binary save/load of a whole database — version chains included — for
+/// reproducible experiments (dump a prepared state once, reload it for
+/// every controller) and for offline inspection. The writer must be
+/// quiescent: the snapshot walks the chains without any controller latch.
+///
+/// Format (little-endian, versioned):
+///   "HDDB" u32 format_version
+///   u32 num_segments
+///   per segment: u32 name_len, bytes, u32 num_granules
+///   per granule: u32 num_versions
+///   per version: u64 order_key, u64 wts, u64 rts, u64 creator,
+///                i64 value, u8 committed
+Status SaveDatabase(Database& db, std::ostream& os);
+
+Result<std::unique_ptr<Database>> LoadDatabase(std::istream& is);
+
+}  // namespace hdd
+
+#endif  // HDD_STORAGE_SNAPSHOT_H_

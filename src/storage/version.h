@@ -1,0 +1,66 @@
+#ifndef HDD_STORAGE_VERSION_H_
+#define HDD_STORAGE_VERSION_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/clock.h"
+#include "graph/dhg.h"
+
+namespace hdd {
+
+/// Transaction identifier, unique per database instance.
+using TxnId = std::uint64_t;
+inline constexpr TxnId kInvalidTxn = 0;
+
+/// Stored value of a data granule. The concurrency-control algorithms are
+/// value-agnostic; a signed counter models the paper's quantities and
+/// balances while keeping versions cheap to copy.
+using Value = std::int64_t;
+
+/// Reference to a data granule: the segment that controls it plus the
+/// granule's index within the segment. The paper routes every access
+/// through the owning segment's controller (§4.2), so the segment is part
+/// of the address.
+struct GranuleRef {
+  SegmentId segment = 0;
+  std::uint32_t index = 0;
+
+  friend bool operator==(const GranuleRef&, const GranuleRef&) = default;
+  friend auto operator<=>(const GranuleRef&, const GranuleRef&) = default;
+};
+
+/// One version of a granule.
+///
+/// `order_key` defines the granule's version order — the `<<` relation the
+/// dependency-graph checker uses to find a version's predecessor. The
+/// timestamp-based protocols (HDD, TO, MVTO) use the creator's initiation
+/// time `I(t)` (the paper's `TS(d^v)`); lock-based protocols use a global
+/// physical write sequence, because under 2PL physical overwrite order is
+/// the correct version order.
+struct Version {
+  std::uint64_t order_key = 0;
+  /// The paper's `TS(d^v)`: initiation time of the creating transaction.
+  Timestamp wts = kTimestampMin;
+  /// Largest initiation time of a *registered* reader. Only protocols that
+  /// register reads (TO, MVTO) maintain it; HDD Protocol A/C reads leave it
+  /// untouched — that is the point of the paper.
+  Timestamp rts = kTimestampMin;
+  TxnId creator = kInvalidTxn;
+  Value value = 0;
+  bool committed = false;
+};
+
+}  // namespace hdd
+
+template <>
+struct std::hash<hdd::GranuleRef> {
+  std::size_t operator()(const hdd::GranuleRef& g) const noexcept {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.segment))
+         << 32) |
+        g.index);
+  }
+};
+
+#endif  // HDD_STORAGE_VERSION_H_

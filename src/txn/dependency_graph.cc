@@ -1,0 +1,133 @@
+#include "txn/dependency_graph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/algorithms.h"
+
+namespace hdd {
+
+namespace {
+
+bool Committed(const std::unordered_map<TxnId, TxnState>& outcomes,
+               TxnId txn) {
+  auto it = outcomes.find(txn);
+  return it != outcomes.end() && it->second == TxnState::kCommitted;
+}
+
+}  // namespace
+
+DependencyAnalysis BuildDependencyGraph(
+    const std::vector<Step>& steps,
+    const std::unordered_map<TxnId, TxnState>& outcomes,
+    const DependencyGraphOptions& options) {
+  DependencyAnalysis analysis;
+
+  // Nodes: committed transactions, in first-appearance order.
+  for (const Step& step : steps) {
+    if (!Committed(outcomes, step.txn)) continue;
+    if (analysis.node_of_txn.count(step.txn)) continue;
+    const NodeId node = analysis.graph.AddNode();
+    analysis.node_of_txn.emplace(step.txn, node);
+    analysis.txn_of_node.push_back(step.txn);
+  }
+
+  // Per granule: committed writes keyed by version order, and the
+  // committed readers of every version.
+  struct GranuleHistory {
+    // version order_key -> creator txn (committed writes only).
+    std::map<std::uint64_t, TxnId> writes;
+    // version order_key -> committed readers.
+    std::map<std::uint64_t, std::vector<TxnId>> readers;
+  };
+  std::unordered_map<GranuleRef, GranuleHistory> histories;
+  for (const Step& step : steps) {
+    if (!Committed(outcomes, step.txn)) continue;
+    GranuleHistory& h = histories[step.granule];
+    if (step.action == Step::Action::kWrite) {
+      h.writes[step.version] = step.txn;
+    } else {
+      h.readers[step.version].push_back(step.txn);
+    }
+  }
+
+  auto add_arc = [&](TxnId from, TxnId to) {
+    if (from == to) return;
+    analysis.graph.AddArc(analysis.node_of_txn.at(from),
+                          analysis.node_of_txn.at(to));
+  };
+
+  for (const auto& [granule, h] : histories) {
+    // (1) Reads-from: reader depends on creator.
+    for (const auto& [version, readers] : h.readers) {
+      auto writer_it = h.writes.find(version);
+      // Version 0 is the pre-loaded initial version with no creator; a
+      // version absent from `writes` was created by an uncommitted or
+      // unknown transaction and contributes no arc.
+      if (writer_it == h.writes.end()) continue;
+      for (TxnId reader : readers) add_arc(reader, writer_it->second);
+    }
+    // (2) Anti-dependency along version order: the creator of version k
+    // depends on every reader of k's predecessor j.
+    for (auto it = h.writes.begin(); it != h.writes.end(); ++it) {
+      auto next = std::next(it);
+      if (next == h.writes.end()) break;
+      const TxnId successor_creator = next->second;
+      auto readers_it = h.readers.find(it->first);
+      if (readers_it != h.readers.end()) {
+        for (TxnId reader : readers_it->second) {
+          add_arc(successor_creator, reader);
+        }
+      }
+      if (options.include_version_order_arcs) {
+        add_arc(successor_creator, it->second);
+      }
+    }
+    // Also cover reads of the initial version (order_key 0) when it has no
+    // recorded write: the first committed writer depends on its readers.
+    if (!h.writes.empty() && !h.writes.count(0)) {
+      auto readers_it = h.readers.find(0);
+      if (readers_it != h.readers.end()) {
+        const TxnId first_creator = h.writes.begin()->second;
+        for (TxnId reader : readers_it->second) {
+          add_arc(first_creator, reader);
+        }
+      }
+    }
+  }
+  return analysis;
+}
+
+SerializabilityReport CheckSerializability(
+    const std::vector<Step>& steps,
+    const std::unordered_map<TxnId, TxnState>& outcomes,
+    const DependencyGraphOptions& options) {
+  const DependencyAnalysis analysis =
+      BuildDependencyGraph(steps, outcomes, options);
+  SerializabilityReport report;
+  auto cycle = FindCycle(analysis.graph);
+  if (cycle.has_value()) {
+    report.serializable = false;
+    report.witness_cycle.reserve(cycle->size());
+    for (NodeId node : *cycle) {
+      report.witness_cycle.push_back(analysis.txn_of_node[node]);
+    }
+    return report;
+  }
+  report.serializable = true;
+  auto order = TopologicalOrder(analysis.graph);
+  // TG arcs point from dependent to dependency, so a valid serial order
+  // lists dependencies first: reverse the topological order.
+  report.serial_order.reserve(order->size());
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    report.serial_order.push_back(analysis.txn_of_node[*it]);
+  }
+  return report;
+}
+
+SerializabilityReport CheckSerializability(
+    const ScheduleRecorder& recorder, const DependencyGraphOptions& options) {
+  return CheckSerializability(recorder.steps(), recorder.outcomes(), options);
+}
+
+}  // namespace hdd

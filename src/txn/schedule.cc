@@ -1,0 +1,64 @@
+#include "txn/schedule.h"
+
+namespace hdd {
+
+void ScheduleRecorder::RecordBegin(TxnId txn, ClassId txn_class,
+                                   bool read_only) {
+  std::lock_guard<std::mutex> guard(mu_);
+  identities_[txn] = TxnIdentity{txn_class, read_only};
+}
+
+void ScheduleRecorder::RecordRead(TxnId txn, GranuleRef granule,
+                                  std::uint64_t version, bool registered) {
+  Record(txn, Step::Action::kRead, granule, version, registered);
+}
+
+void ScheduleRecorder::RecordWrite(TxnId txn, GranuleRef granule,
+                                   std::uint64_t version) {
+  Record(txn, Step::Action::kWrite, granule, version, false);
+}
+
+void ScheduleRecorder::Record(TxnId txn, Step::Action action,
+                              GranuleRef granule, std::uint64_t version,
+                              bool registered) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Step step;
+  step.txn = txn;
+  step.action = action;
+  step.granule = granule;
+  step.version = version;
+  step.registered = registered;
+  step.seq = next_seq_++;
+  steps_.push_back(step);
+}
+
+void ScheduleRecorder::RecordOutcome(TxnId txn, TxnState outcome) {
+  std::lock_guard<std::mutex> guard(mu_);
+  outcomes_[txn] = outcome;
+}
+
+std::vector<Step> ScheduleRecorder::steps() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return steps_;
+}
+
+std::unordered_map<TxnId, TxnState> ScheduleRecorder::outcomes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return outcomes_;
+}
+
+std::unordered_map<TxnId, ScheduleRecorder::TxnIdentity>
+ScheduleRecorder::identities() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return identities_;
+}
+
+void ScheduleRecorder::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  steps_.clear();
+  outcomes_.clear();
+  identities_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace hdd

@@ -1,0 +1,82 @@
+#ifndef HDD_TXN_SCHEDULE_H_
+#define HDD_TXN_SCHEDULE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/version.h"
+#include "txn/transaction.h"
+
+namespace hdd {
+
+/// One step of a multi-version schedule: the paper's tuple
+///   <transaction id, action, version of a data granule>.
+struct Step {
+  enum class Action { kRead, kWrite };
+
+  TxnId txn = kInvalidTxn;
+  Action action = Action::kRead;
+  GranuleRef granule;
+  /// Identifies the version: its order_key in the granule's chain. For a
+  /// read, the version returned; for a write, the version created.
+  std::uint64_t version = 0;
+  /// For reads: whether the access was *registered* (read lock set or
+  /// read timestamp written) — the paper's overhead unit, fed into the
+  /// §7.5 message model.
+  bool registered = false;
+  /// Global sequence number fixing the physical interleaving.
+  std::uint64_t seq = 0;
+};
+
+/// Thread-safe recorder of the executed schedule S(T), plus the final fate
+/// of each transaction. Controllers call it on every successful operation;
+/// the serializability checker consumes the result offline.
+class ScheduleRecorder {
+ public:
+  ScheduleRecorder() = default;
+
+  ScheduleRecorder(const ScheduleRecorder&) = delete;
+  ScheduleRecorder& operator=(const ScheduleRecorder&) = delete;
+
+  /// Records the declared identity of a beginning transaction (class and
+  /// read-only flag), for analyses that need to know which accesses
+  /// crossed segment boundaries.
+  void RecordBegin(TxnId txn, ClassId txn_class, bool read_only);
+
+  void RecordRead(TxnId txn, GranuleRef granule, std::uint64_t version,
+                  bool registered = false);
+  void RecordWrite(TxnId txn, GranuleRef granule, std::uint64_t version);
+  void RecordOutcome(TxnId txn, TxnState outcome);
+
+  /// Declared identities (from RecordBegin).
+  struct TxnIdentity {
+    ClassId txn_class = kReadOnlyClass;
+    bool read_only = false;
+  };
+  std::unordered_map<TxnId, TxnIdentity> identities() const;
+
+  /// Steps in physical order. Copy under lock.
+  std::vector<Step> steps() const;
+
+  /// Outcome per transaction; transactions never recorded default-map to
+  /// kActive.
+  std::unordered_map<TxnId, TxnState> outcomes() const;
+
+  void Clear();
+
+ private:
+  void Record(TxnId txn, Step::Action action, GranuleRef granule,
+              std::uint64_t version, bool registered);
+
+  mutable std::mutex mu_;
+  std::vector<Step> steps_;
+  std::unordered_map<TxnId, TxnState> outcomes_;
+  std::unordered_map<TxnId, TxnIdentity> identities_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_TXN_SCHEDULE_H_

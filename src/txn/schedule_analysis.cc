@@ -1,0 +1,161 @@
+#include "txn/schedule_analysis.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace hdd {
+
+bool IsSerialSchedule(const std::vector<Step>& steps) {
+  std::unordered_set<TxnId> finished;
+  TxnId current = kInvalidTxn;
+  for (const Step& step : steps) {
+    if (step.txn == current) continue;
+    if (finished.count(step.txn)) return false;  // came back: interleaved
+    if (current != kInvalidTxn) finished.insert(current);
+    current = step.txn;
+  }
+  return true;
+}
+
+namespace {
+
+// Canonical arc-set representation of a TG for comparison.
+std::set<std::pair<TxnId, TxnId>> ArcSet(
+    const std::vector<Step>& steps,
+    const std::unordered_map<TxnId, TxnState>& outcomes,
+    const DependencyGraphOptions& options) {
+  const DependencyAnalysis analysis =
+      BuildDependencyGraph(steps, outcomes, options);
+  std::set<std::pair<TxnId, TxnId>> arcs;
+  for (const auto& [u, v] : analysis.graph.Arcs()) {
+    arcs.emplace(analysis.txn_of_node[u], analysis.txn_of_node[v]);
+  }
+  return arcs;
+}
+
+std::set<TxnId> CommittedSet(
+    const std::unordered_map<TxnId, TxnState>& outcomes) {
+  std::set<TxnId> committed;
+  for (const auto& [txn, state] : outcomes) {
+    if (state == TxnState::kCommitted) committed.insert(txn);
+  }
+  return committed;
+}
+
+}  // namespace
+
+bool EquivalentSchedules(
+    const std::vector<Step>& s1,
+    const std::unordered_map<TxnId, TxnState>& outcomes1,
+    const std::vector<Step>& s2,
+    const std::unordered_map<TxnId, TxnState>& outcomes2,
+    const DependencyGraphOptions& options) {
+  if (CommittedSet(outcomes1) != CommittedSet(outcomes2)) return false;
+  return ArcSet(s1, outcomes1, options) == ArcSet(s2, outcomes2, options);
+}
+
+std::vector<Step> SerializeSchedule(
+    const std::vector<Step>& steps,
+    const std::unordered_map<TxnId, TxnState>& outcomes,
+    const std::vector<TxnId>& order) {
+  std::unordered_map<TxnId, std::vector<Step>> per_txn;
+  for (const Step& step : steps) {
+    auto it = outcomes.find(step.txn);
+    if (it == outcomes.end() || it->second != TxnState::kCommitted) {
+      continue;
+    }
+    per_txn[step.txn].push_back(step);
+  }
+  std::vector<Step> serialized;
+  serialized.reserve(steps.size());
+  std::uint64_t seq = 0;
+  for (TxnId txn : order) {
+    for (Step step : per_txn[txn]) {
+      step.seq = seq++;
+      serialized.push_back(step);
+    }
+  }
+  return serialized;
+}
+
+bool IsMonoversionConsistent(const std::vector<Step>& steps) {
+  std::unordered_map<GranuleRef, std::uint64_t> last_write;
+  for (const Step& step : steps) {
+    if (step.action == Step::Action::kWrite) {
+      last_write[step.granule] = step.version;
+      continue;
+    }
+    auto it = last_write.find(step.granule);
+    const std::uint64_t expected = it == last_write.end() ? 0 : it->second;
+    if (step.version != expected) return false;
+  }
+  return true;
+}
+
+std::unordered_map<GranuleRef, GranuleStats> AnalyzeGranules(
+    const std::vector<Step>& steps) {
+  std::unordered_map<GranuleRef, GranuleStats> stats;
+  std::unordered_map<GranuleRef, std::unordered_set<TxnId>> txns;
+  for (const Step& step : steps) {
+    GranuleStats& s = stats[step.granule];
+    if (step.action == Step::Action::kRead) {
+      ++s.reads;
+    } else {
+      ++s.writes;
+    }
+    txns[step.granule].insert(step.txn);
+  }
+  for (auto& [granule, s] : stats) {
+    s.distinct_txns = txns[granule].size();
+  }
+  return stats;
+}
+
+std::vector<std::string> ExplainCycle(
+    const std::vector<Step>& steps,
+    const std::unordered_map<TxnId, TxnState>& outcomes,
+    const std::vector<TxnId>& cycle) {
+  std::vector<std::string> lines;
+  if (cycle.size() < 2) return lines;
+  // Reconstruct, for each consecutive pair (a depends on b), a concrete
+  // witness from the schedule.
+  const DependencyAnalysis analysis = BuildDependencyGraph(steps, outcomes);
+  // writer of each version / readers of each version per granule.
+  std::unordered_map<GranuleRef,
+                     std::unordered_map<std::uint64_t, TxnId>> writers;
+  for (const Step& step : steps) {
+    if (step.action == Step::Action::kWrite) {
+      writers[step.granule][step.version] = step.txn;
+    }
+  }
+  for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+    const TxnId a = cycle[i];
+    const TxnId b = cycle[i + 1];
+    std::ostringstream os;
+    os << "t" << a << " depends on t" << b;
+    // Find a reads-from witness first.
+    bool found = false;
+    for (const Step& step : steps) {
+      if (step.txn != a || step.action != Step::Action::kRead) continue;
+      auto w = writers.find(step.granule);
+      if (w == writers.end()) continue;
+      auto v = w->second.find(step.version);
+      if (v != w->second.end() && v->second == b) {
+        os << ": t" << a << " read version " << step.version
+           << " of granule (" << step.granule.segment << ","
+           << step.granule.index << ") created by t" << b;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      os << " (write-after-read or version order on a shared granule)";
+    }
+    lines.push_back(os.str());
+  }
+  return lines;
+}
+
+}  // namespace hdd

@@ -1,0 +1,68 @@
+#ifndef HDD_TXN_SCHEDULE_ANALYSIS_H_
+#define HDD_TXN_SCHEDULE_ANALYSIS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "txn/dependency_graph.h"
+#include "txn/schedule.h"
+
+namespace hdd {
+
+/// §2 theory toolkit over recorded schedules.
+
+/// True iff no two transactions' steps interleave (the paper's definition
+/// of a serialized schedule).
+bool IsSerialSchedule(const std::vector<Step>& steps);
+
+/// The paper's equivalence: S1 ≡ S2 iff TG(S1) == TG(S2) (same
+/// transactions, same direct dependencies). Both schedules must involve
+/// the same committed transactions; otherwise false.
+bool EquivalentSchedules(
+    const std::vector<Step>& s1,
+    const std::unordered_map<TxnId, TxnState>& outcomes1,
+    const std::vector<Step>& s2,
+    const std::unordered_map<TxnId, TxnState>& outcomes2,
+    const DependencyGraphOptions& options = {});
+
+/// Rearranges `steps` into the serialized schedule that executes the
+/// committed transactions one after another in `order` (each
+/// transaction's own steps keep their internal order; steps of
+/// non-committed transactions are dropped). This is the witness object of
+/// the paper's serializability definition: if `order` came from
+/// CheckSerializability, the result is a serial schedule equivalent to
+/// the original.
+std::vector<Step> SerializeSchedule(
+    const std::vector<Step>& steps,
+    const std::unordered_map<TxnId, TxnState>& outcomes,
+    const std::vector<TxnId>& order);
+
+/// The one-copy-serializability witness check: walking the schedule in
+/// order as if it executed on a SINGLE-version store, every read must
+/// return exactly the version installed by the latest preceding write of
+/// its granule (or the initial version 0 when none precedes). A serial
+/// schedule passing this check proves the original execution equivalent
+/// to a serial single-version execution — the strongest §2 guarantee.
+bool IsMonoversionConsistent(const std::vector<Step>& steps);
+
+/// Per-granule conflict statistics of a schedule — how contended each
+/// granule was (reads, writes, distinct transactions). Useful for
+/// decomposition analysis and experiment reporting.
+struct GranuleStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t distinct_txns = 0;
+};
+std::unordered_map<GranuleRef, GranuleStats> AnalyzeGranules(
+    const std::vector<Step>& steps);
+
+/// Human-readable one-line-per-arc narrative of a dependency cycle, e.g.
+///   "t3 read granule (0,1) version 7 created by t1".
+std::vector<std::string> ExplainCycle(
+    const std::vector<Step>& steps,
+    const std::unordered_map<TxnId, TxnState>& outcomes,
+    const std::vector<TxnId>& cycle);
+
+}  // namespace hdd
+
+#endif  // HDD_TXN_SCHEDULE_ANALYSIS_H_

@@ -1,0 +1,62 @@
+#ifndef HDD_TXN_TRANSACTION_H_
+#define HDD_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "graph/dhg.h"
+#include "storage/version.h"
+
+namespace hdd {
+
+/// Lifecycle state of a transaction as seen by a controller.
+enum class TxnState {
+  kActive,
+  kCommitted,
+  kAborted,
+};
+
+/// What a transaction declares when it begins. HDD needs the class (= root
+/// segment) up front — the decomposition is an a-priori transaction
+/// analysis (§3.2); the baselines ignore it.
+struct TxnOptions {
+  /// Class = root segment for update transactions; kReadOnlyClass for
+  /// ad-hoc read-only transactions (paper §5).
+  ClassId txn_class = kReadOnlyClass;
+  bool read_only = false;
+
+  /// Optional declaration for read-only transactions (HDD only): the
+  /// segments this transaction will read. When one scope class is the
+  /// lowest and every other is reachable from it by a critical path (the
+  /// paper's §5.0 single-critical-path case, generalized to the union of
+  /// critical paths from the host — sound because the hosted transaction
+  /// is exactly an update transaction with an empty write set, which
+  /// Theorem 1 covers), the controller "hosts" the transaction below that
+  /// class (Figure 8's t1): every read then follows Protocol A — no
+  /// registration, no waiting — instead of Protocol C's time wall.
+  /// Reads outside the declared scope fail with InvalidArgument.
+  std::vector<SegmentId> read_scope;
+
+  /// Time travel (HDD only, read-only transactions): pin the transaction
+  /// to an already-released time wall by index (0-based release order)
+  /// instead of the freshest one — Reed's "arbitrary time slice"
+  /// retrieval, constrained to the consistent cuts the system released.
+  /// -1 (default) = normal behaviour. Fails with FailedPrecondition when
+  /// the requested wall's versions may already be garbage-collected.
+  int as_of_wall = -1;
+};
+
+/// Immutable identity of a running transaction, handed back by
+/// ConcurrencyController::Begin.
+struct TxnDescriptor {
+  TxnId id = kInvalidTxn;
+  /// The paper's I(t).
+  Timestamp init_ts = kTimestampMin;
+  ClassId txn_class = kReadOnlyClass;
+  bool read_only = false;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_TXN_TRANSACTION_H_

@@ -1,0 +1,148 @@
+#include "hdd/activity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hdd {
+namespace {
+
+TEST(ActivityTableTest, IdleClassReturnsM) {
+  ClassActivityTable table;
+  EXPECT_EQ(table.OldestActiveAt(10), 10u);
+  auto c_late = table.LatestEndAt(10);
+  ASSERT_TRUE(c_late.ok());
+  EXPECT_EQ(*c_late, 10u);
+}
+
+TEST(ActivityTableTest, OldestActiveCurrentTxn) {
+  ClassActivityTable table;
+  table.OnBegin(5);
+  EXPECT_EQ(table.OldestActiveAt(10), 5u);
+  EXPECT_EQ(table.OldestActiveAt(5), 5u);   // I < m required: 5 !< 5
+  EXPECT_EQ(table.OldestActiveAt(3), 3u);   // started after m
+}
+
+TEST(ActivityTableTest, OldestActivePicksMinimum) {
+  ClassActivityTable table;
+  table.OnBegin(5);
+  table.OnBegin(3);
+  table.OnBegin(8);
+  EXPECT_EQ(table.OldestActiveAt(10), 3u);
+  EXPECT_EQ(table.OldestActiveAt(4), 3u);
+}
+
+TEST(ActivityTableTest, FinishedTxnStillCountsForStraddledTimes) {
+  ClassActivityTable table;
+  table.OnBegin(3);
+  table.OnFinish(3, 9);
+  // Active at m in (3, 9): still the oldest active *at that time*.
+  EXPECT_EQ(table.OldestActiveAt(5), 3u);
+  // Not active at m >= 9.
+  EXPECT_EQ(table.OldestActiveAt(9), 9u);
+  EXPECT_EQ(table.OldestActiveAt(12), 12u);
+}
+
+TEST(ActivityTableTest, MixedActiveAndFinished) {
+  ClassActivityTable table;
+  table.OnBegin(2);
+  table.OnFinish(2, 4);
+  table.OnBegin(6);
+  EXPECT_EQ(table.OldestActiveAt(3), 2u);
+  EXPECT_EQ(table.OldestActiveAt(5), 5u);  // gap: nothing active
+  EXPECT_EQ(table.OldestActiveAt(7), 6u);
+}
+
+TEST(ActivityTableTest, CLateTakesMaxEnd) {
+  ClassActivityTable table;
+  table.OnBegin(2);
+  table.OnFinish(2, 10);
+  table.OnBegin(3);
+  table.OnFinish(3, 7);
+  auto c_late = table.LatestEndAt(5);
+  ASSERT_TRUE(c_late.ok());
+  EXPECT_EQ(*c_late, 10u);  // both active at 5; max end
+}
+
+TEST(ActivityTableTest, CLateNotComputableWhileActive) {
+  ClassActivityTable table;
+  table.OnBegin(4);
+  EXPECT_FALSE(table.ComputableAt(5));
+  EXPECT_EQ(table.LatestEndAt(5).status().code(), StatusCode::kBusy);
+  // Computable for times before the active txn started.
+  EXPECT_TRUE(table.ComputableAt(3));
+  ASSERT_TRUE(table.LatestEndAt(3).ok());
+  table.OnFinish(4, 8);
+  EXPECT_TRUE(table.ComputableAt(5));
+  auto c_late = table.LatestEndAt(5);
+  ASSERT_TRUE(c_late.ok());
+  EXPECT_EQ(*c_late, 8u);
+}
+
+TEST(ActivityTableTest, OldestActiveNow) {
+  ClassActivityTable table;
+  EXPECT_EQ(table.OldestActiveNow(), kTimestampInfinity);
+  table.OnBegin(7);
+  table.OnBegin(4);
+  EXPECT_EQ(table.OldestActiveNow(), 4u);
+  table.OnFinish(4, 9);
+  EXPECT_EQ(table.OldestActiveNow(), 7u);
+}
+
+TEST(ActivityTableTest, IOldIsMonotone) {
+  // Property 0.2 (used throughout the paper's proofs): m <= m' implies
+  // I_old(m) <= I_old(m'). Randomized check.
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    ClassActivityTable table;
+    Timestamp now = 1;
+    std::vector<Timestamp> open;
+    for (int step = 0; step < 60; ++step) {
+      if (!open.empty() && rng.NextBool(0.5)) {
+        const std::size_t pick = rng.NextBounded(open.size());
+        table.OnFinish(open[pick], ++now);
+        open.erase(open.begin() + static_cast<long>(pick));
+      } else {
+        table.OnBegin(++now);
+        open.push_back(now);
+      }
+    }
+    Timestamp prev = 0;
+    for (Timestamp m = 1; m <= now + 5; ++m) {
+      const Timestamp value = table.OldestActiveAt(m);
+      EXPECT_GE(value, prev) << "I_old not monotone at m=" << m;
+      EXPECT_LE(value, m);
+      prev = value;
+    }
+  }
+}
+
+TEST(ActivityTableTest, MergeCombinesHistories) {
+  ClassActivityTable a, b;
+  a.OnBegin(2);
+  a.OnFinish(2, 6);
+  b.OnBegin(3);
+  b.OnFinish(3, 8);
+  b.OnBegin(10);
+  a.MergeFrom(std::move(b));
+  EXPECT_EQ(a.OldestActiveAt(4), 2u);
+  EXPECT_EQ(a.OldestActiveAt(7), 3u);
+  EXPECT_EQ(a.OldestActiveNow(), 10u);
+  EXPECT_EQ(a.history_size(), 2u);
+}
+
+TEST(ActivityTableTest, TrimDropsOldRecords) {
+  ClassActivityTable table;
+  table.OnBegin(1);
+  table.OnFinish(1, 3);
+  table.OnBegin(4);
+  table.OnFinish(4, 10);
+  EXPECT_EQ(table.history_size(), 2u);
+  table.TrimFinishedBefore(5);
+  EXPECT_EQ(table.history_size(), 1u);
+  // The record straddling later times survives.
+  EXPECT_EQ(table.OldestActiveAt(7), 4u);
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,64 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace hdd {
+namespace {
+
+TEST(ClockTest, StartsAtOne) {
+  LogicalClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  EXPECT_EQ(clock.Tick(), 1u);
+  EXPECT_EQ(clock.Now(), 1u);
+}
+
+TEST(ClockTest, StrictlyIncreasing) {
+  LogicalClock clock;
+  Timestamp prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Timestamp t = clock.Tick();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ClockTest, ResetRestarts) {
+  LogicalClock clock;
+  clock.Tick();
+  clock.Tick();
+  clock.Reset();
+  EXPECT_EQ(clock.Tick(), 1u);
+}
+
+TEST(ClockTest, SentinelsBracketRealTimestamps) {
+  LogicalClock clock;
+  const Timestamp t = clock.Tick();
+  EXPECT_GT(t, kTimestampMin);
+  EXPECT_LT(t, kTimestampInfinity);
+}
+
+TEST(ClockTest, ConcurrentTicksAreUnique) {
+  LogicalClock clock;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<Timestamp>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&clock, &seen, i] {
+      seen[i].reserve(kPerThread);
+      for (int j = 0; j < kPerThread; ++j) seen[i].push_back(clock.Tick());
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<Timestamp> all;
+  for (const auto& v : seen) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace hdd

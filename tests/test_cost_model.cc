@@ -1,0 +1,72 @@
+#include "engine/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace hdd {
+namespace {
+
+TEST(CostModelTest, PricesEachComponent) {
+  CcMetrics metrics;
+  metrics.version_reads = 10;
+  metrics.versions_created = 5;
+  metrics.read_timestamps_written = 4;
+  metrics.read_locks_acquired = 6;
+  metrics.write_locks_acquired = 2;
+  metrics.blocked_reads = 1;
+  metrics.blocked_writes = 1;
+  metrics.unregistered_reads = 8;
+  metrics.commits = 10;
+  ExecutorStats stats;
+  stats.committed = 10;
+  stats.aborted_attempts = 3;
+
+  CostModel model;
+  model.read_version_us = 1;
+  model.write_version_us = 2;
+  model.registration_us = 10;
+  model.lock_bookkeeping_us = 0.5;
+  model.block_us = 50;
+  model.restart_us = 20;
+  model.link_eval_us = 0.25;
+
+  CostEstimate estimate = EstimateCost(metrics, stats, model);
+  const double expected = 10 * 1.0 + 5 * 2.0 + (4 + 6) * 10.0 + 2 * 0.5 +
+                          2 * 50.0 + 3 * 20.0 + 8 * 0.25;
+  EXPECT_DOUBLE_EQ(estimate.total_us, expected);
+  EXPECT_DOUBLE_EQ(estimate.per_commit_us, expected / 10);
+  EXPECT_NEAR(estimate.modeled_tps, 1e6 / (expected / 10), 1e-6);
+}
+
+TEST(CostModelTest, ZeroCommitsYieldZeroRates) {
+  CcMetrics metrics;
+  ExecutorStats stats;
+  CostEstimate estimate = EstimateCost(metrics, stats, CostModel{});
+  EXPECT_DOUBLE_EQ(estimate.per_commit_us, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.modeled_tps, 0.0);
+}
+
+TEST(CostModelTest, RegistrationPriceOnlyAffectsRegistrars) {
+  CcMetrics registering;
+  registering.read_timestamps_written = 100;
+  registering.commits = 10;
+  CcMetrics free_reader;
+  free_reader.unregistered_reads = 100;
+  free_reader.commits = 10;
+  ExecutorStats stats;
+  stats.committed = 10;
+
+  CostModel cheap;
+  cheap.registration_us = 1;
+  CostModel dear;
+  dear.registration_us = 100;
+
+  const double reg_cheap = EstimateCost(registering, stats, cheap).total_us;
+  const double reg_dear = EstimateCost(registering, stats, dear).total_us;
+  const double free_cheap = EstimateCost(free_reader, stats, cheap).total_us;
+  const double free_dear = EstimateCost(free_reader, stats, dear).total_us;
+  EXPECT_GT(reg_dear, reg_cheap);
+  EXPECT_DOUBLE_EQ(free_cheap, free_dear);
+}
+
+}  // namespace
+}  // namespace hdd

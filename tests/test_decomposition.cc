@@ -1,0 +1,163 @@
+#include "graph/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "graph/semi_tree.h"
+
+namespace hdd {
+namespace {
+
+TEST(MergePlanTest, LegalGraphUntouched) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  MergePlan plan = MakeTstMergePlan(g);
+  EXPECT_EQ(plan.merges, 0);
+  EXPECT_EQ(plan.num_groups, 3);
+}
+
+TEST(MergePlanTest, DiamondMergedOnce) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.AddArc(1, 3);
+  g.AddArc(2, 3);
+  MergePlan plan = MakeTstMergePlan(g);
+  EXPECT_EQ(plan.merges, 1);
+  EXPECT_EQ(plan.num_groups, 3);
+  Digraph q = Quotient(g, plan.labels, plan.num_groups);
+  EXPECT_TRUE(IsTransitiveSemiTree(q));
+}
+
+TEST(MergePlanTest, DirectedCycleCondensed) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 0);
+  g.AddArc(1, 2);
+  MergePlan plan = MakeTstMergePlan(g);
+  EXPECT_EQ(plan.num_groups, 2);
+  EXPECT_EQ(plan.labels[0], plan.labels[1]);
+  Digraph q = Quotient(g, plan.labels, plan.num_groups);
+  EXPECT_TRUE(IsTransitiveSemiTree(q));
+}
+
+TEST(MergePlanTest, RandomDagsBecomeLegal) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.NextInRange(2, 12));
+    Digraph g(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.NextBool(0.35)) g.AddArc(u, v);
+      }
+    }
+    MergePlan plan = MakeTstMergePlan(g);
+    Digraph q = Quotient(g, plan.labels, plan.num_groups);
+    EXPECT_TRUE(IsTransitiveSemiTree(q))
+        << "trial " << trial << " produced an illegal quotient";
+    EXPECT_GE(plan.num_groups, 1);
+    EXPECT_LE(plan.num_groups, n);
+  }
+}
+
+TEST(MergePlanTest, RandomCyclicGraphsBecomeLegal) {
+  Rng rng(202);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.NextInRange(2, 10));
+    Digraph g(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u != v && rng.NextBool(0.25)) g.AddArc(u, v);
+      }
+    }
+    MergePlan plan = MakeTstMergePlan(g);
+    Digraph q = Quotient(g, plan.labels, plan.num_groups);
+    EXPECT_TRUE(IsTransitiveSemiTree(q)) << "trial " << trial;
+  }
+}
+
+TEST(DecomposeTest, InventoryGranules) {
+  // Granules 0-2: event records; 3-4: inventory; 5: orders.
+  std::vector<AccessFootprint> types = {
+      {{0, 1, 2}, {}},        // log events
+      {{3, 4}, {0, 1, 2}},    // post inventory
+      {{5}, {0, 3, 4}},       // reorder
+  };
+  auto dec = DecomposeFromAccessSets(6, types);
+  ASSERT_TRUE(dec.ok()) << dec.status();
+  EXPECT_EQ(dec->num_segments, 3);
+  EXPECT_EQ(dec->merges, 0);
+  // Co-written granules share a segment.
+  EXPECT_EQ(dec->granule_segment[0], dec->granule_segment[1]);
+  EXPECT_EQ(dec->granule_segment[3], dec->granule_segment[4]);
+  EXPECT_NE(dec->granule_segment[0], dec->granule_segment[3]);
+  EXPECT_TRUE(IsTransitiveSemiTree(dec->dhg));
+}
+
+TEST(DecomposeTest, DiamondFootprintsForceMerge) {
+  // Two derived segments from the same base, one consumer of both.
+  std::vector<AccessFootprint> types = {
+      {{0}, {}},
+      {{1}, {0}},
+      {{2}, {0}},
+      {{3}, {1, 2}},
+  };
+  auto dec = DecomposeFromAccessSets(4, types);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_GE(dec->merges, 1);
+  EXPECT_LT(dec->num_segments, 4);
+  EXPECT_TRUE(IsTransitiveSemiTree(dec->dhg));
+}
+
+TEST(DecomposeTest, OutOfRangeGranuleRejected) {
+  std::vector<AccessFootprint> types = {{{9}, {}}};
+  EXPECT_FALSE(DecomposeFromAccessSets(4, types).ok());
+  types = {{{0}, {9}}};
+  EXPECT_FALSE(DecomposeFromAccessSets(4, types).ok());
+}
+
+TEST(DecomposeTest, ReadOnlyTypeContributesNoArcs) {
+  std::vector<AccessFootprint> types = {
+      {{0}, {}},
+      {{}, {0, 1}},  // a pure reader (handled by Protocol C at runtime)
+      {{1}, {0}},
+  };
+  auto dec = DecomposeFromAccessSets(2, types);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec->num_segments, 2);
+  EXPECT_TRUE(dec->dhg.HasArc(dec->granule_segment[1],
+                              dec->granule_segment[0]));
+}
+
+TEST(DecomposeTest, RandomFootprintsAlwaysLegal) {
+  Rng rng(303);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint32_t granules = 12;
+    const int num_types = static_cast<int>(rng.NextInRange(1, 6));
+    std::vector<AccessFootprint> types(num_types);
+    for (auto& type : types) {
+      const int writes = static_cast<int>(rng.NextInRange(1, 3));
+      for (int i = 0; i < writes; ++i) {
+        type.write_granules.push_back(
+            static_cast<std::uint32_t>(rng.NextBounded(granules)));
+      }
+      const int reads = static_cast<int>(rng.NextInRange(0, 4));
+      for (int i = 0; i < reads; ++i) {
+        type.read_granules.push_back(
+            static_cast<std::uint32_t>(rng.NextBounded(granules)));
+      }
+    }
+    auto dec = DecomposeFromAccessSets(granules, types);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_TRUE(IsTransitiveSemiTree(dec->dhg)) << "trial " << trial;
+    for (int seg : dec->granule_segment) {
+      EXPECT_GE(seg, 0);
+      EXPECT_LT(seg, dec->num_segments);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,236 @@
+#include "txn/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hdd {
+namespace {
+
+constexpr GranuleRef kX{0, 0};
+constexpr GranuleRef kY{0, 1};
+
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder& Read(TxnId t, GranuleRef g, std::uint64_t version) {
+    recorder_.RecordRead(t, g, version);
+    return *this;
+  }
+  ScheduleBuilder& Write(TxnId t, GranuleRef g, std::uint64_t version) {
+    recorder_.RecordWrite(t, g, version);
+    return *this;
+  }
+  ScheduleBuilder& Commit(TxnId t) {
+    recorder_.RecordOutcome(t, TxnState::kCommitted);
+    return *this;
+  }
+  ScheduleBuilder& Abort(TxnId t) {
+    recorder_.RecordOutcome(t, TxnState::kAborted);
+    return *this;
+  }
+  const ScheduleRecorder& recorder() const { return recorder_; }
+
+ private:
+  ScheduleRecorder recorder_;
+};
+
+TEST(DependencyGraphTest, ReadsFromArc) {
+  ScheduleBuilder b;
+  b.Write(1, kX, 10).Read(2, kX, 10).Commit(1).Commit(2);
+  auto analysis =
+      BuildDependencyGraph(b.recorder().steps(), b.recorder().outcomes());
+  ASSERT_EQ(analysis.graph.num_nodes(), 2);
+  // t2 depends on t1.
+  EXPECT_TRUE(analysis.graph.HasArc(analysis.node_of_txn[2],
+                                    analysis.node_of_txn[1]));
+  EXPECT_EQ(analysis.graph.num_arcs(), 1u);
+}
+
+TEST(DependencyGraphTest, AntiDependencyArc) {
+  // t1 reads initial version 0 of x; t2 then writes version 10 of x.
+  // The paper's rule (2): t2 created a version whose predecessor t1 read,
+  // so t2 -> t1.
+  ScheduleBuilder b;
+  b.Read(1, kX, 0).Write(2, kX, 10).Commit(1).Commit(2);
+  auto analysis =
+      BuildDependencyGraph(b.recorder().steps(), b.recorder().outcomes());
+  EXPECT_TRUE(analysis.graph.HasArc(analysis.node_of_txn[2],
+                                    analysis.node_of_txn[1]));
+}
+
+TEST(DependencyGraphTest, AbortedTxnExcluded) {
+  ScheduleBuilder b;
+  b.Write(1, kX, 10).Read(2, kX, 10).Abort(1).Commit(2);
+  auto analysis =
+      BuildDependencyGraph(b.recorder().steps(), b.recorder().outcomes());
+  EXPECT_EQ(analysis.graph.num_nodes(), 1);
+  EXPECT_EQ(analysis.graph.num_arcs(), 0u);
+}
+
+TEST(DependencyGraphTest, ActiveTxnExcluded) {
+  ScheduleBuilder b;
+  b.Write(1, kX, 10).Commit(1).Read(2, kX, 10);  // t2 never finishes
+  auto analysis =
+      BuildDependencyGraph(b.recorder().steps(), b.recorder().outcomes());
+  EXPECT_EQ(analysis.graph.num_nodes(), 1);
+}
+
+TEST(DependencyGraphTest, VersionOrderArcsOptional) {
+  ScheduleBuilder b;
+  b.Write(1, kX, 10).Write(2, kX, 20).Commit(1).Commit(2);
+  DependencyGraphOptions paper_tg;
+  paper_tg.include_version_order_arcs = false;
+  auto plain = BuildDependencyGraph(b.recorder().steps(),
+                                    b.recorder().outcomes(), paper_tg);
+  EXPECT_EQ(plain.graph.num_arcs(), 0u);  // paper's TG has no ww arcs
+  auto mvsg =
+      BuildDependencyGraph(b.recorder().steps(), b.recorder().outcomes());
+  EXPECT_TRUE(
+      mvsg.graph.HasArc(mvsg.node_of_txn[2], mvsg.node_of_txn[1]));
+}
+
+TEST(DependencyGraphTest, PaperTgMissesLostUpdateMvsgCatchesIt) {
+  // Figure 1 under the paper's literal TG definition: the only arc is
+  // t1 -> t2 (t1 wrote the successor of the version t2 read), so the
+  // paper-mode graph is acyclic; sound (default) mode adds the ww arc
+  // t2 -> t1 and exposes the cycle.
+  ScheduleBuilder b;
+  b.Read(1, kX, 0)
+      .Read(2, kX, 0)
+      .Write(1, kX, 10)
+      .Write(2, kX, 20)
+      .Commit(1)
+      .Commit(2);
+  DependencyGraphOptions paper_tg;
+  paper_tg.include_version_order_arcs = false;
+  auto report_paper =
+      CheckSerializability(b.recorder().steps(), b.recorder().outcomes(),
+                           paper_tg);
+  EXPECT_TRUE(report_paper.serializable);
+  auto report_sound = CheckSerializability(b.recorder());
+  EXPECT_FALSE(report_sound.serializable);
+}
+
+TEST(DependencyGraphTest, SelfDependenciesIgnored) {
+  ScheduleBuilder b;
+  b.Write(1, kX, 10).Read(1, kX, 10).Commit(1);
+  auto analysis =
+      BuildDependencyGraph(b.recorder().steps(), b.recorder().outcomes());
+  EXPECT_EQ(analysis.graph.num_arcs(), 0u);
+}
+
+// The paper's Figure 1 lost-update schedule:
+//   t1 reads balance(100), t2 reads balance, t1 writes 150, t2 writes 50.
+// Both committed: t2's write's predecessor (version by t1) was NOT read by
+// t2 -- t2 read version 0 whose successor is t1's version, giving
+// t1 => depends arcs both ways: cycle.
+TEST(SerializabilityTest, Figure1LostUpdateIsNotSerializable) {
+  ScheduleBuilder b;
+  b.Read(1, kX, 0)
+      .Read(2, kX, 0)
+      .Write(1, kX, 10)
+      .Write(2, kX, 20)
+      .Commit(1)
+      .Commit(2);
+  auto report = CheckSerializability(b.recorder());
+  EXPECT_FALSE(report.serializable);
+  ASSERT_GE(report.witness_cycle.size(), 3u);
+  EXPECT_EQ(report.witness_cycle.front(), report.witness_cycle.back());
+}
+
+TEST(SerializabilityTest, SerialScheduleIsSerializable) {
+  ScheduleBuilder b;
+  b.Read(1, kX, 0).Write(1, kX, 10).Commit(1);
+  b.Read(2, kX, 10).Write(2, kX, 20).Commit(2);
+  auto report = CheckSerializability(b.recorder());
+  EXPECT_TRUE(report.serializable);
+  ASSERT_EQ(report.serial_order.size(), 2u);
+  EXPECT_EQ(report.serial_order[0], 1u);
+  EXPECT_EQ(report.serial_order[1], 2u);
+}
+
+TEST(SerializabilityTest, MultiVersionReadOldIsSerializable) {
+  // t2 writes a new version of x while t1 still reads the old one; with
+  // versions this is equivalent to serial t1 then t2.
+  ScheduleBuilder b;
+  b.Write(2, kX, 20).Read(1, kX, 0).Commit(2).Commit(1);
+  auto report = CheckSerializability(b.recorder());
+  EXPECT_TRUE(report.serializable);
+  // t2 depends on t1 (anti-dependency), so t1 serializes first.
+  ASSERT_EQ(report.serial_order.size(), 2u);
+  EXPECT_EQ(report.serial_order[0], 1u);
+}
+
+TEST(SerializabilityTest, ThreeTxnCycleDetected) {
+  // t1 -> t2 -> t3 -> t1 through two granules.
+  ScheduleBuilder b;
+  // t2 reads x written by t1: t2 -> t1.
+  b.Write(1, kX, 10).Read(2, kX, 10);
+  // t3 reads y written by t2: t3 -> t2.
+  b.Write(2, kY, 10).Read(3, kY, 10);
+  // t1 creates successor of version of x read by t3? Use anti-dependency:
+  // t1 reads z=initial y version? Simpler: t1 reads y version 0, then t3's
+  // y write is version 10... but t2 wrote y10; make t3 write y20 and t1
+  // read y10's predecessor chain: t1 reads y0, successor y10 creator t2 —
+  // that gives t2->t1 not t1->t3. Instead close the cycle with t1 reading
+  // a granule version created by t3.
+  constexpr GranuleRef kZ{0, 2};
+  b.Write(3, kZ, 10).Read(1, kZ, 10);  // t1 -> t3
+  b.Commit(1).Commit(2).Commit(3);
+  auto report = CheckSerializability(b.recorder());
+  EXPECT_FALSE(report.serializable);
+  // Witness must mention all three transactions.
+  auto in_cycle = [&](TxnId t) {
+    return std::find(report.witness_cycle.begin(),
+                     report.witness_cycle.end(),
+                     t) != report.witness_cycle.end();
+  };
+  EXPECT_TRUE(in_cycle(1));
+  EXPECT_TRUE(in_cycle(2));
+  EXPECT_TRUE(in_cycle(3));
+}
+
+TEST(SerializabilityTest, SerialOrderRespectsAllArcs) {
+  ScheduleBuilder b;
+  b.Write(1, kX, 10).Read(2, kX, 10).Write(2, kY, 20).Read(3, kY, 20);
+  b.Commit(1).Commit(2).Commit(3);
+  auto report = CheckSerializability(b.recorder());
+  ASSERT_TRUE(report.serializable);
+  auto pos = [&](TxnId t) {
+    return std::find(report.serial_order.begin(), report.serial_order.end(),
+                     t) -
+           report.serial_order.begin();
+  };
+  EXPECT_LT(pos(1), pos(2));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(SerializabilityTest, EmptyScheduleIsSerializable) {
+  ScheduleRecorder recorder;
+  auto report = CheckSerializability(recorder);
+  EXPECT_TRUE(report.serializable);
+  EXPECT_TRUE(report.serial_order.empty());
+}
+
+TEST(ScheduleRecorderTest, SequenceNumbersIncrease) {
+  ScheduleRecorder recorder;
+  recorder.RecordRead(1, kX, 0);
+  recorder.RecordWrite(1, kX, 10);
+  recorder.RecordRead(2, kX, 10);
+  const auto steps = recorder.steps();
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_LT(steps[0].seq, steps[1].seq);
+  EXPECT_LT(steps[1].seq, steps[2].seq);
+}
+
+TEST(ScheduleRecorderTest, ClearResets) {
+  ScheduleRecorder recorder;
+  recorder.RecordRead(1, kX, 0);
+  recorder.RecordOutcome(1, TxnState::kCommitted);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.steps().empty());
+  EXPECT_TRUE(recorder.outcomes().empty());
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,170 @@
+#include "graph/dhg.h"
+
+#include <gtest/gtest.h>
+
+namespace hdd {
+namespace {
+
+// The paper's Figure 2 retail inventory application:
+//   D0 = event records (sales, sales-modification, merchandise-arrival)
+//   D1 = inventory records
+//   D2 = merchandise-on-order / reorder records
+//   D3 = supplier profiles (the §1.2.2 extension)
+// Type 1 writes D0; type 2 writes D1 reading D0; type 3 writes D2 reading
+// D0 and D1; type 4 writes D3 reading D0 and D2.
+PartitionSpec InventorySpec() {
+  PartitionSpec spec;
+  spec.segment_names = {"events", "inventory", "orders", "suppliers"};
+  spec.transaction_types = {
+      {"log_event", 0, {}},
+      {"post_inventory", 1, {0}},
+      {"reorder", 2, {0, 1}},
+      {"supplier_profile", 3, {0, 2}},
+  };
+  return spec;
+}
+
+TEST(BuildDhgTest, InventoryArcs) {
+  auto dhg = BuildDhg(InventorySpec());
+  ASSERT_TRUE(dhg.ok());
+  EXPECT_TRUE(dhg->HasArc(1, 0));
+  EXPECT_TRUE(dhg->HasArc(2, 0));
+  EXPECT_TRUE(dhg->HasArc(2, 1));
+  EXPECT_TRUE(dhg->HasArc(3, 0));
+  EXPECT_TRUE(dhg->HasArc(3, 2));
+  EXPECT_EQ(dhg->num_arcs(), 5u);
+}
+
+TEST(BuildDhgTest, RootOutOfRange) {
+  PartitionSpec spec;
+  spec.segment_names = {"a"};
+  spec.transaction_types = {{"bad", 3, {}}};
+  EXPECT_FALSE(BuildDhg(spec).ok());
+}
+
+TEST(BuildDhgTest, ReadSegmentOutOfRange) {
+  PartitionSpec spec;
+  spec.segment_names = {"a"};
+  spec.transaction_types = {{"bad", 0, {5}}};
+  EXPECT_FALSE(BuildDhg(spec).ok());
+}
+
+TEST(BuildDhgTest, SelfReadProducesNoArc) {
+  PartitionSpec spec;
+  spec.segment_names = {"a", "b"};
+  spec.transaction_types = {{"t", 0, {0, 1}}};
+  auto dhg = BuildDhg(spec);
+  ASSERT_TRUE(dhg.ok());
+  EXPECT_EQ(dhg->num_arcs(), 1u);
+  EXPECT_TRUE(dhg->HasArc(0, 1));
+}
+
+TEST(HierarchySchemaTest, InventoryIsLegal) {
+  auto schema = HierarchySchema::Create(InventorySpec());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->num_segments(), 4);
+  EXPECT_EQ(schema->segment_name(1), "inventory");
+  // Critical (reduction) arcs: 1->0, 2->1, 3->2. Arcs 2->0 and 3->0 are
+  // transitively induced... 3->0 requires a path 3 -> 2 -> 1 -> 0.
+  EXPECT_TRUE(schema->tst().IsCriticalArc(1, 0));
+  EXPECT_TRUE(schema->tst().IsCriticalArc(2, 1));
+  EXPECT_TRUE(schema->tst().IsCriticalArc(3, 2));
+  EXPECT_FALSE(schema->tst().IsCriticalArc(2, 0));
+  EXPECT_FALSE(schema->tst().IsCriticalArc(3, 0));
+}
+
+TEST(HierarchySchemaTest, HigherThanMatchesPaper) {
+  auto schema = HierarchySchema::Create(InventorySpec());
+  ASSERT_TRUE(schema.ok());
+  // events is the highest segment: every class's reads point up to it.
+  EXPECT_TRUE(schema->tst().Higher(0, 1));
+  EXPECT_TRUE(schema->tst().Higher(0, 2));
+  EXPECT_TRUE(schema->tst().Higher(0, 3));
+  EXPECT_TRUE(schema->tst().Higher(1, 3));
+  EXPECT_FALSE(schema->tst().Higher(3, 0));
+}
+
+TEST(HierarchySchemaTest, DiamondReadPatternRejected) {
+  // Two mid-level segments both derived from events, and a class reading
+  // both mid-level segments without the critical-path structure:
+  //   1 -> 0, 2 -> 0, 3 -> 1, 3 -> 2 has a diamond reduction.
+  PartitionSpec spec;
+  spec.segment_names = {"events", "mid_a", "mid_b", "low"};
+  spec.transaction_types = {
+      {"a", 1, {0}},
+      {"b", 2, {0}},
+      {"c", 3, {1, 2}},
+  };
+  auto schema = HierarchySchema::Create(spec);
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchySchemaTest, MutualReadWriteRejected) {
+  // Two classes writing each other's read segments -> antiparallel arcs.
+  PartitionSpec spec;
+  spec.segment_names = {"a", "b"};
+  spec.transaction_types = {
+      {"t1", 0, {1}},
+      {"t2", 1, {0}},
+  };
+  EXPECT_FALSE(HierarchySchema::Create(spec).ok());
+}
+
+TEST(ExplainIllegalDhgTest, NamesTheDiamond) {
+  PartitionSpec spec;
+  spec.segment_names = {"events", "mid_a", "mid_b", "low"};
+  spec.transaction_types = {
+      {"a", 1, {0}},
+      {"b", 2, {0}},
+      {"c", 3, {1, 2}},
+  };
+  auto schema = HierarchySchema::Create(spec);
+  ASSERT_FALSE(schema.ok());
+  const std::string& message = schema.status().message();
+  EXPECT_NE(message.find("diamond"), std::string::npos) << message;
+  EXPECT_NE(message.find("events"), std::string::npos) << message;
+}
+
+TEST(ExplainIllegalDhgTest, NamesTheCycle) {
+  PartitionSpec spec;
+  spec.segment_names = {"a", "b"};
+  spec.transaction_types = {
+      {"t1", 0, {1}},
+      {"t2", 1, {0}},
+  };
+  auto schema = HierarchySchema::Create(spec);
+  ASSERT_FALSE(schema.ok());
+  const std::string& message = schema.status().message();
+  EXPECT_NE(message.find("mutually derived"), std::string::npos) << message;
+  EXPECT_NE(message.find("a -> b"), std::string::npos) << message;
+}
+
+TEST(ExplainIllegalDhgTest, EmptyForLegalGraph) {
+  auto dhg = BuildDhg(InventorySpec());
+  ASSERT_TRUE(dhg.ok());
+  EXPECT_TRUE(ExplainIllegalDhg(*dhg).empty());
+}
+
+TEST(HierarchySchemaTest, ClassOfTypeIsRootSegment) {
+  auto schema = HierarchySchema::Create(InventorySpec());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->ClassOfType(0), 0);
+  EXPECT_EQ(schema->ClassOfType(2), 2);
+}
+
+TEST(HierarchySchemaTest, MultipleTypesSharingRootAreOneClass) {
+  PartitionSpec spec;
+  spec.segment_names = {"events", "derived"};
+  spec.transaction_types = {
+      {"sale", 0, {}},
+      {"arrival", 0, {}},
+      {"post", 1, {0}},
+  };
+  auto schema = HierarchySchema::Create(spec);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->ClassOfType(0), schema->ClassOfType(1));
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,89 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace hdd {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(DigraphTest, AddNodes) {
+  Digraph g;
+  EXPECT_EQ(g.AddNode(), 0);
+  EXPECT_EQ(g.AddNode(), 1);
+  EXPECT_EQ(g.num_nodes(), 2);
+}
+
+TEST(DigraphTest, AddAndQueryArcs) {
+  Digraph g(3);
+  EXPECT_TRUE(g.AddArc(0, 1));
+  EXPECT_TRUE(g.AddArc(1, 2));
+  EXPECT_TRUE(g.HasArc(0, 1));
+  EXPECT_FALSE(g.HasArc(1, 0));
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(DigraphTest, DuplicateArcRejected) {
+  Digraph g(2);
+  EXPECT_TRUE(g.AddArc(0, 1));
+  EXPECT_FALSE(g.AddArc(0, 1));
+  EXPECT_EQ(g.num_arcs(), 1u);
+}
+
+TEST(DigraphTest, SelfLoopRejected) {
+  Digraph g(2);
+  EXPECT_FALSE(g.AddArc(1, 1));
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(DigraphTest, RemoveArc) {
+  Digraph g(2);
+  g.AddArc(0, 1);
+  EXPECT_TRUE(g.RemoveArc(0, 1));
+  EXPECT_FALSE(g.HasArc(0, 1));
+  EXPECT_FALSE(g.RemoveArc(0, 1));
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(DigraphTest, NeighborsMaintained) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.AddArc(3, 0);
+  EXPECT_EQ(g.OutNeighbors(0), (std::set<NodeId>{1, 2}));
+  EXPECT_EQ(g.InNeighbors(0), (std::set<NodeId>{3}));
+  EXPECT_EQ(g.InNeighbors(1), (std::set<NodeId>{0}));
+}
+
+TEST(DigraphTest, ArcsEnumeration) {
+  Digraph g(3);
+  g.AddArc(2, 0);
+  g.AddArc(0, 1);
+  const auto arcs = g.Arcs();
+  ASSERT_EQ(arcs.size(), 2u);
+  EXPECT_EQ(arcs[0], std::make_pair(0, 1));
+  EXPECT_EQ(arcs[1], std::make_pair(2, 0));
+}
+
+TEST(DigraphTest, Equality) {
+  Digraph a(2), b(2);
+  a.AddArc(0, 1);
+  EXPECT_FALSE(a == b);
+  b.AddArc(0, 1);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(DigraphTest, DotOutputContainsLabels) {
+  Digraph g(2);
+  g.AddArc(0, 1);
+  const std::string dot = g.ToDot({"D1", "D2"});
+  EXPECT_NE(dot.find("D1"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,136 @@
+// API fuzzing: hammer every controller with random — frequently invalid —
+// operation sequences from several threads and assert the contract: no
+// crash, sane status codes, committed results always serializable, and no
+// uncommitted version left behind once everything has finished.
+//
+// Each fuzzer thread drives at most ONE open transaction at a time:
+// blocking controllers may legitimately park a transaction behind another
+// thread's (which keeps making progress), but a thread that held two of
+// its own transactions could deadlock itself and hang the test.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/harness.h"
+#include "engine/inventory_workload.h"
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+namespace {
+
+class FuzzTest
+    : public ::testing::TestWithParam<std::tuple<ControllerKind,
+                                                 std::uint64_t>> {};
+
+TEST_P(FuzzTest, RandomOpSoup) {
+  const auto [kind, seed] = GetParam();
+  auto schema = HierarchySchema::Create(InventoryWorkload::Spec());
+  ASSERT_TRUE(schema.ok());
+  Database db(4, 4, 0);
+  LogicalClock clock;
+  auto cc = CreateController(kind, &db, &clock, &*schema);
+
+  constexpr int kThreads = 3;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(seed * 101 + static_cast<std::uint64_t>(t));
+      std::optional<TxnDescriptor> open;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        if (!open.has_value()) {
+          TxnOptions options;
+          if (rng.NextBool(0.15)) {
+            options.read_only = true;
+          } else {
+            // Sometimes an invalid class on purpose.
+            options.txn_class =
+                static_cast<ClassId>(rng.NextInRange(-1, 5));
+          }
+          auto txn = cc->Begin(options);
+          if (txn.ok()) {
+            open = *txn;
+          } else {
+            EXPECT_EQ(txn.status().code(), StatusCode::kInvalidArgument);
+          }
+          continue;
+        }
+        const double roll = rng.NextDouble();
+        GranuleRef ref{static_cast<SegmentId>(rng.NextInRange(0, 4)),
+                       static_cast<std::uint32_t>(rng.NextInRange(0, 5))};
+        if (roll < 0.35) {
+          auto value = cc->Read(*open, ref);
+          if (!value.ok() && value.status().IsRetryable()) {
+            (void)cc->Abort(*open);
+            open.reset();
+          }
+        } else if (roll < 0.6) {
+          Status status =
+              cc->Write(*open, ref,
+                        static_cast<Value>(rng.NextInRange(0, 9)));
+          if (status.IsRetryable()) {
+            (void)cc->Abort(*open);
+            open.reset();
+          }
+        } else if (roll < 0.85) {
+          // Commit either succeeds or is a commit-time validation abort
+          // (OCC); anything else is a contract violation.
+          Status commit_status = cc->Commit(*open);
+          EXPECT_TRUE(commit_status.ok() ||
+                      commit_status.code() == StatusCode::kAborted)
+              << commit_status;
+          // Double-finish must be rejected, not crash.
+          EXPECT_EQ(cc->Commit(*open).code(),
+                    StatusCode::kFailedPrecondition);
+          EXPECT_EQ(cc->Read(*open, GranuleRef{0, 0}).status().code(),
+                    StatusCode::kFailedPrecondition);
+          open.reset();
+        } else {
+          EXPECT_TRUE(cc->Abort(*open).ok());
+          EXPECT_EQ(cc->Abort(*open).code(),
+                    StatusCode::kFailedPrecondition);
+          open.reset();
+        }
+      }
+      if (open.has_value()) (void)cc->Abort(*open);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Contract checks after the dust settles.
+  EXPECT_TRUE(CheckSerializability(cc->recorder()).serializable)
+      << ControllerKindName(kind) << " seed " << seed;
+  for (SegmentId s = 0; s < db.num_segments(); ++s) {
+    Segment& seg = db.segment(s);
+    const std::uint32_t count = seg.size();
+    std::lock_guard<std::mutex> guard(seg.latch());
+    for (std::uint32_t g = 0; g < count; ++g) {
+      for (const Version& v : seg.granule(g).versions()) {
+        EXPECT_TRUE(v.committed)
+            << "leftover uncommitted version under "
+            << ControllerKindName(kind);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Soup, FuzzTest,
+    ::testing::Combine(::testing::ValuesIn(AllControllerKinds()),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<ControllerKind, std::uint64_t>>& info) {
+      std::string name(ControllerKindName(std::get<0>(info.param)));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace hdd

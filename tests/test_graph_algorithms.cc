@@ -1,0 +1,217 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace hdd {
+namespace {
+
+Digraph Chain(int n) {
+  Digraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddArc(i, i + 1);
+  return g;
+}
+
+TEST(AcyclicityTest, ChainIsAcyclic) { EXPECT_TRUE(IsAcyclic(Chain(5))); }
+
+TEST(AcyclicityTest, CycleDetected) {
+  Digraph g = Chain(4);
+  g.AddArc(3, 0);
+  EXPECT_FALSE(IsAcyclic(g));
+}
+
+TEST(AcyclicityTest, TwoCycleDetected) {
+  Digraph g(2);
+  g.AddArc(0, 1);
+  g.AddArc(1, 0);
+  EXPECT_FALSE(IsAcyclic(g));
+}
+
+TEST(FindCycleTest, ReturnsWitness) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 1);
+  auto cycle = FindCycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  ASSERT_GE(cycle->size(), 3u);
+  EXPECT_EQ(cycle->front(), cycle->back());
+  for (std::size_t i = 0; i + 1 < cycle->size(); ++i) {
+    EXPECT_TRUE(g.HasArc((*cycle)[i], (*cycle)[i + 1]));
+  }
+}
+
+TEST(FindCycleTest, NoneWhenAcyclic) {
+  EXPECT_FALSE(FindCycle(Chain(6)).has_value());
+}
+
+TEST(TopologicalOrderTest, RespectsArcs) {
+  Digraph g(4);
+  g.AddArc(3, 1);
+  g.AddArc(1, 0);
+  g.AddArc(3, 2);
+  g.AddArc(2, 0);
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[(*order)[i]] = i;
+  for (const auto& [u, v] : g.Arcs()) EXPECT_LT(pos[u], pos[v]);
+}
+
+TEST(TopologicalOrderTest, NulloptOnCycle) {
+  Digraph g(2);
+  g.AddArc(0, 1);
+  g.AddArc(1, 0);
+  EXPECT_FALSE(TopologicalOrder(g).has_value());
+}
+
+TEST(ReachabilityTest, TransitiveReach) {
+  Digraph g = Chain(4);
+  EXPECT_EQ(ReachableFrom(g, 0), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(ReachableFrom(g, 3), (std::vector<NodeId>{}));
+}
+
+TEST(TransitiveClosureTest, AddsInducedArcs) {
+  Digraph g = Chain(3);
+  Digraph c = TransitiveClosure(g);
+  EXPECT_TRUE(c.HasArc(0, 2));
+  EXPECT_TRUE(c.HasArc(0, 1));
+  EXPECT_FALSE(c.HasArc(2, 0));
+}
+
+TEST(TransitiveReductionTest, RemovesInducedArcs) {
+  Digraph g = Chain(3);
+  g.AddArc(0, 2);  // transitively induced
+  Digraph r = TransitiveReduction(g);
+  EXPECT_TRUE(r.HasArc(0, 1));
+  EXPECT_TRUE(r.HasArc(1, 2));
+  EXPECT_FALSE(r.HasArc(0, 2));
+}
+
+TEST(TransitiveReductionTest, KeepsDiamond) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.AddArc(1, 3);
+  g.AddArc(2, 3);
+  Digraph r = TransitiveReduction(g);
+  EXPECT_EQ(r.num_arcs(), 4u);
+}
+
+TEST(TransitiveReductionTest, ReductionPreservesReachability) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random DAG: arcs only low -> high index.
+    const int n = 8;
+    Digraph g(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.NextBool(0.3)) g.AddArc(u, v);
+      }
+    }
+    Digraph r = TransitiveReduction(g);
+    EXPECT_EQ(TransitiveClosureMatrix(g), TransitiveClosureMatrix(r));
+    EXPECT_LE(r.num_arcs(), g.num_arcs());
+  }
+}
+
+TEST(SccTest, DagHasSingletonComponents) {
+  int n = 0;
+  auto comp = StronglyConnectedComponents(Chain(5), &n);
+  EXPECT_EQ(n, 5);
+  std::sort(comp.begin(), comp.end());
+  comp.erase(std::unique(comp.begin(), comp.end()), comp.end());
+  EXPECT_EQ(comp.size(), 5u);
+}
+
+TEST(SccTest, CycleCollapses) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 0);
+  g.AddArc(2, 3);
+  int n = 0;
+  auto comp = StronglyConnectedComponents(g, &n);
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[2], comp[3]);
+}
+
+TEST(SccTest, ComponentsReverseTopological) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  int n = 0;
+  auto comp = StronglyConnectedComponents(g, &n);
+  // Tarjan numbers sinks first.
+  EXPECT_LT(comp[2], comp[1]);
+  EXPECT_LT(comp[1], comp[0]);
+}
+
+TEST(QuotientTest, MergesAndDropsIntraArcs) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  // Merge {1,2} into group 1.
+  Digraph q = Quotient(g, {0, 1, 1, 2}, 3);
+  EXPECT_EQ(q.num_nodes(), 3);
+  EXPECT_TRUE(q.HasArc(0, 1));
+  EXPECT_TRUE(q.HasArc(1, 2));
+  EXPECT_EQ(q.num_arcs(), 2u);
+}
+
+TEST(UndirectedForestTest, TreeShapes) {
+  Digraph g(4);
+  g.AddArc(1, 0);
+  g.AddArc(2, 0);
+  g.AddArc(3, 1);
+  EXPECT_TRUE(UnderlyingUndirectedIsForest(g));
+}
+
+TEST(UndirectedForestTest, UndirectedCycleRejected) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.AddArc(1, 2);  // triangle ignoring direction
+  EXPECT_FALSE(UnderlyingUndirectedIsForest(g));
+}
+
+TEST(UndirectedForestTest, AntiparallelRejected) {
+  Digraph g(2);
+  g.AddArc(0, 1);
+  g.AddArc(1, 0);
+  EXPECT_FALSE(UnderlyingUndirectedIsForest(g));
+}
+
+TEST(UndirectedTreePathTest, FindsUniquePath) {
+  Digraph g(5);
+  g.AddArc(1, 0);
+  g.AddArc(2, 1);
+  g.AddArc(3, 1);
+  g.AddArc(4, 3);
+  auto path = UndirectedTreePath(g, 2, 4);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<NodeId>{2, 1, 3, 4}));
+}
+
+TEST(UndirectedTreePathTest, DisconnectedGivesNullopt) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(2, 3);
+  EXPECT_FALSE(UndirectedTreePath(g, 0, 3).has_value());
+}
+
+TEST(UndirectedTreePathTest, TrivialPath) {
+  Digraph g(2);
+  auto path = UndirectedTreePath(g, 1, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<NodeId>{1}));
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,134 @@
+// E over zig-zag undirected critical paths (up-down-up alternations) —
+// the shapes the §5.1 recursion must compose correctly — with
+// hand-computed expectations and randomized wall-consistency probes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "hdd/link_functions.h"
+#include "hdd/time_wall.h"
+
+namespace hdd {
+namespace {
+
+// W-shaped THG over 5 classes whose UCP from 0 to 4 alternates
+// direction at every step (a -> b <- c -> d <- e, peaks at 1 and 3,
+// valley at 2). Arcs point lower -> higher:
+//
+//        1       3
+//       . .     . .
+//      0   .   .   4       arcs: 0 -> 1, 2 -> 1, 2 -> 3, 4 -> 3
+//            2
+Digraph ZigZag() {
+  Digraph g(5);
+  g.AddArc(0, 1);  // class 0 reads 1: 1 higher
+  g.AddArc(2, 1);  // class 2 reads 1
+  g.AddArc(2, 3);  // class 2 reads 3: 3 higher
+  g.AddArc(4, 3);  // class 4 reads 3
+  return g;
+}
+
+class ZigZagTest : public ::testing::Test {
+ protected:
+  void Build() {
+    auto tst = TstAnalysis::Create(ZigZag());
+    ASSERT_TRUE(tst.ok());
+    tst_ = std::make_unique<TstAnalysis>(std::move(tst).value());
+    tables_.clear();
+    tables_.resize(5);
+    eval_ = std::make_unique<ActivityLinkEvaluator>(tst_.get(), &tables_);
+  }
+
+  std::unique_ptr<TstAnalysis> tst_;
+  std::vector<ClassActivityTable> tables_;
+  std::unique_ptr<ActivityLinkEvaluator> eval_;
+};
+
+TEST_F(ZigZagTest, StructureIsTst) {
+  EXPECT_TRUE(IsTransitiveSemiTree(ZigZag()));
+  Build();
+  // UCP 0..4 passes through every class.
+  auto ucp = tst_->Ucp(0, 4);
+  ASSERT_TRUE(ucp.has_value());
+  EXPECT_EQ(*ucp, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(ZigZagTest, EIdleIsIdentityEverywhere) {
+  Build();
+  for (ClassId target = 0; target < 5; ++target) {
+    auto e = eval_->E(0, target, 33);
+    ASSERT_TRUE(e.ok()) << "target " << target << ": " << e.status();
+    EXPECT_EQ(*e, 33u) << "target " << target;
+  }
+}
+
+TEST_F(ZigZagTest, EUpThenDownHandComputed) {
+  Build();
+  // Walk 0 -> 1 (up) -> 2 (down).
+  // Class 1: txn [5, 40) straddles everything relevant.
+  tables_[1].OnBegin(5);
+  tables_[1].OnFinish(5, 40);
+  // E_0^1(10) = I_old_1(10) = 5.
+  auto e1 = eval_->E(0, 1, 10);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(*e1, 5u);
+  // Descent 1 -> 2 applies C^late at the run's top (class 1), excluding
+  // the bottom: E_0^2(10) = C_late_1(I_old_1(10)) = C_late_1(5) = 5
+  // (the [5,40) txn is not active AT 5 since activity needs I < m).
+  auto e2 = eval_->E(0, 2, 10);
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(*e2, 5u);
+}
+
+TEST_F(ZigZagTest, EFullZigZagComputes) {
+  Build();
+  // Populate finished activity in every class so all C^late computable.
+  Timestamp now = 1;
+  Rng rng(5);
+  for (auto& table : tables_) {
+    for (int i = 0; i < 6; ++i) {
+      const Timestamp begin = ++now;
+      table.OnBegin(begin);
+      table.OnFinish(begin, begin + 1 + rng.NextBounded(4));
+      now += 2;
+    }
+  }
+  const Timestamp m = now + 1;
+  auto e = eval_->E(0, 4, m);
+  ASSERT_TRUE(e.ok()) << e.status();
+  // At a quiescent m beyond all activity, every hop is the identity.
+  EXPECT_EQ(*e, m);
+
+  // At an interior m the value is defined and the full wall computes.
+  const Timestamp interior = now / 2;
+  auto wall = ComputeTimeWall(*eval_, 5, PickWallAnchor(*tst_), interior);
+  ASSERT_TRUE(wall.ok()) << wall.status();
+  EXPECT_EQ(wall->bound.size(), 5u);
+  for (Timestamp b : wall->bound) {
+    EXPECT_GT(b, 0u);
+  }
+}
+
+TEST_F(ZigZagTest, EBusyWhileDescentBlocked) {
+  Build();
+  // An ACTIVE txn in peak class 1 makes the descent 1 -> 2 incomputable.
+  tables_[1].OnBegin(5);
+  auto e = eval_->E(0, 2, 10);
+  EXPECT_EQ(e.status().code(), StatusCode::kBusy);
+  // The ascent-only target still computes.
+  EXPECT_TRUE(eval_->E(0, 1, 10).ok());
+  tables_[1].OnFinish(5, 12);
+  EXPECT_TRUE(eval_->E(0, 2, 10).ok());
+}
+
+TEST_F(ZigZagTest, AnchorMinimizesDescents) {
+  Build();
+  // From class 2 (the valley) both peaks are reachable ascending; the
+  // anchor heuristic must pick it (most classes strictly higher).
+  EXPECT_EQ(PickWallAnchor(*tst_), 2);
+}
+
+}  // namespace
+}  // namespace hdd

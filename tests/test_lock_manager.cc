@@ -1,0 +1,172 @@
+#include "cc/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace hdd {
+namespace {
+
+constexpr GranuleRef kX{0, 0};
+constexpr GranuleRef kY{0, 1};
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  bool waited = false;
+  EXPECT_TRUE(lm.Acquire(1, 1, kX, LockMode::kShared, &waited).ok());
+  EXPECT_FALSE(waited);
+  EXPECT_TRUE(lm.Acquire(2, 2, kX, LockMode::kShared, &waited).ok());
+  EXPECT_FALSE(waited);
+  EXPECT_EQ(lm.NumHeld(1), 1u);
+  EXPECT_EQ(lm.NumHeld(2), 1u);
+}
+
+TEST(LockManagerTest, ReentrantAcquire) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, kX, LockMode::kShared, nullptr).ok());
+  EXPECT_TRUE(lm.Acquire(1, 1, kX, LockMode::kShared, nullptr).ok());
+  EXPECT_TRUE(lm.Acquire(1, 1, kX, LockMode::kExclusive, nullptr).ok());
+  // X covers a later S request.
+  EXPECT_TRUE(lm.Acquire(1, 1, kX, LockMode::kShared, nullptr).ok());
+}
+
+TEST(LockManagerTest, SoleHolderUpgrades) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, kX, LockMode::kShared, nullptr).ok());
+  bool waited = true;
+  EXPECT_TRUE(lm.Acquire(1, 1, kX, LockMode::kExclusive, &waited).ok());
+  EXPECT_FALSE(waited);
+  // Now exclusive: another txn's S must conflict (NoWait manager checks).
+}
+
+TEST(LockManagerTest, NoWaitConflictReturnsBusy) {
+  LockManager lm(DeadlockPolicy::kNoWait);
+  EXPECT_TRUE(lm.Acquire(1, 1, kX, LockMode::kExclusive, nullptr).ok());
+  Status status = lm.Acquire(2, 2, kX, LockMode::kShared, nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kBusy);
+}
+
+TEST(LockManagerTest, ExclusiveBlocksUntilRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX, LockMode::kExclusive, nullptr).ok());
+  std::atomic<bool> acquired{false};
+  std::thread blocked([&] {
+    bool waited = false;
+    ASSERT_TRUE(lm.Acquire(2, 2, kX, LockMode::kShared, &waited).ok());
+    EXPECT_TRUE(waited);
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(1);
+  blocked.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(LockManagerTest, DeadlockDetectedAndVictimized) {
+  LockManager lm(DeadlockPolicy::kDetect);
+  ASSERT_TRUE(lm.Acquire(1, 1, kX, LockMode::kExclusive, nullptr).ok());
+  ASSERT_TRUE(lm.Acquire(2, 2, kY, LockMode::kExclusive, nullptr).ok());
+  // t1 blocks on Y (held by t2).
+  std::thread blocked([&] {
+    Status status = lm.Acquire(1, 1, kY, LockMode::kExclusive, nullptr);
+    EXPECT_TRUE(status.ok());  // granted once t2 is victimized & releases
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // t2 requesting X closes the cycle: t2 must be chosen as victim.
+  Status status = lm.Acquire(2, 2, kX, LockMode::kExclusive, nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlock);
+  lm.ReleaseAll(2);
+  blocked.join();
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, WaitDieYoungerDies) {
+  LockManager lm(DeadlockPolicy::kWaitDie);
+  // Older txn (ts 1) holds the lock; younger (ts 9) must die.
+  ASSERT_TRUE(lm.Acquire(1, 1, kX, LockMode::kExclusive, nullptr).ok());
+  Status status = lm.Acquire(2, 9, kX, LockMode::kExclusive, nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlock);
+}
+
+TEST(LockManagerTest, WaitDieOlderWaits) {
+  LockManager lm(DeadlockPolicy::kWaitDie);
+  // Younger txn (ts 9) holds the lock; older (ts 1) waits.
+  ASSERT_TRUE(lm.Acquire(2, 9, kX, LockMode::kExclusive, nullptr).ok());
+  std::atomic<bool> acquired{false};
+  std::thread blocked([&] {
+    bool waited = false;
+    ASSERT_TRUE(lm.Acquire(1, 1, kX, LockMode::kExclusive, &waited).ok());
+    EXPECT_TRUE(waited);
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(2);
+  blocked.join();
+  EXPECT_TRUE(acquired.load());
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, FifoPreventsWriterStarvation) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX, LockMode::kShared, nullptr).ok());
+  // Writer queues behind the S holder.
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    ASSERT_TRUE(lm.Acquire(2, 2, kX, LockMode::kExclusive, nullptr).ok());
+    writer_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // A later S request must NOT jump the waiting writer.
+  std::atomic<bool> reader_done{false};
+  std::thread reader([&] {
+    ASSERT_TRUE(lm.Acquire(3, 3, kX, LockMode::kShared, nullptr).ok());
+    reader_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(writer_done.load());
+  EXPECT_FALSE(reader_done.load());
+  lm.ReleaseAll(1);
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+  lm.ReleaseAll(2);
+  reader.join();
+  EXPECT_TRUE(reader_done.load());
+  lm.ReleaseAll(3);
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX, LockMode::kExclusive, nullptr).ok());
+  ASSERT_TRUE(lm.Acquire(1, 1, kY, LockMode::kShared, nullptr).ok());
+  EXPECT_EQ(lm.NumHeld(1), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.NumHeld(1), 0u);
+  EXPECT_TRUE(lm.Acquire(2, 2, kX, LockMode::kExclusive, nullptr).ok());
+  EXPECT_TRUE(lm.Acquire(3, 3, kY, LockMode::kExclusive, nullptr).ok());
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherSharers) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX, LockMode::kShared, nullptr).ok());
+  ASSERT_TRUE(lm.Acquire(2, 2, kX, LockMode::kShared, nullptr).ok());
+  std::atomic<bool> upgraded{false};
+  std::thread upgrader([&] {
+    bool waited = false;
+    ASSERT_TRUE(lm.Acquire(1, 1, kX, LockMode::kExclusive, &waited).ok());
+    EXPECT_TRUE(waited);
+    upgraded = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(upgraded.load());
+  lm.ReleaseAll(2);
+  upgrader.join();
+  EXPECT_TRUE(upgraded.load());
+  lm.ReleaseAll(1);
+}
+
+}  // namespace
+}  // namespace hdd

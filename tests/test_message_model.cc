@@ -1,0 +1,105 @@
+#include "engine/message_model.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/harness.h"
+#include "engine/inventory_workload.h"
+
+namespace hdd {
+namespace {
+
+TEST(MessageModelTest, LocalAccessesAreFree) {
+  ScheduleRecorder recorder;
+  recorder.RecordBegin(1, /*txn_class=*/0, /*read_only=*/false);
+  recorder.RecordRead(1, {0, 0}, 0, /*registered=*/true);
+  recorder.RecordWrite(1, {0, 0}, 1);
+  recorder.RecordOutcome(1, TxnState::kCommitted);
+  CcMetrics metrics;
+  metrics.commits = 1;
+  auto stats = ComputeMessageStats(recorder.steps(), recorder.identities(),
+                                   metrics);
+  EXPECT_EQ(stats.local_accesses, 2u);
+  EXPECT_EQ(stats.remote_accesses, 0u);
+  EXPECT_EQ(stats.total_messages, 0u);
+}
+
+TEST(MessageModelTest, RemoteRegisteredReadCostsThree) {
+  ScheduleRecorder recorder;
+  recorder.RecordBegin(1, /*txn_class=*/1, /*read_only=*/false);
+  recorder.RecordRead(1, {0, 0}, 0, /*registered=*/true);  // cross segment
+  recorder.RecordOutcome(1, TxnState::kCommitted);
+  CcMetrics metrics;
+  metrics.commits = 1;
+  auto stats = ComputeMessageStats(recorder.steps(), recorder.identities(),
+                                   metrics);
+  EXPECT_EQ(stats.remote_accesses, 1u);
+  EXPECT_EQ(stats.transfer_messages, 2u);
+  EXPECT_EQ(stats.registration_messages, 1u);
+  EXPECT_EQ(stats.total_messages, 3u);
+  EXPECT_DOUBLE_EQ(stats.per_commit, 3.0);
+}
+
+TEST(MessageModelTest, RemoteUnregisteredReadCostsTwo) {
+  ScheduleRecorder recorder;
+  recorder.RecordBegin(1, 1, false);
+  recorder.RecordRead(1, {0, 0}, 0, /*registered=*/false);
+  recorder.RecordOutcome(1, TxnState::kCommitted);
+  CcMetrics metrics;
+  metrics.commits = 1;
+  auto stats = ComputeMessageStats(recorder.steps(), recorder.identities(),
+                                   metrics);
+  EXPECT_EQ(stats.registration_messages, 0u);
+  EXPECT_EQ(stats.total_messages, 2u);
+}
+
+TEST(MessageModelTest, ReadOnlyTxnsAreAlwaysRemote) {
+  ScheduleRecorder recorder;
+  recorder.RecordBegin(1, kReadOnlyClass, true);
+  recorder.RecordRead(1, {0, 0}, 0);
+  recorder.RecordRead(1, {1, 0}, 0);
+  recorder.RecordOutcome(1, TxnState::kCommitted);
+  CcMetrics metrics;
+  metrics.commits = 1;
+  auto stats = ComputeMessageStats(recorder.steps(), recorder.identities(),
+                                   metrics);
+  EXPECT_EQ(stats.remote_accesses, 2u);
+}
+
+TEST(MessageModelTest, BlockingEpisodesCounted) {
+  ScheduleRecorder recorder;
+  CcMetrics metrics;
+  metrics.commits = 1;
+  metrics.blocked_reads = 3;
+  metrics.blocked_writes = 1;
+  auto stats = ComputeMessageStats(recorder.steps(), recorder.identities(),
+                                   metrics);
+  EXPECT_EQ(stats.blocking_messages, 8u);
+}
+
+TEST(MessageModelTest, HddRegistersNoRemoteReadEndToEnd) {
+  InventoryWorkloadParams params;
+  params.items = 4;
+  InventoryWorkload workload(params);
+  auto schema = HierarchySchema::Create(InventoryWorkload::Spec());
+  ExecutorOptions options;
+  options.num_threads = 3;
+
+  auto run = [&](ControllerKind kind) {
+    auto db = workload.MakeDatabase();
+    LogicalClock clock;
+    auto cc = CreateController(kind, db.get(), &clock, &*schema);
+    (void)RunWorkload(*cc, workload, 200, options);
+    return ComputeMessageStats(cc->recorder().steps(),
+                               cc->recorder().identities(), cc->metrics());
+  };
+  auto hdd = run(ControllerKind::kHdd);
+  auto to = run(ControllerKind::kTimestampOrdering);
+  EXPECT_EQ(hdd.registration_messages, 0u);
+  EXPECT_GT(to.registration_messages, 0u);
+  EXPECT_GT(hdd.remote_accesses, 0u);
+  EXPECT_LT(hdd.total_messages, to.total_messages);
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,227 @@
+#include "cc/mvto.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+namespace {
+
+constexpr GranuleRef kX{0, 0};
+constexpr GranuleRef kY{0, 1};
+
+class MvtoTest : public ::testing::Test {
+ protected:
+  MvtoTest() : db_(1, 4, 0) {}
+
+  Database db_;
+  LogicalClock clock_;
+};
+
+TEST_F(MvtoTest, BasicReadWriteCommit) {
+  Mvto cc(&db_, &clock_);
+  auto txn = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*txn, kX, 3).ok());
+  auto value = cc.Read(*txn, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 3);
+  ASSERT_TRUE(cc.Commit(*txn).ok());
+}
+
+TEST_F(MvtoTest, OldReaderNeverAborts) {
+  Mvto cc(&db_, &clock_);
+  auto old_txn = cc.Begin({});
+  auto young_txn = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*young_txn, kX, 9).ok());
+  ASSERT_TRUE(cc.Commit(*young_txn).ok());
+  // Unlike single-version TO, the old reader gets the old version.
+  auto value = cc.Read(*old_txn, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0);
+  ASSERT_TRUE(cc.Commit(*old_txn).ok());
+  EXPECT_TRUE(CheckSerializability(cc.recorder()).serializable);
+}
+
+TEST_F(MvtoTest, LateWriteUnderYoungerReadAborts) {
+  Mvto cc(&db_, &clock_);
+  auto old_txn = cc.Begin({});
+  auto young_txn = cc.Begin({});
+  ASSERT_TRUE(cc.Read(*young_txn, kX).ok());  // reads v0, rts = ts(young)
+  ASSERT_TRUE(cc.Commit(*young_txn).ok());
+  // Inserting a version between v0 and the young read would invalidate it.
+  EXPECT_EQ(cc.Write(*old_txn, kX, 5).code(), StatusCode::kAborted);
+  ASSERT_TRUE(cc.Abort(*old_txn).ok());
+}
+
+TEST_F(MvtoTest, LateWriteAfterOlderReadSucceeds) {
+  Mvto cc(&db_, &clock_);
+  auto young_txn = cc.Begin({});
+  auto very_young = cc.Begin({});
+  // A read by someone OLDER than the writer does not block the write.
+  ASSERT_TRUE(cc.Read(*young_txn, kX).ok());
+  ASSERT_TRUE(cc.Write(*very_young, kX, 5).ok());
+  ASSERT_TRUE(cc.Commit(*very_young).ok());
+  ASSERT_TRUE(cc.Commit(*young_txn).ok());
+  EXPECT_TRUE(CheckSerializability(cc.recorder()).serializable);
+}
+
+TEST_F(MvtoTest, VersionsAccumulate) {
+  Mvto cc(&db_, &clock_);
+  for (int i = 1; i <= 5; ++i) {
+    auto txn = cc.Begin({});
+    ASSERT_TRUE(cc.Write(*txn, kX, i).ok());
+    ASSERT_TRUE(cc.Commit(*txn).ok());
+  }
+  EXPECT_EQ(db_.granule(kX).num_versions(), 6u);  // initial + 5
+  EXPECT_EQ(cc.metrics().versions_created.load(), 5u);
+}
+
+TEST_F(MvtoTest, SnapshotsArePerTimestamp) {
+  Mvto cc(&db_, &clock_);
+  // Interleave: begin reader between two writers, check it sees only the
+  // first writer's value forever.
+  auto w1 = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*w1, kX, 1).ok());
+  ASSERT_TRUE(cc.Commit(*w1).ok());
+  auto reader = cc.Begin({});
+  auto w2 = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*w2, kX, 2).ok());
+  ASSERT_TRUE(cc.Commit(*w2).ok());
+  auto v1 = cc.Read(*reader, kX);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, 1);
+  auto v2 = cc.Read(*reader, kX);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 1);  // repeatable
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+}
+
+TEST_F(MvtoTest, AbortedWriteInvisible) {
+  Mvto cc(&db_, &clock_);
+  auto w = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*w, kX, 77).ok());
+  ASSERT_TRUE(cc.Abort(*w).ok());
+  auto r = cc.Begin({});
+  auto value = cc.Read(*r, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0);
+  ASSERT_TRUE(cc.Commit(*r).ok());
+}
+
+TEST_F(MvtoTest, ReadRegistersTimestampByDefault) {
+  Mvto cc(&db_, &clock_);
+  auto r = cc.Begin({});
+  ASSERT_TRUE(cc.Read(*r, kX).ok());
+  ASSERT_TRUE(cc.Commit(*r).ok());
+  EXPECT_EQ(cc.metrics().read_timestamps_written.load(), 1u);
+  EXPECT_EQ(cc.metrics().unregistered_reads.load(), 0u);
+}
+
+TEST_F(MvtoTest, UnregisteredReadsAdmitWriteSkew) {
+  // MV analogue of Figure 4: without read registration, a late write
+  // slips under a younger committed read.
+  MvtoOptions options;
+  options.register_reads = false;
+  Mvto cc(&db_, &clock_, options);
+  auto old_txn = cc.Begin({});
+  auto young_txn = cc.Begin({});
+  ASSERT_TRUE(cc.Read(*young_txn, kX).ok());   // no rts left
+  ASSERT_TRUE(cc.Write(*young_txn, kY, 1).ok());
+  ASSERT_TRUE(cc.Commit(*young_txn).ok());
+  ASSERT_TRUE(cc.Read(*old_txn, kY).ok());     // reads v0 of y (old state)
+  // Old write lands although the younger txn already read around it.
+  ASSERT_TRUE(cc.Write(*old_txn, kX, 5).ok());
+  ASSERT_TRUE(cc.Commit(*old_txn).ok());
+  auto report = CheckSerializability(cc.recorder());
+  EXPECT_FALSE(report.serializable);
+}
+
+TEST_F(MvtoTest, BoundedVersionsPruneOldest) {
+  MvtoOptions options;
+  options.max_versions = 2;
+  Mvto cc(&db_, &clock_, options);
+  for (int i = 1; i <= 5; ++i) {
+    auto txn = cc.Begin({});
+    ASSERT_TRUE(cc.Write(*txn, kX, i).ok());
+    ASSERT_TRUE(cc.Commit(*txn).ok());
+  }
+  EXPECT_EQ(db_.granule(kX).num_versions(), 2u);
+  auto reader = cc.Begin({});
+  auto value = cc.Read(*reader, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 5);
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+}
+
+TEST_F(MvtoTest, BoundedVersionsAbortPrunedSnapshotReads) {
+  MvtoOptions options;
+  options.max_versions = 1;
+  Mvto cc(&db_, &clock_, options);
+  auto old_reader = cc.Begin({});  // snapshot pinned before the writes
+  for (int i = 1; i <= 3; ++i) {
+    auto txn = cc.Begin({});
+    ASSERT_TRUE(cc.Write(*txn, kX, i).ok());
+    ASSERT_TRUE(cc.Commit(*txn).ok());
+  }
+  // The old reader's version (the initial one) is gone.
+  auto value = cc.Read(*old_reader, kX);
+  EXPECT_EQ(value.status().code(), StatusCode::kAborted);
+  ASSERT_TRUE(cc.Abort(*old_reader).ok());
+  // A fresh reader is unaffected.
+  auto fresh = cc.Begin({});
+  auto fresh_value = cc.Read(*fresh, kX);
+  ASSERT_TRUE(fresh_value.ok());
+  EXPECT_EQ(*fresh_value, 3);
+  ASSERT_TRUE(cc.Commit(*fresh).ok());
+  EXPECT_TRUE(CheckSerializability(cc.recorder()).serializable);
+}
+
+TEST_F(MvtoTest, UnboundedKeepsEverything) {
+  Mvto cc(&db_, &clock_);
+  auto old_reader = cc.Begin({});
+  for (int i = 1; i <= 3; ++i) {
+    auto txn = cc.Begin({});
+    ASSERT_TRUE(cc.Write(*txn, kX, i).ok());
+    ASSERT_TRUE(cc.Commit(*txn).ok());
+  }
+  auto value = cc.Read(*old_reader, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0);  // its snapshot survived
+  ASSERT_TRUE(cc.Commit(*old_reader).ok());
+}
+
+TEST_F(MvtoTest, TwoGranuleTransfersConserveTotal) {
+  Mvto cc(&db_, &clock_);
+  // Seed both accounts with 100.
+  {
+    auto seed = cc.Begin({});
+    ASSERT_TRUE(cc.Write(*seed, kX, 100).ok());
+    ASSERT_TRUE(cc.Write(*seed, kY, 100).ok());
+    ASSERT_TRUE(cc.Commit(*seed).ok());
+  }
+  int committed = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto txn = cc.Begin({});
+    auto from = cc.Read(*txn, kX);
+    auto to = cc.Read(*txn, kY);
+    if (!from.ok() || !to.ok() || !cc.Write(*txn, kX, *from - 1).ok() ||
+        !cc.Write(*txn, kY, *to + 1).ok()) {
+      ASSERT_TRUE(cc.Abort(*txn).ok());
+      continue;
+    }
+    ASSERT_TRUE(cc.Commit(*txn).ok());
+    ++committed;
+  }
+  auto audit = cc.Begin({});
+  auto x = cc.Read(*audit, kX);
+  auto y = cc.Read(*audit, kY);
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(*x + *y, 200);
+  EXPECT_EQ(*y - *x, 2 * committed);
+  ASSERT_TRUE(cc.Commit(*audit).ok());
+  EXPECT_TRUE(CheckSerializability(cc.recorder()).serializable);
+}
+
+}  // namespace
+}  // namespace hdd

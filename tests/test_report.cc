@@ -1,0 +1,61 @@
+#include "graph/report.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/inventory_workload.h"
+
+namespace hdd {
+namespace {
+
+TEST(HierarchyLevelsTest, ChainLevels) {
+  Digraph g(4);
+  g.AddArc(3, 2);
+  g.AddArc(2, 1);
+  g.AddArc(1, 0);
+  auto tst = TstAnalysis::Create(g);
+  ASSERT_TRUE(tst.ok());
+  auto levels = HierarchyLevels(*tst);
+  EXPECT_EQ(levels, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(HierarchyLevelsTest, BranchLevels) {
+  // 2 -> 0 <- 1, and 3 -> 1.
+  Digraph g(4);
+  g.AddArc(2, 0);
+  g.AddArc(1, 0);
+  g.AddArc(3, 1);
+  auto tst = TstAnalysis::Create(g);
+  ASSERT_TRUE(tst.ok());
+  auto levels = HierarchyLevels(*tst);
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], 1);
+  EXPECT_EQ(levels[3], 2);
+}
+
+TEST(HierarchyLevelsTest, InducedArcsDoNotInflateLevels) {
+  Digraph g(3);
+  g.AddArc(2, 1);
+  g.AddArc(1, 0);
+  g.AddArc(2, 0);  // induced
+  auto tst = TstAnalysis::Create(g);
+  ASSERT_TRUE(tst.ok());
+  auto levels = HierarchyLevels(*tst);
+  EXPECT_EQ(levels[2], 2);  // via the critical chain, not the shortcut
+}
+
+TEST(DescribeHierarchyTest, MentionsSegmentsAndTypes) {
+  auto schema = HierarchySchema::Create(InventoryWorkload::Spec());
+  ASSERT_TRUE(schema.ok());
+  const std::string report = DescribeHierarchy(*schema);
+  EXPECT_NE(report.find("'events' level 0"), std::string::npos);
+  EXPECT_NE(report.find("'suppliers' level 3"), std::string::npos);
+  EXPECT_NE(report.find("reorder: writes D2, reads D0 D1"),
+            std::string::npos);
+  // Critical vs induced classification shows up.
+  EXPECT_NE(report.find("(critical)"), std::string::npos);
+  EXPECT_NE(report.find("(induced)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,108 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace hdd {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::uint64_t x = r.Next();
+  std::uint64_t y = r.Next();
+  EXPECT_NE(x, y);  // a badly-seeded generator would be stuck at zero
+  EXPECT_NE(x, 0u);
+}
+
+TEST(RngTest, BoundedStaysInBound) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng r(11);
+  std::map<std::uint64_t, int> histogram;
+  for (int i = 0; i < 10000; ++i) ++histogram[r.NextBounded(8)];
+  EXPECT_EQ(histogram.size(), 8u);
+  for (const auto& [value, count] : histogram) {
+    EXPECT_GT(count, 900) << "value " << value << " badly under-sampled";
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = r.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng r(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.NextBool(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(ZipfianTest, InRangeAndSkewed) {
+  Rng r(42);
+  ZipfianGenerator zipf(100, 0.9);
+  std::vector<int> histogram(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = zipf.Next(r);
+    ASSERT_LT(v, 100u);
+    ++histogram[v];
+  }
+  // Item 0 must be far hotter than the median item.
+  EXPECT_GT(histogram[0], 10 * histogram[50] + 1);
+}
+
+TEST(ZipfianTest, ThetaZeroIsRoughlyUniform) {
+  Rng r(43);
+  ZipfianGenerator zipf(10, 0.0);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 20000; ++i) ++histogram[zipf.Next(r)];
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GT(histogram[i], 1000);
+    EXPECT_LT(histogram[i], 3500);
+  }
+}
+
+}  // namespace
+}  // namespace hdd

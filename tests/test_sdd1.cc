@@ -1,0 +1,155 @@
+#include "cc/sdd1.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+namespace {
+
+constexpr GranuleRef kEvent{0, 0};      // segment D0, written by class 0
+constexpr GranuleRef kInventory{1, 0};  // segment D1, written by class 1
+
+class Sdd1Test : public ::testing::Test {
+ protected:
+  Sdd1Test() : db_(2, 2, 0) {}
+
+  Database db_;
+  LogicalClock clock_;
+};
+
+TEST_F(Sdd1Test, UpdateTxnMustDeclareClass) {
+  Sdd1 cc(&db_, &clock_);
+  EXPECT_FALSE(cc.Begin({.txn_class = kReadOnlyClass}).ok());
+  EXPECT_TRUE(cc.Begin({.txn_class = 0}).ok());
+  EXPECT_TRUE(cc.Begin({.read_only = true}).ok());
+}
+
+TEST_F(Sdd1Test, WriteOutsideOwnSegmentRejected) {
+  Sdd1 cc(&db_, &clock_);
+  auto txn = cc.Begin({.txn_class = 0});
+  EXPECT_EQ(cc.Write(*txn, kInventory, 1).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(cc.Abort(*txn).ok());
+}
+
+TEST_F(Sdd1Test, SingleClassPipelineWorks) {
+  Sdd1 cc(&db_, &clock_);
+  for (int i = 1; i <= 5; ++i) {
+    auto txn = cc.Begin({.txn_class = 0});
+    auto value = cc.Read(*txn, kEvent);
+    ASSERT_TRUE(value.ok());
+    ASSERT_TRUE(cc.Write(*txn, kEvent, *value + 1).ok());
+    ASSERT_TRUE(cc.Commit(*txn).ok());
+  }
+  auto reader = cc.Begin({.read_only = true});
+  auto value = cc.Read(*reader, kEvent);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 5);
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+  EXPECT_TRUE(CheckSerializability(cc.recorder()).serializable);
+}
+
+TEST_F(Sdd1Test, CrossClassReadBlocksOnOlderWriter) {
+  Sdd1 cc(&db_, &clock_);
+  auto writer = cc.Begin({.txn_class = 0});  // older, active
+  auto reader = cc.Begin({.txn_class = 1});  // younger
+
+  std::atomic<bool> read_done{false};
+  Value seen = -1;
+  std::thread reading([&] {
+    auto value = cc.Read(*reader, kEvent);  // must block on class-0 pipe
+    ASSERT_TRUE(value.ok());
+    seen = *value;
+    read_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(read_done.load());
+
+  ASSERT_TRUE(cc.Write(*writer, kEvent, 42).ok());
+  ASSERT_TRUE(cc.Commit(*writer).ok());
+  reading.join();
+  EXPECT_TRUE(read_done.load());
+  EXPECT_EQ(seen, 42);  // the reader saw the older writer's value
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+  EXPECT_GT(cc.metrics().blocked_reads.load(), 0u);
+  EXPECT_TRUE(CheckSerializability(cc.recorder()).serializable);
+}
+
+TEST_F(Sdd1Test, CrossClassReadProceedsWhenPipelineDrained) {
+  Sdd1 cc(&db_, &clock_);
+  auto writer = cc.Begin({.txn_class = 0});
+  ASSERT_TRUE(cc.Write(*writer, kEvent, 7).ok());
+  ASSERT_TRUE(cc.Commit(*writer).ok());
+  auto reader = cc.Begin({.txn_class = 1});
+  auto value = cc.Read(*reader, kEvent);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 7);
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+  EXPECT_EQ(cc.metrics().blocked_reads.load(), 0u);
+}
+
+TEST_F(Sdd1Test, IntraClassPipelineSerializes) {
+  Sdd1 cc(&db_, &clock_);
+  auto older = cc.Begin({.txn_class = 0});
+  auto younger = cc.Begin({.txn_class = 0});
+
+  std::atomic<bool> younger_done{false};
+  std::thread young_thread([&] {
+    auto value = cc.Read(*younger, kEvent);  // blocks behind `older`
+    ASSERT_TRUE(value.ok());
+    ASSERT_TRUE(cc.Write(*younger, kEvent, *value + 1).ok());
+    ASSERT_TRUE(cc.Commit(*younger).ok());
+    younger_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(younger_done.load());
+
+  ASSERT_TRUE(cc.Write(*older, kEvent, 10).ok());
+  ASSERT_TRUE(cc.Commit(*older).ok());
+  young_thread.join();
+
+  auto audit = cc.Begin({.read_only = true});
+  auto value = cc.Read(*audit, kEvent);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 11);  // increment saw the older write: no lost update
+  ASSERT_TRUE(cc.Commit(*audit).ok());
+  EXPECT_TRUE(CheckSerializability(cc.recorder()).serializable);
+}
+
+TEST_F(Sdd1Test, ReadsAreNeverRegistered) {
+  Sdd1 cc(&db_, &clock_);
+  auto reader = cc.Begin({.read_only = true});
+  ASSERT_TRUE(cc.Read(*reader, kEvent).ok());
+  ASSERT_TRUE(cc.Read(*reader, kInventory).ok());
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+  EXPECT_EQ(cc.metrics().read_timestamps_written.load(), 0u);
+  EXPECT_EQ(cc.metrics().read_locks_acquired.load(), 0u);
+  EXPECT_EQ(cc.metrics().unregistered_reads.load(), 2u);
+}
+
+TEST_F(Sdd1Test, AbortUnblocksPipeline) {
+  Sdd1 cc(&db_, &clock_);
+  auto older = cc.Begin({.txn_class = 0});
+  auto reader = cc.Begin({.txn_class = 1});
+  std::atomic<bool> read_done{false};
+  std::thread reading([&] {
+    auto value = cc.Read(*reader, kEvent);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, 0);  // aborted write invisible
+    read_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(read_done.load());
+  ASSERT_TRUE(cc.Write(*older, kEvent, 9).ok());
+  ASSERT_TRUE(cc.Abort(*older).ok());
+  reading.join();
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+}
+
+}  // namespace
+}  // namespace hdd

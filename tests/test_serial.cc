@@ -1,0 +1,85 @@
+#include "cc/serial.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+namespace {
+
+constexpr GranuleRef kX{0, 0};
+
+class SerialTest : public ::testing::Test {
+ protected:
+  SerialTest() : db_(1, 2, 0) {}
+
+  Database db_;
+  LogicalClock clock_;
+};
+
+TEST_F(SerialTest, BasicLifecycle) {
+  SerialController cc(&db_, &clock_);
+  auto txn = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*txn, kX, 5).ok());
+  auto value = cc.Read(*txn, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 5);
+  ASSERT_TRUE(cc.Commit(*txn).ok());
+  EXPECT_TRUE(CheckSerializability(cc.recorder()).serializable);
+}
+
+TEST_F(SerialTest, SecondBeginBlocksUntilFirstFinishes) {
+  SerialController cc(&db_, &clock_);
+  auto first = cc.Begin({});
+  std::atomic<bool> second_started{false};
+  std::thread blocked([&] {
+    auto second = cc.Begin({});
+    second_started = true;
+    (void)cc.Commit(*second);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_started.load());
+  ASSERT_TRUE(cc.Commit(*first).ok());
+  blocked.join();
+  EXPECT_TRUE(second_started.load());
+}
+
+TEST_F(SerialTest, AbortReleasesTheTicket) {
+  SerialController cc(&db_, &clock_);
+  auto first = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*first, kX, 9).ok());
+  ASSERT_TRUE(cc.Abort(*first).ok());
+  auto second = cc.Begin({});  // must not block
+  auto value = cc.Read(*second, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0);  // aborted write rolled back
+  ASSERT_TRUE(cc.Commit(*second).ok());
+}
+
+TEST_F(SerialTest, NoSynchronizationWorkCounted) {
+  SerialController cc(&db_, &clock_);
+  for (int i = 0; i < 5; ++i) {
+    auto txn = cc.Begin({});
+    ASSERT_TRUE(cc.Read(*txn, kX).ok());
+    ASSERT_TRUE(cc.Write(*txn, kX, i).ok());
+    ASSERT_TRUE(cc.Commit(*txn).ok());
+  }
+  EXPECT_EQ(cc.metrics().read_locks_acquired.load(), 0u);
+  EXPECT_EQ(cc.metrics().read_timestamps_written.load(), 0u);
+  EXPECT_EQ(cc.metrics().aborts.load(), 0u);
+  EXPECT_EQ(cc.metrics().commits.load(), 5u);
+}
+
+TEST_F(SerialTest, ReadOnlyCannotWrite) {
+  SerialController cc(&db_, &clock_);
+  auto txn = cc.Begin({.read_only = true});
+  EXPECT_EQ(cc.Write(*txn, kX, 1).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(cc.Abort(*txn).ok());
+}
+
+}  // namespace
+}  // namespace hdd

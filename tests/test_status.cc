@@ -1,0 +1,113 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hdd {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, FactoryConstructors) {
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Deadlock("x").code(), StatusCode::kDeadlock);
+  EXPECT_EQ(Status::Busy("x").code(), StatusCode::kBusy);
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::Aborted("conflict on granule 7");
+  EXPECT_EQ(s.message(), "conflict on granule 7");
+  EXPECT_EQ(s.ToString(), "Aborted: conflict on granule 7");
+}
+
+TEST(StatusTest, RetryableClassification) {
+  EXPECT_TRUE(Status::Aborted("x").IsRetryable());
+  EXPECT_TRUE(Status::Deadlock("x").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::Busy("x").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::Aborted("a"), Status::Aborted("b"));
+  EXPECT_FALSE(Status::Aborted("a") == Status::Deadlock("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "Ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlock), "Deadlock");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status FailingOp() { return Status::Aborted("boom"); }
+Status SucceedingOp() { return Status::OK(); }
+
+Status UseReturnIfError(bool fail) {
+  if (fail) {
+    HDD_RETURN_IF_ERROR(FailingOp());
+  } else {
+    HDD_RETURN_IF_ERROR(SucceedingOp());
+  }
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_TRUE(UseReturnIfError(false).ok());
+  EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kAborted);
+}
+
+Result<int> MakeValue(bool fail) {
+  if (fail) return Status::Internal("nope");
+  return 7;
+}
+
+Result<int> UseAssignOrReturn(bool fail) {
+  HDD_ASSIGN_OR_RETURN(int v, MakeValue(fail));
+  return v * 2;
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  auto ok = UseAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 14);
+  auto bad = UseAssignOrReturn(true);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,88 @@
+#include "hdd/time_wall.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace hdd {
+namespace {
+
+class TimeWallUnitTest : public ::testing::Test {
+ protected:
+  void Build(const Digraph& g) {
+    auto tst = TstAnalysis::Create(g);
+    ASSERT_TRUE(tst.ok());
+    tst_ = std::make_unique<TstAnalysis>(std::move(tst).value());
+    tables_.clear();
+    tables_.resize(g.num_nodes());
+    eval_ = std::make_unique<ActivityLinkEvaluator>(tst_.get(), &tables_);
+  }
+
+  std::unique_ptr<TstAnalysis> tst_;
+  std::vector<ClassActivityTable> tables_;
+  std::unique_ptr<ActivityLinkEvaluator> eval_;
+};
+
+TEST_F(TimeWallUnitTest, AnchorPrefersLowestOfChain) {
+  Digraph g(3);
+  g.AddArc(2, 1);
+  g.AddArc(1, 0);
+  Build(g);
+  EXPECT_EQ(PickWallAnchor(*tst_), 2);
+}
+
+TEST_F(TimeWallUnitTest, AnchorTieBreaksToSmallestId) {
+  // Two independent chains of equal height: 1 -> 0 and 3 -> 2.
+  Digraph g(4);
+  g.AddArc(1, 0);
+  g.AddArc(3, 2);
+  Build(g);
+  EXPECT_EQ(PickWallAnchor(*tst_), 1);
+}
+
+TEST_F(TimeWallUnitTest, WallDefaultsForUnreachableClasses) {
+  // Class 2 is in a different weak component from anchor 1.
+  Digraph g(3);
+  g.AddArc(1, 0);
+  Build(g);
+  tables_[0].OnBegin(4);
+  tables_[0].OnFinish(4, 9);
+  auto wall = ComputeTimeWall(*eval_, 3, /*s=*/1, /*m=*/7);
+  ASSERT_TRUE(wall.ok());
+  EXPECT_EQ(wall->bound[1], 7u);  // anchor: identity
+  EXPECT_EQ(wall->bound[0], 4u);  // I_old_0(7) = 4 (txn [4,9) active at 7)
+  EXPECT_EQ(wall->bound[2], 7u);  // unreachable: defaults to m
+}
+
+TEST_F(TimeWallUnitTest, WallBusyPropagates) {
+  // Descent anchored above a sibling: anchor 1 of   1 -> 0 <- 2 requires
+  // C^late at class 0 on the way down to 2; an active class-0 txn blocks.
+  Digraph g(3);
+  g.AddArc(1, 0);
+  g.AddArc(2, 0);
+  Build(g);
+  tables_[0].OnBegin(3);
+  auto wall = ComputeTimeWall(*eval_, 3, /*s=*/1, /*m=*/8);
+  EXPECT_EQ(wall.status().code(), StatusCode::kBusy);
+  tables_[0].OnFinish(3, 10);
+  auto retry = ComputeTimeWall(*eval_, 3, /*s=*/1, /*m=*/8);
+  ASSERT_TRUE(retry.ok());
+  // Component for class 2: up to 0 (I_old_0(8) = 3), then down to 2
+  // applying C^late at class 0: C_late_0(3) = 3 (txn not active AT 3).
+  EXPECT_EQ(retry->bound[2], 3u);
+}
+
+TEST_F(TimeWallUnitTest, WallMetadataFilled) {
+  Digraph g(2);
+  g.AddArc(1, 0);
+  Build(g);
+  auto wall = ComputeTimeWall(*eval_, 2, 1, 5);
+  ASSERT_TRUE(wall.ok());
+  EXPECT_EQ(wall->m, 5u);
+  EXPECT_EQ(wall->s, 1);
+  EXPECT_EQ(wall->bound.size(), 2u);
+  EXPECT_EQ(wall->bound[1], 5u);
+}
+
+}  // namespace
+}  // namespace hdd

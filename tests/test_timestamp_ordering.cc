@@ -1,0 +1,200 @@
+#include "cc/timestamp_ordering.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+namespace {
+
+constexpr GranuleRef kY{0, 0};
+constexpr GranuleRef kX{1, 0};
+constexpr GranuleRef kZ{2, 0};
+
+class TimestampOrderingTest : public ::testing::Test {
+ protected:
+  TimestampOrderingTest() : db_(3, 2, 0) {}
+
+  Database db_;
+  LogicalClock clock_;
+};
+
+TEST_F(TimestampOrderingTest, BasicReadWriteCommit) {
+  TimestampOrdering cc(&db_, &clock_);
+  auto txn = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*txn, kX, 5).ok());
+  auto value = cc.Read(*txn, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 5);
+  ASSERT_TRUE(cc.Commit(*txn).ok());
+
+  auto later = cc.Begin({});
+  auto later_value = cc.Read(*later, kX);
+  ASSERT_TRUE(later_value.ok());
+  EXPECT_EQ(*later_value, 5);
+  ASSERT_TRUE(cc.Commit(*later).ok());
+}
+
+TEST_F(TimestampOrderingTest, OldReaderAbortsOnNewerWrite) {
+  TimestampOrdering cc(&db_, &clock_);
+  auto old_txn = cc.Begin({});
+  auto young_txn = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*young_txn, kX, 9).ok());
+  ASSERT_TRUE(cc.Commit(*young_txn).ok());
+  // The old transaction now finds a younger write timestamp.
+  auto read = cc.Read(*old_txn, kX);
+  EXPECT_EQ(read.status().code(), StatusCode::kAborted);
+  ASSERT_TRUE(cc.Abort(*old_txn).ok());
+}
+
+TEST_F(TimestampOrderingTest, OldWriterAbortsOnNewerRead) {
+  TimestampOrdering cc(&db_, &clock_);
+  auto old_txn = cc.Begin({});
+  auto young_txn = cc.Begin({});
+  ASSERT_TRUE(cc.Read(*young_txn, kX).ok());  // registers rts
+  ASSERT_TRUE(cc.Commit(*young_txn).ok());
+  EXPECT_EQ(cc.Write(*old_txn, kX, 1).code(), StatusCode::kAborted);
+  ASSERT_TRUE(cc.Abort(*old_txn).ok());
+  EXPECT_GT(cc.metrics().read_timestamps_written.load(), 0u);
+}
+
+TEST_F(TimestampOrderingTest, OldWriterAbortsOnNewerWrite) {
+  TimestampOrdering cc(&db_, &clock_);
+  auto old_txn = cc.Begin({});
+  auto young_txn = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*young_txn, kX, 9).ok());
+  ASSERT_TRUE(cc.Commit(*young_txn).ok());
+  EXPECT_EQ(cc.Write(*old_txn, kX, 1).code(), StatusCode::kAborted);
+  ASSERT_TRUE(cc.Abort(*old_txn).ok());
+}
+
+TEST_F(TimestampOrderingTest, ThomasWriteRuleSkipsObsoleteWrite) {
+  TimestampOrderingOptions options;
+  options.thomas_write_rule = true;
+  TimestampOrdering cc(&db_, &clock_, options);
+  auto old_txn = cc.Begin({});
+  auto young_txn = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*young_txn, kX, 9).ok());
+  ASSERT_TRUE(cc.Commit(*young_txn).ok());
+  // Obsolete write is dropped, not aborted.
+  EXPECT_TRUE(cc.Write(*old_txn, kX, 1).ok());
+  ASSERT_TRUE(cc.Commit(*old_txn).ok());
+  auto reader = cc.Begin({});
+  auto value = cc.Read(*reader, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 9);  // younger write survives
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+}
+
+TEST_F(TimestampOrderingTest, AbortRemovesVersion) {
+  TimestampOrdering cc(&db_, &clock_);
+  auto t1 = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*t1, kX, 11).ok());
+  ASSERT_TRUE(cc.Abort(*t1).ok());
+  auto t2 = cc.Begin({});
+  auto value = cc.Read(*t2, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0);
+  ASSERT_TRUE(cc.Commit(*t2).ok());
+}
+
+TEST_F(TimestampOrderingTest, RewriteOwnVersion) {
+  TimestampOrdering cc(&db_, &clock_);
+  auto txn = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*txn, kX, 1).ok());
+  ASSERT_TRUE(cc.Write(*txn, kX, 2).ok());
+  auto value = cc.Read(*txn, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 2);
+  ASSERT_TRUE(cc.Commit(*txn).ok());
+  EXPECT_EQ(cc.metrics().versions_created.load(), 1u);
+}
+
+TEST_F(TimestampOrderingTest, Figure4AnomalyWithoutReadTimestamps) {
+  // Paper Figure 4: if the type-3 transaction leaves no read timestamps,
+  // timestamp ordering admits a non-serializable execution.
+  TimestampOrderingOptions options;
+  options.register_reads = false;
+  TimestampOrdering cc(&db_, &clock_, options);
+
+  auto t3 = cc.Begin({.txn_class = 2});  // oldest timestamp
+  auto y_old = cc.Read(*t3, kY);         // unregistered: sees 0
+  ASSERT_TRUE(y_old.ok());
+  EXPECT_EQ(*y_old, 0);
+
+  auto t1 = cc.Begin({.txn_class = 0});
+  // With registration t3's read would have either aborted t1's write or
+  // left a read timestamp forcing it to abort; without, it sails through.
+  ASSERT_TRUE(cc.Write(*t1, kY, 1).ok());
+  ASSERT_TRUE(cc.Commit(*t1).ok());
+
+  auto t2 = cc.Begin({.txn_class = 1});
+  auto y_new = cc.Read(*t2, kY);
+  ASSERT_TRUE(y_new.ok());
+  ASSERT_TRUE(cc.Write(*t2, kX, *y_new).ok());
+  ASSERT_TRUE(cc.Commit(*t2).ok());
+
+  auto x = cc.Read(*t3, kX);  // unregistered: sees the *younger* value
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, 1);
+  ASSERT_TRUE(cc.Write(*t3, kZ, *x).ok());
+  ASSERT_TRUE(cc.Commit(*t3).ok());
+
+  auto report = CheckSerializability(cc.recorder());
+  EXPECT_FALSE(report.serializable);
+  EXPECT_EQ(cc.metrics().read_timestamps_written.load(), 0u);
+}
+
+TEST_F(TimestampOrderingTest, Figure4ScriptSafeWithReadTimestamps) {
+  // The same script under full TO: t3 cannot read the younger inventory
+  // version; TO aborts it instead of violating serializability.
+  TimestampOrdering cc(&db_, &clock_);
+
+  auto t3 = cc.Begin({.txn_class = 2});
+  ASSERT_TRUE(cc.Read(*t3, kY).ok());
+
+  auto t1 = cc.Begin({.txn_class = 0});
+  // t3's read left rts on y: t1 (younger) writing y is fine (rts < ts(t1)).
+  ASSERT_TRUE(cc.Write(*t1, kY, 1).ok());
+  ASSERT_TRUE(cc.Commit(*t1).ok());
+
+  auto t2 = cc.Begin({.txn_class = 1});
+  ASSERT_TRUE(cc.Read(*t2, kY).ok());
+  ASSERT_TRUE(cc.Write(*t2, kX, 1).ok());
+  ASSERT_TRUE(cc.Commit(*t2).ok());
+
+  auto x = cc.Read(*t3, kX);
+  EXPECT_EQ(x.status().code(), StatusCode::kAborted);
+  ASSERT_TRUE(cc.Abort(*t3).ok());
+
+  auto report = CheckSerializability(cc.recorder());
+  EXPECT_TRUE(report.serializable);
+}
+
+TEST_F(TimestampOrderingTest, CounterIncrementsNeverLost) {
+  TimestampOrdering cc(&db_, &clock_);
+  int committed = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto txn = cc.Begin({});
+    auto value = cc.Read(*txn, kX);
+    if (!value.ok()) {
+      ASSERT_TRUE(cc.Abort(*txn).ok());
+      continue;
+    }
+    if (!cc.Write(*txn, kX, *value + 1).ok()) {
+      ASSERT_TRUE(cc.Abort(*txn).ok());
+      continue;
+    }
+    ASSERT_TRUE(cc.Commit(*txn).ok());
+    ++committed;
+  }
+  auto reader = cc.Begin({});
+  auto final_value = cc.Read(*reader, kX);
+  ASSERT_TRUE(final_value.ok());
+  EXPECT_EQ(*final_value, committed);
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+  EXPECT_TRUE(CheckSerializability(cc.recorder()).serializable);
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "hdd/link_functions.h"
+
+namespace hdd {
+namespace {
+
+// A transaction for relation-checking purposes: class + initiation time.
+struct RelTxn {
+  ClassId cls;
+  Timestamp init;
+};
+
+// The paper's §4.3 relation "t1 topologically follows t2" (Figure 7),
+// defined for transactions whose classes lie on one critical path:
+//   (1) same class:        I(t1) >  I(t2)
+//   (2) t1's class higher: I(t1) >= A_{cls2}^{cls1}(I(t2))
+//   (3) t2's class higher: A_{cls1}^{cls2}(I(t1)) > I(t2)
+// Returns nullopt when the classes are not on one critical path (the
+// relation is undefined there).
+std::optional<bool> TopoFollows(const ActivityLinkEvaluator& eval,
+                                const TstAnalysis& tst, const RelTxn& t1,
+                                const RelTxn& t2) {
+  if (t1.cls == t2.cls) return t1.init > t2.init;
+  if (tst.Higher(t1.cls, t2.cls)) {
+    auto a = eval.A(t2.cls, t1.cls, t2.init);
+    EXPECT_TRUE(a.ok());
+    return t1.init >= *a;
+  }
+  if (tst.Higher(t2.cls, t1.cls)) {
+    auto a = eval.A(t1.cls, t2.cls, t1.init);
+    EXPECT_TRUE(a.ok());
+    return *a > t2.init;
+  }
+  return std::nullopt;
+}
+
+class TopoFollowsTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  // Builds a chain THG of `n` classes (class n-1 lowest) with random
+  // finished activity, and collects every transaction.
+  void BuildRandom(int n, Rng& rng) {
+    Digraph g(n);
+    for (int c = n - 1; c > 0; --c) g.AddArc(c, c - 1);
+    auto tst = TstAnalysis::Create(g);
+    ASSERT_TRUE(tst.ok());
+    tst_ = std::make_unique<TstAnalysis>(std::move(tst).value());
+    tables_.clear();
+    tables_.resize(n);
+    eval_ = std::make_unique<ActivityLinkEvaluator>(tst_.get(), &tables_);
+    txns_.clear();
+    Timestamp now = 1;
+    for (int c = 0; c < n; ++c) {
+      std::vector<Timestamp> open;
+      const int events = static_cast<int>(rng.NextInRange(2, 16));
+      for (int e = 0; e < events; ++e) {
+        if (!open.empty() && rng.NextBool(0.5)) {
+          const std::size_t pick = rng.NextBounded(open.size());
+          tables_[c].OnFinish(open[pick], ++now);
+          open.erase(open.begin() + static_cast<long>(pick));
+        } else {
+          tables_[c].OnBegin(++now);
+          open.push_back(now);
+          txns_.push_back({c, now});
+        }
+      }
+      for (Timestamp t : open) tables_[c].OnFinish(t, ++now);
+    }
+  }
+
+  std::unique_ptr<TstAnalysis> tst_;
+  std::vector<ClassActivityTable> tables_;
+  std::unique_ptr<ActivityLinkEvaluator> eval_;
+  std::vector<RelTxn> txns_;
+};
+
+// Property 1.1: the relation is anti-symmetric.
+TEST_P(TopoFollowsTest, AntiSymmetric) {
+  Rng rng(GetParam());
+  BuildRandom(static_cast<int>(rng.NextInRange(2, 5)), rng);
+  for (const RelTxn& t1 : txns_) {
+    for (const RelTxn& t2 : txns_) {
+      if (t1.init == t2.init) continue;
+      auto fwd = TopoFollows(*eval_, *tst_, t1, t2);
+      auto bwd = TopoFollows(*eval_, *tst_, t2, t1);
+      if (!fwd.has_value() || !bwd.has_value()) continue;
+      EXPECT_FALSE(*fwd && *bwd)
+          << "both t(" << t1.cls << "," << t1.init << ") => t(" << t2.cls
+          << "," << t2.init << ") and the converse hold";
+    }
+  }
+}
+
+// Property 1.2: critical-path transitivity.
+TEST_P(TopoFollowsTest, CriticalPathTransitive) {
+  Rng rng(GetParam() + 1000);
+  BuildRandom(static_cast<int>(rng.NextInRange(2, 4)), rng);
+  for (const RelTxn& t1 : txns_) {
+    for (const RelTxn& t2 : txns_) {
+      for (const RelTxn& t3 : txns_) {
+        auto r12 = TopoFollows(*eval_, *tst_, t1, t2);
+        auto r23 = TopoFollows(*eval_, *tst_, t2, t3);
+        auto r13 = TopoFollows(*eval_, *tst_, t1, t3);
+        if (!r12.has_value() || !r23.has_value() || !r13.has_value()) {
+          continue;  // chain classes are on one critical path by design
+        }
+        if (t1.init == t2.init || t2.init == t3.init ||
+            t1.init == t3.init) {
+          continue;
+        }
+        if (*r12 && *r23) {
+          EXPECT_TRUE(*r13)
+              << "transitivity broken for (" << t1.cls << "," << t1.init
+              << ") => (" << t2.cls << "," << t2.init << ") => (" << t3.cls
+              << "," << t3.init << ")";
+        }
+      }
+    }
+  }
+}
+
+// On a critical path the relation is also total across distinct txns:
+// either t1 => t2 or t2 => t1 (Figure 7's trichotomy).
+TEST_P(TopoFollowsTest, TotalOnCriticalPath) {
+  Rng rng(GetParam() + 2000);
+  BuildRandom(3, rng);
+  for (const RelTxn& t1 : txns_) {
+    for (const RelTxn& t2 : txns_) {
+      if (t1.init == t2.init) continue;
+      auto fwd = TopoFollows(*eval_, *tst_, t1, t2);
+      auto bwd = TopoFollows(*eval_, *tst_, t2, t1);
+      ASSERT_TRUE(fwd.has_value() && bwd.has_value());
+      EXPECT_TRUE(*fwd || *bwd);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopoFollowsTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,232 @@
+#include "cc/two_phase_locking.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+namespace {
+
+constexpr GranuleRef kY{0, 0};  // an event record (segment D0)
+constexpr GranuleRef kX{1, 0};  // an inventory record (segment D1)
+constexpr GranuleRef kZ{2, 0};  // an order record (segment D2)
+
+class TwoPhaseLockingTest : public ::testing::Test {
+ protected:
+  TwoPhaseLockingTest() : db_(3, 2, 0) {}
+
+  Database db_;
+  LogicalClock clock_;
+};
+
+TEST_F(TwoPhaseLockingTest, ReadYourOwnWrite) {
+  TwoPhaseLocking cc(&db_, &clock_);
+  auto txn = cc.Begin({});
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(cc.Write(*txn, kX, 42).ok());
+  auto value = cc.Read(*txn, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  ASSERT_TRUE(cc.Commit(*txn).ok());
+}
+
+TEST_F(TwoPhaseLockingTest, CommittedValueVisibleToLaterTxn) {
+  TwoPhaseLocking cc(&db_, &clock_);
+  auto t1 = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*t1, kX, 7).ok());
+  ASSERT_TRUE(cc.Commit(*t1).ok());
+  auto t2 = cc.Begin({});
+  auto value = cc.Read(*t2, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 7);
+  ASSERT_TRUE(cc.Commit(*t2).ok());
+}
+
+TEST_F(TwoPhaseLockingTest, AbortRollsBack) {
+  TwoPhaseLocking cc(&db_, &clock_);
+  auto t1 = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*t1, kX, 99).ok());
+  ASSERT_TRUE(cc.Abort(*t1).ok());
+  auto t2 = cc.Begin({});
+  auto value = cc.Read(*t2, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0);
+  ASSERT_TRUE(cc.Commit(*t2).ok());
+}
+
+TEST_F(TwoPhaseLockingTest, NoWaitConflictIsBusy) {
+  TwoPhaseLockingOptions options;
+  options.deadlock_policy = DeadlockPolicy::kNoWait;
+  TwoPhaseLocking cc(&db_, &clock_, options);
+  auto t1 = cc.Begin({});
+  ASSERT_TRUE(cc.Write(*t1, kX, 1).ok());
+  auto t2 = cc.Begin({});
+  auto read = cc.Read(*t2, kX);
+  EXPECT_EQ(read.status().code(), StatusCode::kBusy);
+  ASSERT_TRUE(cc.Abort(*t2).ok());
+  ASSERT_TRUE(cc.Commit(*t1).ok());
+}
+
+TEST_F(TwoPhaseLockingTest, ReadLockBlocksWriterNoWait) {
+  TwoPhaseLockingOptions options;
+  options.deadlock_policy = DeadlockPolicy::kNoWait;
+  TwoPhaseLocking cc(&db_, &clock_, options);
+  auto reader = cc.Begin({});
+  ASSERT_TRUE(cc.Read(*reader, kY).ok());
+  auto writer = cc.Begin({});
+  // This is exactly what Figure 3 relies on: the registered read *blocks*
+  // the concurrent writer.
+  EXPECT_EQ(cc.Write(*writer, kY, 5).code(), StatusCode::kBusy);
+  ASSERT_TRUE(cc.Abort(*writer).ok());
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+  EXPECT_GT(cc.metrics().read_locks_acquired.load(), 0u);
+}
+
+TEST_F(TwoPhaseLockingTest, Figure3AnomalyWithoutReadLocks) {
+  // Paper Figure 3: if the type-3 transaction does not set read locks,
+  // serializability is violated. t3 reads the arrival record y before t1
+  // inserts it, but reads the inventory x after t2 posted it from y.
+  TwoPhaseLockingOptions options;
+  options.register_reads = false;
+  TwoPhaseLocking cc(&db_, &clock_, options);
+
+  auto t3 = cc.Begin({.txn_class = 2});
+  auto y_old = cc.Read(*t3, kY);  // unregistered read: sees 0
+  ASSERT_TRUE(y_old.ok());
+  EXPECT_EQ(*y_old, 0);
+
+  auto t1 = cc.Begin({.txn_class = 0});
+  ASSERT_TRUE(cc.Write(*t1, kY, 1).ok());  // merchandise arrives
+  ASSERT_TRUE(cc.Commit(*t1).ok());        // no read lock blocked us
+
+  auto t2 = cc.Begin({.txn_class = 1});
+  auto y_new = cc.Read(*t2, kY);
+  ASSERT_TRUE(y_new.ok());
+  EXPECT_EQ(*y_new, 1);
+  ASSERT_TRUE(cc.Write(*t2, kX, *y_new).ok());  // post inventory
+  ASSERT_TRUE(cc.Commit(*t2).ok());
+
+  auto x = cc.Read(*t3, kX);  // sees t2's posting
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, 1);
+  ASSERT_TRUE(cc.Write(*t3, kZ, *x + *y_old).ok());  // reorder decision
+  ASSERT_TRUE(cc.Commit(*t3).ok());
+
+  auto report = CheckSerializability(cc.recorder());
+  EXPECT_FALSE(report.serializable);
+  EXPECT_EQ(cc.metrics().read_locks_acquired.load(), 0u);
+  EXPECT_GT(cc.metrics().unregistered_reads.load(), 0u);
+}
+
+TEST_F(TwoPhaseLockingTest, Figure3InterleavingImpossibleWithReadLocks) {
+  // Same script with read locks on: t1's write conflicts with t3's
+  // registered read, so the anomaly interleaving cannot be produced.
+  TwoPhaseLockingOptions options;
+  options.deadlock_policy = DeadlockPolicy::kNoWait;
+  TwoPhaseLocking cc(&db_, &clock_, options);
+
+  auto t3 = cc.Begin({.txn_class = 2});
+  ASSERT_TRUE(cc.Read(*t3, kY).ok());
+
+  auto t1 = cc.Begin({.txn_class = 0});
+  EXPECT_EQ(cc.Write(*t1, kY, 1).code(), StatusCode::kBusy);
+  ASSERT_TRUE(cc.Abort(*t1).ok());
+  ASSERT_TRUE(cc.Commit(*t3).ok());
+
+  auto report = CheckSerializability(cc.recorder());
+  EXPECT_TRUE(report.serializable);
+}
+
+TEST_F(TwoPhaseLockingTest, Mv2plReadOnlySnapshotWithoutLocks) {
+  TwoPhaseLockingOptions options;
+  options.snapshot_read_only = true;
+  options.name = "mv2pl";
+  TwoPhaseLocking cc(&db_, &clock_, options);
+
+  auto t1 = cc.Begin({.txn_class = 0});
+  ASSERT_TRUE(cc.Write(*t1, kY, 10).ok());
+  ASSERT_TRUE(cc.Commit(*t1).ok());
+
+  auto reader = cc.Begin({.txn_class = kReadOnlyClass, .read_only = true});
+
+  // A later update commits after the reader began...
+  auto t2 = cc.Begin({.txn_class = 0});
+  ASSERT_TRUE(cc.Write(*t2, kY, 20).ok());
+  ASSERT_TRUE(cc.Commit(*t2).ok());
+
+  // ...but the reader still sees its snapshot, without any lock.
+  auto value = cc.Read(*reader, kY);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 10);
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+  EXPECT_EQ(cc.metrics().read_locks_acquired.load(), 0u);
+  EXPECT_EQ(cc.metrics().unregistered_reads.load(), 1u);
+
+  auto report = CheckSerializability(cc.recorder());
+  EXPECT_TRUE(report.serializable);
+}
+
+TEST_F(TwoPhaseLockingTest, Mv2plReadOnlyNeverBlocks) {
+  TwoPhaseLockingOptions options;
+  options.snapshot_read_only = true;
+  TwoPhaseLocking cc(&db_, &clock_, options);
+
+  auto writer = cc.Begin({.txn_class = 0});
+  ASSERT_TRUE(cc.Write(*writer, kY, 5).ok());  // X lock held
+
+  auto reader = cc.Begin({.read_only = true});
+  auto value = cc.Read(*reader, kY);  // would block under plain 2PL
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0);  // pre-write snapshot
+  ASSERT_TRUE(cc.Commit(*reader).ok());
+  ASSERT_TRUE(cc.Commit(*writer).ok());
+  EXPECT_EQ(cc.metrics().blocked_reads.load(), 0u);
+}
+
+TEST_F(TwoPhaseLockingTest, ReadOnlyTxnCannotWrite) {
+  TwoPhaseLocking cc(&db_, &clock_);
+  auto reader = cc.Begin({.read_only = true});
+  EXPECT_EQ(cc.Write(*reader, kX, 1).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(cc.Abort(*reader).ok());
+}
+
+TEST_F(TwoPhaseLockingTest, UnknownTxnRejected) {
+  TwoPhaseLocking cc(&db_, &clock_);
+  TxnDescriptor bogus;
+  bogus.id = 12345;
+  EXPECT_EQ(cc.Read(bogus, kX).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cc.Commit(bogus).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TwoPhaseLockingTest, InvalidGranuleRejected) {
+  TwoPhaseLocking cc(&db_, &clock_);
+  auto txn = cc.Begin({});
+  EXPECT_EQ(cc.Read(*txn, {9, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cc.Write(*txn, {0, 999}, 0).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(cc.Abort(*txn).ok());
+}
+
+TEST_F(TwoPhaseLockingTest, SequentialSchedulesSerializable) {
+  TwoPhaseLocking cc(&db_, &clock_);
+  for (int i = 0; i < 20; ++i) {
+    auto txn = cc.Begin({});
+    auto v = cc.Read(*txn, kX);
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(cc.Write(*txn, kX, *v + 1).ok());
+    ASSERT_TRUE(cc.Commit(*txn).ok());
+  }
+  auto final_txn = cc.Begin({});
+  auto value = cc.Read(*final_txn, kX);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 20);
+  ASSERT_TRUE(cc.Commit(*final_txn).ok());
+  EXPECT_TRUE(CheckSerializability(cc.recorder()).serializable);
+  EXPECT_EQ(cc.metrics().commits.load(), 21u);
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,308 @@
+// Unit tests for the workload generators and the execution engine.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "engine/banking_workload.h"
+#include "engine/executor.h"
+#include "engine/harness.h"
+#include "engine/inventory_workload.h"
+#include "engine/ledger_workload.h"
+#include "engine/synthetic_workload.h"
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+namespace {
+
+// ------------------------------ specs ---------------------------------
+
+TEST(WorkloadSpecTest, InventorySpecIsLegal) {
+  EXPECT_TRUE(HierarchySchema::Create(InventoryWorkload::Spec()).ok());
+}
+
+TEST(WorkloadSpecTest, SyntheticSpecsLegalAtAllDepths) {
+  for (int depth = 1; depth <= 10; ++depth) {
+    SyntheticWorkloadParams params;
+    params.depth = depth;
+    SyntheticWorkload workload(params);
+    EXPECT_TRUE(HierarchySchema::Create(workload.Spec()).ok())
+        << "depth " << depth;
+  }
+}
+
+TEST(WorkloadSpecTest, BankingAndLedgerSpecsLegal) {
+  BankingWorkload banking;
+  EXPECT_TRUE(HierarchySchema::Create(banking.Spec()).ok());
+  LedgerWorkload ledger;
+  EXPECT_TRUE(HierarchySchema::Create(ledger.Spec()).ok());
+}
+
+TEST(WorkloadSpecTest, DatabasesMatchSpecs) {
+  InventoryWorkloadParams params;
+  params.items = 5;
+  params.event_slots_per_item = 3;
+  InventoryWorkload workload(params);
+  auto db = workload.MakeDatabase();
+  EXPECT_EQ(db->num_segments(), 4);
+  EXPECT_EQ(db->segment(0).size(), 15u);
+  EXPECT_EQ(db->segment(1).size(), 5u);
+
+  LedgerWorkloadParams ledger_params;
+  ledger_params.items = 3;
+  ledger_params.capacity = 4;
+  LedgerWorkload ledger(ledger_params);
+  auto ledger_db = ledger.MakeDatabase();
+  EXPECT_EQ(ledger_db->segment(0).size(), 15u);  // 3 * (4 + 1)
+  EXPECT_EQ(ledger_db->segment(1).size(), 3u);
+}
+
+// --------------------------- deterministic mix -------------------------
+
+TEST(WorkloadMixTest, InventoryMixMatchesWeights) {
+  InventoryWorkloadParams params;
+  params.type1_weight = 1;
+  params.type2_weight = 0;
+  params.type3_weight = 0;
+  params.type4_weight = 0;
+  params.read_only_weight = 1;
+  InventoryWorkload workload(params);
+  Rng rng(5);
+  int read_only = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (workload.Make(i, rng).options.read_only) ++read_only;
+  }
+  EXPECT_NEAR(read_only / 2000.0, 0.5, 0.05);
+}
+
+TEST(WorkloadMixTest, SameSeedSameClasses) {
+  SyntheticWorkload workload;
+  Rng a(9), b(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(workload.Make(i, a).options.txn_class,
+              workload.Make(i, b).options.txn_class);
+  }
+}
+
+// ------------------------------ executor -------------------------------
+
+// A controller-independent counting workload.
+class CountingWorkload : public Workload {
+ public:
+  TxnProgram Make(std::uint64_t, Rng&) const override {
+    TxnProgram program;
+    program.options.txn_class = 0;
+    program.body = [](ConcurrencyController& cc,
+                      const TxnDescriptor& txn) -> Status {
+      HDD_ASSIGN_OR_RETURN(Value v, cc.Read(txn, {0, 0}));
+      return cc.Write(txn, {0, 0}, v + 1);
+    };
+    return program;
+  }
+};
+
+TEST(ExecutorTest, CommitsExactlyTotal) {
+  Database db(1, 1, 0);
+  LogicalClock clock;
+  auto cc = CreateController(ControllerKind::kMvto, &db, &clock, nullptr);
+  CountingWorkload workload;
+  ExecutorOptions options;
+  options.num_threads = 3;
+  ExecutorStats stats = RunWorkload(*cc, workload, 123, options);
+  EXPECT_EQ(stats.committed, 123u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(db.granule({0, 0}).LatestCommitted()->value, 123);
+}
+
+// A workload whose body always returns a non-retryable error.
+class PoisonWorkload : public Workload {
+ public:
+  TxnProgram Make(std::uint64_t, Rng&) const override {
+    TxnProgram program;
+    program.options.txn_class = 0;
+    program.body = [](ConcurrencyController&, const TxnDescriptor&) {
+      return Status::Internal("poisoned");
+    };
+    return program;
+  }
+};
+
+TEST(ExecutorTest, HardErrorsCountAsFailed) {
+  Database db(1, 1, 0);
+  LogicalClock clock;
+  auto cc = CreateController(ControllerKind::kMvto, &db, &clock, nullptr);
+  PoisonWorkload workload;
+  ExecutorOptions options;
+  options.num_threads = 2;
+  ExecutorStats stats = RunWorkload(*cc, workload, 10, options);
+  EXPECT_EQ(stats.committed, 0u);
+  EXPECT_EQ(stats.failed, 10u);
+}
+
+// A workload that aborts retryably a fixed number of times per txn.
+class FlakyWorkload : public Workload {
+ public:
+  TxnProgram Make(std::uint64_t, Rng&) const override {
+    TxnProgram program;
+    program.options.txn_class = 0;
+    auto counter = std::make_shared<int>(0);
+    program.body = [counter](ConcurrencyController&,
+                             const TxnDescriptor&) -> Status {
+      if (++*counter <= 2) return Status::Aborted("flaky");
+      return Status::OK();
+    };
+    return program;
+  }
+};
+
+TEST(ExecutorTest, RetryableErrorsAreRetried) {
+  Database db(1, 1, 0);
+  LogicalClock clock;
+  auto cc = CreateController(ControllerKind::kMvto, &db, &clock, nullptr);
+  FlakyWorkload workload;
+  ExecutorOptions options;
+  options.num_threads = 1;
+  ExecutorStats stats = RunWorkload(*cc, workload, 5, options);
+  EXPECT_EQ(stats.committed, 5u);
+  EXPECT_EQ(stats.aborted_attempts, 10u);  // 2 retries each
+}
+
+TEST(ExecutorTest, RetryBudgetExhausts) {
+  Database db(1, 1, 0);
+  LogicalClock clock;
+  auto cc = CreateController(ControllerKind::kMvto, &db, &clock, nullptr);
+  class AlwaysAborts : public Workload {
+   public:
+    TxnProgram Make(std::uint64_t, Rng&) const override {
+      TxnProgram program;
+      program.options.txn_class = 0;
+      program.body = [](ConcurrencyController&, const TxnDescriptor&) {
+        return Status::Aborted("always");
+      };
+      return program;
+    }
+  };
+  AlwaysAborts workload;
+  ExecutorOptions options;
+  options.num_threads = 1;
+  options.max_retries = 3;
+  ExecutorStats stats = RunWorkload(*cc, workload, 2, options);
+  EXPECT_EQ(stats.committed, 0u);
+  EXPECT_EQ(stats.failed, 2u);
+}
+
+TEST(ExecutorTest, LatencyPercentilesPopulated) {
+  Database db(1, 4, 0);
+  LogicalClock clock;
+  auto cc = CreateController(ControllerKind::kMvto, &db, &clock, nullptr);
+  CountingWorkload workload;
+  ExecutorOptions options;
+  options.num_threads = 2;
+  ExecutorStats stats = RunWorkload(*cc, workload, 200, options);
+  EXPECT_GT(stats.latency_p50_us, 0.0);
+  EXPECT_LE(stats.latency_p50_us, stats.latency_p95_us);
+  EXPECT_LE(stats.latency_p95_us, stats.latency_p99_us);
+  EXPECT_LE(stats.latency_p99_us, stats.latency_max_us);
+}
+
+// ------------------------------ harness --------------------------------
+
+TEST(HarnessTest, AllKindsConstructible) {
+  auto schema = HierarchySchema::Create(InventoryWorkload::Spec());
+  ASSERT_TRUE(schema.ok());
+  Database db(4, 2, 0);
+  LogicalClock clock;
+  for (ControllerKind kind : AllControllerKinds()) {
+    auto cc = CreateController(kind, &db, &clock, &*schema);
+    ASSERT_NE(cc, nullptr);
+    EXPECT_EQ(cc->name(), ControllerKindName(kind));
+  }
+}
+
+TEST(HarnessTest, MeasureControllerAudits) {
+  InventoryWorkloadParams params;
+  params.items = 4;
+  InventoryWorkload workload(params);
+  auto schema = HierarchySchema::Create(InventoryWorkload::Spec());
+  ExecutorOptions options;
+  options.num_threads = 2;
+  ComparisonRow row = MeasureController(
+      ControllerKind::kHdd, workload,
+      [&] { return workload.MakeDatabase(); }, &*schema, 50, options);
+  EXPECT_EQ(row.controller, "hdd");
+  EXPECT_EQ(row.stats.committed, 50u);
+  EXPECT_TRUE(row.serializable);
+}
+
+// ------------------------------ ledger ---------------------------------
+
+class LedgerAllControllersTest
+    : public ::testing::TestWithParam<ControllerKind> {};
+
+TEST_P(LedgerAllControllersTest, WriteOnceLedgerStaysConsistent) {
+  LedgerWorkloadParams params;
+  params.items = 4;
+  params.capacity = 32;
+  LedgerWorkload workload(params);
+  auto schema = HierarchySchema::Create(workload.Spec());
+  ASSERT_TRUE(schema.ok());
+  auto db = workload.MakeDatabase();
+  LogicalClock clock;
+  auto cc = CreateController(GetParam(), db.get(), &clock, &*schema);
+
+  ExecutorOptions options;
+  options.num_threads = 4;
+  options.seed = 31;
+  ExecutorStats stats = RunWorkload(*cc, workload, 300, options);
+  // The bodies' own consistency witnesses (unwritten slot below cursor,
+  // summary ahead of ledger) return kInternal, which counts as failed.
+  EXPECT_EQ(stats.failed, 0u)
+      << ControllerKindName(GetParam()) << " violated ledger consistency";
+  EXPECT_TRUE(CheckSerializability(cc->recorder()).serializable);
+
+  // Every written slot below each cursor is non-zero and immutable.
+  for (std::uint32_t item = 0; item < params.items; ++item) {
+    const Value cursor =
+        db->granule(workload.Cursor(item)).LatestCommitted()->value;
+    for (Value slot = 0; slot < cursor; ++slot) {
+      const Granule& g = db->granule(
+          workload.Event(item, static_cast<std::uint32_t>(slot)));
+      EXPECT_NE(g.LatestCommitted()->value, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, LedgerAllControllersTest,
+    ::testing::ValuesIn(AllControllerKinds()),
+    [](const ::testing::TestParamInfo<ControllerKind>& info) {
+      std::string name(ControllerKindName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(LedgerHddTest, SummarizeReadsAreUnregistered) {
+  LedgerWorkloadParams params;
+  params.items = 2;
+  params.capacity = 16;
+  params.audit_weight = 0;
+  LedgerWorkload workload(params);
+  auto schema = HierarchySchema::Create(workload.Spec());
+  auto db = workload.MakeDatabase();
+  LogicalClock clock;
+  auto cc =
+      CreateController(ControllerKind::kHdd, db.get(), &clock, &*schema);
+  ExecutorOptions options;
+  options.num_threads = 2;
+  ExecutorStats stats = RunWorkload(*cc, workload, 200, options);
+  EXPECT_EQ(stats.failed, 0u);
+  // Every ledger read by a summarizer crossed classes: unregistered.
+  EXPECT_GT(cc->metrics().unregistered_reads.load(), 0u);
+  EXPECT_EQ(cc->metrics().read_locks_acquired.load(), 0u);
+}
+
+}  // namespace
+}  // namespace hdd
