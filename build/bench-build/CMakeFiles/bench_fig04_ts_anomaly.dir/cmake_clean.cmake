@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_ts_anomaly"
+  "../bench/bench_fig04_ts_anomaly.pdb"
+  "CMakeFiles/bench_fig04_ts_anomaly.dir/bench_fig04_ts_anomaly.cc.o"
+  "CMakeFiles/bench_fig04_ts_anomaly.dir/bench_fig04_ts_anomaly.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_ts_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_graph_ops"
+  "../bench/bench_fig05_graph_ops.pdb"
+  "CMakeFiles/bench_fig05_graph_ops.dir/bench_fig05_graph_ops.cc.o"
+  "CMakeFiles/bench_fig05_graph_ops.dir/bench_fig05_graph_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_graph_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

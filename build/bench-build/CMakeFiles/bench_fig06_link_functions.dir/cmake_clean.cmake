@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_link_functions"
+  "../bench/bench_fig06_link_functions.pdb"
+  "CMakeFiles/bench_fig06_link_functions.dir/bench_fig06_link_functions.cc.o"
+  "CMakeFiles/bench_fig06_link_functions.dir/bench_fig06_link_functions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_link_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

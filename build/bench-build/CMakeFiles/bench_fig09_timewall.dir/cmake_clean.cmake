@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_timewall"
+  "../bench/bench_fig09_timewall.pdb"
+  "CMakeFiles/bench_fig09_timewall.dir/bench_fig09_timewall.cc.o"
+  "CMakeFiles/bench_fig09_timewall.dir/bench_fig09_timewall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_timewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gc"
+  "../bench/bench_gc.pdb"
+  "CMakeFiles/bench_gc.dir/bench_gc.cc.o"
+  "CMakeFiles/bench_gc.dir/bench_gc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

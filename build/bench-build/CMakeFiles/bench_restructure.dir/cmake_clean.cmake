@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_restructure"
+  "../bench/bench_restructure.pdb"
+  "CMakeFiles/bench_restructure.dir/bench_restructure.cc.o"
+  "CMakeFiles/bench_restructure.dir/bench_restructure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sweep_depth"
+  "../bench/bench_sweep_depth.pdb"
+  "CMakeFiles/bench_sweep_depth.dir/bench_sweep_depth.cc.o"
+  "CMakeFiles/bench_sweep_depth.dir/bench_sweep_depth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

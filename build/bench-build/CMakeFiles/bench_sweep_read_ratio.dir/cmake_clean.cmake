@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sweep_read_ratio"
+  "../bench/bench_sweep_read_ratio.pdb"
+  "CMakeFiles/bench_sweep_read_ratio.dir/bench_sweep_read_ratio.cc.o"
+  "CMakeFiles/bench_sweep_read_ratio.dir/bench_sweep_read_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_read_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

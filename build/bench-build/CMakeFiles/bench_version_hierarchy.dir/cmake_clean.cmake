@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_version_hierarchy"
+  "../bench/bench_version_hierarchy.pdb"
+  "CMakeFiles/bench_version_hierarchy.dir/bench_version_hierarchy.cc.o"
+  "CMakeFiles/bench_version_hierarchy.dir/bench_version_hierarchy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_version_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_walls.dir/analytics_walls.cpp.o"
+  "CMakeFiles/analytics_walls.dir/analytics_walls.cpp.o.d"
+  "analytics_walls"
+  "analytics_walls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_walls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

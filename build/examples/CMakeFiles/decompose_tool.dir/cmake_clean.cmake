@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompose_tool.dir/decompose_tool.cpp.o"
+  "CMakeFiles/decompose_tool.dir/decompose_tool.cpp.o.d"
+  "decompose_tool"
+  "decompose_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompose_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

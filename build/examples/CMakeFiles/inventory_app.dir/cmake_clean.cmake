@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inventory_app.dir/inventory_app.cpp.o"
+  "CMakeFiles/inventory_app.dir/inventory_app.cpp.o.d"
+  "inventory_app"
+  "inventory_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inventory_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/workbench.cpp" "examples/CMakeFiles/workbench.dir/workbench.cpp.o" "gcc" "examples/CMakeFiles/workbench.dir/workbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/hdd_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdd/CMakeFiles/hdd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/hdd_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/hdd_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hdd_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hdd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workbench.dir/workbench.cpp.o"
+  "CMakeFiles/workbench.dir/workbench.cpp.o.d"
+  "workbench"
+  "workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

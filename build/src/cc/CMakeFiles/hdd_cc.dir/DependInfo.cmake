@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/lock_manager.cc" "src/cc/CMakeFiles/hdd_cc.dir/lock_manager.cc.o" "gcc" "src/cc/CMakeFiles/hdd_cc.dir/lock_manager.cc.o.d"
+  "/root/repo/src/cc/mvto.cc" "src/cc/CMakeFiles/hdd_cc.dir/mvto.cc.o" "gcc" "src/cc/CMakeFiles/hdd_cc.dir/mvto.cc.o.d"
+  "/root/repo/src/cc/occ.cc" "src/cc/CMakeFiles/hdd_cc.dir/occ.cc.o" "gcc" "src/cc/CMakeFiles/hdd_cc.dir/occ.cc.o.d"
+  "/root/repo/src/cc/sdd1.cc" "src/cc/CMakeFiles/hdd_cc.dir/sdd1.cc.o" "gcc" "src/cc/CMakeFiles/hdd_cc.dir/sdd1.cc.o.d"
+  "/root/repo/src/cc/serial.cc" "src/cc/CMakeFiles/hdd_cc.dir/serial.cc.o" "gcc" "src/cc/CMakeFiles/hdd_cc.dir/serial.cc.o.d"
+  "/root/repo/src/cc/timestamp_ordering.cc" "src/cc/CMakeFiles/hdd_cc.dir/timestamp_ordering.cc.o" "gcc" "src/cc/CMakeFiles/hdd_cc.dir/timestamp_ordering.cc.o.d"
+  "/root/repo/src/cc/two_phase_locking.cc" "src/cc/CMakeFiles/hdd_cc.dir/two_phase_locking.cc.o" "gcc" "src/cc/CMakeFiles/hdd_cc.dir/two_phase_locking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hdd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hdd_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/hdd_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

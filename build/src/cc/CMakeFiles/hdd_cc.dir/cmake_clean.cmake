@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_cc.dir/lock_manager.cc.o"
+  "CMakeFiles/hdd_cc.dir/lock_manager.cc.o.d"
+  "CMakeFiles/hdd_cc.dir/mvto.cc.o"
+  "CMakeFiles/hdd_cc.dir/mvto.cc.o.d"
+  "CMakeFiles/hdd_cc.dir/occ.cc.o"
+  "CMakeFiles/hdd_cc.dir/occ.cc.o.d"
+  "CMakeFiles/hdd_cc.dir/sdd1.cc.o"
+  "CMakeFiles/hdd_cc.dir/sdd1.cc.o.d"
+  "CMakeFiles/hdd_cc.dir/serial.cc.o"
+  "CMakeFiles/hdd_cc.dir/serial.cc.o.d"
+  "CMakeFiles/hdd_cc.dir/timestamp_ordering.cc.o"
+  "CMakeFiles/hdd_cc.dir/timestamp_ordering.cc.o.d"
+  "CMakeFiles/hdd_cc.dir/two_phase_locking.cc.o"
+  "CMakeFiles/hdd_cc.dir/two_phase_locking.cc.o.d"
+  "libhdd_cc.a"
+  "libhdd_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

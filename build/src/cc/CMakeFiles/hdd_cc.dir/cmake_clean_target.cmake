@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdd_cc.a"
+)

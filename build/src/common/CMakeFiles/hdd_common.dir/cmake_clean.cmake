@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_common.dir/metrics.cc.o"
+  "CMakeFiles/hdd_common.dir/metrics.cc.o.d"
+  "CMakeFiles/hdd_common.dir/rng.cc.o"
+  "CMakeFiles/hdd_common.dir/rng.cc.o.d"
+  "CMakeFiles/hdd_common.dir/status.cc.o"
+  "CMakeFiles/hdd_common.dir/status.cc.o.d"
+  "libhdd_common.a"
+  "libhdd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

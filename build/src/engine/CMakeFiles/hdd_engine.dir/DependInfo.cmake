@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/banking_workload.cc" "src/engine/CMakeFiles/hdd_engine.dir/banking_workload.cc.o" "gcc" "src/engine/CMakeFiles/hdd_engine.dir/banking_workload.cc.o.d"
+  "/root/repo/src/engine/cost_model.cc" "src/engine/CMakeFiles/hdd_engine.dir/cost_model.cc.o" "gcc" "src/engine/CMakeFiles/hdd_engine.dir/cost_model.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/hdd_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/hdd_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/harness.cc" "src/engine/CMakeFiles/hdd_engine.dir/harness.cc.o" "gcc" "src/engine/CMakeFiles/hdd_engine.dir/harness.cc.o.d"
+  "/root/repo/src/engine/inventory_workload.cc" "src/engine/CMakeFiles/hdd_engine.dir/inventory_workload.cc.o" "gcc" "src/engine/CMakeFiles/hdd_engine.dir/inventory_workload.cc.o.d"
+  "/root/repo/src/engine/ledger_workload.cc" "src/engine/CMakeFiles/hdd_engine.dir/ledger_workload.cc.o" "gcc" "src/engine/CMakeFiles/hdd_engine.dir/ledger_workload.cc.o.d"
+  "/root/repo/src/engine/message_model.cc" "src/engine/CMakeFiles/hdd_engine.dir/message_model.cc.o" "gcc" "src/engine/CMakeFiles/hdd_engine.dir/message_model.cc.o.d"
+  "/root/repo/src/engine/synthetic_workload.cc" "src/engine/CMakeFiles/hdd_engine.dir/synthetic_workload.cc.o" "gcc" "src/engine/CMakeFiles/hdd_engine.dir/synthetic_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hdd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hdd_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/hdd_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/hdd_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdd/CMakeFiles/hdd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_engine.dir/banking_workload.cc.o"
+  "CMakeFiles/hdd_engine.dir/banking_workload.cc.o.d"
+  "CMakeFiles/hdd_engine.dir/cost_model.cc.o"
+  "CMakeFiles/hdd_engine.dir/cost_model.cc.o.d"
+  "CMakeFiles/hdd_engine.dir/executor.cc.o"
+  "CMakeFiles/hdd_engine.dir/executor.cc.o.d"
+  "CMakeFiles/hdd_engine.dir/harness.cc.o"
+  "CMakeFiles/hdd_engine.dir/harness.cc.o.d"
+  "CMakeFiles/hdd_engine.dir/inventory_workload.cc.o"
+  "CMakeFiles/hdd_engine.dir/inventory_workload.cc.o.d"
+  "CMakeFiles/hdd_engine.dir/ledger_workload.cc.o"
+  "CMakeFiles/hdd_engine.dir/ledger_workload.cc.o.d"
+  "CMakeFiles/hdd_engine.dir/message_model.cc.o"
+  "CMakeFiles/hdd_engine.dir/message_model.cc.o.d"
+  "CMakeFiles/hdd_engine.dir/synthetic_workload.cc.o"
+  "CMakeFiles/hdd_engine.dir/synthetic_workload.cc.o.d"
+  "libhdd_engine.a"
+  "libhdd_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

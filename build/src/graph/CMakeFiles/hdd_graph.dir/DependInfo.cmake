@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/graph/CMakeFiles/hdd_graph.dir/algorithms.cc.o" "gcc" "src/graph/CMakeFiles/hdd_graph.dir/algorithms.cc.o.d"
+  "/root/repo/src/graph/decomposition.cc" "src/graph/CMakeFiles/hdd_graph.dir/decomposition.cc.o" "gcc" "src/graph/CMakeFiles/hdd_graph.dir/decomposition.cc.o.d"
+  "/root/repo/src/graph/dhg.cc" "src/graph/CMakeFiles/hdd_graph.dir/dhg.cc.o" "gcc" "src/graph/CMakeFiles/hdd_graph.dir/dhg.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/graph/CMakeFiles/hdd_graph.dir/digraph.cc.o" "gcc" "src/graph/CMakeFiles/hdd_graph.dir/digraph.cc.o.d"
+  "/root/repo/src/graph/report.cc" "src/graph/CMakeFiles/hdd_graph.dir/report.cc.o" "gcc" "src/graph/CMakeFiles/hdd_graph.dir/report.cc.o.d"
+  "/root/repo/src/graph/semi_tree.cc" "src/graph/CMakeFiles/hdd_graph.dir/semi_tree.cc.o" "gcc" "src/graph/CMakeFiles/hdd_graph.dir/semi_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_graph.dir/algorithms.cc.o"
+  "CMakeFiles/hdd_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/hdd_graph.dir/decomposition.cc.o"
+  "CMakeFiles/hdd_graph.dir/decomposition.cc.o.d"
+  "CMakeFiles/hdd_graph.dir/dhg.cc.o"
+  "CMakeFiles/hdd_graph.dir/dhg.cc.o.d"
+  "CMakeFiles/hdd_graph.dir/digraph.cc.o"
+  "CMakeFiles/hdd_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/hdd_graph.dir/report.cc.o"
+  "CMakeFiles/hdd_graph.dir/report.cc.o.d"
+  "CMakeFiles/hdd_graph.dir/semi_tree.cc.o"
+  "CMakeFiles/hdd_graph.dir/semi_tree.cc.o.d"
+  "libhdd_graph.a"
+  "libhdd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdd/activity.cc" "src/hdd/CMakeFiles/hdd_core.dir/activity.cc.o" "gcc" "src/hdd/CMakeFiles/hdd_core.dir/activity.cc.o.d"
+  "/root/repo/src/hdd/hdd_controller.cc" "src/hdd/CMakeFiles/hdd_core.dir/hdd_controller.cc.o" "gcc" "src/hdd/CMakeFiles/hdd_core.dir/hdd_controller.cc.o.d"
+  "/root/repo/src/hdd/link_functions.cc" "src/hdd/CMakeFiles/hdd_core.dir/link_functions.cc.o" "gcc" "src/hdd/CMakeFiles/hdd_core.dir/link_functions.cc.o.d"
+  "/root/repo/src/hdd/time_wall.cc" "src/hdd/CMakeFiles/hdd_core.dir/time_wall.cc.o" "gcc" "src/hdd/CMakeFiles/hdd_core.dir/time_wall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hdd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hdd_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/hdd_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/hdd_cc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

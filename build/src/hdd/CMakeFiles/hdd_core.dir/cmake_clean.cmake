@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_core.dir/activity.cc.o"
+  "CMakeFiles/hdd_core.dir/activity.cc.o.d"
+  "CMakeFiles/hdd_core.dir/hdd_controller.cc.o"
+  "CMakeFiles/hdd_core.dir/hdd_controller.cc.o.d"
+  "CMakeFiles/hdd_core.dir/link_functions.cc.o"
+  "CMakeFiles/hdd_core.dir/link_functions.cc.o.d"
+  "CMakeFiles/hdd_core.dir/time_wall.cc.o"
+  "CMakeFiles/hdd_core.dir/time_wall.cc.o.d"
+  "libhdd_core.a"
+  "libhdd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

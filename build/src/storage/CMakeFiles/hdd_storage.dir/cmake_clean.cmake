@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_storage.dir/database.cc.o"
+  "CMakeFiles/hdd_storage.dir/database.cc.o.d"
+  "CMakeFiles/hdd_storage.dir/granule.cc.o"
+  "CMakeFiles/hdd_storage.dir/granule.cc.o.d"
+  "CMakeFiles/hdd_storage.dir/snapshot.cc.o"
+  "CMakeFiles/hdd_storage.dir/snapshot.cc.o.d"
+  "libhdd_storage.a"
+  "libhdd_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

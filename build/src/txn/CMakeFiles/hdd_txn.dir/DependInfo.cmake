@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/dependency_graph.cc" "src/txn/CMakeFiles/hdd_txn.dir/dependency_graph.cc.o" "gcc" "src/txn/CMakeFiles/hdd_txn.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/txn/schedule.cc" "src/txn/CMakeFiles/hdd_txn.dir/schedule.cc.o" "gcc" "src/txn/CMakeFiles/hdd_txn.dir/schedule.cc.o.d"
+  "/root/repo/src/txn/schedule_analysis.cc" "src/txn/CMakeFiles/hdd_txn.dir/schedule_analysis.cc.o" "gcc" "src/txn/CMakeFiles/hdd_txn.dir/schedule_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hdd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hdd_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

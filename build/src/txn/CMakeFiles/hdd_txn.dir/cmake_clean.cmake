@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_txn.dir/dependency_graph.cc.o"
+  "CMakeFiles/hdd_txn.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/hdd_txn.dir/schedule.cc.o"
+  "CMakeFiles/hdd_txn.dir/schedule.cc.o.d"
+  "CMakeFiles/hdd_txn.dir/schedule_analysis.cc.o"
+  "CMakeFiles/hdd_txn.dir/schedule_analysis.cc.o.d"
+  "libhdd_txn.a"
+  "libhdd_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_behavior_matrix.dir/test_behavior_matrix.cc.o"
+  "CMakeFiles/test_behavior_matrix.dir/test_behavior_matrix.cc.o.d"
+  "test_behavior_matrix"
+  "test_behavior_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_behavior_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decomposition.dir/test_decomposition.cc.o"
+  "CMakeFiles/test_decomposition.dir/test_decomposition.cc.o.d"
+  "test_decomposition"
+  "test_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dependency_graph.dir/test_dependency_graph.cc.o"
+  "CMakeFiles/test_dependency_graph.dir/test_dependency_graph.cc.o.d"
+  "test_dependency_graph"
+  "test_dependency_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dependency_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

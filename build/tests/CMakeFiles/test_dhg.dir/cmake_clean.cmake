@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dhg.dir/test_dhg.cc.o"
+  "CMakeFiles/test_dhg.dir/test_dhg.cc.o.d"
+  "test_dhg"
+  "test_dhg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dhg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

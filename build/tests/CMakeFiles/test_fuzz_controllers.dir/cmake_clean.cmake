@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_controllers.dir/test_fuzz_controllers.cc.o"
+  "CMakeFiles/test_fuzz_controllers.dir/test_fuzz_controllers.cc.o.d"
+  "test_fuzz_controllers"
+  "test_fuzz_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

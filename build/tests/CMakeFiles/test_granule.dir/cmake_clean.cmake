@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_granule.dir/test_granule.cc.o"
+  "CMakeFiles/test_granule.dir/test_granule.cc.o.d"
+  "test_granule"
+  "test_granule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_granule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdd_controller.dir/test_hdd_controller.cc.o"
+  "CMakeFiles/test_hdd_controller.dir/test_hdd_controller.cc.o.d"
+  "test_hdd_controller"
+  "test_hdd_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdd_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdd_random_hierarchies.dir/test_hdd_random_hierarchies.cc.o"
+  "CMakeFiles/test_hdd_random_hierarchies.dir/test_hdd_random_hierarchies.cc.o.d"
+  "test_hdd_random_hierarchies"
+  "test_hdd_random_hierarchies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdd_random_hierarchies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_functions_zigzag.dir/test_link_functions_zigzag.cc.o"
+  "CMakeFiles/test_link_functions_zigzag.dir/test_link_functions_zigzag.cc.o.d"
+  "test_link_functions_zigzag"
+  "test_link_functions_zigzag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_functions_zigzag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lock_manager.dir/test_lock_manager.cc.o"
+  "CMakeFiles/test_lock_manager.dir/test_lock_manager.cc.o.d"
+  "test_lock_manager"
+  "test_lock_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lock_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

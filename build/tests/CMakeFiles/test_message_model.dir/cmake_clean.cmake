@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_model.dir/test_message_model.cc.o"
+  "CMakeFiles/test_message_model.dir/test_message_model.cc.o.d"
+  "test_message_model"
+  "test_message_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mvto.dir/test_mvto.cc.o"
+  "CMakeFiles/test_mvto.dir/test_mvto.cc.o.d"
+  "test_mvto"
+  "test_mvto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mvto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

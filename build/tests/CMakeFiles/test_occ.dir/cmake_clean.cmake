@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occ.dir/test_occ.cc.o"
+  "CMakeFiles/test_occ.dir/test_occ.cc.o.d"
+  "test_occ"
+  "test_occ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_analysis.dir/test_schedule_analysis.cc.o"
+  "CMakeFiles/test_schedule_analysis.dir/test_schedule_analysis.cc.o.d"
+  "test_schedule_analysis"
+  "test_schedule_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

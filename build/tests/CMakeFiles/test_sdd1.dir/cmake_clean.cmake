@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdd1.dir/test_sdd1.cc.o"
+  "CMakeFiles/test_sdd1.dir/test_sdd1.cc.o.d"
+  "test_sdd1"
+  "test_sdd1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdd1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

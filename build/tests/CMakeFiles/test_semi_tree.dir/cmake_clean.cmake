@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semi_tree.dir/test_semi_tree.cc.o"
+  "CMakeFiles/test_semi_tree.dir/test_semi_tree.cc.o.d"
+  "test_semi_tree"
+  "test_semi_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semi_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_travel.dir/test_time_travel.cc.o"
+  "CMakeFiles/test_time_travel.dir/test_time_travel.cc.o.d"
+  "test_time_travel"
+  "test_time_travel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_travel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

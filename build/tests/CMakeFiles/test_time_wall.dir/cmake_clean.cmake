@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_wall.dir/test_time_wall.cc.o"
+  "CMakeFiles/test_time_wall.dir/test_time_wall.cc.o.d"
+  "test_time_wall"
+  "test_time_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timestamp_ordering.dir/test_timestamp_ordering.cc.o"
+  "CMakeFiles/test_timestamp_ordering.dir/test_timestamp_ordering.cc.o.d"
+  "test_timestamp_ordering"
+  "test_timestamp_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timestamp_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo_follows.dir/test_topo_follows.cc.o"
+  "CMakeFiles/test_topo_follows.dir/test_topo_follows.cc.o.d"
+  "test_topo_follows"
+  "test_topo_follows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo_follows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_phase_locking.dir/test_two_phase_locking.cc.o"
+  "CMakeFiles/test_two_phase_locking.dir/test_two_phase_locking.cc.o.d"
+  "test_two_phase_locking"
+  "test_two_phase_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_phase_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
