@@ -1,0 +1,91 @@
+// Multi-core scaling of the per-class sharded HddController against the
+// single-mutex baselines (MVTO, strict 2PL), on a cross-segment-read-heavy
+// synthetic workload: exactly the traffic Protocol A serves with no global
+// latch, so HDD's committed-txn throughput should climb with the worker
+// count while the big-lock controllers flatline. The schedule recorder is
+// disabled so the measurement excludes audit bookkeeping.
+//
+// Note: on a single-core host every configuration time-slices one CPU, so
+// the sweep only shows that added workers do not collapse throughput; the
+// parallel speedup itself needs a multi-core machine.
+
+#include <iomanip>
+#include <iostream>
+#include <thread>
+
+#include "engine/executor.h"
+#include "engine/harness.h"
+#include "engine/synthetic_workload.h"
+
+namespace hdd {
+namespace {
+
+constexpr std::uint64_t kTxnsPerRun = 4000;
+
+SyntheticWorkload MakeWorkload() {
+  SyntheticWorkloadParams params;
+  params.depth = 8;  // one class per (potential) core
+  params.granules_per_segment = 64;
+  params.own_reads = 1;
+  params.own_writes = 1;
+  params.upper_reads = 4;  // the cross-segment-read-heavy part
+  params.read_only_fraction = 0.0;
+  return SyntheticWorkload(params);
+}
+
+double MeasureThroughput(ControllerKind kind, const SyntheticWorkload& workload,
+                         const HierarchySchema* schema, int threads) {
+  auto db = workload.MakeDatabase();
+  LogicalClock clock;
+  auto cc = CreateController(kind, db.get(), &clock, schema);
+  cc->recorder().set_enabled(false);
+  ExecutorOptions options;
+  options.num_threads = threads;
+  ExecutorStats stats = RunWorkload(*cc, workload, kTxnsPerRun, options);
+  return stats.Throughput();
+}
+
+void Run() {
+  const SyntheticWorkload workload = MakeWorkload();
+  auto schema = HierarchySchema::Create(workload.Spec());
+
+  std::cout << "=== committed-txn throughput vs worker threads "
+               "(synthetic chain depth 8, upper_reads=4, " << kTxnsPerRun
+            << " txns/run) ===\n"
+            << "host has " << std::thread::hardware_concurrency()
+            << " hardware threads\n\n";
+  std::cout << std::left << std::setw(10) << "threads" << std::right;
+  for (const char* name : {"hdd", "mvto", "2pl"}) {
+    std::cout << std::setw(14) << name << std::setw(10) << "x1";
+  }
+  std::cout << "   (txn/s, speedup vs 1 thread)\n";
+
+  constexpr ControllerKind kKinds[] = {
+      ControllerKind::kHdd, ControllerKind::kMvto, ControllerKind::kTwoPhase};
+  double base[3] = {0, 0, 0};
+  for (int threads : {1, 2, 4, 8, 16}) {
+    std::cout << std::left << std::setw(10) << threads << std::right;
+    for (int k = 0; k < 3; ++k) {
+      const double tput =
+          MeasureThroughput(kKinds[k], workload, &*schema, threads);
+      if (threads == 1) base[k] = tput;
+      std::cout << std::setw(14) << std::fixed << std::setprecision(0)
+                << tput << std::setw(9) << std::setprecision(2)
+                << (base[k] > 0 ? tput / base[k] : 0.0) << "x";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nExpected shape (multi-core host): hdd scales with "
+               "threads — Protocol A reads cross segments without any "
+               "shared latch and Protocol B traffic splits across "
+               "per-class shards — while mvto and 2pl serialize every "
+               "operation on one controller mutex.\n";
+}
+
+}  // namespace
+}  // namespace hdd
+
+int main() {
+  hdd::Run();
+  return 0;
+}

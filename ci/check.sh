@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full verification: Release build + tests, then ThreadSanitizer build +
+# tests. The concurrency suite (stress, fuzz, concurrent oracle) must be
+# race-free under TSan.
+#
+# Usage: ci/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== Release build ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$JOBS"
+echo "=== Release tests ==="
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "=== ThreadSanitizer build ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHDD_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+echo "=== ThreadSanitizer tests ==="
+# halt_on_error so any reported race fails the suite loudly.
+(cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+  ctest --output-on-failure -j "$JOBS")
+
+echo "=== All checks passed ==="

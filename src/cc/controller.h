@@ -24,6 +24,11 @@ namespace hdd {
 /// caller must then call Abort() and restart the whole transaction with a
 /// new Begin(). Blocking techniques park the calling thread internally.
 ///
+/// Threading contract: controllers are safe for concurrent calls on
+/// behalf of *different* transactions, but each in-flight transaction is
+/// driven by one thread at a time (the executor's model). Controllers may
+/// rely on that to keep per-transaction state unsynchronized.
+///
 /// Every successful read/write is recorded in the schedule recorder so the
 /// §2 serializability checker can audit the execution offline, and every
 /// synchronization action is counted in the metrics — the quantities the

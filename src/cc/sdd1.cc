@@ -26,7 +26,7 @@ Result<TxnDescriptor> Sdd1::Begin(const TxnOptions& options) {
     active_[descriptor.txn_class].insert(descriptor.init_ts);
   }
   recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
-                        descriptor.read_only);
+                        descriptor.read_only, descriptor.init_ts);
   metrics_.begins.fetch_add(1);
   return descriptor;
 }

@@ -26,7 +26,7 @@ Result<TxnDescriptor> TwoPhaseLocking::Begin(const TxnOptions& options) {
   const TxnDescriptor descriptor = runtime.descriptor;
   txns_.emplace(descriptor.id, std::move(runtime));
   recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
-                        descriptor.read_only);
+                        descriptor.read_only, descriptor.init_ts);
   metrics_.begins.fetch_add(1);
   return descriptor;
 }

@@ -55,6 +55,40 @@ std::uint64_t RunOne(ConcurrencyController& cc, const TxnProgram& program,
 
 }  // namespace
 
+LatencyDigest MergeReservoirs(const std::vector<LatencyReservoir>& parts) {
+  LatencyDigest digest;
+  // Each retained sample represents count/size observations of its
+  // reservoir; weighted nearest-rank percentiles over the union.
+  std::vector<std::pair<double, double>> weighted;  // (value, weight)
+  double total_weight = 0.0;
+  for (const LatencyReservoir& part : parts) {
+    digest.count += part.count();
+    if (part.samples().empty()) continue;
+    digest.max_us = std::max(digest.max_us, part.max_us());
+    const double weight = static_cast<double>(part.count()) /
+                          static_cast<double>(part.samples().size());
+    for (double value : part.samples()) {
+      weighted.emplace_back(value, weight);
+      total_weight += weight;
+    }
+  }
+  if (weighted.empty()) return digest;
+  std::sort(weighted.begin(), weighted.end());
+  auto percentile = [&](double p) {
+    const double target = p * total_weight;
+    double cumulative = 0.0;
+    for (const auto& [value, weight] : weighted) {
+      cumulative += weight;
+      if (cumulative >= target) return value;
+    }
+    return weighted.back().first;
+  };
+  digest.p50_us = percentile(0.50);
+  digest.p95_us = percentile(0.95);
+  digest.p99_us = percentile(0.99);
+  return digest;
+}
+
 ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
                           std::uint64_t total_txns,
                           const ExecutorOptions& options) {
@@ -62,7 +96,13 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
   std::atomic<std::uint64_t> committed{0};
   std::atomic<std::uint64_t> aborted{0};
   std::atomic<std::uint64_t> failed{0};
-  std::vector<std::vector<double>> latencies_us(options.num_threads);
+  std::vector<LatencyReservoir> latencies;
+  latencies.reserve(options.num_threads);
+  for (int i = 0; i < options.num_threads; ++i) {
+    latencies.emplace_back(/*capacity=*/4096,
+                           options.seed * 6271 +
+                               static_cast<std::uint64_t>(i));
+  }
 
   const auto start = std::chrono::steady_clock::now();
   auto worker = [&](int worker_id) {
@@ -80,7 +120,7 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
         failed.fetch_add(1);
       } else {
         committed.fetch_add(1);
-        latencies_us[worker_id].push_back(
+        latencies[worker_id].Add(
             std::chrono::duration<double, std::micro>(t1 - t0).count());
       }
     }
@@ -98,22 +138,11 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
   stats.failed = failed.load();
   stats.seconds = std::chrono::duration<double>(end - start).count();
 
-  std::vector<double> all;
-  for (auto& v : latencies_us) {
-    all.insert(all.end(), v.begin(), v.end());
-  }
-  if (!all.empty()) {
-    std::sort(all.begin(), all.end());
-    auto percentile = [&](double p) {
-      const auto idx = static_cast<std::size_t>(
-          p * static_cast<double>(all.size() - 1));
-      return all[idx];
-    };
-    stats.latency_p50_us = percentile(0.50);
-    stats.latency_p95_us = percentile(0.95);
-    stats.latency_p99_us = percentile(0.99);
-    stats.latency_max_us = all.back();
-  }
+  const LatencyDigest digest = MergeReservoirs(latencies);
+  stats.latency_p50_us = digest.p50_us;
+  stats.latency_p95_us = digest.p95_us;
+  stats.latency_p99_us = digest.p99_us;
+  stats.latency_max_us = digest.max_us;
   return stats;
 }
 

@@ -2,8 +2,10 @@
 #define HDD_ENGINE_EXECUTOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "cc/controller.h"
+#include "common/rng.h"
 #include "engine/txn_program.h"
 
 namespace hdd {
@@ -15,6 +17,59 @@ struct ExecutorOptions {
   std::uint64_t seed = 1;
 };
 
+/// Fixed-capacity uniform sample of latency observations (Vitter's
+/// algorithm R), one per worker thread: memory stays bounded no matter how
+/// long the run, each worker samples without synchronization, and the
+/// per-thread reservoirs merge into percentile estimates afterwards.
+/// Deterministic for a given seed and observation sequence.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(std::size_t capacity = 4096,
+                            std::uint64_t seed = 1)
+      : capacity_(capacity), rng_(seed) {
+    samples_.reserve(capacity);
+  }
+
+  void Add(double value_us) {
+    ++count_;
+    if (value_us > max_us_) max_us_ = value_us;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(value_us);
+      return;
+    }
+    // Keep each of the `count_` observations with probability
+    // capacity / count: replace a uniformly random slot.
+    const std::uint64_t slot = rng_.NextBounded(count_);
+    if (slot < capacity_) samples_[slot] = value_us;
+  }
+
+  /// Observations offered (not the retained sample size).
+  std::uint64_t count() const { return count_; }
+  /// Exact maximum over ALL observations (tracked outside the sample).
+  double max_us() const { return max_us_; }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t count_ = 0;
+  double max_us_ = 0.0;
+  std::vector<double> samples_;
+  Rng rng_;
+};
+
+/// Percentiles over the union of several reservoirs. Each retained sample
+/// stands for count/size observations of its own reservoir, so reservoirs
+/// that saw more traffic weigh proportionally more (plain concatenation
+/// would skew toward idle threads). The maximum is exact.
+struct LatencyDigest {
+  std::uint64_t count = 0;  // total observations across reservoirs
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+LatencyDigest MergeReservoirs(const std::vector<LatencyReservoir>& parts);
+
 struct ExecutorStats {
   std::uint64_t committed = 0;
   std::uint64_t aborted_attempts = 0;  // retries consumed by conflicts
@@ -22,7 +77,8 @@ struct ExecutorStats {
   double seconds = 0.0;
 
   /// End-to-end latency (first Begin to final Commit, retries included)
-  /// of committed transactions, in microseconds.
+  /// of committed transactions, in microseconds; percentiles estimated
+  /// from merged per-thread reservoirs, the max exact.
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;

@@ -2,11 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "graph/algorithms.h"
 #include "graph/decomposition.h"
 
 namespace hdd {
+
+Timestamp HddController::ShardTableSource::OldestActiveAt(ClassId c,
+                                                          Timestamp m) const {
+  const std::shared_ptr<ClassShard>& shard = owner_->shards_[c];
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->table.OldestActiveAt(m);
+}
+
+Result<Timestamp> HddController::ShardTableSource::LatestEndAt(
+    ClassId c, Timestamp m) const {
+  const std::shared_ptr<ClassShard>& shard = owner_->shards_[c];
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->table.LatestEndAt(m);
+}
 
 HddController::HddController(Database* db, LogicalClock* clock,
                              const HierarchySchema* schema,
@@ -16,9 +31,11 @@ HddController::HddController(Database* db, LogicalClock* clock,
   class_of_segment_.resize(num_classes_);
   for (SegmentId s = 0; s < num_classes_; ++s) class_of_segment_[s] = s;
   tst_ = std::make_unique<TstAnalysis>(schema->tst());
-  tables_.resize(num_classes_);
-  draining_.assign(num_classes_, false);
-  eval_ = std::make_unique<ActivityLinkEvaluator>(tst_.get(), &tables_);
+  shards_.reserve(num_classes_);
+  for (ClassId c = 0; c < num_classes_; ++c) {
+    shards_.push_back(std::make_shared<ClassShard>());
+  }
+  eval_ = std::make_unique<ActivityLinkEvaluator>(tst_.get(), &shard_source_);
 }
 
 HddController::~HddController() { StopWallPacer(); }
@@ -50,62 +67,94 @@ void HddController::StopWallPacer() {
 }
 
 ClassId HddController::ClassOfSegment(SegmentId segment) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
   return class_of_segment_[segment];
 }
 
 std::size_t HddController::num_walls() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(wall_mu_);
   return walls_.size();
 }
 
+void HddController::SignalFinishEvent() {
+  {
+    std::lock_guard<std::mutex> guard(finish_mu_);
+    finish_seq_.fetch_add(1);
+  }
+  finish_cv_.notify_all();
+}
+
 Result<TxnDescriptor> HddController::Begin(const TxnOptions& options) {
-  std::unique_lock<std::mutex> lock(mu_);
-  TxnRuntime runtime;
-  runtime.descriptor.id = next_txn_id_++;
-  runtime.descriptor.read_only = options.read_only;
-  if (options.read_only) {
-    runtime.descriptor.txn_class = kReadOnlyClass;
-    if (!options.read_scope.empty()) {
-      HDD_ASSIGN_OR_RETURN(runtime.hosted_below,
-                           ResolveHostClass(options.read_scope));
-    }
-    if (options.as_of_wall >= 0) {
-      if (runtime.hosted_below != kReadOnlyClass) {
-        return Status::InvalidArgument(
-            "as_of_wall cannot combine with a hosted read scope");
+  for (;;) {
+    std::shared_lock<std::shared_mutex> gate(struct_mu_);
+    TxnRuntime runtime;
+    runtime.descriptor.read_only = options.read_only;
+    if (options.read_only) {
+      runtime.descriptor.txn_class = kReadOnlyClass;
+      if (!options.read_scope.empty()) {
+        HDD_ASSIGN_OR_RETURN(runtime.hosted_below,
+                             ResolveHostClass(options.read_scope));
       }
-      if (static_cast<std::size_t>(options.as_of_wall) >= walls_.size()) {
-        return Status::InvalidArgument("no such time wall");
-      }
-      const TimeWall& wall = walls_[options.as_of_wall];
-      for (Timestamp bound : wall.bound) {
-        if (bound < last_gc_horizon_) {
-          return Status::FailedPrecondition(
-              "time wall predates the garbage-collection horizon; its "
-              "versions may be gone");
+      if (options.as_of_wall >= 0) {
+        if (runtime.hosted_below != kReadOnlyClass) {
+          return Status::InvalidArgument(
+              "as_of_wall cannot combine with a hosted read scope");
         }
+        std::lock_guard<std::mutex> wg(wall_mu_);
+        if (static_cast<std::size_t>(options.as_of_wall) >= walls_.size()) {
+          return Status::InvalidArgument("no such time wall");
+        }
+        const TimeWall& wall = walls_[options.as_of_wall];
+        for (Timestamp bound : wall.bound) {
+          if (bound < last_gc_horizon_) {
+            return Status::FailedPrecondition(
+                "time wall predates the garbage-collection horizon; its "
+                "versions may be gone");
+          }
+        }
+        // Pin in the same critical section that validated the horizon, so
+        // a concurrent collection cannot slip past the wall in between.
+        ++wall_pins_[&wall];
+        runtime.wall = &wall;
       }
-      runtime.wall = &wall;
+      active_txns_.fetch_add(1);
+      runtime.descriptor.init_ts = clock_->Tick();
+    } else {
+      if (options.txn_class < 0 || options.txn_class >= num_classes_) {
+        return Status::InvalidArgument(
+            "HDD update transactions must declare their class");
+      }
+      std::shared_ptr<ClassShard> shard = shards_[options.txn_class];
+      std::unique_lock<std::mutex> shard_lock(shard->mu);
+      if (shard->draining) {
+        // A Restructure is quiescing this class; park on the shard (not
+        // the structure gate!) until it reopens, then re-resolve the
+        // class id — the restructure may have renumbered classes.
+        gate.unlock();
+        shard->cv.wait(shard_lock, [&] { return !shard->draining; });
+        continue;
+      }
+      runtime.descriptor.txn_class = options.txn_class;
+      // Count ourselves in-flight BEFORE taking the initiation tick: the
+      // idle-point trim reads the clock before re-checking this counter,
+      // so a Begin it can miss is guaranteed a later initiation time.
+      active_txns_.fetch_add(1);
+      runtime.descriptor.init_ts = clock_->Tick();
+      shard->table.OnBegin(runtime.descriptor.init_ts);
     }
-  } else {
-    if (options.txn_class < 0 || options.txn_class >= num_classes_) {
-      return Status::InvalidArgument(
-          "HDD update transactions must declare their class");
+    runtime.descriptor.id = next_txn_id_.fetch_add(1);
+    const TxnDescriptor descriptor = runtime.descriptor;
+    {
+      TxnStripe& stripe = StripeFor(descriptor.id);
+      std::lock_guard<std::mutex> guard(stripe.mu);
+      stripe.map.emplace(descriptor.id,
+                         std::make_unique<TxnRuntime>(std::move(runtime)));
     }
-    cv_.wait(lock, [&] { return !draining_[options.txn_class]; });
-    runtime.descriptor.txn_class = options.txn_class;
+    recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
+                          descriptor.read_only, descriptor.init_ts);
+    metrics_.begins.fetch_add(1);
+    return descriptor;
   }
-  runtime.descriptor.init_ts = clock_->Tick();
-  if (!options.read_only) {
-    tables_[runtime.descriptor.txn_class].OnBegin(runtime.descriptor.init_ts);
-  }
-  const TxnDescriptor descriptor = runtime.descriptor;
-  txns_.emplace(descriptor.id, std::move(runtime));
-  recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
-                        descriptor.read_only);
-  metrics_.begins.fetch_add(1);
-  return descriptor;
 }
 
 Result<ClassId> HddController::ResolveHostClass(
@@ -141,28 +190,43 @@ Result<ClassId> HddController::ResolveHostClass(
 
 Result<HddController::TxnRuntime*> HddController::FindTxn(
     const TxnDescriptor& txn) {
-  auto it = txns_.find(txn.id);
-  if (it == txns_.end()) {
+  TxnStripe& stripe = StripeFor(txn.id);
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.map.find(txn.id);
+  if (it == stripe.map.end()) {
     return Status::FailedPrecondition("unknown or finished transaction");
   }
-  return &it->second;
+  return it->second.get();
+}
+
+Result<std::unique_ptr<HddController::TxnRuntime>> HddController::ExtractTxn(
+    const TxnDescriptor& txn) {
+  TxnStripe& stripe = StripeFor(txn.id);
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.map.find(txn.id);
+  if (it == stripe.map.end()) {
+    return Status::FailedPrecondition("unknown or finished transaction");
+  }
+  std::unique_ptr<TxnRuntime> runtime = std::move(it->second);
+  stripe.map.erase(it);
+  return runtime;
 }
 
 Result<Value> HddController::Read(const TxnDescriptor& txn,
                                   GranuleRef granule) {
   HDD_RETURN_IF_ERROR(db_->Validate(granule));
-  std::unique_lock<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
   HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
   if (runtime->descriptor.read_only) {
     if (runtime->hosted_below != kReadOnlyClass) {
       return ReadHosted(runtime, granule);
     }
-    return ReadUnderWall(lock, runtime, granule);
+    return ReadUnderWall(gate, runtime, granule);
   }
   const ClassId own_class = runtime->descriptor.txn_class;
   const ClassId target_class = class_of_segment_[granule.segment];
   if (own_class == target_class) {
-    return ReadOwnSegment(lock, runtime, granule);
+    return ReadOwnSegment(gate, runtime, granule);
   }
   return ReadHigherSegment(runtime, granule, own_class, target_class);
 }
@@ -173,13 +237,17 @@ Result<Value> HddController::ReadHigherSegment(TxnRuntime* runtime,
                                                ClassId target_class) {
   // Protocol A. The activity link function is defined exactly when the
   // target class lies higher on a critical path — which the schema
-  // guarantees for every declared read segment.
+  // guarantees for every declared read segment. The evaluation latches
+  // each class shard on the path briefly, one at a time; no global latch
+  // and no latch on our own class.
   auto bound = eval_->A(own_class, target_class,
                         runtime->descriptor.init_ts);
   if (!bound.ok()) {
     return Status::InvalidArgument(
         "segment not on a critical path above the transaction's class");
   }
+  std::shared_ptr<ClassShard> shard = shards_[target_class];
+  std::lock_guard<std::mutex> shard_lock(shard->mu);
   Granule& g = db_->granule(granule);
   const Version* version = g.LatestCommittedBefore(*bound);
   assert(version != nullptr);
@@ -191,7 +259,8 @@ Result<Value> HddController::ReadHigherSegment(TxnRuntime* runtime,
   // "No trace of this access needs to be registered in any form" (§4.2).
   metrics_.unregistered_reads.fetch_add(1);
   metrics_.version_reads.fetch_add(1);
-  recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key);
+  recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key,
+                       /*registered=*/false, *bound);
   return version->value;
 }
 
@@ -207,9 +276,11 @@ Result<Value> HddController::ReadHosted(TxnRuntime* runtime,
     return Status::InvalidArgument("read outside the declared read scope");
   }
   const Timestamp base =
-      tables_[host].OldestActiveAt(runtime->descriptor.init_ts);
+      shard_source_.OldestActiveAt(host, runtime->descriptor.init_ts);
   auto bound = eval_->A(host, target_class, base);
   if (!bound.ok()) return bound.status();
+  std::shared_ptr<ClassShard> shard = shards_[target_class];
+  std::lock_guard<std::mutex> shard_lock(shard->mu);
   Granule& g = db_->granule(granule);
   const Version* version = g.LatestCommittedBefore(*bound);
   assert(version != nullptr);
@@ -217,16 +288,21 @@ Result<Value> HddController::ReadHosted(TxnRuntime* runtime,
          g.VersionBefore(*bound)->wts == version->wts);
   metrics_.unregistered_reads.fetch_add(1);
   metrics_.version_reads.fetch_add(1);
-  recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key);
+  recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key,
+                       /*registered=*/false, *bound);
   return version->value;
 }
 
 Result<Value> HddController::ReadOwnSegment(
-    std::unique_lock<std::mutex>& lock, TxnRuntime* runtime,
+    std::shared_lock<std::shared_mutex>& gate, TxnRuntime* runtime,
     GranuleRef granule) {
-  const TxnDescriptor& txn = runtime->descriptor;
   bool waited = false;
   for (;;) {
+    // Re-read the descriptor every attempt: a Restructure during a wait
+    // may have renumbered our class (segments move with it).
+    const TxnDescriptor txn = runtime->descriptor;
+    std::shared_ptr<ClassShard> shard = shards_[txn.txn_class];
+    std::unique_lock<std::mutex> shard_lock(shard->mu);
     Granule& g = db_->granule(granule);
     Version* version = nullptr;
     if (options_.protocol_b == ProtocolBEngine::kMvto) {
@@ -242,43 +318,61 @@ Result<Value> HddController::ReadOwnSegment(
     assert(version != nullptr);
     if (!version->committed && version->creator != txn.id) {
       waited = true;
-      cv_.wait(lock);
+      // Sleep on the shard, never on the structure gate: release the gate
+      // first (so a Restructure can proceed), keep the shard latch from
+      // the failed check into the wait (so the creator's notify cannot be
+      // missed), and re-enter through the gate afterwards.
+      gate.unlock();
+      shard->cv.wait(shard_lock);
+      shard_lock.unlock();
+      gate.lock();
       continue;
     }
     if (waited) metrics_.blocked_reads.fetch_add(1);
     if (txn.init_ts > version->rts) version->rts = txn.init_ts;
     metrics_.read_timestamps_written.fetch_add(1);
     metrics_.version_reads.fetch_add(1);
-    recorder_.RecordRead(txn.id, granule, version->order_key, true);
+    recorder_.RecordRead(txn.id, granule, version->order_key,
+                         /*registered=*/true);
     return version->value;
   }
 }
 
-Result<Value> HddController::ReadUnderWall(std::unique_lock<std::mutex>& lock,
-                                           TxnRuntime* runtime,
-                                           GranuleRef granule) {
+Result<Value> HddController::ReadUnderWall(
+    std::shared_lock<std::shared_mutex>& gate, TxnRuntime* runtime,
+    GranuleRef granule) {
   // Protocol C: pin the wall on first read so the whole transaction sees
   // one consistent cut.
   if (runtime->wall == nullptr) {
-    const TimeWall* chosen = nullptr;
-    for (auto it = walls_.rbegin(); it != walls_.rend(); ++it) {
-      if (it->release_time < runtime->descriptor.init_ts) {
-        chosen = &*it;
-        break;
+    {
+      std::lock_guard<std::mutex> wg(wall_mu_);
+      for (auto it = walls_.rbegin(); it != walls_.rend(); ++it) {
+        if (it->release_time < runtime->descriptor.init_ts) {
+          runtime->wall = &*it;
+          ++wall_pins_[&*it];
+          break;
+        }
       }
     }
-    if (chosen == nullptr) {
+    if (runtime->wall == nullptr) {
       // No wall released before we started: release one now and use it —
       // still a consistent cut by Theorem 2, just fresher than the paper's
-      // batched variant.
-      HDD_ASSIGN_OR_RETURN(chosen, ReleaseWallLocked(lock));
+      // batched variant. ReleaseWallInternal pins it for us atomically
+      // with publication.
+      auto released = ReleaseWallInternal(gate, runtime);
+      if (!released.ok()) return released.status();
     }
-    runtime->wall = chosen;
   }
-  const ClassId target_class = class_of_segment_[granule.segment];
-  const Timestamp bound = runtime->wall->bound[target_class];
+  const TimeWall* wall = runtime->wall;
   bool waited = false;
   for (;;) {
+    // Both the segment->class map and the wall's bound vector are remapped
+    // in place by Restructure (under the exclusive gate), so re-read them
+    // on every attempt.
+    const ClassId target_class = class_of_segment_[granule.segment];
+    const Timestamp bound = wall->bound[target_class];
+    std::shared_ptr<ClassShard> shard = shards_[target_class];
+    std::unique_lock<std::mutex> shard_lock(shard->mu);
     Granule& g = db_->granule(granule);
     Version* version = g.VersionBefore(bound);
     assert(version != nullptr);
@@ -287,58 +381,86 @@ Result<Value> HddController::ReadUnderWall(std::unique_lock<std::mutex>& lock,
       // the wall reaches through a descending run); its fate decides what
       // we must read, so wait for the creator to resolve.
       waited = true;
-      cv_.wait(lock);
+      gate.unlock();
+      shard->cv.wait(shard_lock);
+      shard_lock.unlock();
+      gate.lock();
       continue;
     }
     if (waited) metrics_.blocked_reads.fetch_add(1);
     metrics_.unregistered_reads.fetch_add(1);
     metrics_.version_reads.fetch_add(1);
-    recorder_.RecordRead(runtime->descriptor.id, granule,
-                         version->order_key);
+    recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key,
+                         /*registered=*/false, bound);
     return version->value;
   }
 }
 
-Result<const TimeWall*> HddController::ReleaseWallLocked(
-    std::unique_lock<std::mutex>& lock) {
-  const ClassId anchor = PickWallAnchor(*tst_);
+Result<const TimeWall*> HddController::ReleaseWallInternal(
+    std::shared_lock<std::shared_mutex>& gate, TxnRuntime* pin_for) {
+  // While a computation is mid-retry the idle trim stands down, so the
+  // finished straddlers its C^late queries may stab stay available.
+  struct ComputeGuard {
+    std::atomic<int>& count;
+    explicit ComputeGuard(std::atomic<int>& c) : count(c) { count.fetch_add(1); }
+    ~ComputeGuard() { count.fetch_sub(1); }
+  } compute_guard(wall_computing_);
+
   const Timestamp m = clock_->Tick();
   for (;;) {
+    // Load the finish counter BEFORE attempting: a finish landing during
+    // the attempt then wakes us immediately instead of being missed.
+    const std::uint64_t seq0 = finish_seq_.load();
+    // Re-derive the anchor each attempt — a Restructure during a wait may
+    // have rebuilt the class graph.
+    const ClassId anchor = PickWallAnchor(*tst_);
     auto wall = ComputeTimeWall(*eval_, num_classes_, anchor, m);
     if (wall.ok()) {
       wall->release_time = clock_->Tick();
+      std::lock_guard<std::mutex> wg(wall_mu_);
       walls_.push_back(*std::move(wall));
-      cv_.notify_all();
-      return &walls_.back();
+      const TimeWall* released = &walls_.back();
+      if (pin_for != nullptr) {
+        pin_for->wall = released;
+        ++wall_pins_[released];
+      }
+      return released;
     }
     if (wall.status().code() != StatusCode::kBusy) return wall.status();
-    // Some C^late is not yet computable: wait for a transaction to finish.
-    cv_.wait(lock);
+    // Some C^late is not yet computable: wait for an update transaction to
+    // finish, with the structure gate released.
+    gate.unlock();
+    {
+      std::unique_lock<std::mutex> fl(finish_mu_);
+      finish_cv_.wait(fl, [&] { return finish_seq_.load() != seq0; });
+    }
+    gate.lock();
   }
 }
 
 Status HddController::ReleaseNewWall() {
-  std::unique_lock<std::mutex> lock(mu_);
-  return ReleaseWallLocked(lock).status();
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  return ReleaseWallInternal(gate, nullptr).status();
 }
 
 Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
                             Value value) {
   HDD_RETURN_IF_ERROR(db_->Validate(granule));
-  std::unique_lock<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
   HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
   if (runtime->descriptor.read_only) {
     return Status::FailedPrecondition("read-only transaction wrote");
   }
-  const ClassId own_class = runtime->descriptor.txn_class;
-  if (class_of_segment_[granule.segment] != own_class) {
-    return Status::FailedPrecondition(
-        "transaction may write only its root segment");
-  }
-  const Timestamp ts = runtime->descriptor.init_ts;
-
   bool waited = false;
   for (;;) {
+    const ClassId own_class = runtime->descriptor.txn_class;
+    if (class_of_segment_[granule.segment] != own_class) {
+      return Status::FailedPrecondition(
+          "transaction may write only its root segment");
+    }
+    const Timestamp ts = runtime->descriptor.init_ts;
+    std::shared_ptr<ClassShard> shard = shards_[own_class];
+    std::unique_lock<std::mutex> shard_lock(shard->mu);
     Granule& g = db_->granule(granule);
     Version* own = g.Find(ts);
     if (own != nullptr) {
@@ -356,7 +478,10 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
       }
       if (!tip->committed) {
         waited = true;
-        cv_.wait(lock);
+        gate.unlock();
+        shard->cv.wait(shard_lock);
+        shard_lock.unlock();
+        gate.lock();
         continue;
       }
     } else {
@@ -380,48 +505,66 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
 }
 
 Status HddController::Commit(const TxnDescriptor& txn) {
-  std::lock_guard<std::mutex> guard(mu_);
-  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
-  for (GranuleRef granule : runtime->writes) {
-    Version* version =
-        db_->granule(granule).Find(runtime->descriptor.init_ts);
-    assert(version != nullptr);
-    version->committed = true;
-  }
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  HDD_ASSIGN_OR_RETURN(std::unique_ptr<TxnRuntime> runtime, ExtractTxn(txn));
   if (!runtime->descriptor.read_only) {
-    tables_[runtime->descriptor.txn_class].OnFinish(
-        runtime->descriptor.init_ts, clock_->Tick());
+    std::shared_ptr<ClassShard> shard =
+        shards_[runtime->descriptor.txn_class];
+    {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      for (GranuleRef granule : runtime->writes) {
+        Version* version =
+            db_->granule(granule).Find(runtime->descriptor.init_ts);
+        assert(version != nullptr);
+        version->committed = true;
+      }
+      shard->table.OnFinish(runtime->descriptor.init_ts, clock_->Tick());
+    }
+    shard->cv.notify_all();
+    SignalFinishEvent();
   }
-  txns_.erase(txn.id);
+  if (runtime->wall != nullptr) {
+    std::lock_guard<std::mutex> wg(wall_mu_);
+    auto it = wall_pins_.find(runtime->wall);
+    assert(it != wall_pins_.end());
+    if (--it->second == 0) wall_pins_.erase(it);
+  }
   recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
   metrics_.commits.fetch_add(1);
-  MaybeTrimHistoryLocked();
-  cv_.notify_all();
+  active_txns_.fetch_sub(1);
+  MaybeTrimHistory();
   return Status::OK();
 }
 
 Status HddController::Abort(const TxnDescriptor& txn) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = txns_.find(txn.id);
-  if (it == txns_.end()) {
-    return Status::FailedPrecondition("unknown or finished transaction");
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  HDD_ASSIGN_OR_RETURN(std::unique_ptr<TxnRuntime> runtime, ExtractTxn(txn));
+  if (!runtime->descriptor.read_only) {
+    std::shared_ptr<ClassShard> shard =
+        shards_[runtime->descriptor.txn_class];
+    {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      for (GranuleRef granule : runtime->writes) {
+        Status removed =
+            db_->granule(granule).Remove(runtime->descriptor.init_ts);
+        assert(removed.ok());
+        (void)removed;
+      }
+      shard->table.OnFinish(runtime->descriptor.init_ts, clock_->Tick());
+    }
+    shard->cv.notify_all();
+    SignalFinishEvent();
   }
-  TxnRuntime& runtime = it->second;
-  for (GranuleRef granule : runtime.writes) {
-    Status removed =
-        db_->granule(granule).Remove(runtime.descriptor.init_ts);
-    assert(removed.ok());
-    (void)removed;
+  if (runtime->wall != nullptr) {
+    std::lock_guard<std::mutex> wg(wall_mu_);
+    auto it = wall_pins_.find(runtime->wall);
+    assert(it != wall_pins_.end());
+    if (--it->second == 0) wall_pins_.erase(it);
   }
-  if (!runtime.descriptor.read_only) {
-    tables_[runtime.descriptor.txn_class].OnFinish(
-        runtime.descriptor.init_ts, clock_->Tick());
-  }
-  txns_.erase(it);
   recorder_.RecordOutcome(txn.id, TxnState::kAborted);
   metrics_.aborts.fetch_add(1);
-  MaybeTrimHistoryLocked();
-  cv_.notify_all();
+  active_txns_.fetch_sub(1);
+  MaybeTrimHistory();
   return Status::OK();
 }
 
@@ -431,145 +574,227 @@ Result<ClassId> HddController::Restructure(
   if (write_segments.empty()) {
     return Status::InvalidArgument("restructure needs a write segment");
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  for (SegmentId s : write_segments) {
-    if (s < 0 || s >= static_cast<int>(class_of_segment_.size())) {
-      return Status::InvalidArgument("write segment out of range");
-    }
-  }
-  for (SegmentId s : read_segments) {
-    if (s < 0 || s >= static_cast<int>(class_of_segment_.size())) {
-      return Status::InvalidArgument("read segment out of range");
-    }
-  }
+  // One restructure at a time: the class structure only changes under this
+  // mutex, so everything derived below (plan, affected set) stays valid
+  // across the drain even though the structure gate is released.
+  std::lock_guard<std::mutex> serial(restructure_mu_);
 
-  // Extend the current class graph with the ad-hoc pattern: force all
-  // write classes into one group (antiparallel arcs collapse under SCC
-  // condensation) and add the new read arcs, then legalize by merging.
-  Digraph extended = tst_->graph();
-  const ClassId primary = class_of_segment_[write_segments[0]];
-  for (SegmentId s : write_segments) {
-    const ClassId c = class_of_segment_[s];
-    if (c != primary) {
-      extended.AddArc(primary, c);
-      extended.AddArc(c, primary);
+  std::optional<Digraph> extended;
+  MergePlan plan;
+  ClassId primary = 0;
+  std::vector<int> group_size;
+  std::vector<std::shared_ptr<ClassShard>> affected;
+  {
+    std::shared_lock<std::shared_mutex> gate(struct_mu_);
+    for (SegmentId s : write_segments) {
+      if (s < 0 || s >= static_cast<int>(class_of_segment_.size())) {
+        return Status::InvalidArgument("write segment out of range");
+      }
     }
-  }
-  for (SegmentId s : read_segments) {
-    const ClassId c = class_of_segment_[s];
-    if (c != primary) extended.AddArc(primary, c);
-  }
-  MergePlan plan = MakeTstMergePlan(extended);
+    for (SegmentId s : read_segments) {
+      if (s < 0 || s >= static_cast<int>(class_of_segment_.size())) {
+        return Status::InvalidArgument("read segment out of range");
+      }
+    }
 
-  // Classes whose group gained members must drain before their activity
-  // tables merge.
-  std::vector<int> group_size(plan.num_groups, 0);
-  for (int label : plan.labels) ++group_size[label];
-  std::vector<bool> affected(num_classes_, false);
-  for (ClassId c = 0; c < num_classes_; ++c) {
-    affected[c] = group_size[plan.labels[c]] > 1;
-    if (affected[c]) draining_[c] = true;
-  }
-  cv_.wait(lock, [&] {
+    // Extend the current class graph with the ad-hoc pattern: force all
+    // write classes into one group (antiparallel arcs collapse under SCC
+    // condensation) and add the new read arcs, then legalize by merging.
+    extended = tst_->graph();
+    primary = class_of_segment_[write_segments[0]];
+    for (SegmentId s : write_segments) {
+      const ClassId c = class_of_segment_[s];
+      if (c != primary) {
+        extended->AddArc(primary, c);
+        extended->AddArc(c, primary);
+      }
+    }
+    for (SegmentId s : read_segments) {
+      const ClassId c = class_of_segment_[s];
+      if (c != primary) extended->AddArc(primary, c);
+    }
+    plan = MakeTstMergePlan(*extended);
+
+    // Classes whose group gained members must drain before their activity
+    // tables merge. Mark them draining (blocks new Begins) while still
+    // under the shared gate.
+    group_size.assign(plan.num_groups, 0);
+    for (int label : plan.labels) ++group_size[label];
     for (ClassId c = 0; c < num_classes_; ++c) {
-      if (affected[c] && tables_[c].num_active() > 0) return false;
+      if (group_size[plan.labels[c]] > 1) {
+        std::lock_guard<std::mutex> shard_lock(shards_[c]->mu);
+        shards_[c]->draining = true;
+        affected.push_back(shards_[c]);
+      }
     }
-    return true;
-  });
+  }
 
-  // Apply: rebuild segment->class map, merge activity tables, rebuild the
-  // semi-tree analysis and evaluator, and remap released walls (new bound
-  // = min of merged old bounds, the conservative cut).
-  std::vector<ClassActivityTable> new_tables(plan.num_groups);
-  for (ClassId c = 0; c < num_classes_; ++c) {
-    new_tables[plan.labels[c]].MergeFrom(std::move(tables_[c]));
+  // Partial quiescence (§7.1.1): wait for the affected classes to drain
+  // with no structure lock held — transactions of every other class, and
+  // the in-flight ones of the affected classes, keep running and
+  // finishing (each finish notifies its own shard's cv).
+  for (const std::shared_ptr<ClassShard>& shard : affected) {
+    std::unique_lock<std::mutex> shard_lock(shard->mu);
+    shard->cv.wait(shard_lock,
+                   [&] { return shard->table.num_active() == 0; });
   }
-  for (SegmentId s = 0; s < static_cast<int>(class_of_segment_.size());
-       ++s) {
-    class_of_segment_[s] = plan.labels[class_of_segment_[s]];
-  }
-  for (auto& [id, runtime] : txns_) {
-    (void)id;
-    if (!runtime.descriptor.read_only) {
-      runtime.descriptor.txn_class = plan.labels[runtime.descriptor.txn_class];
-    }
-  }
-  for (TimeWall& wall : walls_) {
-    std::vector<Timestamp> new_bound(plan.num_groups, kTimestampInfinity);
+
+  {
+    // The swap: the only exclusive hold of the structure gate anywhere.
+    std::unique_lock<std::shared_mutex> gate(struct_mu_);
+
+    // Singleton groups keep their shard object (threads parked on its cv
+    // or mid-wait stay attached to live state); merged groups get a fresh
+    // shard absorbing the drained tables.
+    std::vector<std::shared_ptr<ClassShard>> new_shards(plan.num_groups);
     for (ClassId c = 0; c < num_classes_; ++c) {
-      new_bound[plan.labels[c]] =
-          std::min(new_bound[plan.labels[c]], wall.bound[c]);
+      if (group_size[plan.labels[c]] == 1) {
+        new_shards[plan.labels[c]] = shards_[c];
+      }
     }
-    wall.bound = std::move(new_bound);
+    for (int g = 0; g < plan.num_groups; ++g) {
+      if (new_shards[g] == nullptr) {
+        new_shards[g] = std::make_shared<ClassShard>();
+      }
+    }
+    for (ClassId c = 0; c < num_classes_; ++c) {
+      if (group_size[plan.labels[c]] > 1) {
+        new_shards[plan.labels[c]]->table.MergeFrom(
+            std::move(shards_[c]->table));
+      }
+    }
+
+    for (SegmentId s = 0; s < static_cast<int>(class_of_segment_.size());
+         ++s) {
+      class_of_segment_[s] = plan.labels[class_of_segment_[s]];
+    }
+    for (TxnStripe& stripe : txn_stripes_) {
+      std::lock_guard<std::mutex> guard(stripe.mu);
+      for (auto& [id, runtime] : stripe.map) {
+        (void)id;
+        if (!runtime->descriptor.read_only) {
+          runtime->descriptor.txn_class =
+              plan.labels[runtime->descriptor.txn_class];
+        } else if (runtime->hosted_below != kReadOnlyClass) {
+          runtime->hosted_below = plan.labels[runtime->hosted_below];
+        }
+      }
+    }
+    {
+      // Remap released walls in place (new bound = min of merged old
+      // bounds, the conservative cut).
+      std::lock_guard<std::mutex> wg(wall_mu_);
+      for (TimeWall& wall : walls_) {
+        std::vector<Timestamp> new_bound(plan.num_groups,
+                                         kTimestampInfinity);
+        for (ClassId c = 0; c < num_classes_; ++c) {
+          new_bound[plan.labels[c]] =
+              std::min(new_bound[plan.labels[c]], wall.bound[c]);
+        }
+        wall.bound = std::move(new_bound);
+      }
+    }
+    Digraph quotient = Quotient(*extended, plan.labels, plan.num_groups);
+    auto tst = TstAnalysis::Create(quotient);
+    assert(tst.ok());
+    tst_ = std::make_unique<TstAnalysis>(std::move(tst).value());
+    shards_ = std::move(new_shards);
+    num_classes_ = plan.num_groups;
+    eval_ =
+        std::make_unique<ActivityLinkEvaluator>(tst_.get(), &shard_source_);
   }
-  Digraph quotient = Quotient(extended, plan.labels, plan.num_groups);
-  auto tst = TstAnalysis::Create(quotient);
-  assert(tst.ok());
-  tst_ = std::make_unique<TstAnalysis>(std::move(tst).value());
-  tables_ = std::move(new_tables);
-  num_classes_ = plan.num_groups;
-  draining_.assign(num_classes_, false);
-  eval_ = std::make_unique<ActivityLinkEvaluator>(tst_.get(), &tables_);
-  cv_.notify_all();
+
+  // Reopen the orphaned shards: Begins parked on them re-resolve their
+  // class through the structure gate and land on the merged shard.
+  for (const std::shared_ptr<ClassShard>& shard : affected) {
+    {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      shard->draining = false;
+    }
+    shard->cv.notify_all();
+  }
   return plan.labels[primary];
 }
 
+Timestamp HddController::WallMin(const TimeWall& wall) {
+  Timestamp lo = kTimestampInfinity;
+  for (Timestamp b : wall.bound) lo = std::min(lo, b);
+  return lo;
+}
+
 Timestamp HddController::SafeGcHorizon() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return SafeGcHorizonLocked();
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  std::lock_guard<std::mutex> wg(wall_mu_);
+  return ComputeSafeGcHorizon();
+}
+
+Timestamp HddController::ComputeSafeGcHorizon() const {
+  Timestamp horizon = clock_->Now() + 1;
+  for (const std::shared_ptr<ClassShard>& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    horizon = std::min(horizon, shard->table.OldestActiveNow());
+  }
+  if (!walls_.empty()) {
+    horizon = std::min(horizon, WallMin(walls_.back()));
+  }
+  for (const auto& [wall, pins] : wall_pins_) {
+    (void)pins;
+    horizon = std::min(horizon, WallMin(*wall));
+  }
+  return horizon;
 }
 
 std::size_t HddController::CollectGarbage() {
-  // Holding mu_ across the sweep is what makes this safe against running
-  // transactions: every version-chain access in this controller happens
-  // under mu_.
-  std::lock_guard<std::mutex> guard(mu_);
-  const Timestamp horizon = SafeGcHorizonLocked();
-  last_gc_horizon_ = std::max(last_gc_horizon_, horizon);
-  return db_->CollectGarbage(horizon);
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  Timestamp horizon;
+  {
+    // Fix the horizon and raise the AS-OF guard in one critical section:
+    // a Begin pinning a wall validates against last_gc_horizon_ under the
+    // same mutex, so it either pins before we compute (and the pin lowers
+    // the horizon) or observes the raised guard and is rejected.
+    std::lock_guard<std::mutex> wg(wall_mu_);
+    horizon = ComputeSafeGcHorizon();
+    last_gc_horizon_ = std::max(last_gc_horizon_, horizon);
+  }
+  // Prune segment by segment under the owning class's shard latch — the
+  // latch every version-chain access in this controller takes. New
+  // transactions beginning meanwhile get initiation times above the
+  // horizon, so the cut stays safe.
+  std::size_t removed = 0;
+  for (SegmentId s = 0; s < static_cast<int>(class_of_segment_.size());
+       ++s) {
+    std::shared_ptr<ClassShard> shard = shards_[class_of_segment_[s]];
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    removed += db_->CollectGarbageSegment(s, horizon);
+  }
+  return removed;
 }
 
 std::size_t HddController::ActivityHistorySize() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
   std::size_t total = 0;
-  for (const ClassActivityTable& table : tables_) {
-    total += table.history_size();
+  for (const std::shared_ptr<ClassShard>& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    total += shard->table.history_size();
   }
   return total;
 }
 
-void HddController::MaybeTrimHistoryLocked() {
-  if (!options_.auto_trim_history || !txns_.empty()) return;
+void HddController::MaybeTrimHistory() {
+  if (!options_.auto_trim_history) return;
   // Idle point: no transaction of any kind in flight. Every future
   // activity-link chain starts at an initiation time above the current
   // clock and, by induction over the chain, never stabs a time at or
-  // below it; records that ended by now are dead.
+  // below it; records that ended by now are dead. Order matters: read the
+  // clock FIRST, then re-check the counter — a Begin that slips past the
+  // check ticked after our clock read, so its chains stay above `now`.
   const Timestamp now = clock_->Now();
-  for (ClassActivityTable& table : tables_) {
-    table.TrimFinishedBefore(now);
+  if (active_txns_.load() != 0) return;
+  if (wall_computing_.load() != 0) return;
+  for (const std::shared_ptr<ClassShard>& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->table.TrimFinishedBefore(now);
   }
-}
-
-Timestamp HddController::SafeGcHorizonLocked() const {
-  Timestamp horizon = clock_->Now() + 1;
-  for (const ClassActivityTable& table : tables_) {
-    horizon = std::min(horizon, table.OldestActiveNow());
-  }
-  auto wall_min = [](const TimeWall& wall) {
-    Timestamp lo = kTimestampInfinity;
-    for (Timestamp b : wall.bound) lo = std::min(lo, b);
-    return lo;
-  };
-  if (!walls_.empty()) {
-    horizon = std::min(horizon, wall_min(walls_.back()));
-  }
-  for (const auto& [id, runtime] : txns_) {
-    (void)id;
-    if (runtime.wall != nullptr) {
-      horizon = std::min(horizon, wall_min(*runtime.wall));
-    }
-  }
-  return horizon;
 }
 
 }  // namespace hdd

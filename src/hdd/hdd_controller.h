@@ -1,12 +1,14 @@
 #ifndef HDD_HDD_HDD_CONTROLLER_H_
 #define HDD_HDD_HDD_CONTROLLER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -56,6 +58,37 @@ struct HddControllerOptions {
 /// Classes start out 1:1 with the schema's segments; `Restructure`
 /// (paper §7.1.1) merges classes at run time to legalize an ad-hoc access
 /// pattern, draining only the affected classes first.
+///
+/// ## Locking model (per-class sharding)
+///
+/// The controller takes the decomposition literally: concurrency-control
+/// state is sharded by class, so transactions of different classes never
+/// contend on a latch.
+///
+///  * One `ClassShard` per class holds the class's activity table and a
+///    latch guarding it *and* the version chains of every segment the
+///    class owns. Protocol B work touches exactly one shard.
+///  * Protocol A reads evaluate the activity link bound by locking each
+///    class shard on the critical path one at a time (never two at once):
+///    I^old/C^late values at or below the clock are stable, so the
+///    class-by-class walk equals an atomic snapshot — this is what lets
+///    cross-segment reads proceed without any global latch.
+///  * A `std::shared_mutex` structure gate protects the class structure
+///    itself (segment->class map, semi-tree analysis, the shard vector).
+///    Every operation holds it shared; only `Restructure`'s short swap
+///    window takes it exclusively. No thread ever sleeps on a condition
+///    variable while holding the gate.
+///  * Released time walls, wall pin counts and the GC horizon live under
+///    a dedicated wall mutex; the transaction registry is striped.
+///
+/// Latch order: structure gate (shared) -> { txn stripe | wall mutex ->
+/// class shard }. Data paths hold at most one class shard at a time;
+/// only Restructure (itself serialized) touches several.
+///
+/// Drivers follow the usual controller contract: each in-flight
+/// transaction is driven by one thread at a time (concurrent calls for
+/// *different* transactions are the point; concurrent calls for the same
+/// transaction are not supported).
 class HddController : public ConcurrencyController {
  public:
   /// The schema must be TST-hierarchical (enforced by HierarchySchema).
@@ -99,80 +132,168 @@ class HddController : public ConcurrencyController {
   Result<ClassId> Restructure(const std::vector<SegmentId>& write_segments,
                               const std::vector<SegmentId>& read_segments);
 
-  /// A version-GC horizon currently safe for Database::CollectGarbage:
-  /// below the initiation time of every active transaction and below every
+  /// A version-GC horizon currently safe for garbage collection: below
+  /// the initiation time of every active transaction and below every
   /// wall component still reachable by read-only transactions (§7.3).
   Timestamp SafeGcHorizon() const;
 
   /// §7.3 garbage collection, safe to call concurrently with running
-  /// transactions: holds the controller's latch (which serializes all
-  /// version-chain access) while pruning at the safe horizon. Returns the
-  /// number of versions removed.
+  /// transactions: fixes a safe horizon under the wall mutex, then prunes
+  /// segment by segment under the owning class's shard latch — the same
+  /// latch every version-chain access in this controller takes.
+  /// Returns the number of versions removed.
   std::size_t CollectGarbage();
 
   /// Total finished-history records across all class activity tables
   /// (observability for the trimming behaviour).
   std::size_t ActivityHistorySize() const;
 
-  /// Exposes the evaluator for tests and benchmarks of the link functions.
+  /// Exposes the evaluator for tests and benchmarks of the link
+  /// functions. The evaluator latches each class shard it consults, so
+  /// calls are safe alongside running transactions (though not alongside
+  /// a concurrent Restructure).
   const ActivityLinkEvaluator& evaluator() const { return *eval_; }
   const TstAnalysis& class_tst() const { return *tst_; }
 
  private:
+  /// Per-class concurrency-control state. `mu` guards the activity table,
+  /// the draining flag AND the version chains of every segment currently
+  /// owned by this class. `cv` wakes (a) Protocol B/C readers and writers
+  /// blocked on an uncommitted version created by a transaction of this
+  /// class, (b) Begins blocked on draining, and (c) a Restructure drain
+  /// waiting for the class's active count to reach zero.
+  ///
+  /// Shards are held by shared_ptr so that a thread parked on `cv` across
+  /// a Restructure (which may replace the shard) still owns the object it
+  /// sleeps on; Restructure wakes such orphans after the swap and they
+  /// re-resolve their class through the structure gate.
+  struct ClassShard {
+    std::mutex mu;
+    std::condition_variable cv;
+    ClassActivityTable table;
+    bool draining = false;
+  };
+
+  /// ActivityTableSource over the shard vector: latches the owning shard
+  /// around each I^old / C^late query (one shard at a time). Callers must
+  /// hold the structure gate (shared suffices) so `shards_` is stable.
+  class ShardTableSource : public ActivityTableSource {
+   public:
+    explicit ShardTableSource(const HddController* owner) : owner_(owner) {}
+    Timestamp OldestActiveAt(ClassId c, Timestamp m) const override;
+    Result<Timestamp> LatestEndAt(ClassId c, Timestamp m) const override;
+
+   private:
+    const HddController* owner_;
+  };
+
   struct TxnRuntime {
     TxnDescriptor descriptor;
-    std::vector<GranuleRef> writes;
+    std::vector<GranuleRef> writes;  // touched only by the driving thread
     const TimeWall* wall = nullptr;  // Protocol C wall, fixed at first read
     /// For hosted read-only transactions (§5.0): the lowest class of the
     /// declared critical path; kReadOnlyClass when not hosted.
     ClassId hosted_below = kReadOnlyClass;
   };
 
+  /// Registry of in-flight transactions, striped by id so Begin/Commit of
+  /// unrelated transactions do not contend. The unique_ptr keeps each
+  /// runtime at a stable address across rehashes.
+  static constexpr std::size_t kTxnStripes = 16;
+  struct alignas(64) TxnStripe {
+    std::mutex mu;
+    std::unordered_map<TxnId, std::unique_ptr<TxnRuntime>> map;
+  };
+
+  TxnStripe& StripeFor(TxnId id) { return txn_stripes_[id % kTxnStripes]; }
+  /// Looks up a runtime; the pointer stays valid until the driving thread
+  /// finishes the transaction (single-driver contract).
   Result<TxnRuntime*> FindTxn(const TxnDescriptor& txn);
+  /// Removes and returns the runtime (Commit/Abort claim ownership so a
+  /// second finish observes FailedPrecondition).
+  Result<std::unique_ptr<TxnRuntime>> ExtractTxn(const TxnDescriptor& txn);
 
   /// Validates a read_scope declaration and returns the lowest class of
-  /// the critical path it spans, or an error.
+  /// the critical path it spans, or an error. Caller holds the structure
+  /// gate.
   Result<ClassId> ResolveHostClass(const std::vector<SegmentId>& scope);
 
-  Result<Value> ReadHosted(TxnRuntime* runtime, GranuleRef granule);
-
-  Timestamp SafeGcHorizonLocked() const;
-  void MaybeTrimHistoryLocked();
-
-  /// Protocol B read/write under mu_.
-  Result<Value> ReadOwnSegment(std::unique_lock<std::mutex>& lock,
+  /// Read paths. All take the caller's structure-gate lock so they can
+  /// release it (and reacquire after) around any condition-variable wait.
+  Result<Value> ReadOwnSegment(std::shared_lock<std::shared_mutex>& gate,
                                TxnRuntime* runtime, GranuleRef granule);
   Result<Value> ReadHigherSegment(TxnRuntime* runtime, GranuleRef granule,
                                   ClassId own_class, ClassId target_class);
-  Result<Value> ReadUnderWall(std::unique_lock<std::mutex>& lock,
+  Result<Value> ReadHosted(TxnRuntime* runtime, GranuleRef granule);
+  Result<Value> ReadUnderWall(std::shared_lock<std::shared_mutex>& gate,
                               TxnRuntime* runtime, GranuleRef granule);
 
-  /// Computes and releases a wall; assumes lock held, may wait on cv_.
-  Result<const TimeWall*> ReleaseWallLocked(
-      std::unique_lock<std::mutex>& lock);
+  /// Computes and releases a wall; caller holds the structure gate
+  /// (shared), which is released and reacquired around waits for a
+  /// finish event while some C^late is not yet computable. When
+  /// `pin_for` is non-null the new wall is pinned to that transaction in
+  /// the same critical section that publishes it, so the GC horizon can
+  /// never slip past it first.
+  Result<const TimeWall*> ReleaseWallInternal(
+      std::shared_lock<std::shared_mutex>& gate, TxnRuntime* pin_for);
+
+  /// Minimum over bound components of a wall.
+  static Timestamp WallMin(const TimeWall& wall);
+  /// Caller holds the structure gate (shared) and wall_mu_; takes each
+  /// class shard briefly.
+  Timestamp ComputeSafeGcHorizon() const;
+  /// Idle-point history trim; caller holds the structure gate (shared).
+  void MaybeTrimHistory();
+  /// Announces a finished update transaction to wall computations.
+  void SignalFinishEvent();
 
   HddControllerOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
 
-  // Class structure (mutable via Restructure).
+  /// Structure gate: guards class_of_segment_, num_classes_, tst_, eval_
+  /// and the shards_ vector (all swapped by Restructure), plus wall bound
+  /// vectors' *shape*. Shared for every operation, exclusive only for the
+  /// Restructure swap. Never held across a cv wait.
+  mutable std::shared_mutex struct_mu_;
   std::vector<ClassId> class_of_segment_;
   int num_classes_ = 0;
   std::unique_ptr<TstAnalysis> tst_;
-  std::vector<ClassActivityTable> tables_;
+  std::vector<std::shared_ptr<ClassShard>> shards_;
+  ShardTableSource shard_source_{this};
   std::unique_ptr<ActivityLinkEvaluator> eval_;
 
-  /// Classes currently draining for a Restructure; Begins targeting them
-  /// wait so the drain cannot be starved by a stream of new transactions.
-  std::vector<bool> draining_;
-
-  std::deque<TimeWall> walls_;  // released walls, stable addresses
-  /// Highest horizon ever passed to CollectGarbage; AS-OF transactions
-  /// targeting walls below it are rejected (their versions may be gone).
-  /// Note: collections issued directly on the Database bypass this guard.
+  /// Walls and their pins. walls_ is append-only (stable addresses);
+  /// wall_pins_ maps a pinned wall to the number of read-only
+  /// transactions currently reading under it. last_gc_horizon_ is the
+  /// highest horizon ever passed to garbage collection; AS-OF
+  /// transactions targeting walls below it are rejected (their versions
+  /// may be gone). Note: collections issued directly on the Database
+  /// bypass this guard.
+  mutable std::mutex wall_mu_;
+  std::deque<TimeWall> walls_;
+  std::unordered_map<const TimeWall*, int> wall_pins_;
   Timestamp last_gc_horizon_ = kTimestampMin;
-  std::unordered_map<TxnId, TxnRuntime> txns_;
-  TxnId next_txn_id_ = 1;
+
+  std::array<TxnStripe, kTxnStripes> txn_stripes_;
+  std::atomic<TxnId> next_txn_id_{1};
+
+  /// All in-flight transactions (update + read-only). Incremented before
+  /// the initiation tick, decremented after the finish bookkeeping; the
+  /// idle-point trim re-checks it against a clock reading so any
+  /// concurrent Begin is guaranteed a later initiation timestamp.
+  std::atomic<std::int64_t> active_txns_{0};
+
+  /// Wall computations in flight; the idle trim stands down while one is
+  /// mid-retry so finished straddlers it may still stab stay available.
+  std::atomic<int> wall_computing_{0};
+
+  /// Finish-event channel: wall computations blocked on a not-yet
+  /// computable C^late wait here for any update transaction to finish.
+  std::atomic<std::uint64_t> finish_seq_{0};
+  std::mutex finish_mu_;
+  std::condition_variable finish_cv_;
+
+  /// Serializes Restructure calls (drain + swap).
+  std::mutex restructure_mu_;
 
   // §5.2 wall pacer.
   std::thread pacer_;

@@ -4,10 +4,14 @@
 
 namespace hdd {
 
+ActivityLinkEvaluator::ActivityLinkEvaluator(const TstAnalysis* tst,
+                                             const ActivityTableSource* source)
+    : tst_(tst), source_(source), owned_vector_source_(nullptr) {}
+
 ActivityLinkEvaluator::ActivityLinkEvaluator(
     const TstAnalysis* tst, const std::vector<ClassActivityTable>* tables)
-    : tst_(tst), tables_(tables) {
-  assert(static_cast<int>(tables_->size()) == tst_->graph().num_nodes());
+    : tst_(tst), source_(&owned_vector_source_), owned_vector_source_(tables) {
+  assert(static_cast<int>(tables->size()) == tst_->graph().num_nodes());
 }
 
 Result<Timestamp> ActivityLinkEvaluator::A(ClassId i, ClassId j,
@@ -18,7 +22,7 @@ Result<Timestamp> ActivityLinkEvaluator::A(ClassId i, ClassId j,
   }
   Timestamp value = m;
   for (std::size_t k = 1; k < path->size(); ++k) {
-    value = (*tables_)[(*path)[k]].OldestActiveAt(value);
+    value = source_->OldestActiveAt((*path)[k], value);
   }
   return value;
 }
@@ -35,7 +39,7 @@ Result<Timestamp> ActivityLinkEvaluator::B(ClassId j, ClassId i,
   // that pairing is what makes Properties 2.1 (A(B(m)) >= m) and 2.2
   // (A(B(m)-e) < m) hold class by class.
   for (auto it = path->rbegin(); std::next(it) != path->rend(); ++it) {
-    HDD_ASSIGN_OR_RETURN(value, (*tables_)[*it].LatestEndAt(value));
+    HDD_ASSIGN_OR_RETURN(value, source_->LatestEndAt(*it, value));
   }
   return value;
 }
@@ -56,19 +60,18 @@ Result<Timestamp> ActivityLinkEvaluator::E(ClassId s, ClassId i,
       // start, as A does.
       while (pos + 1 < ucp->size() &&
              tst_->IsCriticalArc((*ucp)[pos], (*ucp)[pos + 1])) {
-        value = (*tables_)[(*ucp)[pos + 1]].OldestActiveAt(value);
+        value = source_->OldestActiveAt((*ucp)[pos + 1], value);
         ++pos;
       }
     } else {
       assert(tst_->IsCriticalArc(next, here));
       // Descending run: apply C^late at every class from the run's top
       // down to — but excluding — the run's bottom, as B does.
-      HDD_ASSIGN_OR_RETURN(value, (*tables_)[here].LatestEndAt(value));
+      HDD_ASSIGN_OR_RETURN(value, source_->LatestEndAt(here, value));
       ++pos;  // now standing on the class below the run's top
       while (pos + 1 < ucp->size() &&
              tst_->IsCriticalArc((*ucp)[pos + 1], (*ucp)[pos])) {
-        HDD_ASSIGN_OR_RETURN(value,
-                             (*tables_)[(*ucp)[pos]].LatestEndAt(value));
+        HDD_ASSIGN_OR_RETURN(value, source_->LatestEndAt((*ucp)[pos], value));
         ++pos;
       }
     }

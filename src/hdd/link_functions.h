@@ -11,9 +11,50 @@
 
 namespace hdd {
 
+/// Where the activity-link evaluator gets its per-class I^old / C^late
+/// values from. The single-threaded tools read a plain table vector; the
+/// sharded controller implements this by taking the owning class's latch
+/// around each query, so an evaluation walking a critical path holds at
+/// most ONE class latch at a time.
+///
+/// Per-query locking is sound because both functions are *stable*: for any
+/// v at or below the clock, every transaction that could straddle v has
+/// already initiated (initiation timestamps are issued monotonically), so
+/// later begins/finishes never change I^old(v), and C^late(v) — once
+/// computable — is fixed. A class-by-class evaluation therefore returns
+/// the same value an atomic snapshot would.
+class ActivityTableSource {
+ public:
+  virtual ~ActivityTableSource() = default;
+
+  /// The paper's I^old_c(m).
+  virtual Timestamp OldestActiveAt(ClassId c, Timestamp m) const = 0;
+
+  /// The paper's C^late_c(m); kBusy when not yet computable.
+  virtual Result<Timestamp> LatestEndAt(ClassId c, Timestamp m) const = 0;
+};
+
+/// Source over a plain table vector (no locking — single-threaded tools
+/// and tests).
+class VectorTableSource : public ActivityTableSource {
+ public:
+  explicit VectorTableSource(const std::vector<ClassActivityTable>* tables)
+      : tables_(tables) {}
+
+  Timestamp OldestActiveAt(ClassId c, Timestamp m) const override {
+    return (*tables_)[c].OldestActiveAt(m);
+  }
+  Result<Timestamp> LatestEndAt(ClassId c, Timestamp m) const override {
+    return (*tables_)[c].LatestEndAt(m);
+  }
+
+ private:
+  const std::vector<ClassActivityTable>* tables_;
+};
+
 /// Evaluates the paper's activity-link machinery over a transaction
 /// hierarchy graph (a TstAnalysis over class nodes) backed by one
-/// ClassActivityTable per class:
+/// activity history per class:
 ///
 ///  * A_i^j(m) (§4.1): walk the critical path i -> ... -> j upward,
 ///    applying I^old at every class above i. A_i^i(m) = m.
@@ -29,8 +70,13 @@ namespace hdd {
 /// time with an unresolved transaction; callers retry after commits.
 class ActivityLinkEvaluator {
  public:
-  /// Neither pointer is owned; `tables` must have one entry per class node
-  /// of `tst`.
+  /// Neither pointer is owned; `source` must serve every class node of
+  /// `tst`.
+  ActivityLinkEvaluator(const TstAnalysis* tst,
+                        const ActivityTableSource* source);
+
+  /// Convenience for single-threaded use: wraps `tables` in an owned
+  /// VectorTableSource. `tables` must have one entry per class node.
   ActivityLinkEvaluator(const TstAnalysis* tst,
                         const std::vector<ClassActivityTable>* tables);
 
@@ -47,7 +93,8 @@ class ActivityLinkEvaluator {
 
  private:
   const TstAnalysis* tst_;
-  const std::vector<ClassActivityTable>* tables_;
+  const ActivityTableSource* source_;
+  VectorTableSource owned_vector_source_;  // used by the vector constructor
 };
 
 }  // namespace hdd

@@ -68,12 +68,18 @@ std::size_t Database::TotalVersions() const {
 std::size_t Database::CollectGarbage(Timestamp horizon) {
   std::size_t removed = 0;
   for (int s = 0; s < num_segments(); ++s) {
-    Segment& seg = segment(s);
-    const std::uint32_t count = seg.size();
-    std::lock_guard<std::mutex> guard(seg.latch());
-    for (std::uint32_t i = 0; i < count; ++i) {
-      removed += seg.granule(i).Prune(horizon);
-    }
+    removed += CollectGarbageSegment(s, horizon);
+  }
+  return removed;
+}
+
+std::size_t Database::CollectGarbageSegment(SegmentId s, Timestamp horizon) {
+  Segment& seg = segment(s);
+  const std::uint32_t count = seg.size();
+  std::lock_guard<std::mutex> guard(seg.latch());
+  std::size_t removed = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    removed += seg.granule(i).Prune(horizon);
   }
   return removed;
 }

@@ -81,6 +81,11 @@ class Database {
   /// (see Granule::Prune). Returns the number of versions removed.
   std::size_t CollectGarbage(Timestamp horizon);
 
+  /// Prunes one segment against `horizon` under that segment's latch.
+  /// Lets a controller with per-segment latching collect incrementally
+  /// while transactions keep running in other segments.
+  std::size_t CollectGarbageSegment(SegmentId s, Timestamp horizon);
+
  private:
   std::vector<std::unique_ptr<Segment>> segments_;
 };

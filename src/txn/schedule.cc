@@ -1,64 +1,92 @@
 #include "txn/schedule.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace hdd {
 
+ScheduleRecorder::Stripe& ScheduleRecorder::MyStripe() {
+  // One stripe per thread (hashed); distinct workers almost always land on
+  // distinct stripes, so recording never funnels through a single mutex.
+  static thread_local const std::size_t slot =
+      std::hash<std::thread::id>()(std::this_thread::get_id());
+  return stripes_[slot % kStripes];
+}
+
 void ScheduleRecorder::RecordBegin(TxnId txn, ClassId txn_class,
-                                   bool read_only) {
-  std::lock_guard<std::mutex> guard(mu_);
-  identities_[txn] = TxnIdentity{txn_class, read_only};
+                                   bool read_only, Timestamp init_ts) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> guard(meta_mu_);
+  identities_[txn] = TxnIdentity{txn_class, read_only, init_ts};
 }
 
 void ScheduleRecorder::RecordRead(TxnId txn, GranuleRef granule,
-                                  std::uint64_t version, bool registered) {
-  Record(txn, Step::Action::kRead, granule, version, registered);
+                                  std::uint64_t version, bool registered,
+                                  Timestamp bound) {
+  Record(txn, Step::Action::kRead, granule, version, registered, bound);
 }
 
 void ScheduleRecorder::RecordWrite(TxnId txn, GranuleRef granule,
                                    std::uint64_t version) {
-  Record(txn, Step::Action::kWrite, granule, version, false);
+  Record(txn, Step::Action::kWrite, granule, version, false, kTimestampMin);
 }
 
 void ScheduleRecorder::Record(TxnId txn, Step::Action action,
                               GranuleRef granule, std::uint64_t version,
-                              bool registered) {
-  std::lock_guard<std::mutex> guard(mu_);
+                              bool registered, Timestamp bound) {
+  if (!enabled()) return;
   Step step;
   step.txn = txn;
   step.action = action;
   step.granule = granule;
   step.version = version;
   step.registered = registered;
-  step.seq = next_seq_++;
-  steps_.push_back(step);
+  step.bound = bound;
+  step.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = MyStripe();
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  stripe.steps.push_back(step);
 }
 
 void ScheduleRecorder::RecordOutcome(TxnId txn, TxnState outcome) {
-  std::lock_guard<std::mutex> guard(mu_);
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> guard(meta_mu_);
   outcomes_[txn] = outcome;
 }
 
 std::vector<Step> ScheduleRecorder::steps() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return steps_;
+  std::vector<Step> all;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    all.insert(all.end(), stripe.steps.begin(), stripe.steps.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Step& a, const Step& b) { return a.seq < b.seq; });
+  return all;
 }
 
 std::unordered_map<TxnId, TxnState> ScheduleRecorder::outcomes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(meta_mu_);
   return outcomes_;
 }
 
 std::unordered_map<TxnId, ScheduleRecorder::TxnIdentity>
 ScheduleRecorder::identities() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(meta_mu_);
   return identities_;
 }
 
 void ScheduleRecorder::Clear() {
-  std::lock_guard<std::mutex> guard(mu_);
-  steps_.clear();
-  outcomes_.clear();
-  identities_.clear();
-  next_seq_ = 0;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    stripe.steps.clear();
+  }
+  {
+    std::lock_guard<std::mutex> guard(meta_mu_);
+    outcomes_.clear();
+    identities_.clear();
+  }
+  next_seq_.store(0);
 }
 
 }  // namespace hdd

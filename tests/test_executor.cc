@@ -1,0 +1,125 @@
+// Unit tests for the executor's latency accounting: per-thread reservoir
+// sampling (Vitter's algorithm R) and the weighted merge that turns the
+// per-thread reservoirs into workload-level percentiles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/executor.h"
+
+namespace hdd {
+namespace {
+
+TEST(LatencyReservoirTest, KeepsEverythingBelowCapacity) {
+  LatencyReservoir r(/*capacity=*/8, /*seed=*/3);
+  for (double v : {5.0, 1.0, 9.0, 2.0, 7.0}) r.Add(v);
+  EXPECT_EQ(r.count(), 5u);
+  EXPECT_EQ(r.samples().size(), 5u);
+  EXPECT_DOUBLE_EQ(r.max_us(), 9.0);
+}
+
+TEST(LatencyReservoirTest, SampleSizeStaysBounded) {
+  LatencyReservoir r(/*capacity=*/64, /*seed=*/11);
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    r.Add(static_cast<double>(rng.NextBounded(1000)));
+  }
+  EXPECT_EQ(r.count(), 10000u);
+  EXPECT_EQ(r.samples().size(), 64u);
+}
+
+TEST(LatencyReservoirTest, DeterministicPerSeed) {
+  LatencyReservoir a(/*capacity=*/32, /*seed=*/7);
+  LatencyReservoir b(/*capacity=*/32, /*seed=*/7);
+  LatencyReservoir c(/*capacity=*/32, /*seed=*/8);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = static_cast<double>(i % 997);
+    a.Add(v);
+    b.Add(v);
+    c.Add(v);
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+  // Different seed, same stream: counts and max agree, the retained
+  // sample (almost surely) does not.
+  EXPECT_EQ(a.count(), c.count());
+  EXPECT_DOUBLE_EQ(a.max_us(), c.max_us());
+  EXPECT_NE(a.samples(), c.samples());
+}
+
+TEST(LatencyReservoirTest, MaxIsExactEvenWhenEvictedFromSample) {
+  // With capacity 2 the maximum is very likely dropped from the sample at
+  // some point; max_us() must still report it exactly.
+  LatencyReservoir r(/*capacity=*/2, /*seed=*/5);
+  for (int i = 1; i <= 1000; ++i) r.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(r.max_us(), 1000.0);
+  for (double v : r.samples()) EXPECT_LE(v, 1000.0);
+}
+
+TEST(MergeReservoirsTest, EmptyPartsYieldZeroDigest) {
+  const LatencyDigest empty = MergeReservoirs({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p50_us, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max_us, 0.0);
+
+  std::vector<LatencyReservoir> parts;
+  parts.emplace_back(16, 1);
+  const LatencyDigest still_empty = MergeReservoirs(parts);
+  EXPECT_EQ(still_empty.count, 0u);
+}
+
+TEST(MergeReservoirsTest, ExactPercentilesWhenNothingWasSampledOut) {
+  // 900 fast + 100 slow observations, all retained (capacity is large):
+  // p50 lands in the fast mass, p95 and p99 in the slow tail.
+  std::vector<LatencyReservoir> parts;
+  parts.emplace_back(4096, 1);
+  parts.emplace_back(4096, 2);
+  for (int i = 0; i < 900; ++i) parts[0].Add(10.0);
+  for (int i = 0; i < 100; ++i) parts[1].Add(1000.0);
+
+  const LatencyDigest digest = MergeReservoirs(parts);
+  EXPECT_EQ(digest.count, 1000u);
+  EXPECT_DOUBLE_EQ(digest.p50_us, 10.0);
+  EXPECT_DOUBLE_EQ(digest.p95_us, 1000.0);
+  EXPECT_DOUBLE_EQ(digest.p99_us, 1000.0);
+  EXPECT_DOUBLE_EQ(digest.max_us, 1000.0);
+}
+
+TEST(MergeReservoirsTest, BusyThreadsOutweighIdleOnes) {
+  // Thread A saw 1000 observations of 5µs but retains only 4 samples;
+  // thread B saw 4 observations of 100µs and retains all of them. Plain
+  // concatenation would put the median between the two populations;
+  // weighting each retained sample by count/size keeps the percentiles
+  // with the busy thread, and only the exact max reflects the idle one.
+  std::vector<LatencyReservoir> parts;
+  parts.emplace_back(4, 1);
+  parts.emplace_back(4, 2);
+  for (int i = 0; i < 1000; ++i) parts[0].Add(5.0);
+  for (int i = 0; i < 4; ++i) parts[1].Add(100.0);
+
+  const LatencyDigest digest = MergeReservoirs(parts);
+  EXPECT_EQ(digest.count, 1004u);
+  EXPECT_DOUBLE_EQ(digest.p50_us, 5.0);
+  EXPECT_DOUBLE_EQ(digest.p99_us, 5.0);  // 0.99 * 1004 < weight of the 5s
+  EXPECT_DOUBLE_EQ(digest.max_us, 100.0);
+}
+
+TEST(MergeReservoirsTest, PercentilesAreMonotone) {
+  std::vector<LatencyReservoir> parts;
+  for (std::uint64_t t = 0; t < 4; ++t) parts.emplace_back(128, t + 1);
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    parts[i % 4].Add(static_cast<double>(rng.NextBounded(100000)) / 7.0);
+  }
+  const LatencyDigest digest = MergeReservoirs(parts);
+  EXPECT_EQ(digest.count, 20000u);
+  EXPECT_GT(digest.p50_us, 0.0);
+  EXPECT_LE(digest.p50_us, digest.p95_us);
+  EXPECT_LE(digest.p95_us, digest.p99_us);
+  EXPECT_LE(digest.p99_us, digest.max_us);
+}
+
+}  // namespace
+}  // namespace hdd
