@@ -1,27 +1,43 @@
 #!/usr/bin/env bash
-# Full verification: Release build + tests, then ThreadSanitizer build +
-# tests. The concurrency suite (stress, fuzz, concurrent oracle) must be
-# race-free under TSan.
+# Full verification, in escalating tiers:
+#   1. Release build + tier-1 tests (the fast gate), then the full suite.
+#   2. Deterministic-simulation stage: the model checker sweeps seeded
+#      schedules of the HDD workload under fault injection (seed count
+#      overridable via HDD_SIM_SEEDS; failing seeds print a replay
+#      command of the form HDD_SIM_FIRST_SEED=<seed> HDD_SIM_SEEDS=1 ...).
+#   3. ThreadSanitizer build + tests. The concurrency suite (stress, fuzz,
+#      concurrent oracle, sim) must be race-free; the sim sweep runs with
+#      a reduced seed corpus since TSan is ~10x slower.
 #
 # Usage: ci/check.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+SIM_SEEDS="${HDD_SIM_SEEDS:-2000}"
+SIM_SEEDS_TSAN="${HDD_SIM_SEEDS_TSAN:-100}"
 
 echo "=== Release build ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$JOBS"
-echo "=== Release tests ==="
-(cd build && ctest --output-on-failure -j "$JOBS")
+echo "=== Tier-1 tests (fast gate) ==="
+(cd build && ctest --output-on-failure -j "$JOBS" -L tier1)
+echo "=== Full Release suite ==="
+(cd build && ctest --output-on-failure -j "$JOBS" -LE sim)
+
+echo "=== Simulation sweep ($SIM_SEEDS seeds) ==="
+(cd build && HDD_SIM_SEEDS="$SIM_SEEDS" \
+  ctest --output-on-failure -L sim)
 
 echo "=== ThreadSanitizer build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHDD_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 echo "=== ThreadSanitizer tests ==="
-# halt_on_error so any reported race fails the suite loudly.
+# halt_on_error so any reported race fails the suite loudly; the sim
+# sweep shrinks to keep the TSan stage's runtime sane.
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+  HDD_SIM_SEEDS="$SIM_SEEDS_TSAN" HDD_SIM_CANARY_SEEDS=50 \
   ctest --output-on-failure -j "$JOBS")
 
 echo "=== All checks passed ==="

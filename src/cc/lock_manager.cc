@@ -5,6 +5,8 @@
 #include <chrono>
 #include <vector>
 
+#include "common/sim_hook.h"
+
 namespace hdd {
 
 namespace {
@@ -43,7 +45,7 @@ void LockManager::GrantEligible(LockState& state) {
       break;  // FIFO: once one waiter stays blocked, later ones do too
     }
   }
-  if (granted_any) cv_.notify_all();
+  if (granted_any) SimNotifyAll(cv_, &cv_);
 }
 
 bool LockManager::WouldDeadlock(TxnId requester, GranuleRef granule) {
@@ -87,6 +89,7 @@ bool LockManager::WouldDeadlock(TxnId requester, GranuleRef granule) {
 Status LockManager::Acquire(TxnId txn, Timestamp txn_ts, GranuleRef granule,
                             LockMode mode, bool* waited) {
   if (waited != nullptr) *waited = false;
+  SimYield("lock/acquire");
   std::unique_lock<std::mutex> lock(mu_);
   LockState& state = table_[granule];
 
@@ -133,7 +136,7 @@ Status LockManager::Acquire(TxnId txn, Timestamp txn_ts, GranuleRef granule,
     }
     if (waited != nullptr) *waited = true;
     // Wait until every *other* holder releases.
-    const bool ok = cv_.wait_for(lock, kLockWaitTimeout, [&] {
+    const bool ok = SimWaitFor(cv_, lock, &cv_, kLockWaitTimeout, [&] {
       return std::none_of(state.queue.begin(), state.queue.end(),
                           [&](const Request& r) {
                             return r.granted && r.txn != txn;
@@ -181,8 +184,8 @@ Status LockManager::Acquire(TxnId txn, Timestamp txn_ts, GranuleRef granule,
     return Status::Deadlock("deadlock detected");
   }
   if (waited != nullptr) *waited = true;
-  const bool ok =
-      cv_.wait_for(lock, kLockWaitTimeout, [&] { return it->granted; });
+  const bool ok = SimWaitFor(cv_, lock, &cv_, kLockWaitTimeout,
+                             [&] { return it->granted; });
   if (!ok) {
     state.queue.erase(it);
     GrantEligible(state);
@@ -209,7 +212,7 @@ void LockManager::ReleaseAll(TxnId txn) {
     }
   }
   held_.erase(held_it);
-  cv_.notify_all();
+  SimNotifyAll(cv_, &cv_);
 }
 
 std::size_t LockManager::NumHeld(TxnId txn) const {

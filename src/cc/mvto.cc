@@ -4,12 +4,15 @@
 #include <cassert>
 #include <vector>
 
+#include "common/sim_hook.h"
+
 namespace hdd {
 
 Mvto::Mvto(Database* db, LogicalClock* clock, MvtoOptions options)
     : ConcurrencyController(db, clock), options_(std::move(options)) {}
 
 Result<TxnDescriptor> Mvto::Begin(const TxnOptions& options) {
+  SimYield("mvto/begin");
   std::lock_guard<std::mutex> guard(mu_);
   TxnRuntime runtime;
   runtime.descriptor.id = next_txn_id_++;
@@ -34,6 +37,7 @@ Result<Mvto::TxnRuntime*> Mvto::FindTxn(const TxnDescriptor& txn) {
 
 Result<Value> Mvto::Read(const TxnDescriptor& txn, GranuleRef granule) {
   HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  SimYield("mvto/read");
   std::unique_lock<std::mutex> lock(mu_);
   HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
   (void)runtime;
@@ -58,7 +62,7 @@ Result<Value> Mvto::Read(const TxnDescriptor& txn, GranuleRef granule) {
       // The chosen version's creator is strictly older (wts < our I(t)),
       // so waiting points only at older transactions: deadlock-free.
       waited = true;
-      cv_.wait(lock);
+      SimWait(cv_, lock, &cv_);
       continue;
     }
     if (waited) metrics_.blocked_reads.fetch_add(1);
@@ -78,6 +82,7 @@ Result<Value> Mvto::Read(const TxnDescriptor& txn, GranuleRef granule) {
 Status Mvto::Write(const TxnDescriptor& txn, GranuleRef granule,
                    Value value) {
   HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  SimYield("mvto/write");
   std::lock_guard<std::mutex> guard(mu_);
   HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
   if (txn.read_only) {
@@ -129,6 +134,7 @@ void Mvto::EnforceVersionCap(GranuleRef granule) {
 }
 
 Status Mvto::Commit(const TxnDescriptor& txn) {
+  SimYield("mvto/commit");
   std::lock_guard<std::mutex> guard(mu_);
   HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
   for (GranuleRef granule : runtime->writes) {
@@ -140,11 +146,13 @@ Status Mvto::Commit(const TxnDescriptor& txn) {
   txns_.erase(txn.id);
   recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
   metrics_.commits.fetch_add(1);
-  cv_.notify_all();
+  SimNotifyAll(cv_, &cv_);
   return Status::OK();
 }
 
 Status Mvto::Abort(const TxnDescriptor& txn) {
+  // Abort is the fault-recovery path: non-interruptible (see executor).
+  SimYield("mvto/abort", /*interruptible=*/false);
   std::lock_guard<std::mutex> guard(mu_);
   auto it = txns_.find(txn.id);
   if (it == txns_.end()) {
@@ -158,7 +166,7 @@ Status Mvto::Abort(const TxnDescriptor& txn) {
   txns_.erase(it);
   recorder_.RecordOutcome(txn.id, TxnState::kAborted);
   metrics_.aborts.fetch_add(1);
-  cv_.notify_all();
+  SimNotifyAll(cv_, &cv_);
   return Status::OK();
 }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/sim_hook.h"
+
 namespace hdd {
 
 TwoPhaseLocking::TwoPhaseLocking(Database* db, LogicalClock* clock,
@@ -11,6 +13,7 @@ TwoPhaseLocking::TwoPhaseLocking(Database* db, LogicalClock* clock,
       locks_(options_.deadlock_policy) {}
 
 Result<TxnDescriptor> TwoPhaseLocking::Begin(const TxnOptions& options) {
+  SimYield("2pl/begin");
   std::lock_guard<std::mutex> guard(mu_);
   TxnRuntime runtime;
   runtime.descriptor.id = next_txn_id_++;
@@ -43,6 +46,7 @@ Result<TwoPhaseLocking::TxnRuntime*> TwoPhaseLocking::FindTxn(
 Result<Value> TwoPhaseLocking::Read(const TxnDescriptor& txn,
                                     GranuleRef granule) {
   HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  SimYield("2pl/read");
 
   // Snapshot path for read-only transactions under MV2PL: no locks.
   {
@@ -96,6 +100,7 @@ Result<Value> TwoPhaseLocking::Read(const TxnDescriptor& txn,
 Status TwoPhaseLocking::Write(const TxnDescriptor& txn, GranuleRef granule,
                               Value value) {
   HDD_RETURN_IF_ERROR(db_->Validate(granule));
+  SimYield("2pl/write");
   {
     std::lock_guard<std::mutex> guard(mu_);
     HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
@@ -141,6 +146,7 @@ Status TwoPhaseLocking::Write(const TxnDescriptor& txn, GranuleRef granule,
 }
 
 Status TwoPhaseLocking::Commit(const TxnDescriptor& txn) {
+  SimYield("2pl/commit");
   {
     std::lock_guard<std::mutex> guard(mu_);
     HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
@@ -160,6 +166,8 @@ Status TwoPhaseLocking::Commit(const TxnDescriptor& txn) {
 }
 
 Status TwoPhaseLocking::Abort(const TxnDescriptor& txn) {
+  // Abort is the fault-recovery path: non-interruptible (see executor).
+  SimYield("2pl/abort", /*interruptible=*/false);
   {
     std::lock_guard<std::mutex> guard(mu_);
     auto it = txns_.find(txn.id);

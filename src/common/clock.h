@@ -20,18 +20,27 @@ inline constexpr Timestamp kTimestampInfinity =
 
 /// Monotone logical clock. `Tick()` returns a fresh, strictly increasing
 /// timestamp; `Now()` peeks at the latest issued value. Thread-safe.
+///
+/// Injectable: controllers hold a LogicalClock* and call through these
+/// virtuals, so the deterministic simulation harness can substitute a
+/// SimClock (src/sim/sim_clock.h) that additionally audits tick issuance
+/// against the scheduled interleaving. Tick() may be called while holding
+/// controller latches, so overrides must never block or yield.
 class LogicalClock {
  public:
   LogicalClock() : next_(1) {}
+  virtual ~LogicalClock() = default;
 
   LogicalClock(const LogicalClock&) = delete;
   LogicalClock& operator=(const LogicalClock&) = delete;
 
   /// Issues the next timestamp (1, 2, 3, ...).
-  Timestamp Tick() { return next_.fetch_add(1, std::memory_order_relaxed); }
+  virtual Timestamp Tick() {
+    return next_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Latest timestamp issued so far (0 if none).
-  Timestamp Now() const {
+  virtual Timestamp Now() const {
     return next_.load(std::memory_order_relaxed) - 1;
   }
 

@@ -1,0 +1,128 @@
+#ifndef HDD_COMMON_SIM_HOOK_H_
+#define HDD_COMMON_SIM_HOOK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace hdd {
+
+/// Faults a simulation can force onto the code under test.
+enum class SimFaultKind {
+  kNone,
+  kAbort,  // transaction attempt forcibly aborted at a yield point
+  kCrash,  // driver "crashes": the attempt is abandoned, never retried
+  kStall,  // the task is descheduled for several rounds (delayed commit)
+};
+
+/// Thrown by the scheduler out of a fault-armed, interruptible yield point.
+/// The executor catches it at the attempt boundary, aborts the transaction
+/// (modelling recovery) and retries (kAbort) or gives up (kCrash). Yield
+/// points inside code with partially applied effects must be declared
+/// non-interruptible so this never unwinds half a commit.
+struct SimFault {
+  SimFaultKind kind = SimFaultKind::kAbort;
+};
+
+/// Thrown into every simulated task when the run is over (deadlock
+/// detected, step budget exhausted, or explicit stop): tasks unwind their
+/// stacks — everything on them is RAII — and exit their worker loops.
+struct SimHalt {};
+
+/// Cooperative-scheduling hook. Production code is instrumented with the
+/// inline helpers below; with no hook installed they cost one thread-local
+/// load and a predicted branch. Under deterministic simulation a
+/// SimScheduler installs itself as the current thread's hook and then OWNS
+/// every interleaving decision:
+///
+///  * `Yield` marks a point where the running task may be preempted (and
+///    where injected faults fire). Tasks must hold no mutex that another
+///    task acquires exclusively when they yield — under the simulation
+///    exactly one task runs at a time, so a descheduled lock holder would
+///    deadlock the party. Holding a shared lock that others also take
+///    shared is fine. In this codebase that means: yield BEFORE taking a
+///    shard/controller latch, never inside the critical section.
+///  * `BlockOn`/`NotifyAll` replace condition-variable waits: the
+///    scheduler is told synchronously who sleeps on which channel and who
+///    was woken, so wakeup delivery is part of the deterministic schedule
+///    instead of an OS race. Every wait site must sit in a predicate
+///    re-check loop (they all do — the simulator injects spurious wakeups
+///    to keep it that way).
+class SimHook {
+ public:
+  virtual ~SimHook() = default;
+
+  /// Preemption point. `site` is a static string naming the location (it
+  /// becomes part of the replay trace); `interruptible` declares whether
+  /// an injected abort/crash may fire here by throwing SimFault.
+  virtual void Yield(const char* site, bool interruptible) = 0;
+
+  /// Deschedules the current task until `channel` is notified. `lock` is
+  /// the caller's held lock: released before parking, reacquired before
+  /// returning (like std::condition_variable::wait). May throw SimHalt.
+  virtual void BlockOn(const void* channel,
+                       std::unique_lock<std::mutex>& lock) = 0;
+
+  /// Marks every task blocked on `channel` runnable (possibly delayed, if
+  /// the fault injector is dropping wakeups). Never blocks, never throws.
+  virtual void NotifyAll(const void* channel) = 0;
+};
+
+/// The current thread's hook (null = real execution). A SimScheduler sets
+/// it for each task thread it adopts and clears it when the task exits.
+inline SimHook*& ThreadSimHook() {
+  thread_local SimHook* hook = nullptr;
+  return hook;
+}
+
+/// Preemption + fault injection point; no-op outside a simulation.
+inline void SimYield(const char* site, bool interruptible = true) {
+  if (SimHook* hook = ThreadSimHook()) hook->Yield(site, interruptible);
+}
+
+/// One round of a condition-variable wait. Callers re-check their
+/// predicate in a loop around this, exactly as with a raw cv wait.
+inline void SimWait(std::condition_variable& cv,
+                    std::unique_lock<std::mutex>& lock, const void* channel) {
+  if (SimHook* hook = ThreadSimHook()) {
+    hook->BlockOn(channel, lock);
+  } else {
+    cv.wait(lock);
+  }
+}
+
+/// Predicate wait with a real-time timeout. Simulated time has no
+/// wall-clock, so under a hook the timeout is ignored (the simulator's
+/// deadlock detector plays that role) and the return is always true.
+template <class Rep, class Period, class Predicate>
+bool SimWaitFor(std::condition_variable& cv,
+                std::unique_lock<std::mutex>& lock, const void* channel,
+                std::chrono::duration<Rep, Period> timeout, Predicate pred) {
+  if (SimHook* hook = ThreadSimHook()) {
+    while (!pred()) hook->BlockOn(channel, lock);
+    return true;
+  }
+  return cv.wait_for(lock, timeout, std::move(pred));
+}
+
+/// notify_all that also tells the simulator (the real notify is harmless
+/// under simulation: no task sleeps on the OS cv).
+inline void SimNotifyAll(std::condition_variable& cv, const void* channel) {
+  cv.notify_all();
+  if (SimHook* hook = ThreadSimHook()) hook->NotifyAll(channel);
+}
+
+/// Backoff sleep: under simulation a sleep is just a reschedule.
+template <class Rep, class Period>
+void SimSleep(std::chrono::duration<Rep, Period> duration) {
+  if (SimHook* hook = ThreadSimHook()) {
+    hook->Yield("common/backoff", /*interruptible=*/false);
+  } else {
+    std::this_thread::sleep_for(duration);
+  }
+}
+
+}  // namespace hdd
+
+#endif  // HDD_COMMON_SIM_HOOK_H_

@@ -3,45 +3,87 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <vector>
+
+#include "common/sim_hook.h"
+#include "sim/sim_scheduler.h"
 
 namespace hdd {
 
 namespace {
 
 // Runs one program to completion (commit, or failure after the retry
-// budget). Returns the number of aborted attempts consumed; sets *failed.
+// budget). Returns the number of aborted attempts consumed; sets *failed
+// and *crashed. Under simulation this is also the fault boundary: a
+// SimFault thrown from an interruptible yield point inside the controller
+// unwinds to here, the in-flight transaction is aborted (modelling
+// recovery), and the attempt is retried (kAbort) or abandoned (kCrash).
 std::uint64_t RunOne(ConcurrencyController& cc, const TxnProgram& program,
-                     int max_retries, bool* failed) {
+                     int max_retries, SimScheduler* sim, bool* failed,
+                     bool* crashed) {
   std::uint64_t aborted = 0;
   *failed = false;
+  *crashed = false;
   for (int attempt = 0; attempt <= max_retries; ++attempt) {
-    auto txn = cc.Begin(program.options);
-    if (!txn.ok()) {
-      *failed = true;
-      return aborted;
-    }
-    Status status = program.body(cc, *txn);
-    if (status.ok()) {
-      status = cc.Commit(*txn);
-      if (status.ok()) return aborted;
-      if (status.IsRetryable()) {
-        // Commit-time validation failure (e.g. OCC): the controller has
-        // already discarded the transaction; just restart the program.
-        ++aborted;
-        continue;
+    if (sim != nullptr) sim->OnTxnAttemptStart();
+    std::optional<Result<TxnDescriptor>> txn;
+    try {
+      txn.emplace(cc.Begin(program.options));
+    } catch (const SimFault& fault) {
+      // Fault before the transaction existed: nothing to clean up.
+      if (fault.kind == SimFaultKind::kCrash) {
+        *crashed = true;
+        return aborted;
       }
+      ++aborted;
+      continue;
+    }
+    if (!txn->ok()) {
       *failed = true;
       return aborted;
     }
-    (void)cc.Abort(*txn);  // best effort; the txn may already be gone
+    Status status;
+    bool fault_crash = false;
+    bool faulted = false;
+    try {
+      status = program.body(cc, **txn);
+      if (status.ok()) {
+        status = cc.Commit(**txn);
+        if (status.ok()) return aborted;
+        if (status.IsRetryable()) {
+          // Commit-time validation failure (e.g. OCC): the controller has
+          // already discarded the transaction; just restart the program.
+          ++aborted;
+          continue;
+        }
+        *failed = true;
+        return aborted;
+      }
+    } catch (const SimFault& fault) {
+      faulted = true;
+      fault_crash = fault.kind == SimFaultKind::kCrash;
+    }
+    // Abort paths are non-interruptible yield sites, so this never throws
+    // SimFault (a throw here would escape the attempt boundary); SimHalt
+    // still propagates to the worker loop, unwinding via RAII only.
+    (void)cc.Abort(**txn);  // best effort; the txn may already be gone
+    if (faulted) {
+      if (fault_crash) {
+        *crashed = true;
+        return aborted;
+      }
+      ++aborted;
+      continue;
+    }
     if (status.IsRetryable() || status.code() == StatusCode::kBusy) {
       ++aborted;
       // Exponential backoff breaks symmetric abort-retry livelocks
-      // (e.g. TO read-modify-write storms on a hot granule).
+      // (e.g. TO read-modify-write storms on a hot granule). Under
+      // simulation the sleep is a plain reschedule.
       if (attempt > 2) {
-        std::this_thread::sleep_for(std::chrono::microseconds(
+        SimSleep(std::chrono::microseconds(
             std::min(1 << std::min(attempt, 12), 2000)));
       }
       continue;
@@ -96,6 +138,7 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
   std::atomic<std::uint64_t> committed{0};
   std::atomic<std::uint64_t> aborted{0};
   std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> crashed{0};
   std::vector<LatencyReservoir> latencies;
   latencies.reserve(options.num_threads);
   for (int i = 0; i < options.num_threads; ++i) {
@@ -104,19 +147,26 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
                                static_cast<std::uint64_t>(i));
   }
 
+  // Under simulation, task identity must be assigned by US (worker id),
+  // not by thread startup order — the one nondeterminism the scheduler
+  // cannot own — and no task may run before all have registered.
+  if (options.sim != nullptr) options.sim->ExpectTasks(options.num_threads);
+
   const auto start = std::chrono::steady_clock::now();
-  auto worker = [&](int worker_id) {
-    Rng rng(options.seed * 7919 + static_cast<std::uint64_t>(worker_id));
+  auto worker_body = [&](int worker_id, Rng& rng) {
     for (;;) {
       const std::uint64_t index = next_index.fetch_add(1);
       if (index >= total_txns) return;
       const TxnProgram program = workload.Make(index, rng);
       bool this_failed = false;
+      bool this_crashed = false;
       const auto t0 = std::chrono::steady_clock::now();
-      aborted.fetch_add(RunOne(cc, program, options.max_retries,
-                               &this_failed));
+      aborted.fetch_add(RunOne(cc, program, options.max_retries, options.sim,
+                               &this_failed, &this_crashed));
       const auto t1 = std::chrono::steady_clock::now();
-      if (this_failed) {
+      if (this_crashed) {
+        crashed.fetch_add(1);
+      } else if (this_failed) {
         failed.fetch_add(1);
       } else {
         committed.fetch_add(1);
@@ -124,6 +174,20 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
             std::chrono::duration<double, std::micro>(t1 - t0).count());
       }
     }
+  };
+  auto worker = [&](int worker_id) {
+    Rng rng(options.seed * 7919 + static_cast<std::uint64_t>(worker_id));
+    if (options.sim == nullptr) {
+      worker_body(worker_id, rng);
+      return;
+    }
+    try {
+      options.sim->RegisterCurrentTask(worker_id);
+      worker_body(worker_id, rng);
+    } catch (const SimHalt&) {
+      // Run halted (deadlock finding / budget); stack unwound via RAII.
+    }
+    options.sim->UnregisterCurrentTask();
   };
 
   std::vector<std::thread> threads;
@@ -136,6 +200,7 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
   stats.committed = committed.load();
   stats.aborted_attempts = aborted.load();
   stats.failed = failed.load();
+  stats.crashed = crashed.load();
   stats.seconds = std::chrono::duration<double>(end - start).count();
 
   const LatencyDigest digest = MergeReservoirs(latencies);

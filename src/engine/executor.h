@@ -10,11 +10,19 @@
 
 namespace hdd {
 
+class SimScheduler;
+
 struct ExecutorOptions {
   int num_threads = 4;
   /// Restart budget per transaction before it is counted as failed.
   int max_retries = 10000;
   std::uint64_t seed = 1;
+  /// Deterministic simulation backend. When set, each worker registers as
+  /// a task of this scheduler (task id = worker id), every interleaving
+  /// decision is the scheduler's, injected SimFault aborts/crashes are
+  /// handled at the attempt boundary, and backoff sleeps become
+  /// reschedules. When null, workers are plain OS threads.
+  SimScheduler* sim = nullptr;
 };
 
 /// Fixed-capacity uniform sample of latency observations (Vitter's
@@ -74,6 +82,7 @@ struct ExecutorStats {
   std::uint64_t committed = 0;
   std::uint64_t aborted_attempts = 0;  // retries consumed by conflicts
   std::uint64_t failed = 0;            // budget exhausted / hard errors
+  std::uint64_t crashed = 0;  // abandoned by an injected mid-txn crash (sim)
   double seconds = 0.0;
 
   /// End-to-end latency (first Begin to final Commit, retries included)

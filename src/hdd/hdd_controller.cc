@@ -4,13 +4,26 @@
 #include <cassert>
 #include <optional>
 
+#include "common/sim_hook.h"
 #include "graph/algorithms.h"
 #include "graph/decomposition.h"
+
+// Yield-point convention (deterministic simulation, src/sim/): SimYield
+// marks a preemption/fault point and is always placed BEFORE a latch
+// acquisition, never inside a critical section — under simulation exactly
+// one task runs at a time, so a descheduled latch holder would wedge the
+// party (holding the structure gate shared is fine; only Restructure takes
+// it exclusively and is not exercised under simulation). Sites on paths
+// with partially applied effects (commit install, abort undo) are
+// non-interruptible: a SimFault may not unwind them. Every cv wait goes
+// through SimWait/SimNotifyAll so wakeup delivery is owned by the
+// scheduler instead of the OS.
 
 namespace hdd {
 
 Timestamp HddController::ShardTableSource::OldestActiveAt(ClassId c,
                                                           Timestamp m) const {
+  SimYield("hdd/table_query");
   const std::shared_ptr<ClassShard>& shard = owner_->shards_[c];
   std::lock_guard<std::mutex> lock(shard->mu);
   return shard->table.OldestActiveAt(m);
@@ -18,6 +31,7 @@ Timestamp HddController::ShardTableSource::OldestActiveAt(ClassId c,
 
 Result<Timestamp> HddController::ShardTableSource::LatestEndAt(
     ClassId c, Timestamp m) const {
+  SimYield("hdd/table_query");
   const std::shared_ptr<ClassShard>& shard = owner_->shards_[c];
   std::lock_guard<std::mutex> lock(shard->mu);
   return shard->table.LatestEndAt(m);
@@ -81,11 +95,12 @@ void HddController::SignalFinishEvent() {
     std::lock_guard<std::mutex> guard(finish_mu_);
     finish_seq_.fetch_add(1);
   }
-  finish_cv_.notify_all();
+  SimNotifyAll(finish_cv_, &finish_cv_);
 }
 
 Result<TxnDescriptor> HddController::Begin(const TxnOptions& options) {
   for (;;) {
+    SimYield("hdd/begin");
     std::shared_lock<std::shared_mutex> gate(struct_mu_);
     TxnRuntime runtime;
     runtime.descriptor.read_only = options.read_only;
@@ -131,7 +146,9 @@ Result<TxnDescriptor> HddController::Begin(const TxnOptions& options) {
         // the structure gate!) until it reopens, then re-resolve the
         // class id — the restructure may have renumbered classes.
         gate.unlock();
-        shard->cv.wait(shard_lock, [&] { return !shard->draining; });
+        while (shard->draining) {
+          SimWait(shard->cv, shard_lock, shard.get());
+        }
         continue;
       }
       runtime.descriptor.txn_class = options.txn_class;
@@ -240,27 +257,41 @@ Result<Value> HddController::ReadHigherSegment(TxnRuntime* runtime,
   // guarantees for every declared read segment. The evaluation latches
   // each class shard on the path briefly, one at a time; no global latch
   // and no latch on our own class.
+  SimYield("hdd/read_a");
   auto bound = eval_->A(own_class, target_class,
                         runtime->descriptor.init_ts);
   if (!bound.ok()) {
     return Status::InvalidArgument(
         "segment not on a critical path above the transaction's class");
   }
+  // The canary deliberately skips the activity-link composition and reads
+  // at the raw initiation time: a still-active older transaction of the
+  // target class may then commit BELOW the served bound later, which the
+  // oracle's bound replay against the final chains must flag.
+  const Timestamp served = options_.mutation_unsafe_protocol_a
+                               ? runtime->descriptor.init_ts
+                               : *bound;
+  // The bound is stable, so the serve point is preemptible before the
+  // shard latch — this window (bound fixed, version not yet read) is
+  // where racing installs would break an unsound bound.
+  SimYield("hdd/read_a/serve");
   std::shared_ptr<ClassShard> shard = shards_[target_class];
   std::lock_guard<std::mutex> shard_lock(shard->mu);
   Granule& g = db_->granule(granule);
-  const Version* version = g.LatestCommittedBefore(*bound);
+  const Version* version = g.LatestCommittedBefore(served);
   assert(version != nullptr);
   // Theorem-backed invariant: every version below the activity link bound
   // was created by a transaction that already finished, hence the latest
   // *committed* version below the bound is the latest version, period.
-  assert(g.VersionBefore(*bound) != nullptr &&
-         g.VersionBefore(*bound)->wts == version->wts);
+  // (Void by construction under the canary mutation.)
+  assert(options_.mutation_unsafe_protocol_a ||
+         (g.VersionBefore(served) != nullptr &&
+          g.VersionBefore(served)->wts == version->wts));
   // "No trace of this access needs to be registered in any form" (§4.2).
   metrics_.unregistered_reads.fetch_add(1);
   metrics_.version_reads.fetch_add(1);
   recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key,
-                       /*registered=*/false, *bound);
+                       /*registered=*/false, served);
   return version->value;
 }
 
@@ -275,10 +306,12 @@ Result<Value> HddController::ReadHosted(TxnRuntime* runtime,
   if (target_class != host && !tst_->Higher(target_class, host)) {
     return Status::InvalidArgument("read outside the declared read scope");
   }
+  SimYield("hdd/read_hosted");
   const Timestamp base =
       shard_source_.OldestActiveAt(host, runtime->descriptor.init_ts);
   auto bound = eval_->A(host, target_class, base);
   if (!bound.ok()) return bound.status();
+  SimYield("hdd/read_hosted/serve");
   std::shared_ptr<ClassShard> shard = shards_[target_class];
   std::lock_guard<std::mutex> shard_lock(shard->mu);
   Granule& g = db_->granule(granule);
@@ -298,6 +331,7 @@ Result<Value> HddController::ReadOwnSegment(
     GranuleRef granule) {
   bool waited = false;
   for (;;) {
+    SimYield("hdd/read_b");
     // Re-read the descriptor every attempt: a Restructure during a wait
     // may have renumbered our class (segments move with it).
     const TxnDescriptor txn = runtime->descriptor;
@@ -323,7 +357,7 @@ Result<Value> HddController::ReadOwnSegment(
       // the failed check into the wait (so the creator's notify cannot be
       // missed), and re-enter through the gate afterwards.
       gate.unlock();
-      shard->cv.wait(shard_lock);
+      SimWait(shard->cv, shard_lock, shard.get());
       shard_lock.unlock();
       gate.lock();
       continue;
@@ -343,6 +377,7 @@ Result<Value> HddController::ReadUnderWall(
     GranuleRef granule) {
   // Protocol C: pin the wall on first read so the whole transaction sees
   // one consistent cut.
+  SimYield("hdd/read_c");
   if (runtime->wall == nullptr) {
     {
       std::lock_guard<std::mutex> wg(wall_mu_);
@@ -366,6 +401,7 @@ Result<Value> HddController::ReadUnderWall(
   const TimeWall* wall = runtime->wall;
   bool waited = false;
   for (;;) {
+    SimYield("hdd/read_c/serve");
     // Both the segment->class map and the wall's bound vector are remapped
     // in place by Restructure (under the exclusive gate), so re-read them
     // on every attempt.
@@ -382,7 +418,7 @@ Result<Value> HddController::ReadUnderWall(
       // we must read, so wait for the creator to resolve.
       waited = true;
       gate.unlock();
-      shard->cv.wait(shard_lock);
+      SimWait(shard->cv, shard_lock, shard.get());
       shard_lock.unlock();
       gate.lock();
       continue;
@@ -408,6 +444,7 @@ Result<const TimeWall*> HddController::ReleaseWallInternal(
 
   const Timestamp m = clock_->Tick();
   for (;;) {
+    SimYield("hdd/wall_compute");
     // Load the finish counter BEFORE attempting: a finish landing during
     // the attempt then wakes us immediately instead of being missed.
     const std::uint64_t seq0 = finish_seq_.load();
@@ -416,23 +453,46 @@ Result<const TimeWall*> HddController::ReleaseWallInternal(
     const ClassId anchor = PickWallAnchor(*tst_);
     auto wall = ComputeTimeWall(*eval_, num_classes_, anchor, m);
     if (wall.ok()) {
-      wall->release_time = clock_->Tick();
-      std::lock_guard<std::mutex> wg(wall_mu_);
-      walls_.push_back(*std::move(wall));
-      const TimeWall* released = &walls_.back();
-      if (pin_for != nullptr) {
-        pin_for->wall = released;
-        ++wall_pins_[released];
+      // Release condition: a computed wall may only be served once every
+      // component is settled — no class-c transaction still active with
+      // initiation below bound[c]. The link functions guarantee that for
+      // every class where an I^old or C^late was applied along the path,
+      // but NOT where E reduces to the identity (the anchor's own class)
+      // or a descending run ends (C^late excludes the run's bottom): an
+      // active transaction there with init < bound[c] would later commit
+      // versions below the served cut, behind reads the wall already
+      // answered. Treat an unsettled component like a busy C^late and
+      // wait for a finish. New transactions initiate above m >= every
+      // bound, so a wall that passes this check stays settled between
+      // the check and publication.
+      bool settled = true;
+      for (ClassId c = 0; c < num_classes_ && settled; ++c) {
+        std::lock_guard<std::mutex> shard_lock(shards_[c]->mu);
+        settled = shards_[c]->table.OldestActiveNow() >= wall->bound[c];
       }
-      return released;
+      if (settled) {
+        wall->release_time = clock_->Tick();
+        std::lock_guard<std::mutex> wg(wall_mu_);
+        walls_.push_back(*std::move(wall));
+        const TimeWall* released = &walls_.back();
+        if (pin_for != nullptr) {
+          pin_for->wall = released;
+          ++wall_pins_[released];
+        }
+        return released;
+      }
+    } else if (wall.status().code() != StatusCode::kBusy) {
+      return wall.status();
     }
-    if (wall.status().code() != StatusCode::kBusy) return wall.status();
-    // Some C^late is not yet computable: wait for an update transaction to
-    // finish, with the structure gate released.
+    // Some C^late is not yet computable (or a component is unsettled):
+    // wait for an update transaction to finish, with the structure gate
+    // released.
     gate.unlock();
     {
       std::unique_lock<std::mutex> fl(finish_mu_);
-      finish_cv_.wait(fl, [&] { return finish_seq_.load() != seq0; });
+      while (finish_seq_.load() == seq0) {
+        SimWait(finish_cv_, fl, &finish_cv_);
+      }
     }
     gate.lock();
   }
@@ -453,6 +513,7 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
   }
   bool waited = false;
   for (;;) {
+    SimYield("hdd/write");
     const ClassId own_class = runtime->descriptor.txn_class;
     if (class_of_segment_[granule.segment] != own_class) {
       return Status::FailedPrecondition(
@@ -479,7 +540,7 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
       if (!tip->committed) {
         waited = true;
         gate.unlock();
-        shard->cv.wait(shard_lock);
+        SimWait(shard->cv, shard_lock, shard.get());
         shard_lock.unlock();
         gate.lock();
         continue;
@@ -505,11 +566,19 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
 }
 
 Status HddController::Commit(const TxnDescriptor& txn) {
+  // Interruptible only here, before the runtime is claimed: an injected
+  // fault still finds a fully registered transaction for Abort to undo.
+  SimYield("hdd/commit");
   std::shared_lock<std::shared_mutex> gate(struct_mu_);
   HDD_ASSIGN_OR_RETURN(std::unique_ptr<TxnRuntime> runtime, ExtractTxn(txn));
   if (!runtime->descriptor.read_only) {
     std::shared_ptr<ClassShard> shard =
         shards_[runtime->descriptor.txn_class];
+    // Past the point of no return (the runtime is extracted), so this
+    // site may stall — the injector's "delayed commit", which leaves the
+    // uncommitted versions visible to waiting readers for a while — but
+    // never unwind.
+    SimYield("hdd/commit/install", /*interruptible=*/false);
     {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
       for (GranuleRef granule : runtime->writes) {
@@ -520,7 +589,7 @@ Status HddController::Commit(const TxnDescriptor& txn) {
       }
       shard->table.OnFinish(runtime->descriptor.init_ts, clock_->Tick());
     }
-    shard->cv.notify_all();
+    SimNotifyAll(shard->cv, shard.get());
     SignalFinishEvent();
   }
   if (runtime->wall != nullptr) {
@@ -537,11 +606,16 @@ Status HddController::Commit(const TxnDescriptor& txn) {
 }
 
 Status HddController::Abort(const TxnDescriptor& txn) {
+  // The whole abort path is non-interruptible: the executor calls Abort
+  // from inside its SimFault handler (recovery), so a second fault
+  // unwinding from here would escape the attempt boundary.
+  SimYield("hdd/abort", /*interruptible=*/false);
   std::shared_lock<std::shared_mutex> gate(struct_mu_);
   HDD_ASSIGN_OR_RETURN(std::unique_ptr<TxnRuntime> runtime, ExtractTxn(txn));
   if (!runtime->descriptor.read_only) {
     std::shared_ptr<ClassShard> shard =
         shards_[runtime->descriptor.txn_class];
+    SimYield("hdd/abort/undo", /*interruptible=*/false);
     {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
       for (GranuleRef granule : runtime->writes) {
@@ -552,7 +626,7 @@ Status HddController::Abort(const TxnDescriptor& txn) {
       }
       shard->table.OnFinish(runtime->descriptor.init_ts, clock_->Tick());
     }
-    shard->cv.notify_all();
+    SimNotifyAll(shard->cv, shard.get());
     SignalFinishEvent();
   }
   if (runtime->wall != nullptr) {
@@ -635,8 +709,9 @@ Result<ClassId> HddController::Restructure(
   // finishing (each finish notifies its own shard's cv).
   for (const std::shared_ptr<ClassShard>& shard : affected) {
     std::unique_lock<std::mutex> shard_lock(shard->mu);
-    shard->cv.wait(shard_lock,
-                   [&] { return shard->table.num_active() == 0; });
+    while (shard->table.num_active() != 0) {
+      SimWait(shard->cv, shard_lock, shard.get());
+    }
   }
 
   {
@@ -711,7 +786,7 @@ Result<ClassId> HddController::Restructure(
       std::lock_guard<std::mutex> shard_lock(shard->mu);
       shard->draining = false;
     }
-    shard->cv.notify_all();
+    SimNotifyAll(shard->cv, shard.get());
   }
   return plan.labels[primary];
 }
@@ -733,6 +808,25 @@ Timestamp HddController::ComputeSafeGcHorizon() const {
   for (const std::shared_ptr<ClassShard>& shard : shards_) {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
     horizon = std::min(horizon, shard->table.OldestActiveNow());
+  }
+  // Close the horizon under I^old. A Protocol A (or hosted) read serves
+  // at a composition of I^old values, and the transaction an I^old named
+  // may FINISH between the bound's evaluation and the serve: its init
+  // then survives only as a finished-straddler entry, invisible to
+  // OldestActiveNow. Pruning above such a bound would delete the very
+  // version the in-flight read is about to serve. OldestActiveAt is
+  // monotone in its argument, so the fixpoint below under-approximates
+  // every bound any active transaction can still be served — and the
+  // iteration only ever descends, through the finite set of initiation
+  // times, so it terminates.
+  for (;;) {
+    Timestamp closed = horizon;
+    for (const std::shared_ptr<ClassShard>& shard : shards_) {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      closed = std::min(closed, shard->table.OldestActiveAt(horizon));
+    }
+    if (closed == horizon) break;
+    horizon = closed;
   }
   if (!walls_.empty()) {
     horizon = std::min(horizon, WallMin(walls_.back()));

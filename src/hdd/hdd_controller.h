@@ -39,6 +39,16 @@ struct HddControllerOptions {
   /// again: trimming is exact, not approximate.
   bool auto_trim_history = true;
 
+  /// TEST-ONLY mutation switch, the canary of the deterministic
+  /// simulation harness: when set, Protocol A serves cross-segment reads
+  /// at the reader's raw initiation time I(t) instead of the composed
+  /// activity-link bound A_i^j(I(t)) — deliberately violating Theorem 1,
+  /// since an older transaction of the target class still active at I(t)
+  /// may commit a version below the served bound afterwards. The sim
+  /// oracle's bound replay must catch this with a replayable seed;
+  /// a harness that cannot detect the mutation is broken.
+  bool mutation_unsafe_protocol_a = false;
+
   std::string name = "hdd";
 };
 

@@ -1,0 +1,42 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+
+namespace hdd {
+
+FaultPlan FaultInjector::DrawAttemptPlan(Rng& rng) const {
+  FaultPlan plan;
+  const double total =
+      config_.abort_prob + config_.crash_prob + config_.stall_prob;
+  if (total <= 0.0) return plan;
+  const double roll = rng.NextDouble();
+  if (roll < config_.abort_prob) {
+    plan.kind = SimFaultKind::kAbort;
+  } else if (roll < config_.abort_prob + config_.crash_prob) {
+    plan.kind = SimFaultKind::kCrash;
+  } else if (roll < total) {
+    plan.kind = SimFaultKind::kStall;
+    plan.stall_rounds = std::max(1, config_.stall_rounds);
+  } else {
+    return plan;
+  }
+  plan.countdown =
+      1 + static_cast<int>(rng.NextBounded(
+              static_cast<std::uint64_t>(std::max(1, config_.max_countdown))));
+  return plan;
+}
+
+int FaultInjector::DrawWakeupDelay(Rng& rng) const {
+  if (config_.delayed_wakeup_prob <= 0.0) return 0;
+  if (!rng.NextBool(config_.delayed_wakeup_prob)) return 0;
+  return 1 + static_cast<int>(rng.NextBounded(
+                 static_cast<std::uint64_t>(
+                     std::max(1, config_.max_wakeup_delay))));
+}
+
+bool FaultInjector::DrawSpuriousWakeup(Rng& rng) const {
+  if (config_.spurious_wakeup_prob <= 0.0) return false;
+  return rng.NextBool(config_.spurious_wakeup_prob);
+}
+
+}  // namespace hdd

@@ -1,0 +1,76 @@
+#ifndef HDD_SIM_FAULT_INJECTOR_H_
+#define HDD_SIM_FAULT_INJECTOR_H_
+
+#include "common/rng.h"
+#include "common/sim_hook.h"
+
+namespace hdd {
+
+/// What the simulator is allowed to break, and how often. All draws come
+/// from the scheduler's seeded RNG, so a given (seed, config) pair always
+/// injects the same faults at the same points — fault runs replay exactly
+/// like fault-free ones.
+struct FaultInjectorConfig {
+  /// Per transaction attempt: probability the attempt is forcibly aborted
+  /// at a yield point (the executor retries it, like any conflict abort).
+  double abort_prob = 0.0;
+  /// Per attempt: probability the driver "crashes" mid-transaction — the
+  /// attempt is abandoned at a yield point and never retried; recovery
+  /// (modelled by the executor) aborts the in-flight transaction.
+  double crash_prob = 0.0;
+  /// Per attempt: probability the task is stalled (descheduled for
+  /// `stall_rounds` scheduling decisions) at a yield point. A stall that
+  /// lands inside commit is the paper-relevant "delayed commit": versions
+  /// stay uncommitted while readers pile up on them.
+  double stall_prob = 0.0;
+  /// An armed abort/crash/stall fires after 1..max_countdown yields.
+  int max_countdown = 16;
+  /// How many scheduling decisions a stall suspends its task for.
+  int stall_rounds = 6;
+
+  /// Per scheduling decision: probability one blocked task is woken
+  /// spuriously (its predicate re-check loop must tolerate it).
+  double spurious_wakeup_prob = 0.0;
+  /// Per notified task: probability the wakeup is delayed (delivered
+  /// 1..max_wakeup_delay scheduling decisions later — a dropped wakeup
+  /// whose effect arrives late, which correct predicate loops absorb).
+  double delayed_wakeup_prob = 0.0;
+  int max_wakeup_delay = 6;
+};
+
+/// A fault armed for one transaction attempt: fires when `countdown`
+/// yield points have passed.
+struct FaultPlan {
+  SimFaultKind kind = SimFaultKind::kNone;
+  int countdown = 0;
+  int stall_rounds = 0;
+};
+
+/// Draws fault decisions from a shared seeded RNG. Stateless apart from
+/// the config: the scheduler owns when each draw happens, which is what
+/// keeps the fault stream deterministic per seed.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultInjectorConfig config) : config_(config) {}
+
+  /// Fault plan for a fresh transaction attempt (kNone most of the time).
+  FaultPlan DrawAttemptPlan(Rng& rng) const;
+
+  /// 0 = deliver the wakeup now; otherwise deliver after N decisions.
+  /// Consumes randomness only when delayed wakeups are enabled, so
+  /// fault-free (systematic) runs see an untouched choice stream.
+  int DrawWakeupDelay(Rng& rng) const;
+
+  /// Whether this scheduling decision spuriously wakes a blocked task.
+  bool DrawSpuriousWakeup(Rng& rng) const;
+
+  const FaultInjectorConfig& config() const { return config_; }
+
+ private:
+  FaultInjectorConfig config_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_SIM_FAULT_INJECTOR_H_

@@ -1,0 +1,36 @@
+#ifndef HDD_SIM_SIM_CLOCK_H_
+#define HDD_SIM_SIM_CLOCK_H_
+
+#include "common/clock.h"
+#include "sim/sim_scheduler.h"
+
+namespace hdd {
+
+/// Virtual logical clock for deterministic simulation. Time advances only
+/// when the code under test asks for a timestamp — there is no wall-clock
+/// in a simulated run — and every issued tick is recorded into the
+/// scheduler's trace, attributed to the task that drew it. Under a fixed
+/// schedule the tick sequence is fully deterministic, so timestamps (txn
+/// initiation times, version write times, wall anchors) are identical on
+/// replay.
+///
+/// Tick() is called under controller latches; RecordTick only appends to
+/// the trace under the scheduler's leaf mutex and never blocks or yields.
+class SimClock : public LogicalClock {
+ public:
+  explicit SimClock(SimScheduler* scheduler = nullptr)
+      : scheduler_(scheduler) {}
+
+  Timestamp Tick() override {
+    const Timestamp ts = LogicalClock::Tick();
+    if (scheduler_ != nullptr) scheduler_->RecordTick(ts);
+    return ts;
+  }
+
+ private:
+  SimScheduler* scheduler_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_SIM_SIM_CLOCK_H_

@@ -1,0 +1,390 @@
+#include "sim/sim_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+
+namespace hdd {
+
+/// One simulated task. The OS thread carrying it parks on `cv` whenever
+/// the task is not RUNNING; all state is guarded by the scheduler's mu_.
+struct SimScheduler::Task {
+  enum class State {
+    kUnborn,    // created by ExpectTasks, thread not yet registered
+    kRunnable,  // eligible for the next grant
+    kRunning,   // the (single) granted task
+    kBlocked,   // parked on a channel, waiting for NotifyAll
+    kStalled,   // injected stall: runnable again after stall_until
+    kDone,      // unregistered
+  };
+
+  int id = -1;
+  State state = State::kUnborn;
+  const void* channel = nullptr;       // valid while kBlocked
+  std::uint64_t pending_wake_at = 0;   // delayed wakeup due at this decision
+  std::uint64_t stall_until = 0;       // valid while kStalled
+  FaultPlan fault;                     // armed fault for the current attempt
+  std::condition_variable cv;
+};
+
+thread_local SimScheduler* SimScheduler::tls_scheduler_ = nullptr;
+thread_local SimScheduler::Task* SimScheduler::tls_task_ = nullptr;
+
+SimScheduler::SimScheduler(Options options)
+    : options_(std::move(options)),
+      injector_(options_.faults),
+      rng_(options_.seed) {}
+
+SimScheduler::~SimScheduler() = default;
+
+void SimScheduler::ExpectTasks(int count) {
+  std::lock_guard<std::mutex> lk(mu_);
+  assert(tasks_.empty() && count > 0);
+  expected_ = count;
+  tasks_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    tasks_.push_back(std::make_unique<Task>());
+    tasks_.back()->id = i;
+  }
+}
+
+SimScheduler::Task* SimScheduler::CurrentTask() const {
+  return tls_scheduler_ == this ? tls_task_ : nullptr;
+}
+
+void SimScheduler::TraceLocked(Event event, int task_id, std::uint64_t data) {
+  trace_.push_back(Pack(event, task_id, data));
+}
+
+std::uint64_t SimScheduler::InternSiteLocked(const char* site) {
+  // Content-based interning in first-use order: with a deterministic
+  // schedule the assignment of ids is itself deterministic, so traces
+  // from two runs of the same seed compare equal word-for-word.
+  auto [it, inserted] =
+      site_ids_.try_emplace(std::string(site), sites_.size());
+  if (inserted) sites_.emplace_back(site);
+  return it->second;
+}
+
+int SimScheduler::PickChoiceLocked(int arity) {
+  int index = 0;
+  if (options_.scripted) {
+    if (script_pos_ < options_.script.size()) {
+      index = std::clamp(options_.script[script_pos_], 0, arity - 1);
+    }
+    ++script_pos_;
+  } else {
+    index = static_cast<int>(rng_.NextBounded(
+        static_cast<std::uint64_t>(arity)));
+  }
+  choices_.push_back(index);
+  choice_arity_.push_back(arity);
+  return index;
+}
+
+void SimScheduler::HaltLocked(std::string reason) {
+  if (halted_) return;
+  halted_ = true;
+  halt_reason_ = std::move(reason);
+  running_ = -1;
+  TraceLocked(Event::kHalt, 0xFF, 0);
+  for (auto& task : tasks_) task->cv.notify_all();
+}
+
+void SimScheduler::ScheduleNextLocked() {
+  if (halted_) return;
+
+  // Deliver delayed wakeups that have come due.
+  for (auto& task : tasks_) {
+    if (task->state == Task::State::kBlocked && task->pending_wake_at != 0 &&
+        task->pending_wake_at <= decisions_made_) {
+      task->state = Task::State::kRunnable;
+      task->pending_wake_at = 0;
+      TraceLocked(Event::kDelayedWake, task->id, 0);
+    }
+  }
+
+  // Optionally perturb: wake one blocked task spuriously. Predicate
+  // re-check loops must absorb this; the schedule stays deterministic
+  // because the draw comes from the seeded RNG.
+  if (!options_.scripted) {
+    std::vector<Task*> blocked;
+    for (auto& task : tasks_) {
+      if (task->state == Task::State::kBlocked) blocked.push_back(task.get());
+    }
+    if (!blocked.empty() && injector_.DrawSpuriousWakeup(rng_)) {
+      Task* victim = blocked[rng_.NextBounded(blocked.size())];
+      victim->state = Task::State::kRunnable;
+      victim->pending_wake_at = 0;
+      TraceLocked(Event::kSpuriousWake, victim->id, 0);
+    }
+  }
+
+  // Candidates, in ascending task-id order (tasks_ is id-ordered).
+  std::vector<Task*> candidates;
+  for (auto& task : tasks_) {
+    if (task->state == Task::State::kRunnable ||
+        (task->state == Task::State::kStalled &&
+         task->stall_until <= decisions_made_)) {
+      candidates.push_back(task.get());
+    }
+  }
+
+  if (candidates.empty()) {
+    // Last resorts, in order: cut a stall short, force a pending delayed
+    // wakeup through. Both model "time passes while everyone waits" — a
+    // stall or a late wakeup must never read as a deadlock.
+    Task* fallback = nullptr;
+    for (auto& task : tasks_) {
+      if (task->state == Task::State::kStalled &&
+          (fallback == nullptr || task->stall_until < fallback->stall_until)) {
+        fallback = task.get();
+      }
+    }
+    if (fallback == nullptr) {
+      for (auto& task : tasks_) {
+        if (task->state == Task::State::kBlocked &&
+            task->pending_wake_at != 0 &&
+            (fallback == nullptr ||
+             task->pending_wake_at < fallback->pending_wake_at)) {
+          fallback = task.get();
+        }
+      }
+      if (fallback != nullptr) {
+        fallback->state = Task::State::kRunnable;
+        fallback->pending_wake_at = 0;
+        TraceLocked(Event::kDelayedWake, fallback->id, 0);
+      }
+    }
+    if (fallback != nullptr) {
+      candidates.push_back(fallback);
+    } else if (done_ == expected_) {
+      running_ = -1;
+      return;
+    } else {
+      int blocked_count = 0;
+      for (auto& task : tasks_) {
+        if (task->state == Task::State::kBlocked) ++blocked_count;
+      }
+      deadlocked_ = true;
+      HaltLocked("deadlock: " + std::to_string(blocked_count) +
+                 " task(s) blocked with no wakeup pending");
+      return;
+    }
+  }
+
+  const int index = candidates.size() > 1
+                        ? PickChoiceLocked(static_cast<int>(candidates.size()))
+                        : 0;
+  Task* next = candidates[static_cast<std::size_t>(index)];
+  next->state = Task::State::kRunning;
+  next->stall_until = 0;
+  running_ = next->id;
+  ++decisions_made_;
+  TraceLocked(Event::kGrant, next->id, static_cast<std::uint64_t>(index));
+  if (decisions_made_ > options_.max_decisions) {
+    decision_limit_hit_ = true;
+    HaltLocked("decision budget exhausted (" +
+               std::to_string(options_.max_decisions) + ")");
+    return;  // HaltLocked woke everyone; the grantee will throw SimHalt.
+  }
+  next->cv.notify_all();
+}
+
+void SimScheduler::WaitForGrantLocked(std::unique_lock<std::mutex>& lk,
+                                      Task& me) {
+  me.cv.wait(lk, [&] { return halted_ || running_ == me.id; });
+  if (halted_) throw SimHalt{};
+}
+
+void SimScheduler::RegisterCurrentTask(int task_id) {
+  Task* me = nullptr;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    assert(task_id >= 0 &&
+           task_id < static_cast<int>(tasks_.size()));
+    me = tasks_[static_cast<std::size_t>(task_id)].get();
+    assert(me->state == Task::State::kUnborn);
+    // Install the hook before the first grant so the task sees the sim
+    // from its very first instruction.
+    tls_scheduler_ = this;
+    tls_task_ = me;
+    ThreadSimHook() = this;
+    me->state = Task::State::kRunnable;
+    ++registered_;
+    if (registered_ == expected_) ScheduleNextLocked();
+    WaitForGrantLocked(lk, *me);  // may throw SimHalt
+  }
+}
+
+void SimScheduler::UnregisterCurrentTask() {
+  Task* me = CurrentTask();
+  if (me != nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    me->state = Task::State::kDone;
+    ++done_;
+    if (running_ == me->id) {
+      running_ = -1;
+      ScheduleNextLocked();
+    }
+  }
+  tls_task_ = nullptr;
+  tls_scheduler_ = nullptr;
+  ThreadSimHook() = nullptr;
+}
+
+void SimScheduler::OnTxnAttemptStart() {
+  Task* me = CurrentTask();
+  if (me == nullptr || options_.scripted) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  me->fault = injector_.DrawAttemptPlan(rng_);
+}
+
+void SimScheduler::RecordTick(Timestamp ts) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Task* me = CurrentTask();
+  TraceLocked(Event::kTick, me != nullptr ? me->id : 0xFF, ts);
+}
+
+void SimScheduler::Yield(const char* site, bool interruptible) {
+  Task* me = CurrentTask();
+  assert(me != nullptr && "Yield from a thread this scheduler never adopted");
+  std::unique_lock<std::mutex> lk(mu_);
+  if (halted_) throw SimHalt{};
+  TraceLocked(Event::kYield, me->id, InternSiteLocked(site));
+
+  if (me->fault.kind != SimFaultKind::kNone) {
+    if (me->fault.countdown > 0) --me->fault.countdown;
+    if (me->fault.countdown <= 0) {
+      if (me->fault.kind == SimFaultKind::kStall) {
+        const int rounds = std::max(1, me->fault.stall_rounds);
+        me->fault = FaultPlan{};
+        ++faults_injected_;
+        TraceLocked(Event::kFault, me->id,
+                    static_cast<std::uint64_t>(SimFaultKind::kStall));
+        me->state = Task::State::kStalled;
+        me->stall_until = decisions_made_ + static_cast<std::uint64_t>(rounds);
+        ScheduleNextLocked();
+        WaitForGrantLocked(lk, *me);
+        return;
+      }
+      if (interruptible) {
+        const SimFaultKind kind = me->fault.kind;
+        me->fault = FaultPlan{};
+        ++faults_injected_;
+        TraceLocked(Event::kFault, me->id, static_cast<std::uint64_t>(kind));
+        // The task stays RUNNING: it unwinds to the executor's attempt
+        // boundary and keeps executing the abort/retry path from there.
+        throw SimFault{kind};
+      }
+      // Armed but this site cannot unwind (partially applied effects);
+      // the fault stays at countdown 0 and fires at the next
+      // interruptible yield.
+    }
+  }
+
+  me->state = Task::State::kRunnable;
+  ScheduleNextLocked();
+  WaitForGrantLocked(lk, *me);
+}
+
+void SimScheduler::BlockOn(const void* channel,
+                           std::unique_lock<std::mutex>& lock) {
+  Task* me = CurrentTask();
+  assert(me != nullptr && "BlockOn from a thread this scheduler never adopted");
+  // The caller's lock is released while parked (condition-variable
+  // semantics) and — because descheduled tasks hold no exclusive locks —
+  // reacquired without contention after the grant. On SimHalt the lock
+  // stays released; callers hold it via RAII guards that track ownership.
+  lock.unlock();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (halted_) throw SimHalt{};
+    TraceLocked(Event::kBlock, me->id, 0);
+    me->state = Task::State::kBlocked;
+    me->channel = channel;
+    me->pending_wake_at = 0;
+    ScheduleNextLocked();
+    WaitForGrantLocked(lk, *me);
+    me->channel = nullptr;
+  }
+  lock.lock();
+}
+
+void SimScheduler::NotifyAll(const void* channel) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (halted_) return;
+  for (auto& task : tasks_) {
+    if (task->state != Task::State::kBlocked || task->channel != channel) {
+      continue;
+    }
+    const int delay =
+        options_.scripted ? 0 : injector_.DrawWakeupDelay(rng_);
+    if (delay > 0) {
+      // Dropped-then-late wakeup: the task stays blocked and becomes
+      // runnable only `delay` decisions later (or as a last resort when
+      // nothing else can run — never a false deadlock).
+      const std::uint64_t due = decisions_made_ + static_cast<std::uint64_t>(delay);
+      if (task->pending_wake_at == 0 || due < task->pending_wake_at) {
+        task->pending_wake_at = due;
+      }
+      TraceLocked(Event::kDelayedWake, task->id, 1);
+    } else {
+      task->state = Task::State::kRunnable;
+      task->pending_wake_at = 0;
+      TraceLocked(Event::kWake, task->id, 0);
+    }
+  }
+}
+
+bool SimScheduler::halted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return halted_;
+}
+
+bool SimScheduler::deadlocked() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return deadlocked_;
+}
+
+bool SimScheduler::decision_limit_hit() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return decision_limit_hit_;
+}
+
+std::string SimScheduler::halt_reason() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return halt_reason_;
+}
+
+std::uint64_t SimScheduler::decisions_made() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return decisions_made_;
+}
+
+std::uint64_t SimScheduler::faults_injected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return faults_injected_;
+}
+
+std::vector<std::uint64_t> SimScheduler::trace() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return trace_;
+}
+
+std::vector<int> SimScheduler::choices() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return choices_;
+}
+
+std::vector<int> SimScheduler::choice_arity() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return choice_arity_;
+}
+
+std::vector<std::string> SimScheduler::sites() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sites_;
+}
+
+}  // namespace hdd

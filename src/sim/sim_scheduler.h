@@ -1,0 +1,174 @@
+#ifndef HDD_SIM_SIM_SCHEDULER_H_
+#define HDD_SIM_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/sim_hook.h"
+#include "sim/fault_injector.h"
+
+namespace hdd {
+
+/// Deterministic cooperative scheduler. Real OS threads carry the tasks,
+/// but exactly ONE task is ever RUNNING: all the others are parked on the
+/// scheduler, so every interleaving decision — who runs next, when a
+/// wakeup is delivered, where a fault fires — is a seeded RNG draw (or a
+/// scripted choice, for bounded systematic exploration). Same seed, same
+/// options, same code ⇒ byte-for-byte the same schedule, trace and
+/// history, which is what makes failing runs replayable.
+///
+/// Protocol with the code under test (via the SimHook interface):
+///  * every worker thread calls RegisterCurrentTask(id) with an id chosen
+///    by the caller (NOT registration order — thread startup order is the
+///    one nondeterminism the scheduler cannot own, so identity must come
+///    from outside). No task runs until all ExpectTasks(n) have
+///    registered; the first grant is then a deterministic choice.
+///  * instrumented code calls Yield at preemption points while holding no
+///    mutex that another task takes exclusively; BlockOn/NotifyAll
+///    replace condition-variable waits so wakeup delivery is part of the
+///    schedule instead of an OS race.
+///  * the executor calls OnTxnAttemptStart before each transaction
+///    attempt to arm that attempt's fault plan.
+///
+/// When no task is runnable and no delayed wakeup or stall is pending,
+/// the run is declared deadlocked (a finding in itself) and every task is
+/// unwound with SimHalt; a decision budget backstops livelocks.
+class SimScheduler : public SimHook {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    /// Scheduling-decision budget; exceeding it halts the run (livelock
+    /// and runaway-schedule backstop).
+    std::uint64_t max_decisions = 1u << 20;
+    FaultInjectorConfig faults;
+    /// Scripted mode, for bounded systematic exploration: scheduling
+    /// choices follow `script` index-by-index and then default to
+    /// candidate 0. Only decisions with more than one candidate consume a
+    /// script entry (the same positions that are recorded in choices()).
+    /// Faults and wakeup perturbations should be disabled in this mode so
+    /// the script is the only source of nondeterminism.
+    bool scripted = false;
+    std::vector<int> script;
+  };
+
+  /// Trace event kinds (top byte of each trace word).
+  enum class Event : std::uint8_t {
+    kGrant = 1,         // data = decision index
+    kYield,             // data = site id
+    kBlock,             // task parked on a channel
+    kWake,              // wakeup delivered immediately
+    kDelayedWake,       // delayed wakeup finally delivered
+    kSpuriousWake,      // injected spurious wakeup
+    kFault,             // data = SimFaultKind
+    kTick,              // data = issued timestamp (low 48 bits)
+    kHalt,
+  };
+
+  explicit SimScheduler(Options options);
+  ~SimScheduler() override;  // out of line: Task is incomplete here
+
+  SimScheduler(const SimScheduler&) = delete;
+  SimScheduler& operator=(const SimScheduler&) = delete;
+
+  /// Declares how many tasks will register. Call once, before any worker
+  /// thread starts; grants begin only when all have registered.
+  void ExpectTasks(int count);
+
+  /// Adopts the calling thread as task `task_id` (in [0, count)), installs
+  /// the thread hook, and blocks until this task receives its first grant.
+  /// Throws SimHalt if the run halts before then.
+  void RegisterCurrentTask(int task_id);
+
+  /// Marks the calling task done (normal exit or after SimHalt), hands the
+  /// schedule to the next task, and clears the thread hook. Never throws.
+  void UnregisterCurrentTask();
+
+  /// Arms the fault plan for the next transaction attempt of the calling
+  /// task. No-op for non-sim threads or in scripted mode.
+  void OnTxnAttemptStart();
+
+  /// Records a clock tick into the trace (called by SimClock, possibly
+  /// under controller latches — never blocks or yields).
+  void RecordTick(Timestamp ts);
+
+  // SimHook interface.
+  void Yield(const char* site, bool interruptible) override;
+  void BlockOn(const void* channel,
+               std::unique_lock<std::mutex>& lock) override;
+  void NotifyAll(const void* channel) override;
+
+  // Post-run introspection (thread-safe, but meaningful once all tasks
+  // have unregistered).
+  bool halted() const;
+  bool deadlocked() const;
+  bool decision_limit_hit() const;
+  std::string halt_reason() const;
+  std::uint64_t decisions_made() const;
+  std::uint64_t faults_injected() const;
+  /// Full event trace; equality across two runs is the replay check.
+  std::vector<std::uint64_t> trace() const;
+  /// Branch decisions actually taken (only positions with >1 candidate)
+  /// and the number of candidates at each — the systematic explorer
+  /// backtracks over these.
+  std::vector<int> choices() const;
+  std::vector<int> choice_arity() const;
+  /// Interned yield-site names; index = site id in kYield trace words.
+  std::vector<std::string> sites() const;
+
+  /// Builds a trace word (exposed for tests/trace decoding).
+  static std::uint64_t Pack(Event event, int task_id, std::uint64_t data) {
+    return (static_cast<std::uint64_t>(event) << 56) |
+           (static_cast<std::uint64_t>(task_id & 0xFF) << 48) |
+           (data & 0xFFFFFFFFFFFFull);
+  }
+
+ private:
+  struct Task;
+
+  Task* CurrentTask() const;
+  void TraceLocked(Event event, int task_id, std::uint64_t data);
+  std::uint64_t InternSiteLocked(const char* site);
+  int PickChoiceLocked(int arity);
+  void HaltLocked(std::string reason);
+  /// Picks and grants the next task (or halts). Caller must hold mu_ and
+  /// have descheduled the current task already.
+  void ScheduleNextLocked();
+  /// Parks the caller until it is granted; throws SimHalt on halt.
+  void WaitForGrantLocked(std::unique_lock<std::mutex>& lk, Task& me);
+
+  const Options options_;
+  FaultInjector injector_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  int expected_ = 0;
+  int registered_ = 0;
+  int done_ = 0;
+  int running_ = -1;  // task id, or -1 when none granted
+  bool halted_ = false;
+  bool deadlocked_ = false;
+  bool decision_limit_hit_ = false;
+  std::string halt_reason_;
+  std::uint64_t decisions_made_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::size_t script_pos_ = 0;
+  std::vector<std::uint64_t> trace_;
+  std::vector<int> choices_;
+  std::vector<int> choice_arity_;
+  std::unordered_map<std::string, std::uint64_t> site_ids_;
+  std::vector<std::string> sites_;
+
+  static thread_local SimScheduler* tls_scheduler_;
+  static thread_local Task* tls_task_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_SIM_SIM_SCHEDULER_H_

@@ -1,0 +1,304 @@
+// Deterministic-simulation model checker for the HDD protocols.
+//
+// Every test drives a small workload through the cooperative SimScheduler:
+// worker threads are sim tasks, every interleaving decision is a seeded
+// RNG draw (or a scripted choice), the logical clock is virtual, and the
+// fault injector forces transaction aborts, mid-transaction crashes,
+// delayed commits (stalls) and perturbed wakeups. Each completed history
+// is checked against the full serializability oracle (CheckSimHistory);
+// a failing seed is re-run and must reproduce its trace byte-for-byte,
+// and the test prints a ready-to-paste replay command.
+//
+// The suite also carries its own canary: with the TEST-ONLY
+// `mutation_unsafe_protocol_a` switch the controller serves Protocol A
+// reads at the raw initiation time instead of the activity-link bound
+// (violating Theorem 1), and the sweep MUST catch that with a replayable
+// seed — a harness that cannot see the mutation is broken.
+//
+// Environment knobs (also used by ci/check.sh):
+//   HDD_SIM_SEEDS       number of seeds in the big HDD sweep (default 2000)
+//   HDD_SIM_FIRST_SEED  first seed of every sweep (default 1)
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cc/mvto.h"
+#include "cc/two_phase_locking.h"
+#include "engine/executor.h"
+#include "engine/synthetic_workload.h"
+#include "hdd/hdd_controller.h"
+#include "sim/explorer.h"
+#include "sim/sim_clock.h"
+#include "sim/sim_scheduler.h"
+
+namespace hdd {
+namespace {
+
+std::uint64_t EnvOr(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+std::uint64_t FirstSeed() { return EnvOr("HDD_SIM_FIRST_SEED", 1); }
+
+// Fault mix used by the randomized sweeps: forced aborts, mid-transaction
+// crashes, delayed commits (stalls), plus wakeup perturbations.
+FaultInjectorConfig SweepFaults() {
+  FaultInjectorConfig faults;
+  faults.abort_prob = 0.15;
+  faults.crash_prob = 0.05;
+  faults.stall_prob = 0.15;
+  faults.spurious_wakeup_prob = 0.05;
+  faults.delayed_wakeup_prob = 0.10;
+  return faults;
+}
+
+struct WorkloadShape {
+  SyntheticWorkloadParams params;
+  int threads = 3;
+  std::uint64_t txns = 9;
+  int max_retries = 50;
+};
+
+WorkloadShape HddShape() {
+  WorkloadShape shape;
+  shape.params.depth = 3;
+  shape.params.granules_per_segment = 3;
+  shape.params.own_reads = 1;
+  shape.params.own_writes = 2;
+  shape.params.upper_reads = 2;
+  shape.params.read_only_fraction = 0.3;
+  return shape;
+}
+
+// One simulated HDD run: fresh database + controller, virtual clock,
+// workers as sim tasks, then the full oracle over the recorded history.
+SimWorkloadFn HddWorkload(WorkloadShape shape,
+                          HddControllerOptions copts = {}) {
+  return [shape, copts](SimScheduler& sched) -> std::string {
+    SyntheticWorkload workload(shape.params);
+    auto schema = HierarchySchema::Create(workload.Spec());
+    if (!schema.ok()) return schema.status().ToString();
+    auto db = workload.MakeDatabase();
+    SimClock clock(&sched);
+    HddController cc(db.get(), &clock, &*schema, copts);
+
+    ExecutorOptions options;
+    options.num_threads = shape.threads;
+    options.seed = 77;  // workload mix; interleavings come from `sched`
+    options.max_retries = shape.max_retries;
+    options.sim = &sched;
+    (void)RunWorkload(cc, workload, shape.txns, options);
+    if (sched.halted()) return "";  // RunSimulation reports the finding
+    return CheckSimHistory(cc, *db, /*replay_bounds=*/true);
+  };
+}
+
+// Same harness over the baseline controllers (no bounds to replay).
+template <typename Controller, typename ControllerOptions>
+SimWorkloadFn BaselineWorkload(WorkloadShape shape,
+                               ControllerOptions copts = {}) {
+  return [shape, copts](SimScheduler& sched) -> std::string {
+    SyntheticWorkload workload(shape.params);
+    auto db = workload.MakeDatabase();
+    SimClock clock(&sched);
+    Controller cc(db.get(), &clock, copts);
+
+    ExecutorOptions options;
+    options.num_threads = shape.threads;
+    options.seed = 77;
+    options.max_retries = shape.max_retries;
+    options.sim = &sched;
+    (void)RunWorkload(cc, workload, shape.txns, options);
+    if (sched.halted()) return "";
+    return CheckSimHistory(cc, *db, /*replay_bounds=*/false);
+  };
+}
+
+void ExpectSweepClean(const SeedSweepReport& report, const char* label) {
+  EXPECT_GT(report.runs, 0u) << label;
+  for (const SimFailure& failure : report.failures) {
+    ADD_FAILURE() << label << ": seed " << failure.seed << " failed: "
+                  << failure.message << "\n  replay"
+                  << (failure.replayed_identically
+                          ? " (reproduces byte-for-byte): "
+                          : " (DID NOT reproduce!): ")
+                  << failure.replay_command;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance sweep: thousands of seeded schedules of an HDD workload
+// under fault injection; every completed history must pass the 1SR oracle.
+TEST(SimExplore, HddSeedSweepPassesOracle) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  const std::uint64_t seeds = EnvOr("HDD_SIM_SEEDS", 2000);
+  const SeedSweepReport report =
+      RunSeedSweep(base, FirstSeed(), seeds, HddWorkload(HddShape()),
+                   "ctest -R test_sim_explore");
+  ExpectSweepClean(report, "hdd");
+  EXPECT_EQ(report.runs, seeds);
+  // The sweep is only evidence if faults actually fired.
+  EXPECT_GT(report.faults_injected, 0u);
+}
+
+TEST(SimExplore, MvtoSeedSweepPassesOracle) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  WorkloadShape shape = HddShape();
+  shape.params.read_only_fraction = 0.0;  // MVTO has no Protocol C
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), EnvOr("HDD_SIM_BASELINE_SEEDS", 300),
+      BaselineWorkload<Mvto, MvtoOptions>(shape, {}),
+      "ctest -R test_sim_explore");
+  ExpectSweepClean(report, "mvto");
+}
+
+TEST(SimExplore, TwoPhaseSeedSweepPassesOracle) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  WorkloadShape shape = HddShape();
+  shape.params.read_only_fraction = 0.0;
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), EnvOr("HDD_SIM_BASELINE_SEEDS", 300),
+      BaselineWorkload<TwoPhaseLocking, TwoPhaseLockingOptions>(shape, {}),
+      "ctest -R test_sim_explore");
+  ExpectSweepClean(report, "2pl");
+}
+
+// ---------------------------------------------------------------------------
+// Replay: the same options must reproduce the identical trace, choices and
+// verdict; a different seed must schedule differently.
+TEST(SimExplore, DeterministicReplay) {
+  SimScheduler::Options options;
+  options.faults = SweepFaults();
+  options.seed = 42;
+  const SimWorkloadFn fn = HddWorkload(HddShape());
+  const SimRunReport a = RunSimulation(options, fn);
+  const SimRunReport b = RunSimulation(options, fn);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.choices, b.choices);
+  EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  ASSERT_FALSE(a.trace.empty());
+
+  options.seed = 43;
+  const SimRunReport c = RunSimulation(options, fn);
+  EXPECT_NE(a.trace, c.trace);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded systematic exploration: enumerate every schedule of a tiny
+// two-worker workload that differs in the first branching decisions, with
+// faults off — stateless model checking over the scheduler's choice tree.
+TEST(SimExplore, BoundedSystematicExploration) {
+  WorkloadShape shape = HddShape();
+  shape.threads = 2;
+  shape.txns = 4;
+  SimScheduler::Options base;  // Explore* forces scripted mode, no faults
+  const ExploreReport report = ExploreBoundedSchedules(
+      base, /*branch_depth=*/7, /*max_schedules=*/800,
+      HddWorkload(shape));
+  for (const SimFailure& failure : report.failures) {
+    ADD_FAILURE() << "schedule " << failure.seed << " failed: "
+                  << failure.message << "\n  " << failure.replay_command;
+  }
+  EXPECT_GT(report.schedules, 1u);
+  EXPECT_TRUE(report.exhausted || report.schedules == 800u)
+      << "explorer stopped after " << report.schedules
+      << " schedules without exhausting the bounded space";
+}
+
+// ---------------------------------------------------------------------------
+// The canary: with Protocol A mutated to serve raw initiation times
+// (violating Theorem 1), the sweep must catch a violation and the failing
+// seed must replay byte-for-byte.
+TEST(SimExplore, CanaryMutationIsCaught) {
+  HddControllerOptions copts;
+  copts.mutation_unsafe_protocol_a = true;
+
+  WorkloadShape shape = HddShape();
+  shape.params.depth = 2;               // one class above, one below
+  shape.params.granules_per_segment = 2;  // maximize cross-segment conflict
+  shape.params.read_only_fraction = 0.2;
+  shape.txns = 12;
+
+  SimScheduler::Options base;  // no faults: scheduling alone must expose it
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), EnvOr("HDD_SIM_CANARY_SEEDS", 300),
+      HddWorkload(shape, copts), "ctest -R test_sim_explore");
+  ASSERT_FALSE(report.failures.empty())
+      << "the unsafe-Protocol-A mutation survived " << report.runs
+      << " seeds — the harness cannot detect the injected violation";
+  const SimFailure& first = report.failures.front();
+  EXPECT_TRUE(first.replayed_identically)
+      << "seed " << first.seed << " failed but did not replay";
+  // The replayable repro is the artifact the harness promises.
+  std::cout << "canary caught at seed " << first.seed << ": "
+            << first.message << "\n  replay: " << first.replay_command
+            << std::endl;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler-level unit test: two tasks block on channels nobody notifies;
+// the scheduler must declare the run deadlocked and unwind both tasks with
+// SimHalt rather than hang.
+TEST(SimExplore, SchedulerDetectsDeadlock) {
+  SimScheduler::Options options;
+  SimScheduler sched(options);
+  sched.ExpectTasks(2);
+
+  auto starve = [&sched](int id, const void* channel) {
+    std::mutex mu;
+    try {
+      sched.RegisterCurrentTask(id);
+      std::unique_lock<std::mutex> lock(mu);
+      for (;;) sched.BlockOn(channel, lock);
+    } catch (const SimHalt&) {
+    }
+    sched.UnregisterCurrentTask();
+  };
+  const int ch_a = 0, ch_b = 0;
+  std::thread a(starve, 0, &ch_a);
+  std::thread b(starve, 1, &ch_b);
+  a.join();
+  b.join();
+
+  EXPECT_TRUE(sched.halted());
+  EXPECT_TRUE(sched.deadlocked());
+  EXPECT_FALSE(sched.decision_limit_hit());
+  EXPECT_NE(sched.halt_reason().find("deadlock"), std::string::npos)
+      << sched.halt_reason();
+}
+
+// A busy-looping task must be stopped by the decision budget, reported as
+// a suspected livelock rather than a deadlock.
+TEST(SimExplore, DecisionBudgetBackstopsLivelock) {
+  SimScheduler::Options options;
+  options.max_decisions = 64;
+  SimScheduler sched(options);
+  sched.ExpectTasks(1);
+  std::thread t([&sched] {
+    try {
+      sched.RegisterCurrentTask(0);
+      for (;;) sched.Yield("test/spin", /*interruptible=*/true);
+    } catch (const SimHalt&) {
+    }
+    sched.UnregisterCurrentTask();
+  });
+  t.join();
+  EXPECT_TRUE(sched.halted());
+  EXPECT_TRUE(sched.decision_limit_hit());
+  EXPECT_FALSE(sched.deadlocked());
+}
+
+}  // namespace
+}  // namespace hdd

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "hdd/hdd_controller.h"
 
 namespace hdd {
 namespace {
@@ -82,6 +88,191 @@ TEST_F(TimeWallUnitTest, WallMetadataFilled) {
   EXPECT_EQ(wall->s, 1);
   EXPECT_EQ(wall->bound.size(), 2u);
   EXPECT_EQ(wall->bound[1], 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: on randomized small hierarchies with randomized
+// transaction histories, every component of a released time wall must
+// equal an INDEPENDENTLY computed consistent cut. The reference below
+// re-derives the paper's link functions directly from raw transaction
+// intervals — no ClassActivityTable, no run decomposition — walking the
+// undirected critical path arc by arc:
+//   ascending arc  (u -> w critical):  v = I^old_w(v)
+//   descending arc (w -> u critical):  v = C^late_u(v)
+// which expands to exactly the A/B compositions E is defined from (§5.1).
+
+struct RefHistory {
+  std::vector<Timestamp> active;                     // initiation times
+  std::vector<std::pair<Timestamp, Timestamp>> finished;  // [init, end)
+};
+
+Timestamp RefIOld(const RefHistory& h, Timestamp m) {
+  Timestamp best = m;
+  for (Timestamp init : h.active) {
+    if (init < m) best = std::min(best, init);
+  }
+  for (const auto& [init, end] : h.finished) {
+    if (init < m && end > m) best = std::min(best, init);
+  }
+  return best;
+}
+
+// C^late_c(m); returns kBusy exactly when some active txn has init <= m.
+Result<Timestamp> RefCLate(const RefHistory& h, Timestamp m) {
+  for (Timestamp init : h.active) {
+    if (init <= m) return Status::Busy("reference C^late: active txn");
+  }
+  Timestamp best = m;
+  for (const auto& [init, end] : h.finished) {
+    if (init < m && end > m) best = std::max(best, end);
+  }
+  return best;
+}
+
+Result<Timestamp> RefWallComponent(const TstAnalysis& tst,
+                                   const std::vector<RefHistory>& history,
+                                   ClassId s, ClassId c, Timestamp m) {
+  auto ucp = tst.Ucp(s, c);
+  if (!ucp.has_value()) return m;  // different weak component: default
+  Timestamp value = m;
+  for (std::size_t k = 0; k + 1 < ucp->size(); ++k) {
+    const ClassId here = (*ucp)[k];
+    const ClassId next = (*ucp)[k + 1];
+    if (tst.IsCriticalArc(here, next)) {
+      value = RefIOld(history[next], value);
+    } else {
+      HDD_ASSIGN_OR_RETURN(value, RefCLate(history[here], value));
+    }
+  }
+  return value;
+}
+
+TEST(TimeWallPropertyTest, WallEqualsOfflineConsistentCut) {
+  Rng rng(20260806);
+  int checked_walls = 0;
+  for (int round = 0; round < 60; ++round) {
+    // Random forest over n classes, arcs lower id = higher segment as in
+    // the unit tests above: each class either roots a new component or
+    // points at a random earlier class.
+    const int n = 2 + static_cast<int>(rng.NextBounded(5));
+    Digraph g(n);
+    for (int c = 1; c < n; ++c) {
+      if (rng.NextBounded(5) == 0) continue;  // extra root
+      g.AddArc(c, static_cast<NodeId>(rng.NextBounded(
+                      static_cast<std::uint64_t>(c))));
+    }
+    auto tst = TstAnalysis::Create(g);
+    if (!tst.ok()) continue;  // not a TST: topology out of scope
+
+    // Random interleaved history: one global timestamp stream, random
+    // begins and finishes across classes, some transactions left active.
+    std::vector<ClassActivityTable> tables(n);
+    std::vector<RefHistory> history(n);
+    std::vector<std::pair<ClassId, Timestamp>> open;
+    Timestamp now = 0;
+    const int steps = 8 + static_cast<int>(rng.NextBounded(24));
+    for (int i = 0; i < steps; ++i) {
+      now += 1 + rng.NextBounded(3);
+      if (!open.empty() && rng.NextBounded(2) == 0) {
+        const std::size_t pick = rng.NextBounded(open.size());
+        const auto [cls, init] = open[pick];
+        open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
+        tables[cls].OnFinish(init, now);
+        history[cls].finished.emplace_back(init, now);
+      } else {
+        const ClassId cls = static_cast<ClassId>(rng.NextBounded(n));
+        tables[cls].OnBegin(now);
+        open.emplace_back(cls, now);
+      }
+    }
+    for (const auto& [cls, init] : open) history[cls].active.push_back(init);
+
+    ActivityLinkEvaluator eval(&*tst, &tables);
+    const ClassId s = PickWallAnchor(*tst);
+    for (int trial = 0; trial < 8; ++trial) {
+      const Timestamp m = 1 + rng.NextBounded(now + 2);
+      std::vector<Timestamp> want(static_cast<std::size_t>(n), m);
+      bool ref_busy = false;
+      for (ClassId c = 0; c < n; ++c) {
+        auto ref = RefWallComponent(*tst, history, s, c, m);
+        if (!ref.ok()) {
+          ASSERT_EQ(ref.status().code(), StatusCode::kBusy);
+          ref_busy = true;
+          break;
+        }
+        want[c] = *ref;
+      }
+      auto wall = ComputeTimeWall(eval, n, s, m);
+      if (ref_busy) {
+        EXPECT_EQ(wall.status().code(), StatusCode::kBusy)
+            << "round " << round << " m=" << m
+            << ": reference busy but wall computed";
+        continue;
+      }
+      ASSERT_TRUE(wall.ok()) << "round " << round << " m=" << m << ": "
+                             << wall.status();
+      ++checked_walls;
+      EXPECT_EQ(wall->bound, want) << "round " << round << " m=" << m;
+    }
+  }
+  // The sweep must actually have exercised computable walls.
+  EXPECT_GT(checked_walls, 50);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a wall released while an update is in flight steers every
+// Protocol C read below that update's initiation time, and the cut stays
+// put even after the update commits — transactions committing after the
+// release can never perturb a wall that has already been served.
+
+TEST(TimeWallEndToEndTest, CommitAfterReleaseCannotPerturbTheCut) {
+  PartitionSpec spec;
+  spec.segment_names = {"events", "inventory", "orders", "suppliers"};
+  spec.transaction_types = {
+      {"log_event", 0, {}},
+      {"post_inventory", 1, {0}},
+      {"reorder", 2, {0, 1}},
+      {"supplier_profile", 3, {0, 2}},
+  };
+  auto schema = HierarchySchema::Create(spec);
+  ASSERT_TRUE(schema.ok());
+  Database db(4, 2, 0);
+  LogicalClock clock;
+  HddController cc(&db, &clock, &*schema);
+  const GranuleRef event{0, 0};
+
+  // Committed baseline, then a writer caught mid-flight by the release.
+  auto setup = cc.Begin({.txn_class = 0});
+  ASSERT_TRUE(setup.ok());
+  ASSERT_TRUE(cc.Write(*setup, event, 1).ok());
+  ASSERT_TRUE(cc.Commit(*setup).ok());
+
+  auto writer = cc.Begin({.txn_class = 0});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(cc.Write(*writer, event, 99).ok());
+
+  auto ro = cc.Begin({.read_only = true});
+  ASSERT_TRUE(ro.ok());
+  auto before = cc.Read(*ro, event);  // releases + pins a wall
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(*before, 1);  // the cut is below the in-flight writer
+
+  // The writer commits AFTER the wall was released: the pinned reader
+  // must keep seeing the old value on re-read.
+  ASSERT_TRUE(cc.Commit(*writer).ok());
+  auto after = cc.Read(*ro, event);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, 1);
+  ASSERT_TRUE(cc.Commit(*ro).ok());
+
+  // A fresh wall, released after the commit, moves the cut forward.
+  ASSERT_TRUE(cc.ReleaseNewWall().ok());
+  auto fresh = cc.Begin({.read_only = true});
+  ASSERT_TRUE(fresh.ok());
+  auto value = cc.Read(*fresh, event);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 99);
+  ASSERT_TRUE(cc.Commit(*fresh).ok());
 }
 
 }  // namespace
