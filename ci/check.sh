@@ -16,6 +16,7 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 SIM_SEEDS="${HDD_SIM_SEEDS:-2000}"
 SIM_SEEDS_TSAN="${HDD_SIM_SEEDS_TSAN:-100}"
+CRASH_SEEDS="${HDD_SIM_CRASH_SEEDS:-2000}"
 
 echo "=== Release build ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -29,6 +30,19 @@ echo "=== Simulation sweep ($SIM_SEEDS seeds) ==="
 (cd build && HDD_SIM_SEEDS="$SIM_SEEDS" \
   ctest --output-on-failure -L sim)
 
+echo "=== Crash-recovery stage ($CRASH_SEEDS crash seeds) ==="
+# WAL unit tier plus the on-disk kill -9 smoke test
+# (tests/test_wal_crash_process.cc: forked child, SIGKILL, real files).
+(cd build && ctest --output-on-failure -j "$JOBS" \
+  -R 'test_wal_(format|recovery|crash_process)')
+# Process-crash sweep: seeded schedules killed at arbitrary yield
+# points; every crash must recover exactly the committed prefix and the
+# combined pre/post-crash history must stay 1SR, and the lost-ack
+# canary (WalOptions::mutation_skip_commit_sync) must be caught with a
+# replayable seed. Knob: HDD_SIM_CRASH_SEEDS.
+(cd build && HDD_SIM_CRASH_SEEDS="$CRASH_SEEDS" \
+  ./tests/test_sim_explore --gtest_filter='SimExplore.Wal*')
+
 echo "=== ThreadSanitizer build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHDD_SANITIZE=thread >/dev/null
@@ -38,6 +52,8 @@ echo "=== ThreadSanitizer tests ==="
 # sweep shrinks to keep the TSan stage's runtime sane.
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
   HDD_SIM_SEEDS="$SIM_SEEDS_TSAN" HDD_SIM_CANARY_SEEDS=50 \
+  HDD_SIM_CRASH_SEEDS=200 HDD_SIM_CRASH_PERCOMMIT_SEEDS=50 \
+  HDD_SIM_WAL_CANARY_SEEDS=50 \
   ctest --output-on-failure -j "$JOBS")
 
 echo "=== All checks passed ==="

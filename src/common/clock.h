@@ -44,6 +44,18 @@ class LogicalClock {
     return next_.load(std::memory_order_relaxed) - 1;
   }
 
+  /// Ensures every future Tick() returns a value strictly above `ts`.
+  /// Recovery handshake: after replaying a log whose largest timestamp is
+  /// `ts`, the restarted controller must never re-issue a timestamp at or
+  /// below it (order_keys would collide and version order would fork).
+  void AdvanceTo(Timestamp ts) {
+    Timestamp current = next_.load(std::memory_order_relaxed);
+    while (current < ts + 1 &&
+           !next_.compare_exchange_weak(current, ts + 1,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
   /// Resets to the initial state (single-threaded use only; for tests).
   void Reset() { next_.store(1, std::memory_order_relaxed); }
 

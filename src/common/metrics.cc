@@ -19,4 +19,22 @@ std::map<std::string, std::uint64_t> CcMetrics::ToMap() const {
   };
 }
 
+std::map<std::string, std::uint64_t> WalMetrics::ToMap() const {
+  std::map<std::string, std::uint64_t> out = {
+      {"records_appended", records_appended.load()},
+      {"bytes_appended", bytes_appended.load()},
+      {"fsyncs", fsyncs.load()},
+      {"commit_waits", commit_waits.load()},
+      {"group_commit_batches", group_commit_batches.load()},
+      {"checkpoints", checkpoints.load()},
+      {"recovery_replayed_records", recovery_replayed_records.load()},
+      {"recovery_replay_us", recovery_replay_us.load()},
+  };
+  for (std::size_t i = 0; i < kBatchBuckets; ++i) {
+    out["batch_size_ge_" + std::to_string(1ull << i)] =
+        batch_size_buckets[i].load();
+  }
+  return out;
+}
+
 }  // namespace hdd

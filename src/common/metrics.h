@@ -1,6 +1,7 @@
 #ifndef HDD_COMMON_METRICS_H_
 #define HDD_COMMON_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -48,6 +49,50 @@ struct CcMetrics {
   }
 
   /// Flattens into name -> value, for table printers and tests.
+  std::map<std::string, std::uint64_t> ToMap() const;
+};
+
+/// Counters of the durability subsystem (src/wal/). The interesting ratio
+/// is fsyncs per commit: group commit exists to push it far below 1.
+struct WalMetrics {
+  std::atomic<std::uint64_t> records_appended{0};
+  std::atomic<std::uint64_t> bytes_appended{0};
+  std::atomic<std::uint64_t> fsyncs{0};
+  /// Commits that waited for durability (every acked update commit).
+  std::atomic<std::uint64_t> commit_waits{0};
+  /// Group-commit leader rounds, i.e. fsync batches.
+  std::atomic<std::uint64_t> group_commit_batches{0};
+  /// Histogram of commits made durable per batch: bucket i counts batches
+  /// of size in [2^i, 2^(i+1)), the last bucket absorbing the tail.
+  static constexpr std::size_t kBatchBuckets = 8;
+  std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_size_buckets{};
+  std::atomic<std::uint64_t> checkpoints{0};
+  std::atomic<std::uint64_t> recovery_replayed_records{0};
+  std::atomic<std::uint64_t> recovery_replay_us{0};
+
+  void ObserveBatch(std::uint64_t commits_in_batch) {
+    group_commit_batches.fetch_add(1, std::memory_order_relaxed);
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBatchBuckets && (2ull << bucket) <= commits_in_batch) {
+      ++bucket;
+    }
+    batch_size_buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    records_appended = 0;
+    bytes_appended = 0;
+    fsyncs = 0;
+    commit_waits = 0;
+    group_commit_batches = 0;
+    for (auto& bucket : batch_size_buckets) bucket = 0;
+    checkpoints = 0;
+    recovery_replayed_records = 0;
+    recovery_replay_us = 0;
+  }
+
+  /// Flattens into name -> value; histogram buckets appear as
+  /// "batch_size_ge_<lower bound>".
   std::map<std::string, std::uint64_t> ToMap() const;
 };
 

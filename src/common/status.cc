@@ -26,6 +26,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

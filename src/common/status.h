@@ -18,6 +18,14 @@ namespace hdd {
 ///    caller with a fresh timestamp (the classical TO/2PL restart).
 ///  - `kDeadlock`: the transaction was chosen as a deadlock victim; retry.
 ///  - `kBusy`: a non-blocking call could not make progress right now.
+/// The durability layer (src/wal/) adds two environment-fault categories:
+///  - `kIoError`: a storage operation (append/fsync/truncate) failed; the
+///    data may or may not be on disk, so the caller must treat the
+///    affected commit as unresolved.
+///  - `kCorruption`: on-disk bytes fail their integrity check (a complete
+///    log frame with a CRC mismatch). Unlike a torn tail — which is the
+///    expected shape of a crash and is silently truncated — corruption
+///    means the medium lied, and recovery refuses to guess past it.
 /// Everything else signals a programming or configuration error.
 enum class StatusCode {
   kOk = 0,
@@ -31,6 +39,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kIoError,
+  kCorruption,
 };
 
 /// Returns a stable human-readable name ("Ok", "Aborted", ...).
@@ -80,6 +90,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

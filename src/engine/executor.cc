@@ -152,6 +152,7 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
   // cannot own — and no task may run before all have registered.
   if (options.sim != nullptr) options.sim->ExpectTasks(options.num_threads);
 
+  std::atomic<std::uint64_t> done{0};
   const auto start = std::chrono::steady_clock::now();
   auto worker_body = [&](int worker_id, Rng& rng) {
     for (;;) {
@@ -173,6 +174,7 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
         latencies[worker_id].Add(
             std::chrono::duration<double, std::micro>(t1 - t0).count());
       }
+      if (options.on_txn_done) options.on_txn_done(done.fetch_add(1) + 1);
     }
   };
   auto worker = [&](int worker_id) {
@@ -208,6 +210,7 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
   stats.latency_p95_us = digest.p95_us;
   stats.latency_p99_us = digest.p99_us;
   stats.latency_max_us = digest.max_us;
+  if (options.wal_metrics != nullptr) stats.wal = options.wal_metrics->ToMap();
   return stats;
 }
 

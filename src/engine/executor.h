@@ -2,9 +2,13 @@
 #define HDD_ENGINE_EXECUTOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "cc/controller.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "engine/txn_program.h"
 
@@ -23,6 +27,15 @@ struct ExecutorOptions {
   /// handled at the attempt boundary, and backoff sleeps become
   /// reschedules. When null, workers are plain OS threads.
   SimScheduler* sim = nullptr;
+  /// Called by the finishing worker after each program completes (commit,
+  /// failure, or crash-abandonment), with the number of programs finished
+  /// so far. The crash-recovery harness uses it to trigger mid-run
+  /// checkpoints; it runs on the worker thread, so under simulation it may
+  /// yield but must not block outside scheduler control.
+  std::function<void(std::uint64_t)> on_txn_done;
+  /// When set, a snapshot of these WAL counters is folded into
+  /// ExecutorStats::wal at the end of the run.
+  const WalMetrics* wal_metrics = nullptr;
 };
 
 /// Fixed-capacity uniform sample of latency observations (Vitter's
@@ -92,6 +105,10 @@ struct ExecutorStats {
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;
   double latency_max_us = 0.0;
+
+  /// WAL counters at end of run (empty unless ExecutorOptions::wal_metrics
+  /// was set); keys as in WalMetrics::ToMap.
+  std::map<std::string, std::uint64_t> wal;
 
   double Throughput() const {
     return seconds > 0 ? static_cast<double>(committed) / seconds : 0;

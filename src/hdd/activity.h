@@ -56,6 +56,13 @@ class ClassActivityTable {
   std::size_t num_active() const { return active_.size(); }
   std::size_t history_size() const { return finished_by_init_.size(); }
 
+  /// Finished records (I -> end), for control-state checkpointing: the
+  /// restarted controller replays them through OnBegin/OnFinish so
+  /// post-recovery wall computations see the pre-crash history.
+  const std::map<Timestamp, Timestamp>& finished() const {
+    return finished_by_init_;
+  }
+
   /// Absorbs another class's history (dynamic restructuring, §7.1.1).
   /// Timestamps are globally unique, so the unions are disjoint.
   void MergeFrom(ClassActivityTable&& other);

@@ -7,6 +7,9 @@
 #include "common/sim_hook.h"
 #include "graph/algorithms.h"
 #include "graph/decomposition.h"
+#include "wal/checkpoint.h"
+#include "wal/log_format.h"
+#include "wal/wal_manager.h"
 
 // Yield-point convention (deterministic simulation, src/sim/): SimYield
 // marks a preemption/fault point and is always placed BEFORE a latch
@@ -40,7 +43,9 @@ Result<Timestamp> HddController::ShardTableSource::LatestEndAt(
 HddController::HddController(Database* db, LogicalClock* clock,
                              const HierarchySchema* schema,
                              HddControllerOptions options)
-    : ConcurrencyController(db, clock), options_(std::move(options)) {
+    : ConcurrencyController(db, clock),
+      options_(std::move(options)),
+      wal_(db->wal()) {
   num_classes_ = schema->num_segments();
   class_of_segment_.resize(num_classes_);
   for (SegmentId s = 0; s < num_classes_; ++s) class_of_segment_[s] = s;
@@ -526,6 +531,13 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
     Version* own = g.Find(ts);
     if (own != nullptr) {
       own->value = value;
+      if (wal_ != nullptr) {
+        // Re-log the overwrite; replay applies write records for an
+        // already-present order key as value updates, in log order.
+        HDD_RETURN_IF_ERROR(
+            wal_->LogWrite(granule.segment, txn.id, ts, granule.index, value)
+                .status());
+      }
       recorder_.RecordWrite(txn.id, granule, own->order_key);
       return Status::OK();
     }
@@ -558,6 +570,18 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
     version.value = value;
     version.committed = false;
     HDD_RETURN_IF_ERROR(g.Insert(version));
+    if (wal_ != nullptr) {
+      // Same critical section as the install, so the segment log's record
+      // order equals the chain's effect order (recovery replays in log
+      // order). A failed append un-installs: the transaction holds no
+      // version it could not redo.
+      auto logged = wal_->LogWrite(granule.segment, txn.id, ts,
+                                   granule.index, value);
+      if (!logged.ok()) {
+        (void)g.Remove(ts);
+        return logged.status();
+      }
+    }
     runtime->writes.push_back(granule);
     metrics_.versions_created.fetch_add(1);
     recorder_.RecordWrite(txn.id, granule, version.order_key);
@@ -571,14 +595,27 @@ Status HddController::Commit(const TxnDescriptor& txn) {
   SimYield("hdd/commit");
   std::shared_lock<std::shared_mutex> gate(struct_mu_);
   HDD_ASSIGN_OR_RETURN(std::unique_ptr<TxnRuntime> runtime, ExtractTxn(txn));
+  std::uint64_t commit_ticket = 0;
   if (!runtime->descriptor.read_only) {
     std::shared_ptr<ClassShard> shard =
         shards_[runtime->descriptor.txn_class];
+    // Distinct segments this transaction wrote (one — its root segment —
+    // unless a Restructure merged its class). Each gets a copy of the
+    // commit record carrying the full list; recovery commits only when
+    // every copy survived.
+    std::vector<SegmentId> written_segments;
+    for (GranuleRef granule : runtime->writes) {
+      if (std::find(written_segments.begin(), written_segments.end(),
+                    granule.segment) == written_segments.end()) {
+        written_segments.push_back(granule.segment);
+      }
+    }
     // Past the point of no return (the runtime is extracted), so this
     // site may stall — the injector's "delayed commit", which leaves the
     // uncommitted versions visible to waiting readers for a while — but
     // never unwind.
     SimYield("hdd/commit/install", /*interruptible=*/false);
+    Status logged = Status::OK();
     {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
       for (GranuleRef granule : runtime->writes) {
@@ -587,10 +624,43 @@ Status HddController::Commit(const TxnDescriptor& txn) {
         assert(version != nullptr);
         version->committed = true;
       }
+      if (wal_ != nullptr) {
+        // Commit records append in the SAME critical section that marks
+        // the versions committed: a Protocol B read served one of these
+        // versions therefore happens-after the append, so its own commit
+        // ticket is higher and any sync batch acking the reader covers
+        // this record too (the WaitDurable below never races it).
+        for (const SegmentId s : written_segments) {
+          auto ticket = wal_->LogCommit(s, runtime->descriptor.id,
+                                        runtime->descriptor.init_ts,
+                                        written_segments);
+          if (!ticket.ok()) {
+            logged = ticket.status();
+            break;
+          }
+          commit_ticket = *ticket;
+        }
+      }
       shard->table.OnFinish(runtime->descriptor.init_ts, clock_->Tick());
     }
     SimNotifyAll(shard->cv, shard.get());
     SignalFinishEvent();
+    HDD_RETURN_IF_ERROR(logged);
+  } else if (wal_ != nullptr) {
+    // Read-only commit: persist a clock marker (recovery must never
+    // rewind below this reader's wall bound) and ride the same group
+    // commit the update transactions use — the read barrier that makes
+    // acked query results crash-proof.
+    HDD_ASSIGN_OR_RETURN(commit_ticket, wal_->LogReadBound(clock_->Now()));
+  }
+  if (wal_ != nullptr && commit_ticket != 0) {
+    // The durability wait sleeps in the group-commit gate; release the
+    // structure gate first (never sleep holding it) and drop no latches'
+    // worth of state — everything below re-reads nothing structural.
+    gate.unlock();
+    const Status durable = wal_->WaitDurable(commit_ticket);
+    gate.lock();
+    HDD_RETURN_IF_ERROR(durable);
   }
   if (runtime->wall != nullptr) {
     std::lock_guard<std::mutex> wg(wall_mu_);
@@ -618,11 +688,26 @@ Status HddController::Abort(const TxnDescriptor& txn) {
     SimYield("hdd/abort/undo", /*interruptible=*/false);
     {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
+      std::vector<SegmentId> undone_segments;
       for (GranuleRef granule : runtime->writes) {
         Status removed =
             db_->granule(granule).Remove(runtime->descriptor.init_ts);
         assert(removed.ok());
         (void)removed;
+        if (std::find(undone_segments.begin(), undone_segments.end(),
+                      granule.segment) == undone_segments.end()) {
+          undone_segments.push_back(granule.segment);
+        }
+      }
+      if (wal_ != nullptr) {
+        // Abort records are replay hygiene, not a durability promise: a
+        // lost copy just means recovery discards the uncommitted versions
+        // itself. Hence no sync and a best-effort append (an IoError here
+        // must not fail the abort — the in-memory undo already happened).
+        for (const SegmentId s : undone_segments) {
+          (void)wal_->LogAbort(s, runtime->descriptor.id,
+                               runtime->descriptor.init_ts);
+        }
       }
       shard->table.OnFinish(runtime->descriptor.init_ts, clock_->Tick());
     }
@@ -872,6 +957,154 @@ std::size_t HddController::ActivityHistorySize() const {
     total += shard->table.history_size();
   }
   return total;
+}
+
+namespace {
+/// Control-state blob header: magic + format version.
+constexpr std::uint32_t kControlMagic = 0x4854434Cu;  // "HTCL"
+constexpr std::uint32_t kControlVersion = 1;
+}  // namespace
+
+Status HddController::CheckpointWal() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("no WAL attached to the database");
+  }
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  std::vector<SegmentCheckpoint> ckpts(class_of_segment_.size());
+  for (SegmentId s = 0; s < static_cast<int>(class_of_segment_.size());
+       ++s) {
+    // Non-interruptible: checkpointing runs outside any transaction
+    // attempt, so there is no Abort path for an injected fault to unwind
+    // through. (Injected process crashes still fire here.)
+    SimYield("hdd/checkpoint", /*interruptible=*/false);
+    // ONE critical section under the owning class's shard latch: the
+    // chains snapshot and the log position are consistent by construction
+    // — every log record at or below the LSN is reflected in the chains,
+    // every one above is not.
+    std::shared_ptr<ClassShard> shard = shards_[class_of_segment_[s]];
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    ckpts[static_cast<std::size_t>(s)].chains =
+        EncodeSegmentChains(db_->segment(s));
+    ckpts[static_cast<std::size_t>(s)].log_end_lsn = wal_->LogEndLsn(s);
+  }
+  const std::string control = ExportControlStateLocked();
+  // Harden every redo log BEFORE persisting any snapshot. A snapshot may
+  // contain commit marks whose records were only buffered when the chains
+  // were captured; persisting it first would let a crash keep the (synced)
+  // snapshot while losing the (unsynced) records it reflects — silently
+  // promoting unacked commits whose cross-segment dependencies may be
+  // gone. After this barrier, everything a snapshot contains is also
+  // derivable from durable log records, so recovery may treat committed
+  // snapshot versions as durably committed.
+  gate.unlock();
+  HDD_RETURN_IF_ERROR(wal_->AwaitReadStable());
+  // The (comparatively slow) appends+syncs happen outside every latch;
+  // writers proceed, their records simply replay on top of the snapshot.
+  for (SegmentId s = 0; s < static_cast<int>(ckpts.size()); ++s) {
+    HDD_RETURN_IF_ERROR(AppendSegmentCheckpoint(
+        &wal_->storage(), s, ckpts[static_cast<std::size_t>(s)]));
+  }
+  HDD_RETURN_IF_ERROR(AppendControlCheckpoint(&wal_->storage(), control));
+  wal_->metrics().checkpoints.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::string HddController::ExportControlState() const {
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  return ExportControlStateLocked();
+}
+
+std::string HddController::ExportControlStateLocked() const {
+  std::string out;
+  PutU32(&out, kControlMagic);
+  PutU32(&out, kControlVersion);
+  PutU64(&out, clock_->Now());
+  PutU32(&out, static_cast<std::uint32_t>(num_classes_));
+  for (ClassId c = 0; c < num_classes_; ++c) {
+    const std::shared_ptr<ClassShard>& shard = shards_[c];
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    PutU32(&out,
+           static_cast<std::uint32_t>(shard->table.finished().size()));
+    for (const auto& [init, end] : shard->table.finished()) {
+      PutU64(&out, init);
+      PutU64(&out, end);
+    }
+  }
+  std::lock_guard<std::mutex> wg(wall_mu_);
+  PutU64(&out, last_gc_horizon_);
+  PutU32(&out, static_cast<std::uint32_t>(walls_.size()));
+  for (const TimeWall& wall : walls_) {
+    PutU64(&out, wall.m);
+    PutU32(&out, static_cast<std::uint32_t>(wall.s));
+    PutU64(&out, wall.release_time);
+    PutU32(&out, static_cast<std::uint32_t>(wall.bound.size()));
+    for (const Timestamp b : wall.bound) PutU64(&out, b);
+  }
+  return out;
+}
+
+Status HddController::RestoreControlState(const std::string& blob) {
+  if (blob.empty()) return Status::OK();  // never checkpointed: fresh start
+  std::string_view in = blob;
+  std::uint32_t magic = 0, version = 0, num_classes = 0;
+  std::uint64_t clock_now = 0;
+  if (!GetU32(&in, &magic) || magic != kControlMagic ||
+      !GetU32(&in, &version) || version != kControlVersion ||
+      !GetU64(&in, &clock_now) || !GetU32(&in, &num_classes)) {
+    return Status::Corruption("control state: bad header");
+  }
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  if (static_cast<int>(num_classes) != num_classes_) {
+    return Status::FailedPrecondition(
+        "control state was taken under a different class structure");
+  }
+  for (ClassId c = 0; c < num_classes_; ++c) {
+    std::uint32_t count = 0;
+    if (!GetU32(&in, &count)) {
+      return Status::Corruption("control state: truncated history");
+    }
+    const std::shared_ptr<ClassShard>& shard = shards_[c];
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint64_t init = 0, end = 0;
+      if (!GetU64(&in, &init) || !GetU64(&in, &end)) {
+        return Status::Corruption("control state: truncated history record");
+      }
+      shard->table.OnBegin(init);
+      shard->table.OnFinish(init, end);
+    }
+  }
+  std::uint64_t horizon = 0;
+  std::uint32_t num_walls = 0;
+  if (!GetU64(&in, &horizon) || !GetU32(&in, &num_walls)) {
+    return Status::Corruption("control state: truncated wall section");
+  }
+  std::lock_guard<std::mutex> wg(wall_mu_);
+  last_gc_horizon_ = std::max(last_gc_horizon_, horizon);
+  for (std::uint32_t w = 0; w < num_walls; ++w) {
+    TimeWall wall;
+    std::uint32_t anchor = 0, bounds = 0;
+    if (!GetU64(&in, &wall.m) || !GetU32(&in, &anchor) ||
+        !GetU64(&in, &wall.release_time) || !GetU32(&in, &bounds) ||
+        static_cast<int>(bounds) != num_classes_) {
+      return Status::Corruption("control state: truncated wall");
+    }
+    wall.s = static_cast<ClassId>(anchor);
+    wall.bound.resize(bounds);
+    for (std::uint32_t b = 0; b < bounds; ++b) {
+      if (!GetU64(&in, &wall.bound[b])) {
+        return Status::Corruption("control state: truncated wall bound");
+      }
+    }
+    walls_.push_back(std::move(wall));
+  }
+  if (!in.empty()) {
+    return Status::Corruption("control state: trailing bytes");
+  }
+  // The restored histories and walls speak in pre-crash timestamps; the
+  // clock must never re-issue them.
+  clock_->AdvanceTo(clock_now);
+  return Status::OK();
 }
 
 void HddController::MaybeTrimHistory() {

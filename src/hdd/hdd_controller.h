@@ -158,6 +158,25 @@ class HddController : public ConcurrencyController {
   /// (observability for the trimming behaviour).
   std::size_t ActivityHistorySize() const;
 
+  /// Fuzzy checkpoint of the attached WAL (src/wal/): snapshots every
+  /// segment's chains together with its log position under the owning
+  /// class's shard latch (one segment at a time — writers in other
+  /// segments keep running), then appends the control state. Requires a
+  /// WAL on the database; safe to call concurrently with transactions,
+  /// not with a concurrent Restructure.
+  Status CheckpointWal();
+
+  /// Serializes the controller state the WAL cannot re-derive from redo
+  /// records: the clock, released time walls, the GC horizon and each
+  /// class's finished-transaction history. Opaque to src/wal/ — recovery
+  /// hands the newest durable copy back to RestoreControlState.
+  std::string ExportControlState() const;
+
+  /// Restores a blob produced by ExportControlState (empty blob: no-op).
+  /// Call on a freshly constructed controller, before any transaction
+  /// begins; fails if the blob is malformed or the class count changed.
+  Status RestoreControlState(const std::string& blob);
+
   /// Exposes the evaluator for tests and benchmarks of the link
   /// functions. The evaluator latches each class shard it consults, so
   /// calls are safe alongside running transactions (though not alongside
@@ -256,8 +275,14 @@ class HddController : public ConcurrencyController {
   void MaybeTrimHistory();
   /// Announces a finished update transaction to wall computations.
   void SignalFinishEvent();
+  /// ExportControlState body; caller holds the structure gate (shared).
+  std::string ExportControlStateLocked() const;
 
   HddControllerOptions options_;
+
+  /// Durability hookup, cached from Database::wal() at construction;
+  /// nullptr runs the controller without logging (the pre-WAL behaviour).
+  WalManager* wal_ = nullptr;
 
   /// Structure gate: guards class_of_segment_, num_classes_, tst_, eval_
   /// and the shards_ vector (all swapped by Restructure), plus wall bound

@@ -127,10 +127,15 @@ ExploreReport ExploreBoundedSchedules(SimScheduler::Options base,
 
 std::string CheckSimHistory(const ConcurrencyController& cc, Database& db,
                             bool replay_bounds) {
-  const std::vector<Step> steps = cc.recorder().steps();
-  const auto outcomes = cc.recorder().outcomes();
-  const auto identities = cc.recorder().identities();
+  return CheckRecordedHistory(cc.recorder().steps(), cc.recorder().outcomes(),
+                              cc.recorder().identities(), db, replay_bounds);
+}
 
+std::string CheckRecordedHistory(
+    const std::vector<Step>& steps,
+    const std::unordered_map<TxnId, TxnState>& outcomes,
+    const std::unordered_map<TxnId, ScheduleRecorder::TxnIdentity>& identities,
+    Database& db, bool replay_bounds) {
   // 1. Dependency graph acyclic.
   const SerializabilityReport sr = CheckSerializability(steps, outcomes);
   if (!sr.serializable) {

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/sim_scheduler.h"
+#include "txn/schedule.h"
 
 namespace hdd {
 
@@ -110,6 +112,16 @@ ExploreReport ExploreBoundedSchedules(SimScheduler::Options base,
 /// `replay_bounds` requires that no GC pruned the chains during the run.
 std::string CheckSimHistory(const ConcurrencyController& cc, Database& db,
                             bool replay_bounds);
+
+/// Steps-level variant of CheckSimHistory, for histories assembled by
+/// hand — the crash-recovery harness concatenates the pre-crash recording
+/// (filtered to durable transactions) with the post-recovery run's and
+/// checks the COMBINED history for 1SR against the final chains.
+std::string CheckRecordedHistory(
+    const std::vector<Step>& steps,
+    const std::unordered_map<TxnId, TxnState>& outcomes,
+    const std::unordered_map<TxnId, ScheduleRecorder::TxnIdentity>& identities,
+    Database& db, bool replay_bounds);
 
 }  // namespace hdd
 

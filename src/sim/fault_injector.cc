@@ -39,4 +39,9 @@ bool FaultInjector::DrawSpuriousWakeup(Rng& rng) const {
   return rng.NextBool(config_.spurious_wakeup_prob);
 }
 
+bool FaultInjector::DrawProcessCrash(Rng& rng) const {
+  if (config_.process_crash_prob <= 0.0) return false;
+  return rng.NextBool(config_.process_crash_prob);
+}
+
 }  // namespace hdd

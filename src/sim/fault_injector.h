@@ -36,6 +36,14 @@ struct FaultInjectorConfig {
   /// whose effect arrives late, which correct predicate loops absorb).
   double delayed_wakeup_prob = 0.0;
   int max_wakeup_delay = 6;
+
+  /// Per yield point: probability the whole PROCESS dies on the spot —
+  /// the scheduler halts every task, the harness then crashes the
+  /// simulated WAL storage (losing a random suffix of unsynced bytes) and
+  /// runs recovery. Unlike the per-attempt faults above this fires even
+  /// at non-interruptible yield points: a real power cut does not respect
+  /// critical sections. Keep it small (~1e-3): each firing ends the run.
+  double process_crash_prob = 0.0;
 };
 
 /// A fault armed for one transaction attempt: fires when `countdown`
@@ -64,6 +72,11 @@ class FaultInjector {
 
   /// Whether this scheduling decision spuriously wakes a blocked task.
   bool DrawSpuriousWakeup(Rng& rng) const;
+
+  /// Whether the process dies at this yield point. Consumes randomness
+  /// only when process crashes are enabled (same discipline as the other
+  /// guarded draws).
+  bool DrawProcessCrash(Rng& rng) const;
 
   const FaultInjectorConfig& config() const { return config_; }
 

@@ -253,6 +253,18 @@ void SimScheduler::Yield(const char* site, bool interruptible) {
   if (halted_) throw SimHalt{};
   TraceLocked(Event::kYield, me->id, InternSiteLocked(site));
 
+  // Whole-process death. Deliberately checked before the per-attempt fault
+  // plan and honored even at non-interruptible sites: a power cut does not
+  // respect critical sections, and the in-memory state it abandons is
+  // discarded anyway — only the WAL survives into recovery.
+  if (!options_.scripted && injector_.DrawProcessCrash(rng_)) {
+    process_crashed_ = true;
+    TraceLocked(Event::kFault, me->id,
+                static_cast<std::uint64_t>(SimFaultKind::kCrash));
+    HaltLocked(std::string("process crash injected at ") + site);
+    throw SimHalt{};
+  }
+
   if (me->fault.kind != SimFaultKind::kNone) {
     if (me->fault.countdown > 0) --me->fault.countdown;
     if (me->fault.countdown <= 0) {
@@ -350,6 +362,11 @@ bool SimScheduler::deadlocked() const {
 bool SimScheduler::decision_limit_hit() const {
   std::lock_guard<std::mutex> lk(mu_);
   return decision_limit_hit_;
+}
+
+bool SimScheduler::process_crashed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return process_crashed_;
 }
 
 std::string SimScheduler::halt_reason() const {

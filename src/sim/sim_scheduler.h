@@ -108,6 +108,10 @@ class SimScheduler : public SimHook {
   bool halted() const;
   bool deadlocked() const;
   bool decision_limit_hit() const;
+  /// Whether the halt was an injected whole-process crash (the
+  /// crash-recovery harness then crashes the WAL storage and recovers).
+  bool process_crashed() const;
+  std::uint64_t seed() const { return options_.seed; }
   std::string halt_reason() const;
   std::uint64_t decisions_made() const;
   std::uint64_t faults_injected() const;
@@ -155,6 +159,7 @@ class SimScheduler : public SimHook {
   bool halted_ = false;
   bool deadlocked_ = false;
   bool decision_limit_hit_ = false;
+  bool process_crashed_ = false;
   std::string halt_reason_;
   std::uint64_t decisions_made_ = 0;
   std::uint64_t faults_injected_ = 0;

@@ -13,6 +13,8 @@
 
 namespace hdd {
 
+class WalManager;
+
 /// A data segment with its segment controller's latch. "Every data segment
 /// is controlled by a segment controller which supervises accesses to data
 /// granules within that segment" (paper §4.2); the latch serializes
@@ -86,8 +88,17 @@ class Database {
   /// while transactions keep running in other segments.
   std::size_t CollectGarbageSegment(SegmentId s, Timestamp horizon);
 
+  /// Optional durability hookup (src/wal/): controllers that find a WAL
+  /// attached log writes/commits/aborts through it. The database does not
+  /// own the manager; the caller keeps it alive for the database's
+  /// lifetime. nullptr (the default) means "run without durability" —
+  /// every pre-WAL configuration keeps working unchanged.
+  void AttachWal(WalManager* wal) { wal_ = wal; }
+  WalManager* wal() const { return wal_; }
+
  private:
   std::vector<std::unique_ptr<Segment>> segments_;
+  WalManager* wal_ = nullptr;
 };
 
 }  // namespace hdd

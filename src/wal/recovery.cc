@@ -1,0 +1,243 @@
+#include "wal/recovery.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "wal/checkpoint.h"
+#include "wal/log_format.h"
+#include "wal/wal_manager.h"
+
+namespace hdd {
+
+namespace {
+
+/// Drops a stream's torn tail (crash mid-append) so post-recovery appends
+/// start at a frame boundary instead of burying garbage mid-log.
+Status TruncateTornTail(WalStorage* storage, const std::string& name,
+                        const ScanResult& scan, RecoveryReport* report) {
+  if (!scan.torn_tail) return Status::OK();
+  HDD_RETURN_IF_ERROR(storage->Truncate(name, scan.valid_end));
+  HDD_RETURN_IF_ERROR(storage->Sync(name));
+  ++report->torn_streams;
+  return Status::OK();
+}
+
+/// One surviving, decoded redo record with its position in its log.
+struct LoggedRecord {
+  WalRecord record;
+  std::uint64_t begin_offset = 0;
+  std::uint64_t end_offset = 0;
+};
+
+}  // namespace
+
+Result<RecoveryReport> RecoverDatabase(WalStorage* storage, Database* db,
+                                       WalMetrics* metrics) {
+  const auto started = std::chrono::steady_clock::now();
+  RecoveryReport report;
+
+  // Pass 1, per segment: restore the newest intact checkpoint (committed
+  // creators in a durable snapshot are durably committed — the checkpoint
+  // hardened every log before persisting the snapshot, so their commit
+  // records are on disk too), then scan the whole redo log, truncating
+  // torn tails. All surviving records are decoded now because the ticket
+  // frontier below is computed over every log at once.
+  std::vector<std::uint64_t> start_lsns(
+      static_cast<std::size_t>(db->num_segments()), 0);
+  std::vector<std::vector<LoggedRecord>> logs(
+      static_cast<std::size_t>(db->num_segments()));
+  std::unordered_set<std::uint64_t> tickets;
+  std::uint64_t max_ticket = 0;
+  for (SegmentId s = 0; s < db->num_segments(); ++s) {
+    Segment& segment = db->segment(s);
+
+    const std::string ckpt_name = SegmentCheckpointName(s);
+    {
+      HDD_ASSIGN_OR_RETURN(const std::string data, storage->Read(ckpt_name));
+      HDD_ASSIGN_OR_RETURN(const ScanResult scan, ScanFrames(data));
+      HDD_RETURN_IF_ERROR(TruncateTornTail(storage, ckpt_name, scan, &report));
+    }
+    HDD_ASSIGN_OR_RETURN(std::optional<SegmentCheckpoint> ckpt,
+                         LoadSegmentCheckpoint(storage, s));
+    if (ckpt.has_value()) {
+      HDD_RETURN_IF_ERROR(DecodeSegmentChainsInto(ckpt->chains, &segment));
+      start_lsns[static_cast<std::size_t>(s)] = ckpt->log_end_lsn;
+      for (std::uint32_t i = 0; i < segment.size(); ++i) {
+        for (const Version& v : segment.granule(i).versions()) {
+          if (v.committed && v.creator != kInvalidTxn) {
+            report.durable_commits.insert(v.creator);
+          }
+        }
+      }
+    }
+
+    const std::string log_name = SegmentLogName(s);
+    HDD_ASSIGN_OR_RETURN(const std::string data, storage->Read(log_name));
+    HDD_ASSIGN_OR_RETURN(const ScanResult scan, ScanFrames(data));
+    HDD_RETURN_IF_ERROR(TruncateTornTail(storage, log_name, scan, &report));
+    std::uint64_t begin = 0;
+    for (const ScannedFrame& frame : scan.frames) {
+      HDD_ASSIGN_OR_RETURN(const WalRecord record,
+                           DecodeWalRecord(frame.payload));
+      if (record.type == WalRecordType::kSegmentCheckpoint ||
+          record.type == WalRecordType::kControlCheckpoint) {
+        return Status::Corruption("checkpoint record inside a redo log");
+      }
+      tickets.insert(record.ticket);
+      max_ticket = std::max(max_ticket, record.ticket);
+      logs[static_cast<std::size_t>(s)].push_back(
+          LoggedRecord{record, begin, frame.end_offset});
+      begin = frame.end_offset;
+    }
+  }
+
+  // The ticket frontier F: tickets are issued densely (1, 2, 3, ...)
+  // across all logs, so the first missing ticket marks the first lost
+  // record; everything past it may causally depend on the loss and is
+  // rolled back wholesale. Any commit acked before the crash sits at or
+  // below F, because its ack's fsync batch covered every smaller ticket
+  // in every log. Since tickets increase within each log, the dishonored
+  // records form a suffix of each file — physically truncate them so the
+  // on-disk ticket sequence stays dense for the next incarnation (and the
+  // next crash's frontier).
+  std::uint64_t frontier = 0;
+  while (tickets.count(frontier + 1) > 0) ++frontier;
+  report.frontier_ticket = frontier;
+  for (SegmentId s = 0; s < db->num_segments(); ++s) {
+    auto& records = logs[static_cast<std::size_t>(s)];
+    auto first_past = records.end();
+    for (auto it = records.begin(); it != records.end(); ++it) {
+      if (it->record.ticket > frontier) {
+        first_past = it;
+        break;
+      }
+    }
+    if (first_past == records.end()) continue;
+    HDD_RETURN_IF_ERROR(
+        storage->Truncate(SegmentLogName(s), first_past->begin_offset));
+    HDD_RETURN_IF_ERROR(storage->Sync(SegmentLogName(s)));
+    for (auto it = first_past; it != records.end(); ++it) {
+      if (it->record.type == WalRecordType::kCommit) {
+        ++report.incomplete_commits;
+      }
+    }
+    records.erase(first_past, records.end());
+  }
+
+  // Pass 2, per segment: replay the honored suffix past the checkpoint in
+  // log order. Log order equals effect order (records are appended under
+  // the shard latch that installs the version), so this reconstructs the
+  // pre-crash chains exactly.
+  for (SegmentId s = 0; s < db->num_segments(); ++s) {
+    Segment& segment = db->segment(s);
+    const std::uint64_t start_lsn = start_lsns[static_cast<std::size_t>(s)];
+    for (const LoggedRecord& logged : logs[static_cast<std::size_t>(s)]) {
+      const WalRecord& record = logged.record;
+      report.max_timestamp = std::max(report.max_timestamp, record.init_ts);
+      // A frame wholly covered by the checkpoint ends at or before its
+      // LSN (the LSN was captured at a frame boundary under the latch).
+      if (logged.end_offset <= start_lsn) continue;
+      ++report.replayed_records;
+      switch (record.type) {
+        case WalRecordType::kWrite: {
+          while (segment.size() <= record.granule) segment.Allocate(0);
+          Granule& g = segment.granule(record.granule);
+          if (Version* existing = g.Find(record.init_ts)) {
+            if (existing->creator != record.txn) {
+              return Status::Corruption(
+                  "replay: order key " + std::to_string(record.init_ts) +
+                  " owned by two transactions");
+            }
+            existing->value = record.value;  // snapshot already had it
+          } else {
+            Version v;
+            v.order_key = record.init_ts;
+            v.wts = record.init_ts;
+            v.creator = record.txn;
+            v.value = record.value;
+            v.committed = false;
+            HDD_RETURN_IF_ERROR(g.Insert(v));
+          }
+          break;
+        }
+        case WalRecordType::kCommit:
+          // At or below the frontier, so every record it causally depends
+          // on — its own writes included — also survived and is honored.
+          report.durable_commits.insert(record.txn);
+          break;
+        case WalRecordType::kAbort: {
+          for (std::uint32_t i = 0; i < segment.size(); ++i) {
+            Granule& g = segment.granule(i);
+            const Version* v = g.Find(record.init_ts);
+            if (v != nullptr && v->creator == record.txn) {
+              HDD_RETURN_IF_ERROR(g.Remove(record.init_ts));
+            }
+          }
+          break;
+        }
+        case WalRecordType::kReadBound:
+          break;  // only its timestamp matters, folded in above
+        case WalRecordType::kSegmentCheckpoint:
+        case WalRecordType::kControlCheckpoint:
+          break;  // rejected during the scan
+      }
+    }
+  }
+
+  // Resolution: commit everything a durable transaction created (its
+  // commit record may live in a sibling segment's log or only in a
+  // snapshot), discard every other version, and fold chain timestamps —
+  // including registered read timestamps restored from checkpoints — into
+  // the clock floor.
+  for (SegmentId s = 0; s < db->num_segments(); ++s) {
+    Segment& segment = db->segment(s);
+    for (std::uint32_t i = 0; i < segment.size(); ++i) {
+      Granule& g = segment.granule(i);
+      std::vector<std::uint64_t> doomed;
+      for (const Version& v : g.versions()) {
+        if (v.creator != kInvalidTxn &&
+            report.durable_commits.count(v.creator) == 0) {
+          doomed.push_back(v.order_key);
+          continue;
+        }
+        report.max_timestamp = std::max({report.max_timestamp, v.wts, v.rts});
+      }
+      for (const std::uint64_t key : doomed) {
+        HDD_RETURN_IF_ERROR(g.Remove(key));
+        ++report.discarded_uncommitted;
+      }
+      for (const Version& v : g.versions()) {
+        if (v.creator == kInvalidTxn) continue;
+        Version* survivor = g.Find(v.order_key);
+        if (survivor != nullptr) survivor->committed = true;
+      }
+    }
+  }
+
+  HDD_ASSIGN_OR_RETURN(std::optional<std::string> control,
+                       LoadControlCheckpoint(storage));
+  if (control.has_value()) report.control_state = std::move(*control);
+  {
+    const std::string name = kControlCheckpointName;
+    HDD_ASSIGN_OR_RETURN(const std::string data, storage->Read(name));
+    HDD_ASSIGN_OR_RETURN(const ScanResult scan, ScanFrames(data));
+    HDD_RETURN_IF_ERROR(TruncateTornTail(storage, name, scan, &report));
+  }
+
+  if (metrics != nullptr) {
+    metrics->recovery_replayed_records.fetch_add(report.replayed_records,
+                                                 std::memory_order_relaxed);
+    metrics->recovery_replay_us.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count()),
+        std::memory_order_relaxed);
+  }
+  return report;
+}
+
+}  // namespace hdd

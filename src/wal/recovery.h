@@ -1,0 +1,82 @@
+#ifndef HDD_WAL_RECOVERY_H_
+#define HDD_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "wal/wal_storage.h"
+
+namespace hdd {
+
+/// What crash recovery reconstructed and what the restarting controller
+/// must do with it.
+struct RecoveryReport {
+  /// Transactions whose commit records survived in every log they wrote
+  /// to — exactly the set whose effects the recovered database contains.
+  /// Every commit ACKED before the crash is in here (that is the
+  /// durability contract the sim sweep checks); unacked commits may or
+  /// may not be, either answer is consistent.
+  std::set<TxnId> durable_commits;
+
+  /// Redo records replayed past the checkpoints.
+  std::uint64_t replayed_records = 0;
+  /// Versions dropped because their transaction never durably committed.
+  std::uint64_t discarded_uncommitted = 0;
+  /// Commit records discarded because they sat past the ticket frontier —
+  /// the crash lost some record they may causally depend on (possibly in
+  /// another segment's file), so they cannot have been acked.
+  std::uint64_t incomplete_commits = 0;
+  /// Streams (logs and checkpoint streams) whose torn tails were truncated.
+  std::uint64_t torn_streams = 0;
+
+  /// The ticket frontier F: the largest global append ticket with every
+  /// smaller ticket present among the surviving records (tickets are
+  /// issued densely across all logs; see WalRecord::ticket). Only records
+  /// at or below F were honored, and every record past F was physically
+  /// truncated — pass this as WalOptions::initial_ticket when reopening
+  /// the WAL so the ticket sequence continues densely.
+  std::uint64_t frontier_ticket = 0;
+
+  /// Largest timestamp seen in any record, version, or read-bound marker.
+  /// The restarting clock MUST advance past it (LogicalClock::AdvanceTo)
+  /// or order keys would collide and acked readers' bounds would be
+  /// undercut.
+  Timestamp max_timestamp = kTimestampMin;
+
+  /// Newest durable control-state blob (opaque to the WAL; the controller
+  /// encodes walls, activity history and the GC horizon). Empty when no
+  /// control checkpoint was ever taken.
+  std::string control_state;
+};
+
+/// Rebuilds `db` (freshly constructed, same shape as before the crash)
+/// from the WAL in `storage`:
+///
+///   1. per segment: restore the newest intact checkpoint, then replay
+///      the redo-log suffix past its LSN in log order — installs exactly
+///      the pre-crash chain, because records were appended under the same
+///      shard latch as their in-memory effect;
+///   2. truncate every torn tail (crash mid-append) and sync, so future
+///      appends start at a frame boundary;
+///   3. compute the global ticket frontier and truncate every record past
+///      it — a record is honored only if nothing ticketed before it, in
+///      ANY log, was lost, so a commit surviving "by luck" in one file
+///      while a record it read from in another file vanished is rolled
+///      back instead of resurrected (committed-prefix semantics);
+///   4. commit transactions evidenced by an honored commit record or a
+///      committed version in a durable snapshot; discard every remaining
+///      version of other transactions.
+///
+/// Torn tails are expected and silent; an intact frame with a CRC
+/// mismatch is kCorruption and fails recovery loudly. Running recovery
+/// twice (even over the same Database object) is idempotent.
+Result<RecoveryReport> RecoverDatabase(WalStorage* storage, Database* db,
+                                       WalMetrics* metrics = nullptr);
+
+}  // namespace hdd
+
+#endif  // HDD_WAL_RECOVERY_H_

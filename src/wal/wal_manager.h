@@ -1,0 +1,149 @@
+#ifndef HDD_WAL_WAL_MANAGER_H_
+#define HDD_WAL_WAL_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "storage/version.h"
+#include "wal/group_commit.h"
+#include "wal/segment_log.h"
+#include "wal/wal_storage.h"
+
+namespace hdd {
+
+/// File names inside a WalStorage namespace.
+std::string SegmentLogName(SegmentId segment);
+std::string SegmentCheckpointName(SegmentId segment);
+inline constexpr const char kControlCheckpointName[] = "ctrl.ckpt";
+
+struct WalOptions {
+  GroupCommit::Params group;
+
+  /// First ticket issued is initial_ticket + 1. After recovery, pass
+  /// RecoveryReport::frontier_ticket so the reopened WAL continues the
+  /// dense global ticket sequence (recovery truncated every record past
+  /// the frontier, so no on-disk ticket exceeds it).
+  std::uint64_t initial_ticket = 0;
+
+  /// TEST-ONLY mutation switch, the durability canary of the sim harness:
+  /// commit records are appended but NEVER awaited (no fsync before the
+  /// ack), so a crash can lose acknowledged commits. The crash-recovery
+  /// sweep must catch this with a replayable seed — a harness that cannot
+  /// detect the mutation is broken.
+  bool mutation_skip_commit_sync = false;
+};
+
+/// The durability facade the controller talks to: one redo SegmentLog per
+/// segment behind a single global commit gate.
+///
+/// ## Ticket discipline (why one global gate, not one per segment)
+///
+/// Every append draws a global, monotonically increasing *ticket* inside
+/// its log's append critical section, and the ticket is written into the
+/// record on disk. A sync batch captures the current ticket and then
+/// fsyncs every dirty log (each fsync serializes with in-flight appends
+/// through the same per-log lock), so every record ticketed at or below
+/// the capture is durable afterwards — across ALL segments. Acking commit
+/// T therefore implies durability of every record T causally depends on:
+/// any version T read was marked committed (atomically, under the same
+/// shard latch, with its commit record's append) before T's read, hence
+/// before T's own commit ticket. Per-segment stability points would not
+/// give that: T's cross-segment Protocol A reads would race the other
+/// segment's fsync.
+///
+/// The on-disk tickets are what recovery's *frontier* is computed from:
+/// only records whose ticket has no missing predecessor anywhere are
+/// honored, so a record that survives a crash by luck while something it
+/// causally depends on (possibly in another file) was lost is rolled back
+/// (see WalRecord::ticket and recovery.h).
+///
+/// ## Ordering
+///
+/// Callers append write/commit/abort records under the SAME shard latch
+/// that installs/commits/removes the version, so each segment log's
+/// record order equals the in-memory effect order, and "record durable"
+/// implies "effect happened". Replay in log order therefore reconstructs
+/// the chains exactly (recovery.h).
+class WalManager {
+ public:
+  static Result<std::unique_ptr<WalManager>> Open(WalStorage* storage,
+                                                  int num_segments,
+                                                  WalOptions options = {});
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Append hooks — call under the shard latch that serializes version
+  /// installs for `segment`. Each returns the record's global ticket.
+  Result<std::uint64_t> LogWrite(SegmentId segment, TxnId txn,
+                                 Timestamp init_ts, std::uint32_t granule,
+                                 Value value);
+  /// `written_segments` lists every segment the transaction wrote; a copy
+  /// of the commit record (carrying the full list, for diagnostics) goes
+  /// to each, so any single segment's log replays to a complete picture of
+  /// its own versions. Cross-file atomicity comes from the ticket
+  /// frontier, not the copies: recovery honors a commit only when nothing
+  /// ticketed before it was lost anywhere (see WalRecord::ticket).
+  Result<std::uint64_t> LogCommit(SegmentId segment, TxnId txn,
+                                  Timestamp init_ts,
+                                  const std::vector<SegmentId>& written_segments);
+  Result<std::uint64_t> LogAbort(SegmentId segment, TxnId txn,
+                                 Timestamp init_ts);
+
+  /// Clock marker for read-only commits (see WalRecordType::kReadBound):
+  /// records `now` so recovery never rewinds the clock below an acked
+  /// reader's bound. Lands in segment 0's log; call before AwaitReadStable.
+  Result<std::uint64_t> LogReadBound(Timestamp now);
+
+  /// Commit-wait: blocks (leader/follower group commit) until `ticket` is
+  /// durable. Call with NO latches held. Returns immediately under
+  /// WalSyncMode::kNone and under the canary mutation.
+  Status WaitDurable(std::uint64_t ticket);
+
+  /// Read barrier for read-only transactions: waits until everything
+  /// appended so far is durable. A read-only transaction acked after this
+  /// barrier can only have observed committed versions whose commit
+  /// records are on disk — results handed to the outside world never
+  /// evaporate in a crash.
+  Status AwaitReadStable();
+
+  /// Current global append ticket (grows with every record).
+  std::uint64_t CurrentTicket() const {
+    return append_ticket_.load(std::memory_order_acquire);
+  }
+
+  /// End LSN of one segment's redo log; call under that segment's shard
+  /// latch to capture a checkpoint position consistent with the chains.
+  std::uint64_t LogEndLsn(SegmentId segment) const;
+
+  int num_segments() const { return static_cast<int>(logs_.size()); }
+  WalStorage& storage() { return *storage_; }
+  const WalOptions& options() const { return options_; }
+  WalMetrics& metrics() { return metrics_; }
+  const WalMetrics& metrics() const { return metrics_; }
+
+ private:
+  WalManager(WalStorage* storage, WalOptions options);
+
+  Result<std::uint64_t> AppendRecord(SegmentId segment,
+                                     const WalRecord& record);
+  Result<SyncBatch> SyncAll();
+  std::uint64_t PendingBytes() const;
+
+  WalStorage* storage_;
+  WalOptions options_;
+  WalMetrics metrics_;
+  std::vector<SegmentLog> logs_;
+  std::atomic<std::uint64_t> append_ticket_{0};
+  std::atomic<std::uint64_t> pending_commits_{0};
+  GroupCommit gate_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_WAL_WAL_MANAGER_H_

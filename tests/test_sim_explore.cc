@@ -21,11 +21,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cc/mvto.h"
@@ -36,6 +39,9 @@
 #include "sim/explorer.h"
 #include "sim/sim_clock.h"
 #include "sim/sim_scheduler.h"
+#include "wal/recovery.h"
+#include "wal/wal_manager.h"
+#include "wal/wal_storage.h"
 
 namespace hdd {
 namespace {
@@ -243,6 +249,300 @@ TEST(SimExplore, CanaryMutationIsCaught) {
       << "seed " << first.seed << " failed but did not replay";
   // The replayable repro is the artifact the harness promises.
   std::cout << "canary caught at seed " << first.seed << ": "
+            << first.message << "\n  replay: " << first.replay_command
+            << std::endl;
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery model checking (src/wal/). The workload below runs HDD on
+// top of a SimWalStorage with whole-process crashes armed at EVERY yield
+// point (even non-interruptible ones — a power cut ignores critical
+// sections). When the scheduler reports a process crash, the harness
+//   1. crashes the simulated disk (synced bytes survive; a seeded-random
+//      prefix of each file's unsynced tail survives, possibly tearing the
+//      last record),
+//   2. recovers into a FRESH database and checks the durability contract:
+//      every commit acknowledged before the crash is recovered, and the
+//      recovered chains are exactly the durable image of the pre-crash
+//      chains (committed versions of durable transactions, nothing else),
+//   3. restarts: reopens the WAL at the recovered ticket frontier,
+//      restores control state, advances the clock past the recovered
+//      floor, runs a second era of transactions,
+//   4. checks the COMBINED pre-crash (durable slice) + post-recovery
+//      history against the full 1SR oracle, bounds included.
+// Runs that complete without a crash go through the same machinery (crash
+// at quiescence: everything acked must survive). The canary flips
+// WalOptions::mutation_skip_commit_sync — acks stop waiting for fsync —
+// and the sweep MUST then catch a lost acked commit with a replayable
+// seed.
+
+struct CrashSweepCounters {
+  std::atomic<std::uint64_t> process_crashes{0};
+  std::atomic<std::uint64_t> recoveries{0};
+};
+
+// Compares the recovered chains against the durable image of the
+// pre-crash chains; returns "" or the first mismatch.
+std::string CompareDurableImage(const Database& before, const Database& after,
+                                const std::set<TxnId>& durable) {
+  for (int s = 0; s < before.num_segments(); ++s) {
+    for (std::uint32_t g = 0; g < before.segment(s).size(); ++g) {
+      std::vector<const Version*> want;
+      for (const Version& v : before.segment(s).granule(g).versions()) {
+        if (!v.committed) continue;
+        if (v.creator != kInvalidTxn && durable.count(v.creator) == 0) {
+          continue;
+        }
+        want.push_back(&v);
+      }
+      const auto& got = after.segment(s).granule(g).versions();
+      const std::string where = "segment " + std::to_string(s) +
+                                " granule " + std::to_string(g);
+      if (got.size() != want.size()) {
+        return "recovered chain size mismatch at " + where + ": got " +
+               std::to_string(got.size()) + " want " +
+               std::to_string(want.size());
+      }
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        if (got[i].order_key != want[i]->order_key ||
+            got[i].wts != want[i]->wts || got[i].value != want[i]->value ||
+            got[i].creator != want[i]->creator || !got[i].committed) {
+          return "recovered version mismatch at " + where + " index " +
+                 std::to_string(i) + " (order_key " +
+                 std::to_string(got[i].order_key) + " vs " +
+                 std::to_string(want[i]->order_key) + ")";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+// One simulated run with durability: crash (or quiesce), recover, restart,
+// and check the combined history. `checkpoint_every` = 0 disables mid-run
+// fuzzy checkpoints.
+SimWorkloadFn WalCrashWorkload(WorkloadShape shape, WalOptions wopts,
+                               std::uint64_t checkpoint_every,
+                               CrashSweepCounters* counters) {
+  return [shape, wopts, checkpoint_every,
+          counters](SimScheduler& sched) -> std::string {
+    SyntheticWorkload workload(shape.params);
+    auto schema = HierarchySchema::Create(workload.Spec());
+    if (!schema.ok()) return schema.status().ToString();
+    auto db = workload.MakeDatabase();
+    SimWalStorage storage;
+    auto wal = WalManager::Open(&storage, db->num_segments(), wopts);
+    if (!wal.ok()) return wal.status().ToString();
+    db->AttachWal(wal->get());
+    SimClock clock(&sched);
+    HddController cc(db.get(), &clock, &*schema);
+
+    ExecutorOptions options;
+    options.num_threads = shape.threads;
+    options.seed = 77;
+    options.max_retries = shape.max_retries;
+    options.sim = &sched;
+    options.wal_metrics = &(*wal)->metrics();
+    if (checkpoint_every > 0) {
+      options.on_txn_done = [&cc, checkpoint_every](std::uint64_t done) {
+        if (done % checkpoint_every == 0) (void)cc.CheckpointWal();
+      };
+    }
+    (void)RunWorkload(cc, workload, shape.txns, options);
+    if (sched.halted() && !sched.process_crashed()) {
+      return "";  // deadlock/budget findings are RunSimulation's to report
+    }
+    if (sched.process_crashed()) {
+      counters->process_crashes.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // --- The machine dies (or, on clean completion, dies at quiescence).
+    // All remaining nondeterminism must derive from the run's seed so
+    // failing seeds replay byte-for-byte.
+    Rng crash_rng(sched.seed() ^ 0xC0FFEEULL);
+    storage.Crash(crash_rng);
+
+    const auto pre_steps = cc.recorder().steps();
+    const auto pre_outcomes = cc.recorder().outcomes();
+    const auto pre_identities = cc.recorder().identities();
+
+    auto db2 = workload.MakeDatabase();
+    const auto report = RecoverDatabase(&storage, db2.get());
+    if (!report.ok()) {
+      return "recovery failed: " + report.status().ToString();
+    }
+    counters->recoveries.fetch_add(1, std::memory_order_relaxed);
+
+    // --- Durability contract: every ACKED update commit is recovered.
+    // (Commit() returns — and the executor records the outcome — only
+    // after WaitDurable acked, so recorded-committed is a conservative
+    // subset of acked.)
+    std::unordered_set<TxnId> writers;
+    for (const Step& s : pre_steps) {
+      if (s.action == Step::Action::kWrite) writers.insert(s.txn);
+    }
+    for (const auto& [txn, state] : pre_outcomes) {
+      if (state != TxnState::kCommitted) continue;
+      if (writers.count(txn) == 0) continue;  // nothing to make durable
+      if (report->durable_commits.count(txn) == 0) {
+        return "acked commit lost across crash: txn " + std::to_string(txn);
+      }
+    }
+
+    // --- State contract: the recovered chains are exactly the durable
+    // image of the pre-crash chains.
+    std::string mismatch =
+        CompareDurableImage(*db, *db2, report->durable_commits);
+    if (!mismatch.empty()) return mismatch;
+
+    // --- Restart: second era on the recovered state. Plain clock and no
+    // sim hooks — the scheduler has halted; a single worker keeps the
+    // post-crash history deterministic.
+    WalOptions wopts2 = wopts;
+    wopts2.initial_ticket = report->frontier_ticket;
+    wopts2.mutation_skip_commit_sync = false;
+    auto wal2 = WalManager::Open(&storage, db2->num_segments(), wopts2);
+    if (!wal2.ok()) return wal2.status().ToString();
+    db2->AttachWal(wal2->get());
+    LogicalClock clock2;
+    clock2.AdvanceTo(report->max_timestamp);
+    HddController cc2(db2.get(), &clock2, &*schema);
+    const Status restored = cc2.RestoreControlState(report->control_state);
+    if (!restored.ok()) {
+      return "control-state restore failed: " + restored.ToString();
+    }
+
+    ExecutorOptions era2;
+    era2.num_threads = 1;
+    era2.seed = 177;
+    era2.max_retries = shape.max_retries;
+    (void)RunWorkload(cc2, workload, /*total_txns=*/6, era2);
+
+    // --- Combined-history oracle: the durable slice of era 1 concatenated
+    // with all of era 2 must be one-copy serializable against the final
+    // chains, bounds included.
+    std::unordered_set<TxnId> keep;
+    for (const auto& [txn, state] : pre_outcomes) {
+      if (state != TxnState::kCommitted) continue;
+      const auto it = pre_identities.find(txn);
+      const bool read_only = it != pre_identities.end() && it->second.read_only;
+      // Acked read-only results are durable by the read barrier; update
+      // transactions survive iff their commit record did.
+      if (read_only || report->durable_commits.count(txn) > 0) {
+        keep.insert(txn);
+      }
+    }
+    // Recovery's verdict is authoritative: a crash can land after the
+    // commit record reached disk but before the executor recorded the
+    // outcome. Such a transaction IS committed — its versions survive in
+    // db2 and era 2 may read them — so its steps must stay in the witness
+    // even though pre_outcomes never saw kCommitted.
+    for (const TxnId txn : report->durable_commits) keep.insert(txn);
+    std::vector<Step> combined;
+    std::uint64_t seq_base = 0;
+    for (const Step& s : pre_steps) {
+      if (keep.count(s.txn) == 0) continue;
+      combined.push_back(s);
+      if (s.seq >= seq_base) seq_base = s.seq + 1;
+    }
+    constexpr TxnId kEraOffset = 1ull << 32;
+    for (const Step& s : cc2.recorder().steps()) {
+      Step t = s;
+      t.txn += kEraOffset;
+      t.seq += seq_base;
+      combined.push_back(t);
+    }
+    std::unordered_map<TxnId, TxnState> outcomes;
+    std::unordered_map<TxnId, ScheduleRecorder::TxnIdentity> identities;
+    for (const TxnId txn : keep) {
+      outcomes[txn] = TxnState::kCommitted;
+      const auto it = pre_identities.find(txn);
+      if (it != pre_identities.end()) identities[txn] = it->second;
+    }
+    for (const auto& [txn, state] : cc2.recorder().outcomes()) {
+      outcomes[txn + kEraOffset] = state;
+    }
+    for (const auto& [txn, identity] : cc2.recorder().identities()) {
+      identities[txn + kEraOffset] = identity;
+    }
+    const std::string verdict = CheckRecordedHistory(
+        combined, outcomes, identities, *db2, /*replay_bounds=*/true);
+    if (!verdict.empty()) return "combined history: " + verdict;
+    return "";
+  };
+}
+
+// The durability acceptance sweep: thousands of seeded schedules with the
+// full fault mix PLUS whole-process crashes; every crash goes through
+// recovery, restart and the combined-history oracle.
+TEST(SimExplore, WalCrashRecoverySweep) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  base.faults.process_crash_prob = 0.002;
+
+  WalOptions wopts;
+  wopts.group.mode = WalSyncMode::kGroupCommit;
+  CrashSweepCounters counters;
+  const std::uint64_t seeds = EnvOr("HDD_SIM_CRASH_SEEDS", 2000);
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), seeds,
+      WalCrashWorkload(HddShape(), wopts, /*checkpoint_every=*/4, &counters),
+      "ctest -R test_sim_explore");
+  ExpectSweepClean(report, "wal-crash");
+  EXPECT_EQ(report.runs, seeds);
+  // The sweep is only evidence if crashes actually fired and were
+  // recovered from.
+  EXPECT_GT(counters.process_crashes.load(), 0u);
+  EXPECT_GT(counters.recoveries.load(), 0u);
+  std::cout << "wal crash sweep: " << counters.process_crashes.load()
+            << " process crashes, " << counters.recoveries.load()
+            << " recoveries over " << report.runs << " seeds" << std::endl;
+}
+
+// Per-commit fsync must satisfy the same contract (narrower loss window,
+// different sync path).
+TEST(SimExplore, WalCrashRecoverySweepPerCommit) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  base.faults.process_crash_prob = 0.004;
+
+  WalOptions wopts;
+  wopts.group.mode = WalSyncMode::kPerCommit;
+  CrashSweepCounters counters;
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), EnvOr("HDD_SIM_CRASH_PERCOMMIT_SEEDS", 300),
+      WalCrashWorkload(HddShape(), wopts, /*checkpoint_every=*/3, &counters),
+      "ctest -R test_sim_explore");
+  ExpectSweepClean(report, "wal-crash-percommit");
+  EXPECT_GT(counters.recoveries.load(), 0u);
+}
+
+// The durability canary: commits acked WITHOUT waiting for fsync. A crash
+// can then lose acknowledged commits, and the sweep must catch exactly
+// that with a replayable seed — a harness that cannot see the mutation
+// is broken.
+TEST(SimExplore, WalCanaryLostAckIsCaught) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  base.faults.process_crash_prob = 0.02;  // crash early and often
+
+  WalOptions wopts;
+  wopts.group.mode = WalSyncMode::kGroupCommit;
+  wopts.mutation_skip_commit_sync = true;
+  CrashSweepCounters counters;
+  // No mid-run checkpoints: their read barrier would sync the logs and
+  // mask the mutation.
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), EnvOr("HDD_SIM_WAL_CANARY_SEEDS", 200),
+      WalCrashWorkload(HddShape(), wopts, /*checkpoint_every=*/0, &counters),
+      "ctest -R test_sim_explore");
+  ASSERT_FALSE(report.failures.empty())
+      << "the skip-commit-sync mutation survived " << report.runs
+      << " seeds — the crash harness cannot detect lost acked commits";
+  const SimFailure& first = report.failures.front();
+  EXPECT_TRUE(first.replayed_identically)
+      << "seed " << first.seed << " failed but did not replay";
+  std::cout << "wal canary caught at seed " << first.seed << ": "
             << first.message << "\n  replay: " << first.replay_command
             << std::endl;
 }

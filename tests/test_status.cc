@@ -25,6 +25,8 @@ TEST(StatusTest, FactoryConstructors) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
 }
 
 TEST(StatusTest, MessagePreserved) {
@@ -50,6 +52,15 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "Ok");
   EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlock), "Deadlock");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(StatusTest, StorageCodesAreNotRetryable) {
+  // Durability failures must not be retried like conflict aborts: the WAL
+  // cannot know what reached the disk, so it goes sticky instead.
+  EXPECT_FALSE(Status::IoError("x").IsRetryable());
+  EXPECT_FALSE(Status::Corruption("x").IsRetryable());
 }
 
 TEST(ResultTest, HoldsValue) {
