@@ -1,0 +1,149 @@
+// Cost of the observability layer itself: committed-txn throughput of the
+// HDD controller on the scaling workload with the trace recorder runtime-
+// disabled vs runtime-enabled (every span site live, per-thread rings
+// filling). The acceptance target is <=5% overhead traced; built with
+// -DHDD_TRACE=OFF the spans compile to nothing and the two rows must
+// coincide (compiled_in=0 marks such a build in the report).
+//
+// Runs are interleaved (off, on, off, on, ...): the overhead is the
+// median of the per-pair throughput ratios, so slow drift (thermal,
+// co-tenant load) cancels within a pair and a preempted outlier rep
+// cannot swing the estimate; the reported per-side throughputs are each
+// side's best rep, the right statistic for the regression gate. The
+// schedule recorder is off in both configurations — this bench isolates
+// the tracing layer, not the audit bookkeeping.
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/harness.h"
+#include "engine/synthetic_workload.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace hdd {
+namespace {
+
+const std::uint64_t kTxnsPerRun = EnvOr("HDD_BENCH_TXNS", 4000);
+// Many short reps beat few long ones on a busy host: best-of only needs
+// ONE preemption-free window per side, and short runs make those likelier.
+const int kRepetitions = static_cast<int>(EnvOr("HDD_BENCH_REPS", 7));
+
+SyntheticWorkload MakeWorkload() {
+  SyntheticWorkloadParams params;
+  params.depth = 8;
+  params.granules_per_segment = 64;
+  params.own_reads = 1;
+  params.own_writes = 1;
+  params.upper_reads = 4;
+  params.read_only_fraction = 0.0;
+  return SyntheticWorkload(params);
+}
+
+double MeasureOnce(const SyntheticWorkload& workload,
+                   const HierarchySchema* schema, int threads) {
+  auto db = workload.MakeDatabase();
+  LogicalClock clock;
+  auto cc = CreateController(ControllerKind::kHdd, db.get(), &clock, schema);
+  cc->recorder().set_enabled(false);
+  ExecutorOptions options;
+  options.num_threads = threads;
+  return RunWorkload(*cc, workload, kTxnsPerRun, options).Throughput();
+}
+
+void Run(int argc, char** argv) {
+  const SyntheticWorkload workload = MakeWorkload();
+  auto schema = HierarchySchema::Create(workload.Spec());
+  const int threads =
+      static_cast<int>(EnvOr("HDD_BENCH_THREADS", 1));  // single value here
+
+  std::cout << "=== tracing overhead (" << kTxnsPerRun << " txns/run, "
+            << threads << " thread(s), best of " << kRepetitions
+            << " interleaved reps) ===\n";
+
+  const double cal_before = CalibrationSpinsPerSec();
+  NormalizedBest sel_off;
+  NormalizedBest sel_on;
+  std::vector<double> ratios;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    TraceRecorder::Disable();
+    const double off = MeasureOnce(workload, &*schema, threads);
+    sel_off.Offer(off);
+    TraceRecorder::Reset();
+    TraceRecorder::Enable();
+    const double on = MeasureOnce(workload, &*schema, threads);
+    sel_on.Offer(on);
+    if (off > 0) ratios.push_back(on / off);
+  }
+  const double best_off = sel_off.value();
+  const double best_on = sel_on.value();
+  const std::uint64_t events = TraceRecorder::Drain().size();
+  const std::uint64_t dropped = TraceRecorder::dropped();
+  TraceRecorder::Disable();
+
+  double median_ratio = 1.0;
+  if (!ratios.empty()) {
+    std::sort(ratios.begin(), ratios.end());
+    median_ratio = ratios[ratios.size() / 2];
+  }
+  const double overhead_pct = std::max(0.0, (1.0 - median_ratio) * 100.0);
+  const bool compiled_in = HDD_TRACE_ENABLED != 0;
+
+  std::cout << std::fixed << std::setprecision(0)
+            << "trace off:  " << best_off << " txn/s\n"
+            << "trace on:   " << best_on << " txn/s  ("
+            << (compiled_in ? "instrumentation compiled in"
+                            : "compiled out: rows must coincide")
+            << ", " << events << " events retained, " << dropped
+            << " dropped)\n"
+            << std::setprecision(1) << "overhead:   " << overhead_pct
+            << "% (median of per-pair ratios, target <=5%)\n";
+
+  RunReport report("obs_overhead");
+  report.AddRow("calibration")
+      .Metric("spins_per_sec",
+              std::min(cal_before, CalibrationSpinsPerSec()));
+  report.AddRow("trace_off")
+      .Metric("txn_per_sec", best_off)
+      .Metric("spins_per_sec", sel_off.spins_per_sec());
+  report.AddRow("trace_on")
+      .Metric("txn_per_sec", best_on)
+      .Metric("spins_per_sec", sel_on.spins_per_sec())
+      .Metric("events_retained", events)
+      .Metric("events_dropped", dropped);
+  report.AddRow("summary")
+      .Metric("overhead_pct", overhead_pct)
+      .Metric("compiled_in", static_cast<std::uint64_t>(compiled_in));
+
+  if (const auto path = ReportPathFromArgs(argc, argv)) {
+    std::string error;
+    if (!report.WriteFile(*path, &error)) {
+      std::cerr << "report write failed: " << error << "\n";
+      std::exit(1);
+    }
+    std::cout << "report written to " << *path << "\n";
+  }
+  if (const auto path = TracePathFromArgs(argc, argv)) {
+    std::ofstream os(*path);
+    if (!os) {
+      std::cerr << "trace write failed: cannot open " << *path << "\n";
+      std::exit(1);
+    }
+    TraceRecorder::WriteChromeTrace(os);
+    std::cout << "trace written to " << *path << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace hdd
+
+int main(int argc, char** argv) {
+  hdd::Run(argc, argv);
+  return 0;
+}

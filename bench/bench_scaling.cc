@@ -9,6 +9,9 @@
 // the sweep only shows that added workers do not collapse throughput; the
 // parallel speedup itself needs a multi-core machine.
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <thread>
@@ -16,11 +19,16 @@
 #include "engine/executor.h"
 #include "engine/harness.h"
 #include "engine/synthetic_workload.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace hdd {
 namespace {
 
-constexpr std::uint64_t kTxnsPerRun = 4000;
+// CI smoke runs shrink the sweep via HDD_BENCH_TXNS / HDD_BENCH_THREADS
+// and stabilize it via HDD_BENCH_REPS (best-of repetitions per config).
+const std::uint64_t kTxnsPerRun = EnvOr("HDD_BENCH_TXNS", 4000);
+const int kReps = static_cast<int>(EnvOr("HDD_BENCH_REPS", 1));
 
 SyntheticWorkload MakeWorkload() {
   SyntheticWorkloadParams params;
@@ -33,19 +41,31 @@ SyntheticWorkload MakeWorkload() {
   return SyntheticWorkload(params);
 }
 
-double MeasureThroughput(ControllerKind kind, const SyntheticWorkload& workload,
-                         const HierarchySchema* schema, int threads) {
-  auto db = workload.MakeDatabase();
-  LogicalClock clock;
-  auto cc = CreateController(kind, db.get(), &clock, schema);
-  cc->recorder().set_enabled(false);
-  ExecutorOptions options;
-  options.num_threads = threads;
-  ExecutorStats stats = RunWorkload(*cc, workload, kTxnsPerRun, options);
-  return stats.Throughput();
+struct Measurement {
+  ExecutorStats stats;
+  double spins_per_sec = 0.0;  // host speed adjacent to the winning rep
+};
+
+Measurement MeasureThroughput(ControllerKind kind,
+                              const SyntheticWorkload& workload,
+                              const HierarchySchema* schema, int threads) {
+  Measurement best;
+  NormalizedBest selector;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto db = workload.MakeDatabase();
+    LogicalClock clock;
+    auto cc = CreateController(kind, db.get(), &clock, schema);
+    cc->recorder().set_enabled(false);
+    ExecutorOptions options;
+    options.num_threads = threads;
+    ExecutorStats stats = RunWorkload(*cc, workload, kTxnsPerRun, options);
+    if (selector.Offer(stats.Throughput())) best.stats = stats;
+  }
+  best.spins_per_sec = selector.spins_per_sec();
+  return best;
 }
 
-void Run() {
+void Run(int argc, char** argv) {
   const SyntheticWorkload workload = MakeWorkload();
   auto schema = HierarchySchema::Create(workload.Spec());
 
@@ -60,32 +80,69 @@ void Run() {
   }
   std::cout << "   (txn/s, speedup vs 1 thread)\n";
 
+  const std::optional<std::string> trace_path = TracePathFromArgs(argc, argv);
+  if (trace_path) TraceRecorder::Enable();
+
+  RunReport report("scaling");
+  // Bracketing the sweep and keeping the slower reading means a host
+  // slowdown that begins mid-sweep still shows up in the reference.
+  const double cal_before = CalibrationSpinsPerSec();
   constexpr ControllerKind kKinds[] = {
       ControllerKind::kHdd, ControllerKind::kMvto, ControllerKind::kTwoPhase};
+  constexpr const char* kKindNames[] = {"hdd", "mvto", "2pl"};
   double base[3] = {0, 0, 0};
-  for (int threads : {1, 2, 4, 8, 16}) {
+  for (int threads : EnvListOr("HDD_BENCH_THREADS", {1, 2, 4, 8, 16})) {
     std::cout << std::left << std::setw(10) << threads << std::right;
     for (int k = 0; k < 3; ++k) {
-      const double tput =
+      const Measurement m =
           MeasureThroughput(kKinds[k], workload, &*schema, threads);
-      if (threads == 1) base[k] = tput;
+      const double tput = m.stats.Throughput();
+      if (base[k] == 0) base[k] = tput;
       std::cout << std::setw(14) << std::fixed << std::setprecision(0)
                 << tput << std::setw(9) << std::setprecision(2)
                 << (base[k] > 0 ? tput / base[k] : 0.0) << "x";
+      report
+          .AddRow(std::string(kKindNames[k]) + "_t" + std::to_string(threads))
+          .Metric("txn_per_sec", tput)
+          .Metric("spins_per_sec", m.spins_per_sec)
+          .Metric("committed", m.stats.committed)
+          .Metric("aborted_attempts", m.stats.aborted_attempts)
+          .Metric("latency_p95_us", m.stats.latency_p95_us);
     }
     std::cout << "\n";
   }
+  report.AddRow("calibration")
+      .Metric("spins_per_sec",
+              std::min(cal_before, CalibrationSpinsPerSec()));
   std::cout << "\nExpected shape (multi-core host): hdd scales with "
                "threads — Protocol A reads cross segments without any "
                "shared latch and Protocol B traffic splits across "
                "per-class shards — while mvto and 2pl serialize every "
                "operation on one controller mutex.\n";
+
+  if (const auto path = ReportPathFromArgs(argc, argv)) {
+    std::string error;
+    if (!report.WriteFile(*path, &error)) {
+      std::cerr << "report write failed: " << error << "\n";
+      std::exit(1);
+    }
+    std::cout << "report written to " << *path << "\n";
+  }
+  if (trace_path) {
+    std::ofstream os(*trace_path);
+    if (!os) {
+      std::cerr << "trace write failed: cannot open " << *trace_path << "\n";
+      std::exit(1);
+    }
+    TraceRecorder::WriteChromeTrace(os);
+    std::cout << "trace written to " << *trace_path << "\n";
+  }
 }
 
 }  // namespace
 }  // namespace hdd
 
-int main() {
-  hdd::Run();
+int main(int argc, char** argv) {
+  hdd::Run(argc, argv);
   return 0;
 }

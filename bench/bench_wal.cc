@@ -13,23 +13,31 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 
+#include <algorithm>
+
 #include "engine/executor.h"
 #include "engine/harness.h"
 #include "engine/synthetic_workload.h"
 #include "hdd/hdd_controller.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "wal/wal_manager.h"
 #include "wal/wal_storage.h"
 
 namespace hdd {
 namespace {
 
-constexpr std::uint64_t kTxnsPerRun = 2000;
+// CI smoke runs shrink the sweep via HDD_BENCH_TXNS / HDD_BENCH_THREADS
+// and stabilize it via HDD_BENCH_REPS (best-of repetitions per config).
+const std::uint64_t kTxnsPerRun = EnvOr("HDD_BENCH_TXNS", 2000);
+const int kReps = static_cast<int>(EnvOr("HDD_BENCH_REPS", 1));
 
 struct Mode {
   const char* name;
@@ -59,17 +67,18 @@ struct RunResult {
   ExecutorStats stats;
 };
 
-RunResult MeasureMode(const Mode& mode, const SyntheticWorkload& workload,
-                      const HierarchySchema* schema, int threads,
-                      const std::string& scratch) {
+RunResult MeasureModeOnce(const Mode& mode, const SyntheticWorkload& workload,
+                          const HierarchySchema* schema, int threads,
+                          const std::string& scratch, int rep) {
   auto db = workload.MakeDatabase();
   std::unique_ptr<FileWalStorage> storage;
   std::unique_ptr<WalManager> wal;
   ExecutorOptions options;
   options.num_threads = threads;
   if (mode.use_wal) {
-    const std::string dir =
-        scratch + "/" + mode.name + "-t" + std::to_string(threads);
+    const std::string dir = scratch + "/" + mode.name + "-t" +
+                            std::to_string(threads) + "-r" +
+                            std::to_string(rep);
     storage = std::make_unique<FileWalStorage>(dir);
     WalOptions wopts;
     wopts.group.mode = mode.sync;
@@ -90,14 +99,28 @@ RunResult MeasureMode(const Mode& mode, const SyntheticWorkload& workload,
   return result;
 }
 
+RunResult MeasureMode(const Mode& mode, const SyntheticWorkload& workload,
+                      const HierarchySchema* schema, int threads,
+                      const std::string& scratch) {
+  RunResult best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    RunResult r = MeasureModeOnce(mode, workload, schema, threads, scratch, rep);
+    if (rep == 0 || r.stats.Throughput() > best.stats.Throughput()) best = r;
+  }
+  return best;
+}
+
 std::uint64_t Get(const ExecutorStats& stats, const char* key) {
   const auto it = stats.wal.find(key);
   return it == stats.wal.end() ? 0 : it->second;
 }
 
-void Run() {
+void Run(int argc, char** argv) {
   const SyntheticWorkload workload = MakeWorkload();
   auto schema = HierarchySchema::Create(workload.Spec());
+
+  const std::optional<std::string> trace_path = TracePathFromArgs(argc, argv);
+  if (trace_path) TraceRecorder::Enable();
 
   char dir_template[] = "hdd_walbench.XXXXXX";
   if (::mkdtemp(dir_template) == nullptr) {
@@ -113,8 +136,10 @@ void Run() {
             << std::setw(10) << "fsyncs" << std::setw(12) << "log MiB"
             << std::setw(12) << "mean batch" << "\n";
 
+  RunReport report("wal");
+  const double cal_before = CalibrationSpinsPerSec();
   std::string json;
-  for (int threads : {1, 4}) {
+  for (int threads : EnvListOr("HDD_BENCH_THREADS", {1, 4})) {
     for (const Mode& mode : kModes) {
       const RunResult r =
           MeasureMode(mode, workload, &*schema, threads, scratch);
@@ -142,13 +167,50 @@ void Run() {
           << ",\"group_commit_batches\":" << batches
           << ",\"mean_batch\":" << std::setprecision(2) << mean_batch << "}\n";
       json += row.str();
+      RunReport::Row& report_row =
+          report
+              .AddRow(std::string(mode.name) + "_t" + std::to_string(threads))
+              .Metric("txn_per_sec", r.stats.Throughput())
+              .Metric("committed", r.stats.committed)
+              .Metric("fsyncs", fsyncs)
+              .Metric("log_bytes", bytes)
+              .Metric("records_appended", Get(r.stats, "records_appended"))
+              .Metric("group_commit_batches", batches)
+              .Metric("mean_batch", mean_batch);
+      // This bench's signal is the durability-cost ratio between modes,
+      // and its absolute rows are hostage to the host: buffered writes
+      // and fsyncs to the disk, and (at threads > cores) scheduler luck.
+      // Widen the regression gate for all of them (see report.h
+      // contract) — bench_scaling carries the tight CPU-bound gate.
+      report_row.Metric("gate_tolerance", 0.5);
     }
   }
+  report.AddRow("calibration")
+      .Metric("spins_per_sec",
+              std::min(cal_before, CalibrationSpinsPerSec()));
   std::cout << "\nExpected shape: no-wal ~= fsync-off (marshalling is "
                "cheap) >> per-commit; group-commit recovers most of the "
                "gap once threads>1 because followers ride the leader's "
                "fsync (mean batch > 1).\n\n"
             << json;
+
+  if (const auto path = ReportPathFromArgs(argc, argv)) {
+    std::string error;
+    if (!report.WriteFile(*path, &error)) {
+      std::cerr << "report write failed: " << error << "\n";
+      std::exit(1);
+    }
+    std::cout << "report written to " << *path << "\n";
+  }
+  if (trace_path) {
+    std::ofstream os(*trace_path);
+    if (!os) {
+      std::cerr << "trace write failed: cannot open " << *trace_path << "\n";
+      std::exit(1);
+    }
+    TraceRecorder::WriteChromeTrace(os);
+    std::cout << "trace written to " << *trace_path << "\n";
+  }
 
   std::error_code ec;
   std::filesystem::remove_all(scratch, ec);
@@ -157,7 +219,7 @@ void Run() {
 }  // namespace
 }  // namespace hdd
 
-int main() {
-  hdd::Run();
+int main(int argc, char** argv) {
+  hdd::Run(argc, argv);
   return 0;
 }

@@ -1,59 +1,125 @@
 #!/usr/bin/env bash
 # Full verification, in escalating tiers:
 #   1. Release build + tier-1 tests (the fast gate), then the full suite.
-#   2. Deterministic-simulation stage: the model checker sweeps seeded
+#   2. Bench smoke + regression gate: the report-emitting benches run
+#      with small iteration counts, their reports merge into BENCH_5.json
+#      at the repo root, and ci/compare_bench.py fails the stage if any
+#      throughput metric regressed >15% vs the committed baseline (the
+#      first run commits the baseline; the comparator self-tests first).
+#   3. Deterministic-simulation stage: the model checker sweeps seeded
 #      schedules of the HDD workload under fault injection (seed count
 #      overridable via HDD_SIM_SEEDS; failing seeds print a replay
 #      command of the form HDD_SIM_FIRST_SEED=<seed> HDD_SIM_SEEDS=1 ...).
-#   3. ThreadSanitizer build + tests. The concurrency suite (stress, fuzz,
+#   4. AddressSanitizer+UBSan build + tests, with a reduced sim corpus.
+#   5. ThreadSanitizer build + tests. The concurrency suite (stress, fuzz,
 #      concurrent oracle, sim) must be race-free; the sim sweep runs with
 #      a reduced seed corpus since TSan is ~10x slower.
 #
 # Usage: ci/check.sh [jobs]
+# Knobs: HDD_CHECK_STAGES=release,bench,sim,crash,asan,tsan  run a subset
+#        HDD_SKIP_TSAN=1   skip the TSan stage (slow / unsupported hosts)
+#        HDD_SKIP_ASAN=1   skip the ASan+UBSan stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="${1:-$(nproc)}"
+# nproc is Linux coreutils; fall back for macOS/BSD hosts.
+JOBS="${1:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 2)}"
 SIM_SEEDS="${HDD_SIM_SEEDS:-2000}"
 SIM_SEEDS_TSAN="${HDD_SIM_SEEDS_TSAN:-100}"
+SIM_SEEDS_ASAN="${HDD_SIM_SEEDS_ASAN:-200}"
 CRASH_SEEDS="${HDD_SIM_CRASH_SEEDS:-2000}"
+STAGES="${HDD_CHECK_STAGES:-release,bench,sim,crash,asan,tsan}"
 
-echo "=== Release build ==="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build -j "$JOBS"
-echo "=== Tier-1 tests (fast gate) ==="
-(cd build && ctest --output-on-failure -j "$JOBS" -L tier1)
-echo "=== Full Release suite ==="
-(cd build && ctest --output-on-failure -j "$JOBS" -LE sim)
+want() { [[ ",$STAGES," == *",$1,"* ]]; }
 
-echo "=== Simulation sweep ($SIM_SEEDS seeds) ==="
-(cd build && HDD_SIM_SEEDS="$SIM_SEEDS" \
-  ctest --output-on-failure -L sim)
+if want release; then
+  echo "=== Release build ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j "$JOBS"
+  echo "=== Tier-1 tests (fast gate) ==="
+  (cd build && ctest --output-on-failure -j "$JOBS" -L tier1)
+  echo "=== Full Release suite ==="
+  (cd build && ctest --output-on-failure -j "$JOBS" -LE sim)
+fi
 
-echo "=== Crash-recovery stage ($CRASH_SEEDS crash seeds) ==="
-# WAL unit tier plus the on-disk kill -9 smoke test
-# (tests/test_wal_crash_process.cc: forked child, SIGKILL, real files).
-(cd build && ctest --output-on-failure -j "$JOBS" \
-  -R 'test_wal_(format|recovery|crash_process)')
-# Process-crash sweep: seeded schedules killed at arbitrary yield
-# points; every crash must recover exactly the committed prefix and the
-# combined pre/post-crash history must stay 1SR, and the lost-ack
-# canary (WalOptions::mutation_skip_commit_sync) must be caught with a
-# replayable seed. Knob: HDD_SIM_CRASH_SEEDS.
-(cd build && HDD_SIM_CRASH_SEEDS="$CRASH_SEEDS" \
-  ./tests/test_sim_explore --gtest_filter='SimExplore.Wal*')
+if want bench; then
+  echo "=== Bench smoke + regression gate ==="
+  python3 ci/compare_bench.py self-test
+  REPORTS=build/bench-reports
+  mkdir -p "$REPORTS"
+  # Iteration counts sized for smoke, not precision; best-of repetition
+  # plus the reports' calibration rows absorb host noise. Single-threaded
+  # rows only: with more workers than cores the numbers are scheduler
+  # luck (the full thread sweep belongs on a multi-core host).
+  HDD_BENCH_TXNS="${HDD_BENCH_TXNS_SCALING:-4000}" \
+    HDD_BENCH_THREADS="${HDD_BENCH_THREADS:-1}" \
+    HDD_BENCH_REPS="${HDD_BENCH_REPS:-7}" \
+    ./build/bench/bench_scaling --report="$REPORTS/scaling.json"
+  HDD_BENCH_TXNS="${HDD_BENCH_TXNS_WAL:-2000}" \
+    HDD_BENCH_THREADS="${HDD_BENCH_THREADS:-1}" \
+    HDD_BENCH_REPS="${HDD_BENCH_REPS:-3}" \
+    ./build/bench/bench_wal --report="$REPORTS/wal.json"
+  HDD_BENCH_TXNS="${HDD_BENCH_TXNS_OBS:-10000}" \
+    HDD_BENCH_REPS="${HDD_BENCH_REPS:-9}" \
+    ./build/bench/bench_obs_overhead --report="$REPORTS/obs_overhead.json"
+  python3 ci/compare_bench.py merge "$REPORTS/current.json" \
+    "$REPORTS"/scaling.json "$REPORTS"/wal.json "$REPORTS"/obs_overhead.json
+  python3 ci/compare_bench.py compare \
+    --baseline BENCH_5.json --current "$REPORTS/current.json" \
+    --threshold "${HDD_BENCH_THRESHOLD:-0.15}"
+fi
 
-echo "=== ThreadSanitizer build ==="
-cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DHDD_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS"
-echo "=== ThreadSanitizer tests ==="
-# halt_on_error so any reported race fails the suite loudly; the sim
-# sweep shrinks to keep the TSan stage's runtime sane.
-(cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
-  HDD_SIM_SEEDS="$SIM_SEEDS_TSAN" HDD_SIM_CANARY_SEEDS=50 \
-  HDD_SIM_CRASH_SEEDS=200 HDD_SIM_CRASH_PERCOMMIT_SEEDS=50 \
-  HDD_SIM_WAL_CANARY_SEEDS=50 \
-  ctest --output-on-failure -j "$JOBS")
+if want sim; then
+  echo "=== Simulation sweep ($SIM_SEEDS seeds) ==="
+  (cd build && HDD_SIM_SEEDS="$SIM_SEEDS" \
+    ctest --output-on-failure -L sim)
+fi
+
+if want crash; then
+  echo "=== Crash-recovery stage ($CRASH_SEEDS crash seeds) ==="
+  # WAL unit tier plus the on-disk kill -9 smoke test
+  # (tests/test_wal_crash_process.cc: forked child, SIGKILL, real files).
+  (cd build && ctest --output-on-failure -j "$JOBS" \
+    -R 'test_wal_(format|recovery|crash_process)')
+  # Process-crash sweep: seeded schedules killed at arbitrary yield
+  # points; every crash must recover exactly the committed prefix and the
+  # combined pre/post-crash history must stay 1SR, and the lost-ack
+  # canary (WalOptions::mutation_skip_commit_sync) must be caught with a
+  # replayable seed. Knob: HDD_SIM_CRASH_SEEDS.
+  (cd build && HDD_SIM_CRASH_SEEDS="$CRASH_SEEDS" \
+    ./tests/test_sim_explore --gtest_filter='SimExplore.Wal*')
+fi
+
+if want asan && [[ "${HDD_SKIP_ASAN:-0}" != 1 ]]; then
+  echo "=== AddressSanitizer+UBSan build ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHDD_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  echo "=== AddressSanitizer+UBSan tests ==="
+  # UBSan findings abort loudly; the sim sweep shrinks because ASan is
+  # ~2x slower and the corpus is about memory errors, not schedules.
+  (cd build-asan && \
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    HDD_SIM_SEEDS="$SIM_SEEDS_ASAN" HDD_SIM_CANARY_SEEDS=50 \
+    HDD_SIM_CRASH_SEEDS=200 HDD_SIM_CRASH_PERCOMMIT_SEEDS=50 \
+    HDD_SIM_WAL_CANARY_SEEDS=50 \
+    ctest --output-on-failure -j "$JOBS")
+fi
+
+if want tsan && [[ "${HDD_SKIP_TSAN:-0}" != 1 ]]; then
+  echo "=== ThreadSanitizer build ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHDD_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  echo "=== ThreadSanitizer tests ==="
+  # halt_on_error so any reported race fails the suite loudly; the sim
+  # sweep shrinks to keep the TSan stage's runtime sane.
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+    HDD_SIM_SEEDS="$SIM_SEEDS_TSAN" HDD_SIM_CANARY_SEEDS=50 \
+    HDD_SIM_CRASH_SEEDS=200 HDD_SIM_CRASH_PERCOMMIT_SEEDS=50 \
+    HDD_SIM_WAL_CANARY_SEEDS=50 \
+    ctest --output-on-failure -j "$JOBS")
+fi
 
 echo "=== All checks passed ==="

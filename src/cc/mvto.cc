@@ -23,7 +23,7 @@ Result<TxnDescriptor> Mvto::Begin(const TxnOptions& options) {
   txns_.emplace(descriptor.id, std::move(runtime));
   recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
                         descriptor.read_only, descriptor.init_ts);
-  metrics_.begins.fetch_add(1);
+  metrics_.begins.Add(1);
   return descriptor;
 }
 
@@ -65,14 +65,14 @@ Result<Value> Mvto::Read(const TxnDescriptor& txn, GranuleRef granule) {
       SimWait(cv_, lock, &cv_);
       continue;
     }
-    if (waited) metrics_.blocked_reads.fetch_add(1);
+    if (waited) metrics_.blocked_reads.Add(1);
     if (options_.register_reads) {
       if (txn.init_ts > version->rts) version->rts = txn.init_ts;
-      metrics_.read_timestamps_written.fetch_add(1);
+      metrics_.read_timestamps_written.Add(1);
     } else {
-      metrics_.unregistered_reads.fetch_add(1);
+      metrics_.unregistered_reads.Add(1);
     }
-    metrics_.version_reads.fetch_add(1);
+    metrics_.version_reads.Add(1);
     recorder_.RecordRead(txn.id, granule, version->order_key,
                          options_.register_reads);
     return version->value;
@@ -109,7 +109,7 @@ Status Mvto::Write(const TxnDescriptor& txn, GranuleRef granule,
   version.committed = false;
   HDD_RETURN_IF_ERROR(g.Insert(version));
   runtime->writes.push_back(granule);
-  metrics_.versions_created.fetch_add(1);
+  metrics_.versions_created.Add(1);
   recorder_.RecordWrite(txn.id, granule, version.order_key);
   return Status::OK();
 }
@@ -145,7 +145,7 @@ Status Mvto::Commit(const TxnDescriptor& txn) {
   }
   txns_.erase(txn.id);
   recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
-  metrics_.commits.fetch_add(1);
+  metrics_.commits.Add(1);
   SimNotifyAll(cv_, &cv_);
   return Status::OK();
 }
@@ -165,7 +165,7 @@ Status Mvto::Abort(const TxnDescriptor& txn) {
   }
   txns_.erase(it);
   recorder_.RecordOutcome(txn.id, TxnState::kAborted);
-  metrics_.aborts.fetch_add(1);
+  metrics_.aborts.Add(1);
   SimNotifyAll(cv_, &cv_);
   return Status::OK();
 }

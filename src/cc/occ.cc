@@ -19,7 +19,7 @@ Result<TxnDescriptor> Occ::Begin(const TxnOptions& options) {
   txns_.emplace(descriptor.id, std::move(runtime));
   recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
                         descriptor.read_only, descriptor.init_ts);
-  metrics_.begins.fetch_add(1);
+  metrics_.begins.Add(1);
   return descriptor;
 }
 
@@ -55,8 +55,8 @@ Result<Value> Occ::Read(const TxnDescriptor& txn, GranuleRef granule) {
   step.version = version->order_key;
   step.registered = false;
   runtime->pending_reads.push_back(step);
-  metrics_.unregistered_reads.fetch_add(1);
-  metrics_.version_reads.fetch_add(1);
+  metrics_.unregistered_reads.Add(1);
+  metrics_.version_reads.Add(1);
   return version->value;
 }
 
@@ -81,7 +81,7 @@ Status Occ::Commit(const TxnDescriptor& txn) {
   if (runtime->start_seq < pruned_below_seq_) {
     txns_.erase(txn.id);
     recorder_.RecordOutcome(txn.id, TxnState::kAborted);
-    metrics_.aborts.fetch_add(1);
+    metrics_.aborts.Add(1);
     return Status::Aborted("OCC: validation history pruned");
   }
   for (const CommittedRecord& record : committed_history_) {
@@ -90,7 +90,7 @@ Status Occ::Commit(const TxnDescriptor& txn) {
       if (runtime->read_set.count(written)) {
         txns_.erase(txn.id);
         recorder_.RecordOutcome(txn.id, TxnState::kAborted);
-        metrics_.aborts.fetch_add(1);
+        metrics_.aborts.Add(1);
         return Status::Aborted("OCC: validation conflict");
       }
     }
@@ -113,7 +113,7 @@ Status Occ::Commit(const TxnDescriptor& txn) {
     Status inserted = db_->granule(granule).Insert(version);
     assert(inserted.ok());
     (void)inserted;
-    metrics_.versions_created.fetch_add(1);
+    metrics_.versions_created.Add(1);
     recorder_.RecordWrite(txn.id, granule, version.order_key);
     record.write_set.push_back(granule);
   }
@@ -126,7 +126,7 @@ Status Occ::Commit(const TxnDescriptor& txn) {
   }
   txns_.erase(txn.id);
   recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
-  metrics_.commits.fetch_add(1);
+  metrics_.commits.Add(1);
   return Status::OK();
 }
 
@@ -139,7 +139,7 @@ Status Occ::Abort(const TxnDescriptor& txn) {
   // Nothing was installed; just forget the transaction.
   txns_.erase(it);
   recorder_.RecordOutcome(txn.id, TxnState::kAborted);
-  metrics_.aborts.fetch_add(1);
+  metrics_.aborts.Add(1);
   return Status::OK();
 }
 

@@ -27,7 +27,7 @@ Result<TxnDescriptor> Sdd1::Begin(const TxnOptions& options) {
   }
   recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
                         descriptor.read_only, descriptor.init_ts);
-  metrics_.begins.fetch_add(1);
+  metrics_.begins.Add(1);
   return descriptor;
 }
 
@@ -67,15 +67,15 @@ Result<Value> Sdd1::Read(const TxnDescriptor& txn, GranuleRef granule) {
       cv_.wait(lock);
     }
   }
-  if (waited) metrics_.blocked_reads.fetch_add(1);
+  if (waited) metrics_.blocked_reads.Add(1);
 
   Granule& g = db_->granule(granule);
   const Version* version = g.Find(txn.init_ts) != nullptr
                                ? g.Find(txn.init_ts)
                                : g.LatestCommittedBefore(txn.init_ts);
   assert(version != nullptr);
-  metrics_.unregistered_reads.fetch_add(1);
-  metrics_.version_reads.fetch_add(1);
+  metrics_.unregistered_reads.Add(1);
+  metrics_.version_reads.Add(1);
   recorder_.RecordRead(txn.id, granule, version->order_key);
   return version->value;
 }
@@ -100,7 +100,7 @@ Status Sdd1::Write(const TxnDescriptor& txn, GranuleRef granule,
     waited = true;
     cv_.wait(lock);
   }
-  if (waited) metrics_.blocked_writes.fetch_add(1);
+  if (waited) metrics_.blocked_writes.Add(1);
 
   Granule& g = db_->granule(granule);
   Version* own = g.Find(txn.init_ts);
@@ -117,7 +117,7 @@ Status Sdd1::Write(const TxnDescriptor& txn, GranuleRef granule,
   version.committed = false;
   HDD_RETURN_IF_ERROR(g.Insert(version));
   runtime->writes.push_back(granule);
-  metrics_.versions_created.fetch_add(1);
+  metrics_.versions_created.Add(1);
   recorder_.RecordWrite(txn.id, granule, version.order_key);
   return Status::OK();
 }
@@ -133,7 +133,7 @@ Status Sdd1::Commit(const TxnDescriptor& txn) {
   if (!txn.read_only) active_[txn.txn_class].erase(txn.init_ts);
   txns_.erase(txn.id);
   recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
-  metrics_.commits.fetch_add(1);
+  metrics_.commits.Add(1);
   cv_.notify_all();
   return Status::OK();
 }
@@ -152,7 +152,7 @@ Status Sdd1::Abort(const TxnDescriptor& txn) {
   if (!txn.read_only) active_[txn.txn_class].erase(txn.init_ts);
   txns_.erase(it);
   recorder_.RecordOutcome(txn.id, TxnState::kAborted);
-  metrics_.aborts.fetch_add(1);
+  metrics_.aborts.Add(1);
   cv_.notify_all();
   return Status::OK();
 }

@@ -17,7 +17,7 @@ Result<TxnDescriptor> SerialController::Begin(const TxnOptions& options) {
   txns_.emplace(descriptor.id, std::move(runtime));
   recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
                         descriptor.read_only, descriptor.init_ts);
-  metrics_.begins.fetch_add(1);
+  metrics_.begins.Add(1);
   return descriptor;
 }
 
@@ -38,7 +38,7 @@ Result<Value> SerialController::Read(const TxnDescriptor& txn,
     version = g.LatestCommitted();
   }
   assert(version != nullptr);
-  metrics_.version_reads.fetch_add(1);
+  metrics_.version_reads.Add(1);
   recorder_.RecordRead(txn.id, granule, version->order_key);
   return version->value;
 }
@@ -70,7 +70,7 @@ Status SerialController::Write(const TxnDescriptor& txn, GranuleRef granule,
   version.committed = false;
   HDD_RETURN_IF_ERROR(g.Insert(version));
   it->second.writes.emplace(granule, version.order_key);
-  metrics_.versions_created.fetch_add(1);
+  metrics_.versions_created.Add(1);
   recorder_.RecordWrite(txn.id, granule, version.order_key);
   return Status::OK();
 }
@@ -90,7 +90,7 @@ Status SerialController::Commit(const TxnDescriptor& txn) {
   txns_.erase(it);
   busy_ = false;
   recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
-  metrics_.commits.fetch_add(1);
+  metrics_.commits.Add(1);
   cv_.notify_one();
   return Status::OK();
 }
@@ -107,7 +107,7 @@ Status SerialController::Abort(const TxnDescriptor& txn) {
   txns_.erase(it);
   busy_ = false;
   recorder_.RecordOutcome(txn.id, TxnState::kAborted);
-  metrics_.aborts.fetch_add(1);
+  metrics_.aborts.Add(1);
   cv_.notify_one();
   return Status::OK();
 }

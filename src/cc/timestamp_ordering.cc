@@ -19,7 +19,7 @@ Result<TxnDescriptor> TimestampOrdering::Begin(const TxnOptions& options) {
   txns_.emplace(descriptor.id, std::move(runtime));
   recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
                         descriptor.read_only, descriptor.init_ts);
-  metrics_.begins.fetch_add(1);
+  metrics_.begins.Add(1);
   return descriptor;
 }
 
@@ -44,8 +44,8 @@ Result<Value> TimestampOrdering::Read(const TxnDescriptor& txn,
     // timestamp, no wts check, latest committed state. Unsound by design.
     const Version* version = db_->granule(granule).LatestCommitted();
     assert(version != nullptr);
-    metrics_.unregistered_reads.fetch_add(1);
-    metrics_.version_reads.fetch_add(1);
+    metrics_.unregistered_reads.Add(1);
+    metrics_.version_reads.Add(1);
     recorder_.RecordRead(txn.id, granule, version->order_key);
     return version->value;
   }
@@ -63,10 +63,10 @@ Result<Value> TimestampOrdering::Read(const TxnDescriptor& txn,
       cv_.wait(lock);
       continue;
     }
-    if (waited) metrics_.blocked_reads.fetch_add(1);
+    if (waited) metrics_.blocked_reads.Add(1);
     if (txn.init_ts > tip->rts) tip->rts = txn.init_ts;
-    metrics_.read_timestamps_written.fetch_add(1);
-    metrics_.version_reads.fetch_add(1);
+    metrics_.read_timestamps_written.Add(1);
+    metrics_.version_reads.Add(1);
     recorder_.RecordRead(txn.id, granule, tip->order_key, true);
     return tip->value;
   }
@@ -108,7 +108,7 @@ Status TimestampOrdering::Write(const TxnDescriptor& txn, GranuleRef granule,
       cv_.wait(lock);
       continue;
     }
-    if (waited) metrics_.blocked_writes.fetch_add(1);
+    if (waited) metrics_.blocked_writes.Add(1);
     Version version;
     version.order_key = txn.init_ts;
     version.wts = txn.init_ts;
@@ -117,7 +117,7 @@ Status TimestampOrdering::Write(const TxnDescriptor& txn, GranuleRef granule,
     version.committed = false;
     HDD_RETURN_IF_ERROR(g.Insert(version));
     runtime->writes.push_back(granule);
-    metrics_.versions_created.fetch_add(1);
+    metrics_.versions_created.Add(1);
     recorder_.RecordWrite(txn.id, granule, version.order_key);
     return Status::OK();
   }
@@ -133,7 +133,7 @@ Status TimestampOrdering::Commit(const TxnDescriptor& txn) {
   }
   txns_.erase(txn.id);
   recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
-  metrics_.commits.fetch_add(1);
+  metrics_.commits.Add(1);
   cv_.notify_all();
   return Status::OK();
 }
@@ -151,7 +151,7 @@ Status TimestampOrdering::Abort(const TxnDescriptor& txn) {
   }
   txns_.erase(it);
   recorder_.RecordOutcome(txn.id, TxnState::kAborted);
-  metrics_.aborts.fetch_add(1);
+  metrics_.aborts.Add(1);
   cv_.notify_all();
   return Status::OK();
 }

@@ -30,7 +30,7 @@ Result<TxnDescriptor> TwoPhaseLocking::Begin(const TxnOptions& options) {
   txns_.emplace(descriptor.id, std::move(runtime));
   recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
                         descriptor.read_only, descriptor.init_ts);
-  metrics_.begins.fetch_add(1);
+  metrics_.begins.Add(1);
   return descriptor;
 }
 
@@ -56,8 +56,8 @@ Result<Value> TwoPhaseLocking::Read(const TxnDescriptor& txn,
       const Version* version =
           db_->granule(granule).LatestCommittedBefore(runtime->snapshot_bound);
       assert(version != nullptr);
-      metrics_.unregistered_reads.fetch_add(1);
-      metrics_.version_reads.fetch_add(1);
+      metrics_.unregistered_reads.Add(1);
+      metrics_.version_reads.Add(1);
       recorder_.RecordRead(txn.id, granule, version->order_key);
       return version->value;
     }
@@ -67,16 +67,16 @@ Result<Value> TwoPhaseLocking::Read(const TxnDescriptor& txn,
     bool waited = false;
     Status status = locks_.Acquire(txn.id, txn.init_ts, granule,
                                    LockMode::kShared, &waited);
-    metrics_.read_locks_acquired.fetch_add(1);
-    if (waited) metrics_.blocked_reads.fetch_add(1);
+    metrics_.read_locks_acquired.Add(1);
+    if (waited) metrics_.blocked_reads.Add(1);
     if (!status.ok()) {
       if (status.code() == StatusCode::kDeadlock) {
-        metrics_.deadlocks.fetch_add(1);
+        metrics_.deadlocks.Add(1);
       }
       return status;
     }
   } else {
-    metrics_.unregistered_reads.fetch_add(1);
+    metrics_.unregistered_reads.Add(1);
   }
 
   std::lock_guard<std::mutex> guard(mu_);
@@ -91,7 +91,7 @@ Result<Value> TwoPhaseLocking::Read(const TxnDescriptor& txn,
     version = g.LatestCommitted();
   }
   assert(version != nullptr);
-  metrics_.version_reads.fetch_add(1);
+  metrics_.version_reads.Add(1);
   recorder_.RecordRead(txn.id, granule, version->order_key,
                        options_.register_reads);
   return version->value;
@@ -112,11 +112,11 @@ Status TwoPhaseLocking::Write(const TxnDescriptor& txn, GranuleRef granule,
   bool waited = false;
   Status status = locks_.Acquire(txn.id, txn.init_ts, granule,
                                  LockMode::kExclusive, &waited);
-  metrics_.write_locks_acquired.fetch_add(1);
-  if (waited) metrics_.blocked_writes.fetch_add(1);
+  metrics_.write_locks_acquired.Add(1);
+  if (waited) metrics_.blocked_writes.Add(1);
   if (!status.ok()) {
     if (status.code() == StatusCode::kDeadlock) {
-      metrics_.deadlocks.fetch_add(1);
+      metrics_.deadlocks.Add(1);
     }
     return status;
   }
@@ -140,7 +140,7 @@ Status TwoPhaseLocking::Write(const TxnDescriptor& txn, GranuleRef granule,
   version.committed = false;
   HDD_RETURN_IF_ERROR(g.Insert(version));
   runtime->writes.emplace(granule, version.order_key);
-  metrics_.versions_created.fetch_add(1);
+  metrics_.versions_created.Add(1);
   recorder_.RecordWrite(txn.id, granule, version.order_key);
   return Status::OK();
 }
@@ -161,7 +161,7 @@ Status TwoPhaseLocking::Commit(const TxnDescriptor& txn) {
   }
   locks_.ReleaseAll(txn.id);
   recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
-  metrics_.commits.fetch_add(1);
+  metrics_.commits.Add(1);
   return Status::OK();
 }
 
@@ -183,7 +183,7 @@ Status TwoPhaseLocking::Abort(const TxnDescriptor& txn) {
   }
   locks_.ReleaseAll(txn.id);
   recorder_.RecordOutcome(txn.id, TxnState::kAborted);
-  metrics_.aborts.fetch_add(1);
+  metrics_.aborts.Add(1);
   return Status::OK();
 }
 

@@ -2,37 +2,33 @@
 
 namespace hdd {
 
-std::map<std::string, std::uint64_t> CcMetrics::ToMap() const {
-  return {
-      {"read_locks_acquired", read_locks_acquired.load()},
-      {"write_locks_acquired", write_locks_acquired.load()},
-      {"read_timestamps_written", read_timestamps_written.load()},
-      {"unregistered_reads", unregistered_reads.load()},
-      {"blocked_reads", blocked_reads.load()},
-      {"blocked_writes", blocked_writes.load()},
-      {"aborts", aborts.load()},
-      {"deadlocks", deadlocks.load()},
-      {"commits", commits.load()},
-      {"begins", begins.load()},
-      {"versions_created", versions_created.load()},
-      {"version_reads", version_reads.load()},
-  };
-}
-
 std::map<std::string, std::uint64_t> WalMetrics::ToMap() const {
-  std::map<std::string, std::uint64_t> out = {
-      {"records_appended", records_appended.load()},
-      {"bytes_appended", bytes_appended.load()},
-      {"fsyncs", fsyncs.load()},
-      {"commit_waits", commit_waits.load()},
-      {"group_commit_batches", group_commit_batches.load()},
-      {"checkpoints", checkpoints.load()},
-      {"recovery_replayed_records", recovery_replayed_records.load()},
-      {"recovery_replay_us", recovery_replay_us.load()},
-  };
+  std::map<std::string, std::uint64_t> out = registry.SnapshotCounters();
+
+  // Flatten the batch-size histogram into the historical power-of-two
+  // buckets. Every log-linear bucket lies entirely within one octave
+  // (its values share a floor(log2)), so the aggregation is exact, not
+  // approximate: exact buckets 0..15 are their own value; bucket
+  // index >= 16 covers values with floor(log2) == 4 + (index-16)/16.
+  const Histogram::Snapshot snap = batch_size.snapshot();
+  std::uint64_t octaves[kBatchBuckets] = {};
+  if (!snap.buckets.empty()) {
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      std::size_t octave;
+      if (i < Histogram::kSubBuckets) {
+        std::size_t log2v = 0;
+        while ((std::uint64_t{2} << log2v) <= i) ++log2v;
+        octave = log2v;
+      } else {
+        octave = 4 + (i - Histogram::kSubBuckets) / Histogram::kSubBuckets;
+      }
+      if (octave >= kBatchBuckets) octave = kBatchBuckets - 1;
+      octaves[octave] += snap.buckets[i];
+    }
+  }
   for (std::size_t i = 0; i < kBatchBuckets; ++i) {
-    out["batch_size_ge_" + std::to_string(1ull << i)] =
-        batch_size_buckets[i].load();
+    out["batch_size_ge_" + std::to_string(std::uint64_t{1} << i)] = octaves[i];
   }
   return out;
 }

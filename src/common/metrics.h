@@ -1,95 +1,88 @@
 #ifndef HDD_COMMON_METRICS_H_
 #define HDD_COMMON_METRICS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "obs/metrics_registry.h"
 
 namespace hdd {
 
 /// Counters every concurrency controller reports. These quantify the
 /// paper's headline claim — how much *read registration* (read locks /
 /// read timestamps) and how much waiting/aborting each technique incurs.
+///
+/// The struct is a facade over a MetricsRegistry (src/obs/): each field
+/// is a named, striped registry counter, so the same numbers are
+/// reachable by name (reports, tables, the sim harness) and the fields
+/// keep their historical atomic-like API (`.fetch_add()` / `.load()`).
 struct CcMetrics {
+  MetricsRegistry registry;
+
   // Registration overhead.
-  std::atomic<std::uint64_t> read_locks_acquired{0};
-  std::atomic<std::uint64_t> write_locks_acquired{0};
-  std::atomic<std::uint64_t> read_timestamps_written{0};
-  std::atomic<std::uint64_t> unregistered_reads{0};  // HDD Protocol A/C reads.
+  Counter& read_locks_acquired = registry.GetCounter("read_locks_acquired");
+  Counter& write_locks_acquired = registry.GetCounter("write_locks_acquired");
+  Counter& read_timestamps_written =
+      registry.GetCounter("read_timestamps_written");
+  Counter& unregistered_reads =
+      registry.GetCounter("unregistered_reads");  // HDD Protocol A/C reads.
 
   // Conflict outcomes.
-  std::atomic<std::uint64_t> blocked_reads{0};
-  std::atomic<std::uint64_t> blocked_writes{0};
-  std::atomic<std::uint64_t> aborts{0};
-  std::atomic<std::uint64_t> deadlocks{0};
+  Counter& blocked_reads = registry.GetCounter("blocked_reads");
+  Counter& blocked_writes = registry.GetCounter("blocked_writes");
+  Counter& aborts = registry.GetCounter("aborts");
+  Counter& deadlocks = registry.GetCounter("deadlocks");
 
   // Transaction outcomes.
-  std::atomic<std::uint64_t> commits{0};
-  std::atomic<std::uint64_t> begins{0};
+  Counter& commits = registry.GetCounter("commits");
+  Counter& begins = registry.GetCounter("begins");
 
   // Versioned-store activity.
-  std::atomic<std::uint64_t> versions_created{0};
-  std::atomic<std::uint64_t> version_reads{0};
+  Counter& versions_created = registry.GetCounter("versions_created");
+  Counter& version_reads = registry.GetCounter("version_reads");
 
-  void Reset() {
-    read_locks_acquired = 0;
-    write_locks_acquired = 0;
-    read_timestamps_written = 0;
-    unregistered_reads = 0;
-    blocked_reads = 0;
-    blocked_writes = 0;
-    aborts = 0;
-    deadlocks = 0;
-    commits = 0;
-    begins = 0;
-    versions_created = 0;
-    version_reads = 0;
-  }
+  void Reset() { registry.Reset(); }
 
   /// Flattens into name -> value, for table printers and tests.
-  std::map<std::string, std::uint64_t> ToMap() const;
+  std::map<std::string, std::uint64_t> ToMap() const {
+    return registry.SnapshotCounters();
+  }
 };
 
 /// Counters of the durability subsystem (src/wal/). The interesting ratio
 /// is fsyncs per commit: group commit exists to push it far below 1.
+/// Facade over a MetricsRegistry, like CcMetrics; the batch-size
+/// histogram is a registry histogram whose log-linear buckets aggregate
+/// exactly into the historical power-of-two "batch_size_ge_<n>" keys.
 struct WalMetrics {
-  std::atomic<std::uint64_t> records_appended{0};
-  std::atomic<std::uint64_t> bytes_appended{0};
-  std::atomic<std::uint64_t> fsyncs{0};
+  MetricsRegistry registry;
+
+  Counter& records_appended = registry.GetCounter("records_appended");
+  Counter& bytes_appended = registry.GetCounter("bytes_appended");
+  Counter& fsyncs = registry.GetCounter("fsyncs");
   /// Commits that waited for durability (every acked update commit).
-  std::atomic<std::uint64_t> commit_waits{0};
+  Counter& commit_waits = registry.GetCounter("commit_waits");
   /// Group-commit leader rounds, i.e. fsync batches.
-  std::atomic<std::uint64_t> group_commit_batches{0};
-  /// Histogram of commits made durable per batch: bucket i counts batches
-  /// of size in [2^i, 2^(i+1)), the last bucket absorbing the tail.
+  Counter& group_commit_batches = registry.GetCounter("group_commit_batches");
+  /// Commits made durable per leader round.
+  Histogram& batch_size = registry.GetHistogram("batch_size");
+  Counter& checkpoints = registry.GetCounter("checkpoints");
+  Counter& recovery_replayed_records =
+      registry.GetCounter("recovery_replayed_records");
+  Counter& recovery_replay_us = registry.GetCounter("recovery_replay_us");
+
+  /// Legacy bucket count of the flattened batch-size histogram: bucket i
+  /// counts batches of size in [2^i, 2^(i+1)), the last absorbing the
+  /// tail.
   static constexpr std::size_t kBatchBuckets = 8;
-  std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_size_buckets{};
-  std::atomic<std::uint64_t> checkpoints{0};
-  std::atomic<std::uint64_t> recovery_replayed_records{0};
-  std::atomic<std::uint64_t> recovery_replay_us{0};
 
   void ObserveBatch(std::uint64_t commits_in_batch) {
-    group_commit_batches.fetch_add(1, std::memory_order_relaxed);
-    std::size_t bucket = 0;
-    while (bucket + 1 < kBatchBuckets && (2ull << bucket) <= commits_in_batch) {
-      ++bucket;
-    }
-    batch_size_buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    group_commit_batches.Add(1);
+    batch_size.Record(commits_in_batch);
   }
 
-  void Reset() {
-    records_appended = 0;
-    bytes_appended = 0;
-    fsyncs = 0;
-    commit_waits = 0;
-    group_commit_batches = 0;
-    for (auto& bucket : batch_size_buckets) bucket = 0;
-    checkpoints = 0;
-    recovery_replayed_records = 0;
-    recovery_replay_us = 0;
-  }
+  void Reset() { registry.Reset(); }
 
   /// Flattens into name -> value; histogram buckets appear as
   /// "batch_size_ge_<lower bound>".

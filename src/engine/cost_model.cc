@@ -6,22 +6,22 @@ CostEstimate EstimateCost(const CcMetrics& metrics,
                           const ExecutorStats& stats,
                           const CostModel& model) {
   const double registrations =
-      static_cast<double>(metrics.read_locks_acquired.load() +
-                          metrics.read_timestamps_written.load());
-  const double blocks = static_cast<double>(metrics.blocked_reads.load() +
-                                            metrics.blocked_writes.load());
+      static_cast<double>(metrics.read_locks_acquired.Value() +
+                          metrics.read_timestamps_written.Value());
+  const double blocks = static_cast<double>(metrics.blocked_reads.Value() +
+                                            metrics.blocked_writes.Value());
   CostEstimate estimate;
   estimate.total_us =
-      static_cast<double>(metrics.version_reads.load()) *
+      static_cast<double>(metrics.version_reads.Value()) *
           model.read_version_us +
-      static_cast<double>(metrics.versions_created.load()) *
+      static_cast<double>(metrics.versions_created.Value()) *
           model.write_version_us +
       registrations * model.registration_us +
-      static_cast<double>(metrics.write_locks_acquired.load()) *
+      static_cast<double>(metrics.write_locks_acquired.Value()) *
           model.lock_bookkeeping_us +
       blocks * model.block_us +
       static_cast<double>(stats.aborted_attempts) * model.restart_us +
-      static_cast<double>(metrics.unregistered_reads.load()) *
+      static_cast<double>(metrics.unregistered_reads.Value()) *
           model.link_eval_us;
   if (stats.committed > 0) {
     estimate.per_commit_us =

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/sim_hook.h"
+#include "obs/trace.h"
 #include "sim/sim_scheduler.h"
 
 namespace hdd {
@@ -23,6 +24,7 @@ namespace {
 std::uint64_t RunOne(ConcurrencyController& cc, const TxnProgram& program,
                      int max_retries, SimScheduler* sim, bool* failed,
                      bool* crashed) {
+  HDD_TRACE_SPAN("exec", "txn");
   std::uint64_t aborted = 0;
   *failed = false;
   *crashed = false;
@@ -210,6 +212,7 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
   stats.latency_p95_us = digest.p95_us;
   stats.latency_p99_us = digest.p99_us;
   stats.latency_max_us = digest.max_us;
+  stats.cc = cc.metrics().ToMap();
   if (options.wal_metrics != nullptr) stats.wal = options.wal_metrics->ToMap();
   return stats;
 }

@@ -106,6 +106,11 @@ struct ExecutorStats {
   double latency_p99_us = 0.0;
   double latency_max_us = 0.0;
 
+  /// Controller metrics registry snapshot at end of run (keys as in
+  /// CcMetrics::ToMap) — the executor's report is a superset of what the
+  /// ad-hoc metric structs used to surface.
+  std::map<std::string, std::uint64_t> cc;
+
   /// WAL counters at end of run (empty unless ExecutorOptions::wal_metrics
   /// was set); keys as in WalMetrics::ToMap.
   std::map<std::string, std::uint64_t> wal;

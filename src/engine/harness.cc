@@ -120,13 +120,13 @@ ComparisonRow MeasureController(
   row.controller = std::string(ControllerKindName(kind));
   row.stats = RunWorkload(*cc, workload, total_txns, options);
   const CcMetrics& m = cc->metrics();
-  row.read_locks = m.read_locks_acquired.load();
-  row.read_timestamps = m.read_timestamps_written.load();
-  row.unregistered_reads = m.unregistered_reads.load();
-  row.blocked_reads = m.blocked_reads.load();
-  row.blocked_writes = m.blocked_writes.load();
-  row.aborts = m.aborts.load();
-  row.deadlocks = m.deadlocks.load();
+  row.read_locks = m.read_locks_acquired.Value();
+  row.read_timestamps = m.read_timestamps_written.Value();
+  row.unregistered_reads = m.unregistered_reads.Value();
+  row.blocked_reads = m.blocked_reads.Value();
+  row.blocked_writes = m.blocked_writes.Value();
+  row.aborts = m.aborts.Value();
+  row.deadlocks = m.deadlocks.Value();
   row.serializable = CheckSerializability(cc->recorder()).serializable;
   return row;
 }

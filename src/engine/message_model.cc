@@ -24,11 +24,11 @@ MessageStats ComputeMessageStats(
     }
   }
   stats.blocking_messages =
-      2 * (metrics.blocked_reads.load() + metrics.blocked_writes.load());
+      2 * (metrics.blocked_reads.Value() + metrics.blocked_writes.Value());
   stats.total_messages = stats.transfer_messages +
                          stats.registration_messages +
                          stats.blocking_messages;
-  const std::uint64_t commits = metrics.commits.load();
+  const std::uint64_t commits = metrics.commits.Value();
   if (commits > 0) {
     stats.per_commit = static_cast<double>(stats.total_messages) /
                        static_cast<double>(commits);

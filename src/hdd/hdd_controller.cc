@@ -6,6 +6,7 @@
 
 #include "common/sim_hook.h"
 #include "graph/algorithms.h"
+#include "obs/trace.h"
 #include "graph/decomposition.h"
 #include "wal/checkpoint.h"
 #include "wal/log_format.h"
@@ -174,7 +175,7 @@ Result<TxnDescriptor> HddController::Begin(const TxnOptions& options) {
     }
     recorder_.RecordBegin(descriptor.id, descriptor.txn_class,
                           descriptor.read_only, descriptor.init_ts);
-    metrics_.begins.fetch_add(1);
+    metrics_.begins.Add(1);
     return descriptor;
   }
 }
@@ -263,8 +264,12 @@ Result<Value> HddController::ReadHigherSegment(TxnRuntime* runtime,
   // each class shard on the path briefly, one at a time; no global latch
   // and no latch on our own class.
   SimYield("hdd/read_a");
-  auto bound = eval_->A(own_class, target_class,
-                        runtime->descriptor.init_ts);
+  auto bound = [&] {
+    // Several bound evaluations per transaction, each ~100ns: sampled,
+    // or the span would outweigh the evaluation it measures.
+    HDD_TRACE_SPAN_SAMPLED("hdd", "protocol_a_bound", 16);
+    return eval_->A(own_class, target_class, runtime->descriptor.init_ts);
+  }();
   if (!bound.ok()) {
     return Status::InvalidArgument(
         "segment not on a critical path above the transaction's class");
@@ -293,8 +298,8 @@ Result<Value> HddController::ReadHigherSegment(TxnRuntime* runtime,
          (g.VersionBefore(served) != nullptr &&
           g.VersionBefore(served)->wts == version->wts));
   // "No trace of this access needs to be registered in any form" (§4.2).
-  metrics_.unregistered_reads.fetch_add(1);
-  metrics_.version_reads.fetch_add(1);
+  metrics_.unregistered_reads.Add(1);
+  metrics_.version_reads.Add(1);
   recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key,
                        /*registered=*/false, served);
   return version->value;
@@ -311,6 +316,7 @@ Result<Value> HddController::ReadHosted(TxnRuntime* runtime,
   if (target_class != host && !tst_->Higher(target_class, host)) {
     return Status::InvalidArgument("read outside the declared read scope");
   }
+  HDD_TRACE_SPAN("hdd", "hosted_read");
   SimYield("hdd/read_hosted");
   const Timestamp base =
       shard_source_.OldestActiveAt(host, runtime->descriptor.init_ts);
@@ -324,8 +330,8 @@ Result<Value> HddController::ReadHosted(TxnRuntime* runtime,
   assert(version != nullptr);
   assert(g.VersionBefore(*bound) != nullptr &&
          g.VersionBefore(*bound)->wts == version->wts);
-  metrics_.unregistered_reads.fetch_add(1);
-  metrics_.version_reads.fetch_add(1);
+  metrics_.unregistered_reads.Add(1);
+  metrics_.version_reads.Add(1);
   recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key,
                        /*registered=*/false, *bound);
   return version->value;
@@ -334,6 +340,10 @@ Result<Value> HddController::ReadHosted(TxnRuntime* runtime,
 Result<Value> HddController::ReadOwnSegment(
     std::shared_lock<std::shared_mutex>& gate, TxnRuntime* runtime,
     GranuleRef granule) {
+  // The span covers the TO check and any wait on an uncommitted version —
+  // Protocol B's whole registration cost. Sampled: the uncontended check
+  // is sub-microsecond and fires for every own-segment read.
+  HDD_TRACE_SPAN_SAMPLED("hdd", "protocol_b_read", 4);
   bool waited = false;
   for (;;) {
     SimYield("hdd/read_b");
@@ -367,10 +377,10 @@ Result<Value> HddController::ReadOwnSegment(
       gate.lock();
       continue;
     }
-    if (waited) metrics_.blocked_reads.fetch_add(1);
+    if (waited) metrics_.blocked_reads.Add(1);
     if (txn.init_ts > version->rts) version->rts = txn.init_ts;
-    metrics_.read_timestamps_written.fetch_add(1);
-    metrics_.version_reads.fetch_add(1);
+    metrics_.read_timestamps_written.Add(1);
+    metrics_.version_reads.Add(1);
     recorder_.RecordRead(txn.id, granule, version->order_key,
                          /*registered=*/true);
     return version->value;
@@ -382,6 +392,7 @@ Result<Value> HddController::ReadUnderWall(
     GranuleRef granule) {
   // Protocol C: pin the wall on first read so the whole transaction sees
   // one consistent cut.
+  HDD_TRACE_SPAN("hdd", "protocol_c_read");
   SimYield("hdd/read_c");
   if (runtime->wall == nullptr) {
     {
@@ -428,9 +439,9 @@ Result<Value> HddController::ReadUnderWall(
       gate.lock();
       continue;
     }
-    if (waited) metrics_.blocked_reads.fetch_add(1);
-    metrics_.unregistered_reads.fetch_add(1);
-    metrics_.version_reads.fetch_add(1);
+    if (waited) metrics_.blocked_reads.Add(1);
+    metrics_.unregistered_reads.Add(1);
+    metrics_.version_reads.Add(1);
     recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key,
                          /*registered=*/false, bound);
     return version->value;
@@ -447,6 +458,9 @@ Result<const TimeWall*> HddController::ReleaseWallInternal(
     ~ComputeGuard() { count.fetch_sub(1); }
   } compute_guard(wall_computing_);
 
+  // Covers every retry: the span's duration is the full time-to-release,
+  // including waits for straggling C^late components.
+  HDD_TRACE_SPAN("hdd", "wall_compute");
   const Timestamp m = clock_->Tick();
   for (;;) {
     SimYield("hdd/wall_compute");
@@ -476,6 +490,7 @@ Result<const TimeWall*> HddController::ReleaseWallInternal(
         settled = shards_[c]->table.OldestActiveNow() >= wall->bound[c];
       }
       if (settled) {
+        HDD_TRACE_INSTANT("hdd", "wall_release");
         wall->release_time = clock_->Tick();
         std::lock_guard<std::mutex> wg(wall_mu_);
         walls_.push_back(*std::move(wall));
@@ -516,6 +531,7 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
   if (runtime->descriptor.read_only) {
     return Status::FailedPrecondition("read-only transaction wrote");
   }
+  HDD_TRACE_SPAN_SAMPLED("hdd", "protocol_b_write", 4);
   bool waited = false;
   for (;;) {
     SimYield("hdd/write");
@@ -562,7 +578,7 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
         return Status::Aborted("Protocol B: younger read of older version");
       }
     }
-    if (waited) metrics_.blocked_writes.fetch_add(1);
+    if (waited) metrics_.blocked_writes.Add(1);
     Version version;
     version.order_key = ts;
     version.wts = ts;
@@ -583,7 +599,7 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
       }
     }
     runtime->writes.push_back(granule);
-    metrics_.versions_created.fetch_add(1);
+    metrics_.versions_created.Add(1);
     recorder_.RecordWrite(txn.id, granule, version.order_key);
     return Status::OK();
   }
@@ -593,6 +609,7 @@ Status HddController::Commit(const TxnDescriptor& txn) {
   // Interruptible only here, before the runtime is claimed: an injected
   // fault still finds a fully registered transaction for Abort to undo.
   SimYield("hdd/commit");
+  HDD_TRACE_SPAN("hdd", "commit");
   std::shared_lock<std::shared_mutex> gate(struct_mu_);
   HDD_ASSIGN_OR_RETURN(std::unique_ptr<TxnRuntime> runtime, ExtractTxn(txn));
   std::uint64_t commit_ticket = 0;
@@ -669,7 +686,7 @@ Status HddController::Commit(const TxnDescriptor& txn) {
     if (--it->second == 0) wall_pins_.erase(it);
   }
   recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
-  metrics_.commits.fetch_add(1);
+  metrics_.commits.Add(1);
   active_txns_.fetch_sub(1);
   MaybeTrimHistory();
   return Status::OK();
@@ -721,7 +738,7 @@ Status HddController::Abort(const TxnDescriptor& txn) {
     if (--it->second == 0) wall_pins_.erase(it);
   }
   recorder_.RecordOutcome(txn.id, TxnState::kAborted);
-  metrics_.aborts.fetch_add(1);
+  metrics_.aborts.Add(1);
   active_txns_.fetch_sub(1);
   MaybeTrimHistory();
   return Status::OK();
@@ -737,6 +754,7 @@ Result<ClassId> HddController::Restructure(
   // mutex, so everything derived below (plan, affected set) stays valid
   // across the drain even though the structure gate is released.
   std::lock_guard<std::mutex> serial(restructure_mu_);
+  HDD_TRACE_SPAN("hdd", "restructure");
 
   std::optional<Digraph> extended;
   MergePlan plan;
@@ -792,6 +810,7 @@ Result<ClassId> HddController::Restructure(
   // with no structure lock held — transactions of every other class, and
   // the in-flight ones of the affected classes, keep running and
   // finishing (each finish notifies its own shard's cv).
+  HDD_TRACE_SPAN("hdd", "restructure_quiesce");
   for (const std::shared_ptr<ClassShard>& shard : affected) {
     std::unique_lock<std::mutex> shard_lock(shard->mu);
     while (shard->table.num_active() != 0) {
@@ -924,6 +943,7 @@ Timestamp HddController::ComputeSafeGcHorizon() const {
 }
 
 std::size_t HddController::CollectGarbage() {
+  HDD_TRACE_SPAN("hdd", "gc_sweep");
   std::shared_lock<std::shared_mutex> gate(struct_mu_);
   Timestamp horizon;
   {
@@ -969,6 +989,7 @@ Status HddController::CheckpointWal() {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("no WAL attached to the database");
   }
+  HDD_TRACE_SPAN("wal", "checkpoint");
   std::shared_lock<std::shared_mutex> gate(struct_mu_);
   std::vector<SegmentCheckpoint> ckpts(class_of_segment_.size());
   for (SegmentId s = 0; s < static_cast<int>(class_of_segment_.size());
@@ -1005,7 +1026,7 @@ Status HddController::CheckpointWal() {
         &wal_->storage(), s, ckpts[static_cast<std::size_t>(s)]));
   }
   HDD_RETURN_IF_ERROR(AppendControlCheckpoint(&wal_->storage(), control));
-  wal_->metrics().checkpoints.fetch_add(1, std::memory_order_relaxed);
+  wal_->metrics().checkpoints.Add(1);
   return Status::OK();
 }
 

@@ -1,0 +1,142 @@
+#ifndef HDD_OBS_REPORT_H_
+#define HDD_OBS_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hdd {
+
+/// Machine-readable result of one benchmark run, in the stable schema
+/// ci/compare_bench.py diffs against the checked-in baseline
+/// (BENCH_5.json at the repo root):
+///
+///   {
+///     "schema_version": 1,
+///     "bench": "<bench name>",
+///     "rows": [
+///       {"name": "<config name>", "metrics": {"txn_per_sec": 123.4, ...}}
+///     ]
+///   }
+///
+/// Contract with the comparator: a row is identified by (bench, name);
+/// metric keys ending in "_per_sec" are throughput-like (higher is
+/// better) and are regression-gated; every other metric is informational.
+/// A row may carry a "gate_tolerance" metric (fraction, e.g. 0.5) to
+/// widen its own gate past the default threshold — for configurations
+/// whose throughput is hostage to the host (fsync-bound modes), where
+/// 15% is indistinguishable from disk noise. A row named "calibration"
+/// is never gated; when both baseline and current carry one (metric
+/// "spins_per_sec", see CalibrationSpinsPerSec), the comparator rescales
+/// the current run's throughputs by the calibration ratio first, so a
+/// co-tenant slowing the whole host does not read as a code regression.
+/// A regular row may carry its own "spins_per_sec" (see NormalizedBest)
+/// measured adjacent to the rep that produced its throughput; the
+/// comparator then prefers that row-level ratio, which also absorbs
+/// bursts too brief to register in the bench-level calibration. The
+/// "spins_per_sec" key itself is calibration metadata and is never
+/// gated despite its suffix.
+/// Adding rows or metrics is backward compatible; renaming them silently
+/// drops the baseline comparison, so don't.
+class RunReport {
+ public:
+  explicit RunReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  class Row {
+   public:
+    explicit Row(std::string name) : name_(std::move(name)) {}
+    Row& Metric(const std::string& key, double value) {
+      metrics_[key] = value;
+      return *this;
+    }
+    Row& Metric(const std::string& key, std::uint64_t value) {
+      return Metric(key, static_cast<double>(value));
+    }
+    /// Folds a whole counter map in (e.g. a MetricsRegistry snapshot).
+    Row& Metrics(const std::map<std::string, std::uint64_t>& map,
+                 const std::string& prefix = "");
+    const std::string& name() const { return name_; }
+    const std::map<std::string, double>& metrics() const { return metrics_; }
+
+   private:
+    std::string name_;
+    std::map<std::string, double> metrics_;
+  };
+
+  Row& AddRow(const std::string& name);
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::string& bench_name() const { return bench_name_; }
+
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; returns false with *error set on failure.
+  bool WriteFile(const std::string& path, std::string* error) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<Row> rows_;
+};
+
+/// Extracts the value of a `--flag=value` argument ("--report", path out),
+/// or nullopt when absent. Benches share this so every report-emitting
+/// binary spells the flags the same way.
+std::optional<std::string> FlagValue(int argc, char** argv,
+                                     const std::string& flag);
+
+/// `--report=PATH`: where to write the run report (nullopt: stdout note
+/// only). `--trace=PATH`: enable tracing and write a Chrome trace there.
+inline std::optional<std::string> ReportPathFromArgs(int argc, char** argv) {
+  return FlagValue(argc, argv, "--report");
+}
+inline std::optional<std::string> TracePathFromArgs(int argc, char** argv) {
+  return FlagValue(argc, argv, "--trace");
+}
+
+/// Reads a positive integer from environment variable `name`, defaulting
+/// to `fallback` when unset or unparsable. Benches use it for CI smoke
+/// runs (HDD_BENCH_TXNS, HDD_BENCH_THREADS).
+std::uint64_t EnvOr(const char* name, std::uint64_t fallback);
+
+/// Comma-separated integer list from the environment ("1,2,4"), or
+/// `fallback` when unset/empty.
+std::vector<int> EnvListOr(const char* name, std::vector<int> fallback);
+
+/// Same-run CPU speed reference: best-of-several short fixed arithmetic
+/// loops (xorshift64), in iterations per second. Benches publish it as
+/// the "calibration" row so the comparator can divide out host-speed
+/// drift between the baseline run and the current run. Takes ~20 ms.
+double CalibrationSpinsPerSec();
+
+/// Best-of-reps selector that co-locates a spin calibration with every
+/// sample: Offer(tput) measures host speed right after the run and keeps
+/// the sample with the highest host-normalized score, pairing it with
+/// the slower of the calibrations bracketing that run. Publish the pair
+/// as the row's "txn_per_sec" + "spins_per_sec" so the comparator can
+/// rescale at row granularity — a steal burst that slows one config's
+/// reps also slows the adjacent calibration windows, and the ratio
+/// cancels, where the bench-level calibration row (measured seconds
+/// away) would miss the burst entirely.
+class NormalizedBest {
+ public:
+  NormalizedBest() : last_cal_(CalibrationSpinsPerSec()) {}
+
+  /// Returns true when `value` becomes the new best (callers keep that
+  /// rep's side data, e.g. full ExecutorStats).
+  bool Offer(double value);
+
+  double value() const { return best_value_; }
+  double spins_per_sec() const { return best_cal_; }
+
+ private:
+  double last_cal_;
+  double best_value_ = 0.0;
+  double best_cal_ = 0.0;
+  double best_norm_ = -1.0;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_OBS_REPORT_H_

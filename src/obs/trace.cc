@@ -1,0 +1,335 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace hdd {
+
+namespace {
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HDD_TSAN_BUILD 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define HDD_TSAN_BUILD 1
+#endif
+
+#if defined(HDD_TSAN_BUILD)
+/// TSan neither models std::atomic_thread_fence nor lets it compile
+/// under -Werror=tsan. An acq_rel RMW on one shared dummy is a stand-in
+/// it does model: the RMWs form a release sequence, so the writer-side
+/// "release fence" and reader-side "acquire fence" still establish the
+/// happens-before edge the seqlock validation relies on (and an RMW is
+/// a full barrier on the hardware TSan runs on anyway).
+inline void SeqlockFence(std::memory_order order) {
+  static std::atomic<unsigned> dummy{0};
+  dummy.fetch_add(0, order == std::memory_order_release
+                         ? std::memory_order_acq_rel
+                         : std::memory_order_acquire);
+}
+#else
+inline void SeqlockFence(std::memory_order order) {
+  std::atomic_thread_fence(order);
+}
+#endif
+
+/// One ring slot. The seqlock generation encodes the absolute event index
+/// (`2*idx + 1` while the owner writes, `2*idx + 2` once stable), so a
+/// drainer can tell a torn or recycled slot from a stable one without any
+/// shared lock. Payload fields are relaxed atomics: a racing drain is a
+/// benign skipped slot, never a data race.
+struct alignas(8) Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uintptr_t> category{0};
+  std::atomic<std::uintptr_t> name{0};
+  std::atomic<std::uint64_t> start_ns{0};
+  /// dur_ns (low 56 bits, saturated — a 2-year span loses nothing) packed
+  /// with the phase char (high 8): a 40-byte slot instead of 48 keeps the
+  /// ring's cache footprint down, which in situ outweighs the pack/unpack
+  /// arithmetic (the emit path is memory-bound, not ALU-bound).
+  std::atomic<std::uint64_t> dur_phase{0};
+
+  static std::uint64_t PackDurPhase(std::uint64_t dur_ns, char phase) {
+    constexpr std::uint64_t kDurMask = (std::uint64_t{1} << 56) - 1;
+    return std::min(dur_ns, kDurMask) |
+           (static_cast<std::uint64_t>(static_cast<unsigned char>(phase))
+            << 56);
+  }
+};
+
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::uint32_t tid_in, std::size_t capacity)
+      : tid(tid_in), mask(capacity - 1), slots(capacity) {}
+
+  const std::uint32_t tid;
+  const std::size_t mask;  // capacity - 1, capacity a power of two
+  std::vector<Slot> slots;
+  /// Next event index; only the owner thread advances it.
+  std::atomic<std::uint64_t> head{0};
+
+  void Emit(const char* category, const char* name, std::uint64_t start_ns,
+            std::uint64_t dur_ns, char phase) {
+    const std::uint64_t idx = head.load(std::memory_order_relaxed);
+    Slot& slot = slots[idx & mask];
+    // Seqlock write: mark the slot in-flight, fence, relaxed payload
+    // stores, fence, mark stable. Readers validating the generation
+    // before and after their payload loads never accept a torn record.
+    slot.seq.store(2 * idx + 1, std::memory_order_relaxed);
+    SeqlockFence(std::memory_order_release);
+    slot.category.store(reinterpret_cast<std::uintptr_t>(category),
+                        std::memory_order_relaxed);
+    slot.name.store(reinterpret_cast<std::uintptr_t>(name),
+                    std::memory_order_relaxed);
+    slot.start_ns.store(start_ns, std::memory_order_relaxed);
+    slot.dur_phase.store(Slot::PackDurPhase(dur_ns, phase),
+                         std::memory_order_relaxed);
+    SeqlockFence(std::memory_order_release);
+    slot.seq.store(2 * idx + 2, std::memory_order_relaxed);
+    head.store(idx + 1, std::memory_order_release);
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  // exited threads stay
+  std::uint32_t next_tid = 1;
+  /// 2048 slots x 40 B = 80 KB per thread: small enough to stay mostly
+  /// cache-resident next to the workload's own working set (the dominant
+  /// in-situ emit cost is the ring line miss, not the stores). Raise via
+  /// SetBufferCapacity for longer windows.
+  std::size_t capacity = 2048;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+std::atomic<bool> g_enabled{false};
+
+/// Keeps the thread's buffer alive for the thread's lifetime; the
+/// registry's shared_ptr keeps it drainable afterwards. Emitters go
+/// through `t_raw` instead: a trivially-destructible thread_local is a
+/// plain TLS load, where the shared_ptr costs a guarded wrapper call per
+/// access. `t_raw` outlives `t_buffer` safely — the registry's reference
+/// keeps the buffer alive until an explicit Reset.
+thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+thread_local ThreadBuffer* t_raw = nullptr;
+
+ThreadBuffer& LocalBuffer() {
+  ThreadBuffer* raw = t_raw;
+  if (raw != nullptr) return *raw;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  t_buffer = std::make_shared<ThreadBuffer>(registry.next_tid++,
+                                            registry.capacity);
+  registry.buffers.push_back(t_buffer);
+  t_raw = t_buffer.get();
+  return *t_raw;
+}
+
+std::uint64_t SteadyNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Timestamps come from the CPU cycle counter where one exists (about
+/// half the cost of clock_gettime, and two reads bound every span), and
+/// are converted to nanoseconds against a frequency calibrated at
+/// Enable(). Modern x86_64 (constant_tsc) and aarch64 (cntvct_el0) keep
+/// these counters synchronized across cores, which is the same
+/// assumption every sampling profiler makes.
+#if defined(__x86_64__) || defined(__aarch64__)
+#define HDD_TRACE_FAST_CLOCK 1
+#else
+#define HDD_TRACE_FAST_CLOCK 0
+#endif
+
+std::uint64_t RawTicks() {
+#if defined(__x86_64__)
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t value;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(value));
+  return value;
+#else
+  return SteadyNs();
+#endif
+}
+
+/// (ticks, ns) pair captured at process load; both clock paths report
+/// nanoseconds since this origin, so pre- and post-calibration stamps
+/// share a timeline.
+struct ClockOrigin {
+  std::uint64_t ticks0 = RawTicks();
+  std::uint64_t ns0 = SteadyNs();
+};
+ClockOrigin g_clock_origin;
+
+std::atomic<double> g_ns_per_tick{0.0};  // 0 until calibrated
+
+/// Fixes the tick->ns scale from the (ticks, ns) deltas since process
+/// load. If Enable() came within 100us of load, spins the window out to
+/// that length first: a 100us baseline bounds the frequency error by
+/// ~2 clock granularities / 100us < 0.1%.
+void CalibrateFastClock() {
+#if HDD_TRACE_FAST_CLOCK
+  if (g_ns_per_tick.load(std::memory_order_acquire) != 0.0) return;
+  std::uint64_t ns1 = SteadyNs();
+  while (ns1 - g_clock_origin.ns0 < 100'000) ns1 = SteadyNs();
+  const std::uint64_t ticks1 = RawTicks();
+  if (ticks1 <= g_clock_origin.ticks0) return;  // counter unusable: fall back
+  g_ns_per_tick.store(static_cast<double>(ns1 - g_clock_origin.ns0) /
+                          static_cast<double>(ticks1 - g_clock_origin.ticks0),
+                      std::memory_order_release);
+#endif
+}
+
+}  // namespace
+
+void TraceRecorder::Enable() {
+  CalibrateFastClock();  // pin the clock before the first span
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Disable() {
+  g_enabled.store(false, std::memory_order_release);
+}
+
+bool TraceRecorder::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void TraceRecorder::SetBufferCapacity(std::size_t slots_per_thread) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.capacity = std::bit_ceil(std::max<std::size_t>(slots_per_thread, 2));
+}
+
+void TraceRecorder::Emit(const char* category, const char* name,
+                         std::uint64_t start_ns, std::uint64_t dur_ns,
+                         char phase) {
+  LocalBuffer().Emit(category, name, start_ns, dur_ns, phase);
+}
+
+std::vector<TraceEvent> TraceRecorder::Drain() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    buffers = registry.buffers;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t capacity = buffer->mask + 1;
+    const std::uint64_t lo = head > capacity ? head - capacity : 0;
+    for (std::uint64_t idx = lo; idx < head; ++idx) {
+      const Slot& slot = buffer->slots[idx & buffer->mask];
+      const std::uint64_t expected = 2 * idx + 2;
+      if (slot.seq.load(std::memory_order_acquire) != expected) continue;
+      TraceEvent event;
+      event.category = reinterpret_cast<const char*>(
+          slot.category.load(std::memory_order_relaxed));
+      event.name = reinterpret_cast<const char*>(
+          slot.name.load(std::memory_order_relaxed));
+      event.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      const std::uint64_t dur_phase =
+          slot.dur_phase.load(std::memory_order_relaxed);
+      event.dur_ns = dur_phase & ((std::uint64_t{1} << 56) - 1);
+      event.phase = static_cast<char>(dur_phase >> 56);
+      event.tid = buffer->tid;
+      SeqlockFence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != expected) continue;
+      events.push_back(event);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return events;
+}
+
+std::uint64_t TraceRecorder::dropped() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::uint64_t total = 0;
+  for (const auto& buffer : registry.buffers) {
+    const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t capacity = buffer->mask + 1;
+    if (head > capacity) total += head - capacity;
+  }
+  return total;
+}
+
+void TraceRecorder::Reset() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  // Buffers of exited threads are dropped entirely; live threads' buffers
+  // are rewound (their owners are quiescent per the contract).
+  std::vector<std::shared_ptr<ThreadBuffer>> live;
+  for (auto& buffer : registry.buffers) {
+    if (buffer.use_count() == 1) continue;  // registry holds the only ref
+    buffer->head.store(0, std::memory_order_release);
+    for (Slot& slot : buffer->slots) {
+      slot.seq.store(0, std::memory_order_release);
+    }
+    live.push_back(buffer);
+  }
+  registry.buffers.swap(live);
+}
+
+namespace {
+/// Nanoseconds as a microsecond decimal ("12.005"), Chrome's `ts` unit.
+void WriteMicros(std::ostream& os, std::uint64_t ns) {
+  os << (ns / 1000) << '.';
+  const std::uint64_t frac = ns % 1000;
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+}  // namespace
+
+void TraceRecorder::WriteChromeTrace(std::ostream& os) {
+  const std::vector<TraceEvent> events = Drain();
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\":\"" << event.phase << "\",\"pid\":1,\"tid\":"
+       << event.tid << ",\"cat\":\"" << event.category << "\",\"name\":\""
+       << event.name << "\",\"ts\":";
+    WriteMicros(os, event.start_ns);
+    if (event.phase == 'X') {
+      os << ",\"dur\":";
+      WriteMicros(os, event.dur_ns);
+    } else if (event.phase == 'i') {
+      os << ",\"s\":\"t\"";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+std::uint64_t TraceRecorder::NowNs() {
+#if HDD_TRACE_FAST_CLOCK
+  const double scale = g_ns_per_tick.load(std::memory_order_relaxed);
+  if (scale != 0.0) {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(RawTicks() - g_clock_origin.ticks0) * scale);
+  }
+#endif
+  return SteadyNs() - g_clock_origin.ns0;
+}
+
+}  // namespace hdd

@@ -1,0 +1,154 @@
+#ifndef HDD_OBS_TRACE_H_
+#define HDD_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+/// Compile-time gate: cmake -DHDD_TRACE=OFF defines HDD_TRACE_ENABLED=0
+/// and every HDD_TRACE_* macro below expands to nothing — zero code, zero
+/// data, zero branches in the hot paths. The default build compiles the
+/// instrumentation in behind a single relaxed atomic load (tracing still
+/// starts disabled at runtime; see TraceRecorder::Enable).
+#ifndef HDD_TRACE_ENABLED
+#define HDD_TRACE_ENABLED 1
+#endif
+
+namespace hdd {
+
+/// One drained trace event. `category` and `name` are the string
+/// *literals* passed at the emit site (the recorder stores pointers, so
+/// only literals or other never-freed strings are legal).
+struct TraceEvent {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  // since process start (NowNs origin)
+  std::uint64_t dur_ns = 0;    // 0 for instants
+  std::uint32_t tid = 0;       // recorder-assigned, dense from 1
+  char phase = 'X';            // 'X' complete span, 'i' instant
+};
+
+/// Process-wide lock-free trace recorder.
+///
+/// Each emitting thread owns a private power-of-two ring of fixed-size
+/// slots; emitting is wait-free (no CAS, no shared cache line): bump the
+/// thread-local head, seqlock-publish the slot. When the ring wraps, the
+/// oldest events are overwritten (`dropped()` counts them) — tracing
+/// never blocks or allocates on the hot path after a thread's first
+/// event.
+///
+/// Draining walks every thread's ring (threads that already exited
+/// included) and keeps each slot only if its seqlock generation is intact
+/// before and after the payload read, so a drain racing live emitters is
+/// safe — and TSan-clean, because slot payloads are relaxed atomics — at
+/// the cost of skipping the handful of slots being rewritten mid-read.
+///
+/// All methods are static: traces from every subsystem land in one
+/// process-wide timeline, which is what a Chrome trace viewer wants.
+class TraceRecorder {
+ public:
+  /// Runtime switch, off at process start. Cheap enough to leave compiled
+  /// in: a disabled emit site costs one relaxed load.
+  static void Enable();
+  static void Disable();
+  static bool enabled();
+
+  /// Ring capacity (slots per thread), rounded up to a power of two.
+  /// Affects only threads that emit their first event afterwards; call
+  /// before enabling. Default 8192.
+  static void SetBufferCapacity(std::size_t slots_per_thread);
+
+  /// Records one event. Called by the macros below; public so tests and
+  /// exporters can emit with synthetic timestamps. `category` and `name`
+  /// must outlive the recorder (string literals).
+  static void Emit(const char* category, const char* name,
+                   std::uint64_t start_ns, std::uint64_t dur_ns, char phase);
+
+  /// Snapshot of every thread's surviving events, sorted by start_ns.
+  /// Safe concurrently with emitters (racing slots are skipped).
+  static std::vector<TraceEvent> Drain();
+
+  /// Events lost to ring wraparound since the last Reset.
+  static std::uint64_t dropped();
+
+  /// Clears all buffers, including those of exited threads, and the drop
+  /// counter. Callers must ensure no thread is emitting (disable first
+  /// and quiesce); a racing emitter corrupts no memory but may survive
+  /// the reset.
+  static void Reset();
+
+  /// Drains and writes Chrome trace_event JSON ("Perfetto / about:tracing"
+  /// format): {"traceEvents":[...]} with ts/dur in microseconds.
+  static void WriteChromeTrace(std::ostream& os);
+
+  /// Nanoseconds since process start (steady clock).
+  static std::uint64_t NowNs();
+};
+
+/// RAII complete-span: captures the start time if tracing is enabled at
+/// construction, emits one 'X' event at scope exit. Constructed disabled
+/// it costs one relaxed load and writes nothing. A null `category`
+/// suppresses the span entirely (the sampled macro's skip path); at
+/// normal call sites the literal is non-null and the check folds away.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name) {
+    if (category != nullptr && TraceRecorder::enabled()) {
+      category_ = category;
+      name_ = name;
+      start_ns_ = TraceRecorder::NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (category_ != nullptr) {
+      TraceRecorder::Emit(category_, name_, start_ns_,
+                          TraceRecorder::NowNs() - start_ns_, 'X');
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+#if HDD_TRACE_ENABLED
+#define HDD_TRACE_CONCAT_INNER(a, b) a##b
+#define HDD_TRACE_CONCAT(a, b) HDD_TRACE_CONCAT_INNER(a, b)
+/// Scoped span: HDD_TRACE_SPAN("hdd", "gc_sweep");
+#define HDD_TRACE_SPAN(category, name) \
+  ::hdd::TraceSpan HDD_TRACE_CONCAT(hdd_trace_span_, __LINE__)(category, name)
+/// Sampled span for sites so hot (sub-microsecond, many per txn) that
+/// even a wait-free emit distorts what it measures: records every
+/// `every_n`-th execution per thread, costing one thread-local counter
+/// bump otherwise. `every_n` must be a compile-time constant.
+///   HDD_TRACE_SPAN_SAMPLED("hdd", "protocol_a_bound", 16);
+#define HDD_TRACE_SPAN_SAMPLED(category, name, every_n)                   \
+  static thread_local std::uint32_t HDD_TRACE_CONCAT(hdd_trace_skip_,     \
+                                                     __LINE__) = 0;       \
+  ::hdd::TraceSpan HDD_TRACE_CONCAT(hdd_trace_span_, __LINE__)(           \
+      ++HDD_TRACE_CONCAT(hdd_trace_skip_, __LINE__) % (every_n) == 0      \
+          ? (category)                                                    \
+          : nullptr,                                                      \
+      name)
+/// Point event: HDD_TRACE_INSTANT("hdd", "wall_release");
+#define HDD_TRACE_INSTANT(category, name)                              \
+  do {                                                                 \
+    if (::hdd::TraceRecorder::enabled()) {                             \
+      ::hdd::TraceRecorder::Emit(category, name,                       \
+                                 ::hdd::TraceRecorder::NowNs(), 0,     \
+                                 'i');                                 \
+    }                                                                  \
+  } while (0)
+#else
+#define HDD_TRACE_SPAN(category, name) ((void)0)
+#define HDD_TRACE_SPAN_SAMPLED(category, name, every_n) ((void)0)
+#define HDD_TRACE_INSTANT(category, name) ((void)0)
+#endif
+
+}  // namespace hdd
+
+#endif  // HDD_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/sim_hook.h"
+#include "obs/trace.h"
 
 namespace hdd {
 
@@ -10,7 +11,7 @@ Status GroupCommit::AwaitDurable(
     std::uint64_t ticket, const std::function<Result<SyncBatch>()>& sync_all,
     const std::function<std::uint64_t()>& pending_bytes) {
   if (params_.mode == WalSyncMode::kNone) return Status::OK();
-  metrics_->commit_waits.fetch_add(1, std::memory_order_relaxed);
+  metrics_->commit_waits.Add(1);
 
   if (params_.mode == WalSyncMode::kPerCommit) {
     // The baseline everyone pays without group commit: one (serialized)
@@ -20,7 +21,10 @@ Status GroupCommit::AwaitDurable(
       std::lock_guard<std::mutex> lock(mu_);
       HDD_RETURN_IF_ERROR(error_);
     }
-    Result<SyncBatch> batch = sync_all();
+    Result<SyncBatch> batch = [&] {
+      HDD_TRACE_SPAN("wal", "per_commit_flush");
+      return sync_all();
+    }();
     std::lock_guard<std::mutex> lock(mu_);
     if (!batch.ok()) {
       error_ = batch.status();
@@ -47,7 +51,10 @@ Status GroupCommit::AwaitDurable(
           pending_bytes() < params_.flush_bytes) {
         SimSleep(params_.flush_interval);
       }
-      Result<SyncBatch> batch = sync_all();
+      Result<SyncBatch> batch = [&] {
+        HDD_TRACE_SPAN("wal", "group_commit_flush");
+        return sync_all();
+      }();
       lock.lock();
       leader_active_ = false;
       if (!batch.ok()) {

@@ -228,14 +228,11 @@ Result<RecoveryReport> RecoverDatabase(WalStorage* storage, Database* db,
   }
 
   if (metrics != nullptr) {
-    metrics->recovery_replayed_records.fetch_add(report.replayed_records,
-                                                 std::memory_order_relaxed);
-    metrics->recovery_replay_us.fetch_add(
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - started)
-                .count()),
-        std::memory_order_relaxed);
+    metrics->recovery_replayed_records.Add(report.replayed_records);
+    metrics->recovery_replay_us.Add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
   }
   return report;
 }

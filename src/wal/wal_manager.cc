@@ -1,5 +1,7 @@
 #include "wal/wal_manager.h"
 
+#include "obs/trace.h"
+
 namespace hdd {
 
 std::string SegmentLogName(SegmentId segment) {
@@ -32,6 +34,7 @@ Result<std::unique_ptr<WalManager>> WalManager::Open(WalStorage* storage,
 
 Result<std::uint64_t> WalManager::AppendRecord(SegmentId segment,
                                                const WalRecord& record) {
+  HDD_TRACE_SPAN("wal", "append");
   // The ticket is drawn inside the log's append critical section, so a
   // ticket visible to SyncAll's capture implies the holder is inside (or
   // past) that section and the capture's subsequent per-log Sync — which
@@ -42,10 +45,9 @@ Result<std::uint64_t> WalManager::AppendRecord(SegmentId segment,
       logs_[static_cast<std::size_t>(segment)].Append(record, &append_ticket_,
                                                       &ticket));
   (void)end;
-  metrics_.records_appended.fetch_add(1, std::memory_order_relaxed);
-  metrics_.bytes_appended.fetch_add(
-      kFrameHeaderBytes + EncodeWalRecord(record).size(),
-      std::memory_order_relaxed);
+  metrics_.records_appended.Add(1);
+  metrics_.bytes_appended.Add(kFrameHeaderBytes +
+                              EncodeWalRecord(record).size());
   return ticket;
 }
 
@@ -103,7 +105,7 @@ Result<SyncBatch> WalManager::SyncAll() {
   for (SegmentLog& log : logs_) {
     if (log.unsynced_bytes() == 0) continue;  // clean logs cost no fsync
     HDD_RETURN_IF_ERROR(log.Sync());
-    metrics_.fsyncs.fetch_add(1, std::memory_order_relaxed);
+    metrics_.fsyncs.Add(1);
   }
   return batch;
 }

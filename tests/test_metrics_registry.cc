@@ -1,0 +1,182 @@
+// Tests for the unified metrics registry (src/obs/metrics_registry.h):
+// striped counters under concurrency, histogram bucketing math, quantiles
+// of merged snapshots against a sorted-vector reference, and the flat
+// Snapshot() map the run reports consume.
+
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace hdd {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Set(7);
+  EXPECT_EQ(c.load(), 7u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, BucketIndexMonotoneAndBoundsConsistent) {
+  std::size_t prev = 0;
+  for (std::uint64_t v : {0ull, 1ull, 15ull, 16ull, 17ull, 31ull, 32ull,
+                          100ull, 1000ull, 65535ull, 65536ull,
+                          1ull << 40, ~0ull}) {
+    const std::size_t idx = Histogram::BucketIndex(v);
+    EXPECT_GE(idx, prev) << "index not monotone at " << v;
+    prev = idx;
+    // The value must not exceed its bucket's upper bound, and must lie
+    // above the previous bucket's.
+    EXPECT_LE(v, Histogram::BucketUpperBound(idx));
+    if (idx > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(idx - 1));
+    }
+  }
+}
+
+TEST(HistogramTest, QuantileRelativeErrorBound) {
+  // The log-linear layout (16 sub-buckets per octave) promises any
+  // quantile within 1/16 relative error. Check against the exact value
+  // from a sorted copy, across distributions that stress different
+  // octaves.
+  std::mt19937_64 rng(12345);
+  std::vector<std::vector<std::uint64_t>> datasets;
+  {
+    std::uniform_int_distribution<std::uint64_t> uniform(0, 1000);
+    std::vector<std::uint64_t> v(5000);
+    for (auto& x : v) x = uniform(rng);
+    datasets.push_back(std::move(v));
+  }
+  {
+    // Heavy-tailed: exercises high octaves the way latency spikes do.
+    std::exponential_distribution<double> exp_dist(1.0 / 5000.0);
+    std::vector<std::uint64_t> v(5000);
+    for (auto& x : v) x = static_cast<std::uint64_t>(exp_dist(rng));
+    datasets.push_back(std::move(v));
+  }
+  for (const std::vector<std::uint64_t>& data : datasets) {
+    Histogram h;
+    for (std::uint64_t v : data) h.Record(v);
+    std::vector<std::uint64_t> sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+    const Histogram::Snapshot snap = h.snapshot();
+    ASSERT_EQ(snap.count, data.size());
+    EXPECT_EQ(snap.max, sorted.back());
+    for (double q : {0.0, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+      const std::uint64_t exact =
+          sorted[std::min(sorted.size() - 1,
+                          static_cast<std::size_t>(q * sorted.size()))];
+      const std::uint64_t approx = snap.ValueAtQuantile(q);
+      // The reported bound is the bucket's upper edge: never below the
+      // exact value's bucket, and within one sub-bucket width above.
+      EXPECT_GE(approx, exact) << "q=" << q;
+      EXPECT_LE(approx, exact + exact / Histogram::kSubBuckets + 1)
+          << "q=" << q;
+    }
+  }
+}
+
+TEST(HistogramTest, MergeMatchesRecordingIntoOne) {
+  // Merging shard snapshots must equal having recorded everything into a
+  // single histogram — the property cross-shard aggregation relies on.
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::uint64_t> dist(0, 1u << 20);
+  Histogram shard_a;
+  Histogram shard_b;
+  Histogram combined;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t v = dist(rng);
+    (i % 2 == 0 ? shard_a : shard_b).Record(v);
+    combined.Record(v);
+  }
+  Histogram::Snapshot merged = shard_a.snapshot();
+  merged.Merge(shard_b.snapshot());
+  const Histogram::Snapshot reference = combined.snapshot();
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_EQ(merged.sum, reference.sum);
+  EXPECT_EQ(merged.max, reference.max);
+  EXPECT_EQ(merged.buckets, reference.buckets);
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(merged.ValueAtQuantile(q), reference.ValueAtQuantile(q));
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordsLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<std::uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SameNameSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("commits");
+  Counter& b = registry.GetCounter("commits");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(registry.SnapshotCounters().at("commits"), 3u);
+  Histogram& h1 = registry.GetHistogram("latency_us");
+  Histogram& h2 = registry.GetHistogram("latency_us");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, SnapshotFlattensHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("aborts").Add(5);
+  Histogram& h = registry.GetHistogram("latency_us");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  const auto snap = registry.Snapshot();
+  EXPECT_EQ(snap.at("aborts"), 5u);
+  EXPECT_EQ(snap.at("latency_us_count"), 100u);
+  EXPECT_GE(snap.at("latency_us_p50"), 50u);
+  EXPECT_GE(snap.at("latency_us_p95"), 95u);
+  EXPECT_GE(snap.at("latency_us_max"), 100u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add(9);
+  registry.GetHistogram("h").Record(42);
+  registry.Reset();
+  EXPECT_EQ(registry.SnapshotCounters().at("c"), 0u);
+  EXPECT_EQ(registry.GetHistogram("h").Count(), 0u);
+}
+
+}  // namespace
+}  // namespace hdd

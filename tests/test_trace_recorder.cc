@@ -1,0 +1,200 @@
+// Tests for the per-thread lock-free trace recorder (src/obs/trace.h):
+// basic span/instant capture, ring wraparound accounting, drains racing
+// live emitters across threads (the seqlock path — this test is part of
+// the TSan suite's tier-1 sweep), and the compiled-out configuration.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hdd {
+namespace {
+
+// Every test leaves the recorder disabled and empty for the next one
+// (the recorder is process-wide static state).
+class TraceRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Disable();
+    TraceRecorder::Reset();
+  }
+  void TearDown() override {
+    TraceRecorder::Disable();
+    TraceRecorder::Reset();
+  }
+};
+
+TEST_F(TraceRecorderTest, DisabledEmitsNothing) {
+  ASSERT_FALSE(TraceRecorder::enabled());
+  {
+    HDD_TRACE_SPAN("test", "ignored");
+    HDD_TRACE_INSTANT("test", "also_ignored");
+  }
+  EXPECT_TRUE(TraceRecorder::Drain().empty());
+  EXPECT_EQ(TraceRecorder::dropped(), 0u);
+}
+
+TEST_F(TraceRecorderTest, SpanAndInstantRoundTrip) {
+  TraceRecorder::Enable();
+  {
+    HDD_TRACE_SPAN("cat", "span");
+    HDD_TRACE_INSTANT("cat", "instant");
+  }
+  TraceRecorder::Disable();
+  const std::vector<TraceEvent> events = TraceRecorder::Drain();
+#if HDD_TRACE_ENABLED
+  ASSERT_EQ(events.size(), 2u);
+  // Drain sorts by start_ns; the instant fired inside the span.
+  EXPECT_STREQ(events[0].name, "span");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_STREQ(events[1].name, "instant");
+  EXPECT_EQ(events[1].phase, 'i');
+  EXPECT_EQ(events[1].dur_ns, 0u);
+  EXPECT_GE(events[1].start_ns, events[0].start_ns);
+  EXPECT_LE(events[1].start_ns, events[0].start_ns + events[0].dur_ns);
+  EXPECT_GT(events[0].tid, 0u);
+#else
+  // cmake -DHDD_TRACE=OFF: the macros expand to nothing.
+  EXPECT_TRUE(events.empty());
+#endif
+}
+
+TEST_F(TraceRecorderTest, SampledSpanRecordsEveryNth) {
+  TraceRecorder::Enable();
+  for (int i = 0; i < 64; ++i) {
+    HDD_TRACE_SPAN_SAMPLED("cat", "sampled", 16);
+  }
+  TraceRecorder::Disable();
+#if HDD_TRACE_ENABLED
+  EXPECT_EQ(TraceRecorder::Drain().size(), 64u / 16u);
+#else
+  EXPECT_TRUE(TraceRecorder::Drain().empty());
+#endif
+}
+
+TEST_F(TraceRecorderTest, WraparoundKeepsNewestAndCountsDropped) {
+  // Capacity only applies to rings created after the call, so emit from
+  // a fresh thread (this test binary's main thread already owns a
+  // default-capacity ring from earlier tests).
+  TraceRecorder::SetBufferCapacity(64);
+  TraceRecorder::Enable();
+  constexpr std::uint64_t kEmitted = 1000;
+  std::thread([] {
+    for (std::uint64_t i = 0; i < kEmitted; ++i) {
+      TraceRecorder::Emit("cat", "e", /*start_ns=*/i, /*dur_ns=*/1, 'X');
+    }
+  }).join();
+  TraceRecorder::Disable();
+  TraceRecorder::SetBufferCapacity(2048);  // restore the default
+  // Direct Emit() calls bypass the compile-time macro gate, so this
+  // holds in -DHDD_TRACE=OFF builds too.
+  const std::vector<TraceEvent> events = TraceRecorder::Drain();
+  ASSERT_EQ(events.size(), 64u);
+  EXPECT_EQ(TraceRecorder::dropped(), kEmitted - 64u);
+  // The ring overwrites oldest-first: the survivors are exactly the last
+  // 64 emits, still in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].start_ns, kEmitted - 64u + i);
+  }
+}
+
+TEST_F(TraceRecorderTest, CrossThreadDrainSeesEveryThread) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  TraceRecorder::Enable();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        HDD_TRACE_SPAN("mt", "work");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  TraceRecorder::Disable();
+  const std::vector<TraceEvent> events = TraceRecorder::Drain();
+#if HDD_TRACE_ENABLED
+  // Exited threads' rings survive until Reset; nothing wrapped.
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+#else
+  EXPECT_TRUE(events.empty());
+#endif
+}
+
+TEST_F(TraceRecorderTest, DrainRacingLiveEmittersIsSafe) {
+  // The seqlock contract: a drain concurrent with emitters returns only
+  // intact slots and never blocks them. TSan runs this test too (the
+  // stress label'd suite builds it); here we just assert no crash and
+  // that drained events are well-formed.
+  constexpr int kThreads = 4;
+  TraceRecorder::SetBufferCapacity(64);  // force constant wrapping
+  TraceRecorder::Enable();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  emitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        HDD_TRACE_SPAN("race", "spin");
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    for (const TraceEvent& e : TraceRecorder::Drain()) {
+      ASSERT_NE(e.name, nullptr);
+      ASSERT_STREQ(e.category, "race");
+      ASSERT_EQ(e.phase, 'X');
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : emitters) t.join();
+  TraceRecorder::Disable();
+  TraceRecorder::SetBufferCapacity(2048);  // restore the default
+}
+
+TEST_F(TraceRecorderTest, ChromeTraceExportIsWellFormed) {
+  TraceRecorder::Enable();
+  TraceRecorder::Emit("cat", "complete", 1000, 500, 'X');
+  TraceRecorder::Emit("cat", "point", 2000, 0, 'i');
+  TraceRecorder::Disable();
+  std::ostringstream os;
+  TraceRecorder::WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+#if HDD_TRACE_ENABLED
+  EXPECT_NE(json.find("\"complete\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+#endif
+}
+
+TEST_F(TraceRecorderTest, ResetClearsEventsAndDropCounter) {
+  TraceRecorder::SetBufferCapacity(64);
+  TraceRecorder::Enable();
+  std::thread([] {  // fresh thread so the 64-slot ring applies and wraps
+    for (int i = 0; i < 200; ++i) TraceRecorder::Emit("cat", "e", i, 1, 'X');
+  }).join();
+  TraceRecorder::Disable();
+  TraceRecorder::SetBufferCapacity(2048);  // restore the default
+  EXPECT_GT(TraceRecorder::dropped(), 0u);  // direct Emit: holds in OFF too
+  TraceRecorder::Reset();
+  EXPECT_TRUE(TraceRecorder::Drain().empty());
+  EXPECT_EQ(TraceRecorder::dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace hdd
