@@ -139,7 +139,14 @@ void Run(int argc, char** argv) {
   RunReport report("wal");
   const double cal_before = CalibrationSpinsPerSec();
   std::string json;
-  for (int threads : EnvListOr("HDD_BENCH_THREADS", {1, 4})) {
+  // Thread counts for this bench specifically: HDD_BENCH_WAL_THREADS
+  // overrides the shared HDD_BENCH_THREADS knob. Group commit only
+  // batches when several workers reach Commit concurrently — CI smoke
+  // runs that force t1 via HDD_BENCH_THREADS would otherwise pin every
+  // group-commit row at mean_batch = 1 (one commit per leader round, see
+  // EXPERIMENTS.md) and measure nothing this bench is about.
+  for (int threads : EnvListOr("HDD_BENCH_WAL_THREADS",
+                               EnvListOr("HDD_BENCH_THREADS", {1, 4}))) {
     for (const Mode& mode : kModes) {
       const RunResult r =
           MeasureMode(mode, workload, &*schema, threads, scratch);

@@ -2,7 +2,7 @@
 # Full verification, in escalating tiers:
 #   1. Release build + tier-1 tests (the fast gate), then the full suite.
 #   2. Bench smoke + regression gate: the report-emitting benches run
-#      with small iteration counts, their reports merge into BENCH_5.json
+#      with small iteration counts, their reports merge into BENCH_6.json
 #      at the repo root, and ci/compare_bench.py fails the stage if any
 #      throughput metric regressed >15% vs the committed baseline (the
 #      first run commits the baseline; the comparator self-tests first).
@@ -55,8 +55,11 @@ if want bench; then
     HDD_BENCH_THREADS="${HDD_BENCH_THREADS:-1}" \
     HDD_BENCH_REPS="${HDD_BENCH_REPS:-7}" \
     ./build/bench/bench_scaling --report="$REPORTS/scaling.json"
+  # bench_wal keeps its own thread list: group commit only batches with
+  # overlapping committers, so a t1-only run would pin mean_batch at 1
+  # and measure nothing (see EXPERIMENTS.md).
   HDD_BENCH_TXNS="${HDD_BENCH_TXNS_WAL:-2000}" \
-    HDD_BENCH_THREADS="${HDD_BENCH_THREADS:-1}" \
+    HDD_BENCH_WAL_THREADS="${HDD_BENCH_WAL_THREADS:-1,4}" \
     HDD_BENCH_REPS="${HDD_BENCH_REPS:-3}" \
     ./build/bench/bench_wal --report="$REPORTS/wal.json"
   HDD_BENCH_TXNS="${HDD_BENCH_TXNS_OBS:-10000}" \
@@ -65,7 +68,7 @@ if want bench; then
   python3 ci/compare_bench.py merge "$REPORTS/current.json" \
     "$REPORTS"/scaling.json "$REPORTS"/wal.json "$REPORTS"/obs_overhead.json
   python3 ci/compare_bench.py compare \
-    --baseline BENCH_5.json --current "$REPORTS/current.json" \
+    --baseline BENCH_6.json --current "$REPORTS/current.json" \
     --threshold "${HDD_BENCH_THRESHOLD:-0.15}"
 fi
 
@@ -103,7 +106,8 @@ if want asan && [[ "${HDD_SKIP_ASAN:-0}" != 1 ]]; then
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     HDD_SIM_SEEDS="$SIM_SEEDS_ASAN" HDD_SIM_CANARY_SEEDS=50 \
     HDD_SIM_CRASH_SEEDS=200 HDD_SIM_CRASH_PERCOMMIT_SEEDS=50 \
-    HDD_SIM_WAL_CANARY_SEEDS=50 \
+    HDD_SIM_WAL_CANARY_SEEDS=50 HDD_SIM_EPOCH_SEEDS=200 \
+    HDD_SIM_EPOCH_CANARY_SEEDS=50 HDD_SIM_EPOCH_CRASH_SEEDS=100 \
     ctest --output-on-failure -j "$JOBS")
 fi
 
@@ -118,7 +122,8 @@ if want tsan && [[ "${HDD_SKIP_TSAN:-0}" != 1 ]]; then
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
     HDD_SIM_SEEDS="$SIM_SEEDS_TSAN" HDD_SIM_CANARY_SEEDS=50 \
     HDD_SIM_CRASH_SEEDS=200 HDD_SIM_CRASH_PERCOMMIT_SEEDS=50 \
-    HDD_SIM_WAL_CANARY_SEEDS=50 \
+    HDD_SIM_WAL_CANARY_SEEDS=50 HDD_SIM_EPOCH_SEEDS=100 \
+    HDD_SIM_EPOCH_CANARY_SEEDS=50 HDD_SIM_EPOCH_CRASH_SEEDS=100 \
     ctest --output-on-failure -j "$JOBS")
 fi
 

@@ -4,7 +4,7 @@
 Consumes the run reports emitted by the ``--report=`` flag of
 bench_scaling / bench_wal / bench_obs_overhead (schema_version 1, see
 src/obs/report.h) and diffs them against the committed baseline
-(BENCH_5.json at the repo root).
+(BENCH_6.json at the repo root).
 
 Commands:
   merge OUT IN [IN...]          combine per-bench reports into one file

@@ -2,6 +2,7 @@
 #define HDD_CC_CONTROLLER_H_
 
 #include <string_view>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/metrics.h"
@@ -56,6 +57,50 @@ class ConcurrencyController {
 
   virtual Status Commit(const TxnDescriptor& txn) = 0;
   virtual Status Abort(const TxnDescriptor& txn) = 0;
+
+  /// --- Epoch/batch execution (optional) -------------------------------
+  ///
+  /// The epoch executor admits transactions in batches. Controllers that
+  /// can amortize per-transaction work across a batch (HDD shares one
+  /// activity-link bound evaluation per (class, epoch)) override these;
+  /// the defaults make every controller usable under the epoch executor
+  /// by degrading to the per-transaction path.
+  ///
+  /// Protocol: BeginEpoch -> BeginBatch (once) -> run/commit/abort every
+  /// transaction of the batch -> EndEpoch. Epochs do not overlap: the
+  /// caller must not call BeginEpoch again before EndEpoch, and must not
+  /// mix per-txn Begin of update transactions with an open epoch.
+
+  /// Opens an epoch and returns its handle. The default keeps the
+  /// controller epoch-oblivious (id 0, anchor = current clock).
+  virtual Result<EpochHandle> BeginEpoch() {
+    return EpochHandle{0, clock_->Now()};
+  }
+
+  /// Admits a batch of transactions into the epoch, in order. On error
+  /// any transaction already begun by this call has been aborted, so the
+  /// caller may simply retry. The default loops over Begin.
+  virtual Result<std::vector<TxnDescriptor>> BeginBatch(
+      const EpochHandle& epoch, const std::vector<TxnOptions>& batch) {
+    (void)epoch;
+    std::vector<TxnDescriptor> out;
+    out.reserve(batch.size());
+    for (const TxnOptions& options : batch) {
+      Result<TxnDescriptor> txn = Begin(options);
+      if (!txn.ok()) {
+        for (const TxnDescriptor& begun : out) (void)Abort(begun);
+        return txn.status();
+      }
+      out.push_back(*txn);
+    }
+    return out;
+  }
+
+  /// Closes the epoch. Called after every batch transaction finished.
+  virtual Status EndEpoch(const EpochHandle& epoch) {
+    (void)epoch;
+    return Status::OK();
+  }
 
   Database& db() { return *db_; }
   LogicalClock& clock() { return *clock_; }

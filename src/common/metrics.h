@@ -42,6 +42,15 @@ struct CcMetrics {
   Counter& versions_created = registry.GetCounter("versions_created");
   Counter& version_reads = registry.GetCounter("version_reads");
 
+  // Epoch/batch execution (HDD): closed epochs, and how often a
+  // Protocol A bound was served from the per-epoch shared cache vs
+  // evaluated on demand.
+  Counter& epochs = registry.GetCounter("epochs");
+  Counter& epoch_shared_bound_hits =
+      registry.GetCounter("epoch_shared_bound_hits");
+  Counter& epoch_shared_bound_misses =
+      registry.GetCounter("epoch_shared_bound_misses");
+
   void Reset() { registry.Reset(); }
 
   /// Flattens into name -> value, for table printers and tests.

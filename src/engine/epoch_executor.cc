@@ -1,0 +1,501 @@
+#include "engine/epoch_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/sim_hook.h"
+#include "obs/trace.h"
+#include "sim/sim_scheduler.h"
+
+// Yield-point convention: same as src/hdd (see hdd_controller.cc) — the
+// executor's own yields sit OUTSIDE any lock and are non-interruptible
+// (injected SimFaults must fire only inside a transaction attempt, where
+// the node/admission handlers own the recovery); every wait on the shared
+// state condition variable goes through SimWait/SimNotifyAll.
+
+namespace hdd {
+
+namespace {
+
+bool SameGranule(GranuleRef a, GranuleRef b) {
+  return a.segment == b.segment && a.index == b.index;
+}
+
+bool Intersects(const std::vector<GranuleRef>& a,
+                const std::vector<GranuleRef>& b) {
+  for (GranuleRef x : a) {
+    for (GranuleRef y : b) {
+      if (SameGranule(x, y)) return true;
+    }
+  }
+  return false;
+}
+
+/// One program's lifetime across epochs (re-admitted until it commits,
+/// fails its budget, or is crash-abandoned). Owned by the shared state's
+/// slot vector; between admissions only the coordinating worker touches
+/// it, during execution only the executing worker does.
+struct Slot {
+  TxnProgram program;
+  int attempts = 0;  // aborted attempts consumed
+  std::chrono::steady_clock::time_point t0;
+};
+
+enum class Outcome { kCommitted, kRetry, kFailed, kCrashed };
+
+}  // namespace
+
+EpochGraph BuildEpochGraph(const std::vector<const TxnProgram*>& batch,
+                           bool skip_first_edge) {
+  const int n = static_cast<int>(batch.size());
+  EpochGraph graph;
+  graph.successors.resize(static_cast<std::size_t>(n));
+  graph.indegree.assign(static_cast<std::size_t>(n), 0);
+  // Only same-class pairs can touch the same own segment (classes own
+  // disjoint segments; Restructure during an epoch is unsupported), so
+  // bucket the updaters by class up front: the pair scan is then
+  // quadratic in the largest same-class sub-batch, not in the epoch.
+  // Pairs are still visited in exactly the (i, j) lexicographic order of
+  // the naive scan, which pins down which edge the canary drops.
+  std::vector<std::vector<int>> by_class;
+  std::vector<int> pos(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const TxnProgram& p = *batch[static_cast<std::size_t>(i)];
+    if (p.options.read_only) continue;
+    const auto cls = static_cast<std::size_t>(p.options.txn_class);
+    if (by_class.size() <= cls) by_class.resize(cls + 1);
+    pos[static_cast<std::size_t>(i)] = static_cast<int>(by_class[cls].size());
+    by_class[cls].push_back(i);
+  }
+  bool skipped = false;
+  for (int i = 0; i < n; ++i) {
+    if (pos[static_cast<std::size_t>(i)] < 0) continue;
+    const TxnProgram& a = *batch[static_cast<std::size_t>(i)];
+    const std::vector<int>& peers =
+        by_class[static_cast<std::size_t>(a.options.txn_class)];
+    for (std::size_t k =
+             static_cast<std::size_t>(pos[static_cast<std::size_t>(i)]) + 1;
+         k < peers.size(); ++k) {
+      const int j = peers[k];
+      const TxnProgram& b = *batch[static_cast<std::size_t>(j)];
+      const bool conflict = Intersects(a.declared_writes, b.declared_writes) ||
+                            Intersects(a.declared_writes, b.declared_reads) ||
+                            Intersects(a.declared_reads, b.declared_writes);
+      if (!conflict) continue;
+      if (skip_first_edge && !skipped) {
+        // Mutation canary: the first conflicting pair of the epoch runs
+        // unordered.
+        skipped = true;
+        continue;
+      }
+      graph.successors[static_cast<std::size_t>(i)].push_back(j);
+      ++graph.indegree[static_cast<std::size_t>(j)];
+      ++graph.num_edges;
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+/// All cross-worker coordination state; `mu` is never held across a yield
+/// point, a controller call, or anything else that can block.
+struct EpochState {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Program slots, append-only under `mu`; capacity is reserved for the
+  // whole run up front (one slot per stream program, retries reuse
+  // theirs), so the backing array never reallocates and workers may
+  // index it without the lock — push_back only ever writes a fresh
+  // element past everything a concurrent reader can name.
+  std::vector<std::unique_ptr<Slot>> slots;
+  std::vector<int> retry;  // slot indices awaiting the next epoch
+  std::uint64_t next_stream = 0;
+
+  // Current epoch (valid while epoch_open).
+  EpochGraph graph;
+  std::vector<int> node_slot;
+  std::vector<TxnDescriptor> node_txn;
+  std::deque<int> ready;
+  std::size_t nodes_done = 0;
+  std::size_t nodes_total = 0;
+
+  bool epoch_open = false;  // nodes of an epoch are executing
+  bool admitting = false;   // one worker is building the next epoch
+  bool finished = false;
+
+  // Controller epoch handle; touched only by the worker holding
+  // `admitting` (epochs never overlap, so there is exactly one).
+  EpochHandle handle;
+  bool handle_open = false;
+
+  std::uint64_t epochs = 0;
+};
+
+}  // namespace
+
+ExecutorStats RunWorkloadEpochs(ConcurrencyController& cc,
+                                const Workload& workload,
+                                std::uint64_t total_txns,
+                                const EpochExecutorOptions& options) {
+  EpochState state;
+  state.slots.reserve(total_txns);  // see EpochState::slots
+  std::atomic<std::uint64_t> committed{0};
+  std::atomic<std::uint64_t> aborted{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> crashed{0};
+  std::atomic<std::uint64_t> done{0};
+  const std::uint64_t epoch_size = std::max<std::uint64_t>(1, options.epoch_size);
+
+  std::vector<LatencyReservoir> latencies;
+  latencies.reserve(static_cast<std::size_t>(options.num_threads));
+  for (int i = 0; i < options.num_threads; ++i) {
+    latencies.emplace_back(/*capacity=*/4096,
+                           options.seed * 6271 + static_cast<std::uint64_t>(i));
+  }
+
+  const auto finish_program = [&](int slot_idx, Outcome outcome,
+                                  int worker_id) {
+    Slot* slot = state.slots[static_cast<std::size_t>(slot_idx)].get();
+    switch (outcome) {
+      case Outcome::kCommitted: {
+        committed.fetch_add(1);
+        const auto t1 = std::chrono::steady_clock::now();
+        latencies[static_cast<std::size_t>(worker_id)].Add(
+            std::chrono::duration<double, std::micro>(t1 - slot->t0).count());
+        break;
+      }
+      case Outcome::kFailed:
+        failed.fetch_add(1);
+        break;
+      case Outcome::kCrashed:
+        crashed.fetch_add(1);
+        break;
+      case Outcome::kRetry:
+        return;  // not terminal; no completion callback
+    }
+    if (options.on_txn_done) options.on_txn_done(done.fetch_add(1) + 1);
+  };
+
+  // Executes one ready node to completion (the attempt/fault boundary,
+  // mirroring the per-txn executor's RunOne). Returns the outcome; the
+  // caller owns the graph bookkeeping.
+  const auto run_node = [&](Slot* slot, const TxnDescriptor& txn) -> Outcome {
+    HDD_TRACE_SPAN("exec", "epoch_txn");
+    if (options.sim != nullptr) options.sim->OnTxnAttemptStart();
+    Status status;
+    bool faulted = false;
+    bool fault_crash = false;
+    try {
+      status = slot->program.body(cc, txn);
+      if (status.ok()) {
+        status = cc.Commit(txn);
+        if (status.ok()) return Outcome::kCommitted;
+        if (status.IsRetryable()) {
+          // Commit-time validation failure: the controller already
+          // discarded the transaction; re-admit next epoch.
+          ++slot->attempts;
+          aborted.fetch_add(1);
+          return slot->attempts > options.max_retries ? Outcome::kFailed
+                                                      : Outcome::kRetry;
+        }
+        return Outcome::kFailed;
+      }
+    } catch (const SimFault& fault) {
+      faulted = true;
+      fault_crash = fault.kind == SimFaultKind::kCrash;
+    }
+    // Abort paths are non-interruptible, so this never throws SimFault;
+    // SimHalt still propagates to the worker loop via RAII.
+    (void)cc.Abort(txn);
+    if (faulted && fault_crash) return Outcome::kCrashed;
+    if (faulted || status.IsRetryable() ||
+        status.code() == StatusCode::kBusy) {
+      ++slot->attempts;
+      aborted.fetch_add(1);
+      return slot->attempts > options.max_retries ? Outcome::kFailed
+                                                  : Outcome::kRetry;
+    }
+    return Outcome::kFailed;
+  };
+
+  // Admits the next epoch. Called by the worker holding `admitting`, with
+  // no locks held. Gathers retries plus fresh stream programs, runs the
+  // controller admission (retrying injected faults), builds the graph and
+  // publishes the ready set. Sets `finished` when the work ran dry.
+  const auto admit_next = [&](int worker_id, Rng& rng) {
+    if (state.handle_open) {
+      // All nodes of the previous epoch completed (the barrier): close it
+      // before the next anchor is ticked.
+      (void)cc.EndEpoch(state.handle);
+      state.handle_open = false;
+    }
+    for (;;) {
+      std::vector<int> batch_slots;
+      {
+        std::unique_lock<std::mutex> lock(state.mu);
+        batch_slots = std::move(state.retry);
+        state.retry.clear();
+        while (batch_slots.size() < epoch_size &&
+               state.next_stream < total_txns) {
+          const std::uint64_t index = state.next_stream++;
+          auto slot = std::make_unique<Slot>();
+          slot->program = workload.Make(index, rng);
+          slot->t0 = std::chrono::steady_clock::now();
+          state.slots.push_back(std::move(slot));
+          batch_slots.push_back(static_cast<int>(state.slots.size()) - 1);
+        }
+        if (batch_slots.empty()) {
+          state.admitting = false;
+          state.finished = true;
+          lock.unlock();
+          SimNotifyAll(state.cv, &state.cv);
+          return;
+        }
+      }
+      // Controller admission, outside the state lock. An injected fault
+      // unwinding out of BeginBatch left no transaction behind (BeginBatch
+      // rolls back); kAbort retries the admission (budgeted against the
+      // batch head), kCrash abandons the head — mirroring the per-txn
+      // executor's "fault before the transaction existed".
+      std::vector<TxnOptions> batch_options;
+      batch_options.reserve(batch_slots.size());
+      for (int s : batch_slots) {
+        batch_options.push_back(
+            state.slots[static_cast<std::size_t>(s)]->program.options);
+      }
+      if (options.sim != nullptr) options.sim->OnTxnAttemptStart();
+      Result<EpochHandle> handle = cc.BeginEpoch();
+      if (!handle.ok()) {
+        if (handle.status().code() == StatusCode::kBusy ||
+            handle.status().IsRetryable()) {
+          // Transient (e.g. a Restructure holds the epoch/restructure
+          // exclusion): charge the head's budget and retry the batch.
+          Slot* head =
+              state.slots[static_cast<std::size_t>(batch_slots.front())].get();
+          ++head->attempts;
+          aborted.fetch_add(1);
+          if (head->attempts > options.max_retries) {
+            finish_program(batch_slots.front(), Outcome::kFailed, worker_id);
+            batch_slots.erase(batch_slots.begin());
+          }
+          std::lock_guard<std::mutex> lock(state.mu);
+          state.retry.insert(state.retry.end(), batch_slots.begin(),
+                             batch_slots.end());
+          continue;
+        }
+        for (int s : batch_slots) finish_program(s, Outcome::kFailed, worker_id);
+        continue;
+      }
+      Result<std::vector<TxnDescriptor>> descriptors = [&] {
+        try {
+          return cc.BeginBatch(*handle, batch_options);
+        } catch (const SimFault& fault) {
+          (void)cc.EndEpoch(*handle);
+          return Result<std::vector<TxnDescriptor>>(
+              fault.kind == SimFaultKind::kCrash
+                  ? Status::Aborted("sim crash during admission")
+                  : Status::Busy("sim fault during admission"));
+        }
+      }();
+      if (!descriptors.ok()) {
+        const StatusCode code = descriptors.status().code();
+        const bool head_crashed =
+            code == StatusCode::kAborted &&
+            descriptors.status().message() == "sim crash during admission";
+        if (head_crashed) {
+          finish_program(batch_slots.front(), Outcome::kCrashed, worker_id);
+          batch_slots.erase(batch_slots.begin());
+        } else if (code == StatusCode::kBusy ||
+                   descriptors.status().IsRetryable()) {
+          Slot* head =
+              state.slots[static_cast<std::size_t>(batch_slots.front())].get();
+          ++head->attempts;
+          aborted.fetch_add(1);
+          if (head->attempts > options.max_retries) {
+            finish_program(batch_slots.front(), Outcome::kFailed, worker_id);
+            batch_slots.erase(batch_slots.begin());
+          }
+        } else {
+          (void)cc.EndEpoch(*handle);
+          for (int s : batch_slots) {
+            finish_program(s, Outcome::kFailed, worker_id);
+          }
+          continue;
+        }
+        (void)cc.EndEpoch(*handle);
+        // Survivors go back to the retry list and the next round
+        // re-gathers (possibly topping up from the stream).
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.retry.insert(state.retry.end(), batch_slots.begin(),
+                           batch_slots.end());
+        continue;
+      }
+      std::vector<const TxnProgram*> programs;
+      programs.reserve(batch_slots.size());
+      for (int s : batch_slots) {
+        programs.push_back(&state.slots[static_cast<std::size_t>(s)]->program);
+      }
+      EpochGraph graph =
+          BuildEpochGraph(programs, options.mutation_skip_dependency_edge);
+      HDD_TRACE_INSTANT("exec", "epoch_publish");
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.handle = *handle;
+        state.handle_open = true;
+        state.graph = std::move(graph);
+        state.node_slot = std::move(batch_slots);
+        state.node_txn = std::move(*descriptors);
+        state.ready.clear();
+        for (int i = 0; i < static_cast<int>(state.node_slot.size()); ++i) {
+          if (state.graph.indegree[static_cast<std::size_t>(i)] == 0) {
+            state.ready.push_back(i);
+          }
+        }
+        state.nodes_done = 0;
+        state.nodes_total = state.node_slot.size();
+        state.epoch_open = true;
+        state.admitting = false;
+        ++state.epochs;
+      }
+      SimNotifyAll(state.cv, &state.cv);
+      return;
+    }
+  };
+
+  if (options.sim != nullptr) options.sim->ExpectTasks(options.num_threads);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto worker_body = [&](int worker_id, Rng& rng) {
+    for (;;) {
+      SimYield("epoch/next", /*interruptible=*/false);
+      std::unique_lock<std::mutex> lock(state.mu);
+      if (state.finished) return;
+      if (!state.ready.empty()) {
+        // Claim a fair share of the ready set in one lock round: the
+        // graph already proved these nodes independent, so per-node queue
+        // round-trips (lock, pop, unlock ... lock, release, notify) are
+        // pure coordination overhead. Under simulation claim exactly one
+        // node — the model-checked schedule keeps its per-node
+        // granularity.
+        std::size_t want = 1;
+        if (options.sim == nullptr) {
+          want = std::max<std::size_t>(
+              1, state.ready.size() /
+                     static_cast<std::size_t>(options.num_threads));
+        }
+        struct Claim {
+          int node;
+          int slot_idx;
+          TxnDescriptor txn;
+          Outcome outcome;
+        };
+        std::vector<Claim> claims;
+        claims.reserve(want);
+        while (claims.size() < want && !state.ready.empty()) {
+          const int node = state.ready.front();
+          state.ready.pop_front();
+          claims.push_back({node,
+                            state.node_slot[static_cast<std::size_t>(node)],
+                            state.node_txn[static_cast<std::size_t>(node)],
+                            Outcome::kRetry});
+        }
+        lock.unlock();
+        for (Claim& c : claims) {
+          Slot* slot = state.slots[static_cast<std::size_t>(c.slot_idx)].get();
+          c.outcome = run_node(slot, c.txn);
+        }
+        // Graph bookkeeping AFTER the commit/abort fully finished: only
+        // now may successors (which the controller no longer orders
+        // against us) start.
+        bool epoch_complete = false;
+        bool ready_grew = false;
+        {
+          std::lock_guard<std::mutex> guard(state.mu);
+          for (const Claim& c : claims) {
+            for (int succ :
+                 state.graph.successors[static_cast<std::size_t>(c.node)]) {
+              if (--state.graph.indegree[static_cast<std::size_t>(succ)] ==
+                  0) {
+                state.ready.push_back(succ);
+                ready_grew = true;
+              }
+            }
+            if (c.outcome == Outcome::kRetry) state.retry.push_back(c.slot_idx);
+            ++state.nodes_done;
+          }
+          if (state.nodes_done == state.nodes_total) {
+            state.epoch_open = false;
+            state.admitting = true;  // this worker coordinates the next epoch
+            epoch_complete = true;
+          }
+        }
+        // Waiters only care about new ready nodes (the epoch handoff is
+        // performed by this worker directly, below). Under simulation
+        // always notify, as before — wakeup delivery is schedule state.
+        if (options.sim != nullptr || ready_grew || epoch_complete) {
+          SimNotifyAll(state.cv, &state.cv);
+        }
+        for (const Claim& c : claims) {
+          finish_program(c.slot_idx, c.outcome, worker_id);
+        }
+        if (epoch_complete) admit_next(worker_id, rng);
+        continue;
+      }
+      if (!state.epoch_open && !state.admitting) {
+        state.admitting = true;
+        lock.unlock();
+        admit_next(worker_id, rng);
+        continue;
+      }
+      // Epoch in flight with no ready node, or another worker admitting.
+      SimWait(state.cv, lock, &state.cv);
+    }
+  };
+  auto worker = [&](int worker_id) {
+    Rng rng(options.seed * 7919 + static_cast<std::uint64_t>(worker_id));
+    if (options.sim == nullptr) {
+      worker_body(worker_id, rng);
+      return;
+    }
+    try {
+      options.sim->RegisterCurrentTask(worker_id);
+      worker_body(worker_id, rng);
+    } catch (const SimHalt&) {
+      // Run halted (deadlock finding / budget); stack unwound via RAII.
+    }
+    options.sim->UnregisterCurrentTask();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options.num_threads));
+  for (int i = 0; i < options.num_threads; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  ExecutorStats stats;
+  stats.committed = committed.load();
+  stats.aborted_attempts = aborted.load();
+  stats.failed = failed.load();
+  stats.crashed = crashed.load();
+  stats.epochs = state.epochs;
+  stats.seconds = std::chrono::duration<double>(end - start).count();
+
+  const LatencyDigest digest = MergeReservoirs(latencies);
+  stats.latency_p50_us = digest.p50_us;
+  stats.latency_p95_us = digest.p95_us;
+  stats.latency_p99_us = digest.p99_us;
+  stats.latency_max_us = digest.max_us;
+  stats.cc = cc.metrics().ToMap();
+  if (options.wal_metrics != nullptr) stats.wal = options.wal_metrics->ToMap();
+  return stats;
+}
+
+}  // namespace hdd

@@ -96,6 +96,8 @@ struct ExecutorStats {
   std::uint64_t aborted_attempts = 0;  // retries consumed by conflicts
   std::uint64_t failed = 0;            // budget exhausted / hard errors
   std::uint64_t crashed = 0;  // abandoned by an injected mid-txn crash (sim)
+  /// Epochs published by the epoch executor (0 under per-txn execution).
+  std::uint64_t epochs = 0;
   double seconds = 0.0;
 
   /// End-to-end latency (first Begin to final Commit, retries included)

@@ -80,6 +80,15 @@ TxnProgram SyntheticWorkload::Make(std::uint64_t index, Rng& rng) const {
     own_write_granules.push_back(PickGranule(rng));
   }
   program.options.txn_class = cls;
+  // Declared own-segment access sets: the epoch executor's dependency
+  // graph relies on these covering every Protocol B access the body
+  // makes (the upper reads are Protocol A and need no declaration).
+  for (std::uint32_t g : own_read_granules) {
+    program.declared_reads.push_back({cls, g});
+  }
+  for (std::uint32_t g : own_write_granules) {
+    program.declared_writes.push_back({cls, g});
+  }
   program.body = [cls, upper, own_read_granules, own_write_granules](
                      ConcurrencyController& cc,
                      const TxnDescriptor& txn) -> Status {

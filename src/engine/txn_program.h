@@ -2,6 +2,7 @@
 #define HDD_ENGINE_TXN_PROGRAM_H_
 
 #include <functional>
+#include <vector>
 
 #include "cc/controller.h"
 #include "common/rng.h"
@@ -18,6 +19,16 @@ namespace hdd {
 struct TxnProgram {
   TxnOptions options;
   std::function<Status(ConcurrencyController&, const TxnDescriptor&)> body;
+
+  /// Declared own-segment (Protocol B) access sets, used by the epoch
+  /// executor to build the intra-epoch dependency graph. Update programs
+  /// that run under the epoch executor MUST declare every own-segment
+  /// granule they read or write (the graph replaces MVTO's
+  /// younger-reader write check for epoch transactions, so an undeclared
+  /// own-segment access would be un-ordered). Cross-segment Protocol A
+  /// reads need not be declared. Read-only programs leave both empty.
+  std::vector<GranuleRef> declared_reads;
+  std::vector<GranuleRef> declared_writes;
 };
 
 /// A stream of transaction programs. `Make` must be thread-safe for

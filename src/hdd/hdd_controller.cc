@@ -25,6 +25,29 @@
 
 namespace hdd {
 
+namespace {
+
+// Per-operation runtime lookup cache. A transaction is driven by one
+// thread at a time (controller.h threading contract), so after the first
+// operation resolves the runtime through the stripe map, every later
+// operation from the driving thread can reuse the pointer with two plain
+// compares instead of a stripe mutex plus a hash probe — the dominant
+// fixed cost of a Protocol A read. The entry is cleared by the same
+// thread when it finishes the transaction (Commit/Abort extract the
+// runtime), and the global generation counter — bumped whenever any
+// controller is destroyed — invalidates entries whose controller address
+// may have been reused by a newer controller.
+std::atomic<std::uint64_t> g_txn_cache_generation{1};
+struct CachedTxnLookup {
+  const void* controller = nullptr;
+  std::uint64_t generation = 0;
+  TxnId id = 0;
+  void* runtime = nullptr;
+};
+thread_local CachedTxnLookup t_txn_lookup;
+
+}  // namespace
+
 Timestamp HddController::ShardTableSource::OldestActiveAt(ClassId c,
                                                           Timestamp m) const {
   SimYield("hdd/table_query");
@@ -58,7 +81,12 @@ HddController::HddController(Database* db, LogicalClock* clock,
   eval_ = std::make_unique<ActivityLinkEvaluator>(tst_.get(), &shard_source_);
 }
 
-HddController::~HddController() { StopWallPacer(); }
+HddController::~HddController() {
+  StopWallPacer();
+  // Invalidate every thread's runtime-lookup cache entry that points into
+  // this controller before the address can be reused (see t_txn_lookup).
+  g_txn_cache_generation.fetch_add(1, std::memory_order_release);
+}
 
 void HddController::StartWallPacer(std::chrono::milliseconds interval) {
   StopWallPacer();
@@ -180,6 +208,213 @@ Result<TxnDescriptor> HddController::Begin(const TxnOptions& options) {
   }
 }
 
+Result<EpochHandle> HddController::BeginEpoch() {
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  auto ctx = std::make_shared<EpochContext>();
+  ctx->id = next_epoch_id_.fetch_add(1);
+  ctx->num_classes = num_classes_;
+  ctx->bounds = std::vector<std::atomic<Timestamp>>(
+      static_cast<std::size_t>(num_classes_) *
+      static_cast<std::size_t>(num_classes_));
+  // kTimestampInfinity marks "not yet evaluated": a real bound satisfies
+  // A_i^j(m) <= m, so it can never collide with the sentinel.
+  for (std::atomic<Timestamp>& slot : ctx->bounds) {
+    slot.store(kTimestampInfinity, std::memory_order_relaxed);
+  }
+  // Tick the anchor BEFORE any batch transaction begins: every batch
+  // I(t) then exceeds m_e, so a shared bound A_i^j(m_e) <= m_e is below
+  // every reader's initiation time — what the oracle's bound replay
+  // demands of update-transaction reads.
+  ctx->anchor = clock_->Tick();
+  {
+    std::lock_guard<std::mutex> eg(epoch_mu_);
+    // Epoch transactions bypass the per-op structure gate, so an epoch
+    // may not open while the structure is changing. Both sides of the
+    // exclusion (this check and Restructure's current_epoch_ check)
+    // decide under epoch_mu_, so exactly one of a racing pair proceeds.
+    if (restructuring_) {
+      return Status::Busy("restructure in progress; cannot open an epoch");
+    }
+    current_epoch_ = ctx;
+  }
+  HDD_TRACE_INSTANT("hdd", "epoch_begin");
+  return EpochHandle{ctx->id, ctx->anchor};
+}
+
+Result<std::vector<TxnDescriptor>> HddController::BeginBatch(
+    const EpochHandle& epoch, const std::vector<TxnOptions>& batch) {
+  // Interruptible only here, before any effect: an injected fault finds
+  // nothing to undo and the epoch executor simply retries the admission.
+  SimYield("hdd/begin_epoch");
+  HDD_TRACE_SPAN("hdd", "begin_batch");
+  std::shared_ptr<EpochContext> ctx;
+  {
+    std::lock_guard<std::mutex> eg(epoch_mu_);
+    ctx = current_epoch_;
+  }
+  if (ctx == nullptr || ctx->id != epoch.id) {
+    return Status::FailedPrecondition("epoch is not open");
+  }
+  // Validate every declared class before the first effect.
+  {
+    std::shared_lock<std::shared_mutex> gate(struct_mu_);
+    for (const TxnOptions& options : batch) {
+      if (!options.read_only &&
+          (options.txn_class < 0 || options.txn_class >= num_classes_)) {
+        return Status::InvalidArgument(
+            "HDD update transactions must declare their class");
+      }
+    }
+  }
+  std::vector<TxnDescriptor> out(batch.size());
+  // Read-only admissions ride the per-txn path (wall pinning and host
+  // resolution are per-transaction anyway). Roll back on any failure —
+  // including an injected fault unwinding out of Begin — so the caller
+  // can retry the whole admission without leaking active transactions.
+  std::vector<std::size_t> ro_done;
+  const auto rollback = [&] {
+    for (std::size_t i : ro_done) (void)Abort(out[i]);
+  };
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!batch[i].read_only) continue;
+    try {
+      Result<TxnDescriptor> ro = Begin(batch[i]);
+      if (!ro.ok()) {
+        rollback();
+        return ro.status();
+      }
+      out[i] = *ro;
+      ro_done.push_back(i);
+    } catch (...) {
+      rollback();
+      throw;
+    }
+  }
+  // Bulk-admit the update transactions class by class: ONE shard critical
+  // section per (class, epoch) covers every activity-table OnBegin of the
+  // class's sub-batch — the per-txn path pays one latch round-trip per
+  // transaction. Batch order is preserved within a class, so initiation
+  // timestamps are consistent with the epoch executor's dependency-graph
+  // direction (edges point from earlier to later batch index).
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(num_classes_));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!batch[i].read_only) {
+      by_class[static_cast<std::size_t>(batch[i].txn_class)].push_back(i);
+    }
+  }
+  std::vector<std::unique_ptr<TxnRuntime>> admitted;
+  admitted.reserve(batch.size());
+  for (ClassId c = 0; c < num_classes_; ++c) {
+    const std::vector<std::size_t>& members =
+        by_class[static_cast<std::size_t>(c)];
+    if (members.empty()) continue;
+    SimYield("hdd/begin_epoch/admit", /*interruptible=*/false);
+    std::shared_ptr<ClassShard> shard = shards_[c];
+    std::unique_lock<std::mutex> shard_lock(shard->mu);
+    if (shard->draining) {
+      // A Restructure is quiescing this class. Epochs and Restructure are
+      // not supported concurrently (see header); surface a retryable
+      // status after undoing the partial admission.
+      shard_lock.unlock();
+      gate.unlock();
+      std::vector<TxnDescriptor> undo;
+      for (std::unique_ptr<TxnRuntime>& runtime : admitted) {
+        undo.push_back(runtime->descriptor);
+        TxnStripe& stripe = StripeFor(runtime->descriptor.id);
+        std::lock_guard<std::mutex> guard(stripe.mu);
+        stripe.map.emplace(runtime->descriptor.id, std::move(runtime));
+      }
+      for (const TxnDescriptor& descriptor : undo) (void)Abort(descriptor);
+      rollback();
+      return Status::Busy("class draining for restructure");
+    }
+    // Count the whole sub-batch in-flight BEFORE any of its initiation
+    // ticks (same reasoning as the per-txn Begin: the idle trim must not
+    // miss us; over-counting briefly only makes the trim more cautious).
+    active_txns_.fetch_add(static_cast<std::int64_t>(members.size()));
+    for (std::size_t i : members) {
+      auto runtime = std::make_unique<TxnRuntime>();
+      runtime->descriptor.read_only = false;
+      runtime->descriptor.txn_class = c;
+      runtime->descriptor.epoch = ctx->id;
+      runtime->epoch = ctx;
+      runtime->descriptor.init_ts = clock_->Tick();
+      shard->table.OnBegin(runtime->descriptor.init_ts);
+      runtime->descriptor.id = next_txn_id_.fetch_add(1);
+      out[i] = runtime->descriptor;
+      admitted.push_back(std::move(runtime));
+    }
+  }
+  // Register runtimes grouped per stripe: one stripe latch acquisition
+  // per stripe instead of one per transaction.
+  std::array<std::vector<std::unique_ptr<TxnRuntime>*>, kTxnStripes>
+      by_stripe;
+  for (std::unique_ptr<TxnRuntime>& runtime : admitted) {
+    by_stripe[runtime->descriptor.id % kTxnStripes].push_back(&runtime);
+  }
+  std::uint64_t updates = 0;
+  for (std::size_t s = 0; s < kTxnStripes; ++s) {
+    if (by_stripe[s].empty()) continue;
+    std::lock_guard<std::mutex> guard(txn_stripes_[s].mu);
+    for (std::unique_ptr<TxnRuntime>* runtime : by_stripe[s]) {
+      const TxnId id = (*runtime)->descriptor.id;
+      txn_stripes_[s].map.emplace(id, std::move(*runtime));
+      ++updates;
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].read_only) continue;
+    recorder_.RecordBegin(out[i].id, out[i].txn_class,
+                          /*read_only=*/false, out[i].init_ts);
+  }
+  metrics_.begins.Add(updates);
+  return out;
+}
+
+Status HddController::EndEpoch(const EpochHandle& epoch) {
+  std::lock_guard<std::mutex> eg(epoch_mu_);
+  if (current_epoch_ != nullptr && current_epoch_->id == epoch.id) {
+    current_epoch_.reset();
+    metrics_.epochs.Add(1);
+    HDD_TRACE_INSTANT("hdd", "epoch_end");
+  }
+  return Status::OK();
+}
+
+Result<Timestamp> HddController::EpochBound(EpochContext& ctx,
+                                            ClassId own_class,
+                                            ClassId target_class,
+                                            TxnRuntime* runtime) {
+  if (ctx.num_classes != num_classes_) {
+    // Straggler path: the class structure changed shape under the epoch.
+    // Evaluate uncached but still anchored at the epoch anchor — never at
+    // I(t): mixing per-txn and shared anchors inside one epoch could
+    // order two batch transactions' reads inconsistently.
+    return eval_->A(own_class, target_class, ctx.anchor);
+  }
+  std::atomic<Timestamp>& slot =
+      ctx.bounds[static_cast<std::size_t>(own_class) *
+                     static_cast<std::size_t>(ctx.num_classes) +
+                 static_cast<std::size_t>(target_class)];
+  const Timestamp cached = slot.load(std::memory_order_acquire);
+  if (cached != kTimestampInfinity) {
+    ++runtime->n_epoch_bound_hits;
+    return cached;
+  }
+  auto bound = [&] {
+    HDD_TRACE_SPAN_SAMPLED("hdd", "epoch_bound_fill", 4);
+    return eval_->A(own_class, target_class, ctx.anchor);
+  }();
+  if (!bound.ok()) return bound;
+  // Concurrent fills race benignly: I^old values at or below the clock
+  // are stable, so every evaluator publishes the identical timestamp.
+  slot.store(*bound, std::memory_order_release);
+  ++runtime->n_epoch_bound_misses;
+  return *bound;
+}
+
 Result<ClassId> HddController::ResolveHostClass(
     const std::vector<SegmentId>& scope) {
   if (scope.empty()) {
@@ -213,17 +448,29 @@ Result<ClassId> HddController::ResolveHostClass(
 
 Result<HddController::TxnRuntime*> HddController::FindTxn(
     const TxnDescriptor& txn) {
+  CachedTxnLookup& cache = t_txn_lookup;
+  if (cache.controller == this && cache.id == txn.id &&
+      cache.generation ==
+          g_txn_cache_generation.load(std::memory_order_acquire)) {
+    return static_cast<TxnRuntime*>(cache.runtime);
+  }
   TxnStripe& stripe = StripeFor(txn.id);
   std::lock_guard<std::mutex> guard(stripe.mu);
   auto it = stripe.map.find(txn.id);
   if (it == stripe.map.end()) {
     return Status::FailedPrecondition("unknown or finished transaction");
   }
+  cache = {this, g_txn_cache_generation.load(std::memory_order_acquire),
+           txn.id, it->second.get()};
   return it->second.get();
 }
 
 Result<std::unique_ptr<HddController::TxnRuntime>> HddController::ExtractTxn(
     const TxnDescriptor& txn) {
+  CachedTxnLookup& cache = t_txn_lookup;
+  if (cache.controller == this && cache.id == txn.id) {
+    cache = CachedTxnLookup{};
+  }
   TxnStripe& stripe = StripeFor(txn.id);
   std::lock_guard<std::mutex> guard(stripe.mu);
   auto it = stripe.map.find(txn.id);
@@ -235,10 +482,38 @@ Result<std::unique_ptr<HddController::TxnRuntime>> HddController::ExtractTxn(
   return runtime;
 }
 
+void HddController::FlushOpMetrics(const TxnRuntime& runtime) {
+  if (runtime.n_unregistered_reads != 0) {
+    metrics_.unregistered_reads.Add(runtime.n_unregistered_reads);
+  }
+  if (runtime.n_version_reads != 0) {
+    metrics_.version_reads.Add(runtime.n_version_reads);
+  }
+  if (runtime.n_read_timestamps != 0) {
+    metrics_.read_timestamps_written.Add(runtime.n_read_timestamps);
+  }
+  if (runtime.n_versions_created != 0) {
+    metrics_.versions_created.Add(runtime.n_versions_created);
+  }
+  if (runtime.n_epoch_bound_hits != 0) {
+    metrics_.epoch_shared_bound_hits.Add(runtime.n_epoch_bound_hits);
+  }
+  if (runtime.n_epoch_bound_misses != 0) {
+    metrics_.epoch_shared_bound_misses.Add(runtime.n_epoch_bound_misses);
+  }
+}
+
 Result<Value> HddController::Read(const TxnDescriptor& txn,
                                   GranuleRef granule) {
   HDD_RETURN_IF_ERROR(db_->Validate(granule));
-  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  // Epoch-admitted transactions (txn.epoch != 0) skip the structure gate:
+  // Restructure refuses to run while an epoch is open and BeginEpoch
+  // refuses mid-restructure (both checked under epoch_mu_), so the class
+  // structure is frozen for the epoch's whole lifetime. Per-txn
+  // transactions — including every read-only admission, which BeginBatch
+  // routes through Begin — still take it shared per operation.
+  std::shared_lock<std::shared_mutex> gate(struct_mu_, std::defer_lock);
+  if (txn.epoch == 0) gate.lock();
   HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
   if (runtime->descriptor.read_only) {
     if (runtime->hosted_below != kReadOnlyClass) {
@@ -264,7 +539,14 @@ Result<Value> HddController::ReadHigherSegment(TxnRuntime* runtime,
   // each class shard on the path briefly, one at a time; no global latch
   // and no latch on our own class.
   SimYield("hdd/read_a");
-  auto bound = [&] {
+  auto bound = [&]() -> Result<Timestamp> {
+    // Epoch-admitted transactions share one bound evaluation per
+    // (own class, target class, epoch), anchored at the epoch anchor m_e
+    // — sound for ANY m_e at or below the clock (Theorem 1), and below
+    // every batch I(t) by construction.
+    if (runtime->epoch != nullptr) {
+      return EpochBound(*runtime->epoch, own_class, target_class, runtime);
+    }
     // Several bound evaluations per transaction, each ~100ns: sampled,
     // or the span would outweigh the evaluation it measures.
     HDD_TRACE_SPAN_SAMPLED("hdd", "protocol_a_bound", 16);
@@ -285,7 +567,10 @@ Result<Value> HddController::ReadHigherSegment(TxnRuntime* runtime,
   // shard latch — this window (bound fixed, version not yet read) is
   // where racing installs would break an unsound bound.
   SimYield("hdd/read_a/serve");
-  std::shared_ptr<ClassShard> shard = shards_[target_class];
+  // No refcount traffic: the caller holds the structure gate shared, so
+  // the shard vector cannot be swapped out from under us, and this path
+  // never waits on the shard (Protocol A reads are non-blocking).
+  ClassShard* shard = shards_[target_class].get();
   std::lock_guard<std::mutex> shard_lock(shard->mu);
   Granule& g = db_->granule(granule);
   const Version* version = g.LatestCommittedBefore(served);
@@ -298,8 +583,8 @@ Result<Value> HddController::ReadHigherSegment(TxnRuntime* runtime,
          (g.VersionBefore(served) != nullptr &&
           g.VersionBefore(served)->wts == version->wts));
   // "No trace of this access needs to be registered in any form" (§4.2).
-  metrics_.unregistered_reads.Add(1);
-  metrics_.version_reads.Add(1);
+  ++runtime->n_unregistered_reads;
+  ++runtime->n_version_reads;
   recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key,
                        /*registered=*/false, served);
   return version->value;
@@ -323,15 +608,17 @@ Result<Value> HddController::ReadHosted(TxnRuntime* runtime,
   auto bound = eval_->A(host, target_class, base);
   if (!bound.ok()) return bound.status();
   SimYield("hdd/read_hosted/serve");
-  std::shared_ptr<ClassShard> shard = shards_[target_class];
+  // Same as Protocol A above: gate held shared, no waiting — a raw
+  // pointer to the shard is safe and skips two refcount updates.
+  ClassShard* shard = shards_[target_class].get();
   std::lock_guard<std::mutex> shard_lock(shard->mu);
   Granule& g = db_->granule(granule);
   const Version* version = g.LatestCommittedBefore(*bound);
   assert(version != nullptr);
   assert(g.VersionBefore(*bound) != nullptr &&
          g.VersionBefore(*bound)->wts == version->wts);
-  metrics_.unregistered_reads.Add(1);
-  metrics_.version_reads.Add(1);
+  ++runtime->n_unregistered_reads;
+  ++runtime->n_version_reads;
   recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key,
                        /*registered=*/false, *bound);
   return version->value;
@@ -350,7 +637,10 @@ Result<Value> HddController::ReadOwnSegment(
     // Re-read the descriptor every attempt: a Restructure during a wait
     // may have renumbered our class (segments move with it).
     const TxnDescriptor txn = runtime->descriptor;
-    std::shared_ptr<ClassShard> shard = shards_[txn.txn_class];
+    // Raw pointer while the gate is held (shared): the shard vector is
+    // only swapped under the exclusive gate. The wait branch below takes
+    // a keep-alive reference before releasing the gate.
+    ClassShard* shard = shards_[txn.txn_class].get();
     std::unique_lock<std::mutex> shard_lock(shard->mu);
     Granule& g = db_->granule(granule);
     Version* version = nullptr;
@@ -370,17 +660,21 @@ Result<Value> HddController::ReadOwnSegment(
       // Sleep on the shard, never on the structure gate: release the gate
       // first (so a Restructure can proceed), keep the shard latch from
       // the failed check into the wait (so the creator's notify cannot be
-      // missed), and re-enter through the gate afterwards.
-      gate.unlock();
-      SimWait(shard->cv, shard_lock, shard.get());
+      // missed), and re-enter through the gate afterwards. The keep-alive
+      // reference outlives the gate release. Epoch transactions arrive
+      // without the gate (see Read) and must not acquire it here.
+      const bool had_gate = gate.owns_lock();
+      std::shared_ptr<ClassShard> keep = shards_[txn.txn_class];
+      if (had_gate) gate.unlock();
+      SimWait(shard->cv, shard_lock, shard);
       shard_lock.unlock();
-      gate.lock();
+      if (had_gate) gate.lock();
       continue;
     }
     if (waited) metrics_.blocked_reads.Add(1);
     if (txn.init_ts > version->rts) version->rts = txn.init_ts;
-    metrics_.read_timestamps_written.Add(1);
-    metrics_.version_reads.Add(1);
+    ++runtime->n_read_timestamps;
+    ++runtime->n_version_reads;
     recorder_.RecordRead(txn.id, granule, version->order_key,
                          /*registered=*/true);
     return version->value;
@@ -423,7 +717,7 @@ Result<Value> HddController::ReadUnderWall(
     // on every attempt.
     const ClassId target_class = class_of_segment_[granule.segment];
     const Timestamp bound = wall->bound[target_class];
-    std::shared_ptr<ClassShard> shard = shards_[target_class];
+    ClassShard* shard = shards_[target_class].get();
     std::unique_lock<std::mutex> shard_lock(shard->mu);
     Granule& g = db_->granule(granule);
     Version* version = g.VersionBefore(bound);
@@ -431,17 +725,19 @@ Result<Value> HddController::ReadUnderWall(
     if (!version->committed) {
       // A below-wall version is still in flight (possible only for classes
       // the wall reaches through a descending run); its fate decides what
-      // we must read, so wait for the creator to resolve.
+      // we must read, so wait for the creator to resolve. Keep the shard
+      // alive across the gate release.
       waited = true;
+      std::shared_ptr<ClassShard> keep = shards_[target_class];
       gate.unlock();
-      SimWait(shard->cv, shard_lock, shard.get());
+      SimWait(shard->cv, shard_lock, shard);
       shard_lock.unlock();
       gate.lock();
       continue;
     }
     if (waited) metrics_.blocked_reads.Add(1);
-    metrics_.unregistered_reads.Add(1);
-    metrics_.version_reads.Add(1);
+    ++runtime->n_unregistered_reads;
+    ++runtime->n_version_reads;
     recorder_.RecordRead(runtime->descriptor.id, granule, version->order_key,
                          /*registered=*/false, bound);
     return version->value;
@@ -461,7 +757,20 @@ Result<const TimeWall*> HddController::ReleaseWallInternal(
   // Covers every retry: the span's duration is the full time-to-release,
   // including waits for straggling C^late components.
   HDD_TRACE_SPAN("hdd", "wall_compute");
-  const Timestamp m = clock_->Tick();
+  Timestamp m = clock_->Tick();
+  // While an epoch is open, anchor the wall at or below the epoch anchor
+  // m_e instead of the current clock. Batch transactions initiate above
+  // m_e but may sit in the executor's ready queue unexecuted, so a wall
+  // anchored above them would wait for finish events that no free worker
+  // can produce (a guaranteed wedge at one worker). At or below m_e the
+  // batch neither straddles any stabbed time nor unsettles a component,
+  // so the computation never waits on the epoch itself. Protocol C is
+  // indifferent to the anchor's age — any released wall is a consistent
+  // cut (time travel reads strictly older walls on purpose).
+  {
+    std::lock_guard<std::mutex> epoch_guard(epoch_mu_);
+    if (current_epoch_ != nullptr) m = std::min(m, current_epoch_->anchor);
+  }
   for (;;) {
     SimYield("hdd/wall_compute");
     // Load the finish counter BEFORE attempting: a finish landing during
@@ -526,7 +835,10 @@ Status HddController::ReleaseNewWall() {
 Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
                             Value value) {
   HDD_RETURN_IF_ERROR(db_->Validate(granule));
-  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  // Same gate-skip as Read: the epoch/restructure exclusion freezes the
+  // structure for epoch-admitted transactions.
+  std::shared_lock<std::shared_mutex> gate(struct_mu_, std::defer_lock);
+  if (txn.epoch == 0) gate.lock();
   HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
   if (runtime->descriptor.read_only) {
     return Status::FailedPrecondition("read-only transaction wrote");
@@ -541,7 +853,7 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
           "transaction may write only its root segment");
     }
     const Timestamp ts = runtime->descriptor.init_ts;
-    std::shared_ptr<ClassShard> shard = shards_[own_class];
+    ClassShard* shard = shards_[own_class].get();
     std::unique_lock<std::mutex> shard_lock(shard->mu);
     Granule& g = db_->granule(granule);
     Version* own = g.Find(ts);
@@ -567,14 +879,27 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
       }
       if (!tip->committed) {
         waited = true;
-        gate.unlock();
-        SimWait(shard->cv, shard_lock, shard.get());
+        const bool had_gate = gate.owns_lock();
+        std::shared_ptr<ClassShard> keep = shards_[own_class];
+        if (had_gate) gate.unlock();
+        SimWait(shard->cv, shard_lock, shard);
         shard_lock.unlock();
-        gate.lock();
+        if (had_gate) gate.lock();
         continue;
       }
     } else {
-      if (g.MaxRtsOfVersionsBefore(ts) > ts) {
+      // Epoch-admitted transactions skip MVTO's younger-reader check: the
+      // epoch executor's dependency graph orders every declared
+      // same-granule conflict by admission (= timestamp) order and only
+      // releases a successor after its predecessors fully finished, so a
+      // younger batch reader cannot have registered an rts on an older
+      // version before this write installs (an OLDER reader's rts is
+      // below ts and passes the check anyway, and only Protocol B
+      // own-segment reads register timestamps at all). Cross-epoch pairs
+      // are ordered by the EndEpoch barrier. The sim canary that drops
+      // one dependency edge (test_sim_explore) re-creates exactly the
+      // anomaly this check would have caught, proving the oracle sees it.
+      if (runtime->epoch == nullptr && g.MaxRtsOfVersionsBefore(ts) > ts) {
         return Status::Aborted("Protocol B: younger read of older version");
       }
     }
@@ -599,7 +924,7 @@ Status HddController::Write(const TxnDescriptor& txn, GranuleRef granule,
       }
     }
     runtime->writes.push_back(granule);
-    metrics_.versions_created.Add(1);
+    ++runtime->n_versions_created;
     recorder_.RecordWrite(txn.id, granule, version.order_key);
     return Status::OK();
   }
@@ -610,21 +935,31 @@ Status HddController::Commit(const TxnDescriptor& txn) {
   // fault still finds a fully registered transaction for Abort to undo.
   SimYield("hdd/commit");
   HDD_TRACE_SPAN("hdd", "commit");
-  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  // Same gate-skip as Read: the epoch/restructure exclusion freezes the
+  // structure for epoch-admitted transactions.
+  std::shared_lock<std::shared_mutex> gate(struct_mu_, std::defer_lock);
+  if (txn.epoch == 0) gate.lock();
   HDD_ASSIGN_OR_RETURN(std::unique_ptr<TxnRuntime> runtime, ExtractTxn(txn));
+  // Before any early return below: a failed commit still performed its
+  // reads and installs, and the counters must say so.
+  FlushOpMetrics(*runtime);
   std::uint64_t commit_ticket = 0;
   if (!runtime->descriptor.read_only) {
-    std::shared_ptr<ClassShard> shard =
-        shards_[runtime->descriptor.txn_class];
+    // Raw pointer: only used while the gate is held (shared), and this
+    // path never sleeps on the shard.
+    ClassShard* shard = shards_[runtime->descriptor.txn_class].get();
     // Distinct segments this transaction wrote (one — its root segment —
     // unless a Restructure merged its class). Each gets a copy of the
     // commit record carrying the full list; recovery commits only when
-    // every copy survived.
+    // every copy survived. Only the WAL consumes the list, so skip the
+    // allocation entirely when none is attached.
     std::vector<SegmentId> written_segments;
-    for (GranuleRef granule : runtime->writes) {
-      if (std::find(written_segments.begin(), written_segments.end(),
-                    granule.segment) == written_segments.end()) {
-        written_segments.push_back(granule.segment);
+    if (wal_ != nullptr) {
+      for (GranuleRef granule : runtime->writes) {
+        if (std::find(written_segments.begin(), written_segments.end(),
+                      granule.segment) == written_segments.end()) {
+          written_segments.push_back(granule.segment);
+        }
       }
     }
     // Past the point of no return (the runtime is extracted), so this
@@ -660,7 +995,7 @@ Status HddController::Commit(const TxnDescriptor& txn) {
       }
       shard->table.OnFinish(runtime->descriptor.init_ts, clock_->Tick());
     }
-    SimNotifyAll(shard->cv, shard.get());
+    SimNotifyAll(shard->cv, shard);
     SignalFinishEvent();
     HDD_RETURN_IF_ERROR(logged);
   } else if (wal_ != nullptr) {
@@ -674,9 +1009,10 @@ Status HddController::Commit(const TxnDescriptor& txn) {
     // The durability wait sleeps in the group-commit gate; release the
     // structure gate first (never sleep holding it) and drop no latches'
     // worth of state — everything below re-reads nothing structural.
-    gate.unlock();
+    const bool had_gate = gate.owns_lock();
+    if (had_gate) gate.unlock();
     const Status durable = wal_->WaitDurable(commit_ticket);
-    gate.lock();
+    if (had_gate) gate.lock();
     HDD_RETURN_IF_ERROR(durable);
   }
   if (runtime->wall != nullptr) {
@@ -697,11 +1033,14 @@ Status HddController::Abort(const TxnDescriptor& txn) {
   // from inside its SimFault handler (recovery), so a second fault
   // unwinding from here would escape the attempt boundary.
   SimYield("hdd/abort", /*interruptible=*/false);
-  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  // Same gate-skip as Read: the epoch/restructure exclusion freezes the
+  // structure for epoch-admitted transactions.
+  std::shared_lock<std::shared_mutex> gate(struct_mu_, std::defer_lock);
+  if (txn.epoch == 0) gate.lock();
   HDD_ASSIGN_OR_RETURN(std::unique_ptr<TxnRuntime> runtime, ExtractTxn(txn));
+  FlushOpMetrics(*runtime);
   if (!runtime->descriptor.read_only) {
-    std::shared_ptr<ClassShard> shard =
-        shards_[runtime->descriptor.txn_class];
+    ClassShard* shard = shards_[runtime->descriptor.txn_class].get();
     SimYield("hdd/abort/undo", /*interruptible=*/false);
     {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
@@ -728,7 +1067,7 @@ Status HddController::Abort(const TxnDescriptor& txn) {
       }
       shard->table.OnFinish(runtime->descriptor.init_ts, clock_->Tick());
     }
-    SimNotifyAll(shard->cv, shard.get());
+    SimNotifyAll(shard->cv, shard);
     SignalFinishEvent();
   }
   if (runtime->wall != nullptr) {
@@ -754,6 +1093,25 @@ Result<ClassId> HddController::Restructure(
   // mutex, so everything derived below (plan, affected set) stays valid
   // across the drain even though the structure gate is released.
   std::lock_guard<std::mutex> serial(restructure_mu_);
+  {
+    // Checked half of the epoch/restructure exclusion (see BeginEpoch):
+    // epoch-admitted transactions run without the per-op structure gate,
+    // so the structure must not change while an epoch is open. EndEpoch
+    // is called only after every batch transaction finished, so "no open
+    // epoch" really means "no gate-less operation in flight".
+    std::lock_guard<std::mutex> eg(epoch_mu_);
+    if (current_epoch_ != nullptr) {
+      return Status::Busy("epoch open; restructure would race its batch");
+    }
+    restructuring_ = true;
+  }
+  struct RestructuringFlagGuard {
+    HddController* cc;
+    ~RestructuringFlagGuard() {
+      std::lock_guard<std::mutex> eg(cc->epoch_mu_);
+      cc->restructuring_ = false;
+    }
+  } flag_guard{this};
   HDD_TRACE_SPAN("hdd", "restructure");
 
   std::optional<Digraph> extended;
@@ -912,6 +1270,17 @@ Timestamp HddController::ComputeSafeGcHorizon() const {
   for (const std::shared_ptr<ClassShard>& shard : shards_) {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
     horizon = std::min(horizon, shard->table.OldestActiveNow());
+  }
+  {
+    // An open epoch serves Protocol A reads at bounds anchored at the
+    // epoch anchor m_e, which lies BELOW every batch transaction's
+    // initiation time — the active-transaction minimum above does not
+    // cover them. Seed the fixpoint with the anchor; the closure below
+    // then under-approximates every shared bound the epoch can serve.
+    std::lock_guard<std::mutex> eg(epoch_mu_);
+    if (current_epoch_ != nullptr) {
+      horizon = std::min(horizon, current_epoch_->anchor);
+    }
   }
   // Close the horizon under I^old. A Protocol A (or hosted) read serves
   // at a composition of I^old values, and the transaction an I^old named

@@ -85,9 +85,12 @@ struct HddControllerOptions {
 ///    cross-segment reads proceed without any global latch.
 ///  * A `std::shared_mutex` structure gate protects the class structure
 ///    itself (segment->class map, semi-tree analysis, the shard vector).
-///    Every operation holds it shared; only `Restructure`'s short swap
-///    window takes it exclusively. No thread ever sleeps on a condition
-///    variable while holding the gate.
+///    Per-txn operations hold it shared; only `Restructure`'s short swap
+///    window takes it exclusively. Epoch-admitted transactions skip the
+///    gate entirely: `BeginEpoch` and `Restructure` exclude each other
+///    under the epoch mutex, so the structure is frozen while an epoch
+///    is open (each returns Busy while the other is in progress). No
+///    thread ever sleeps on a condition variable while holding the gate.
 ///  * Released time walls, wall pin counts and the GC horizon live under
 ///    a dedicated wall mutex; the transaction registry is striped.
 ///
@@ -116,6 +119,21 @@ class HddController : public ConcurrencyController {
   Status Commit(const TxnDescriptor& txn) override;
   Status Abort(const TxnDescriptor& txn) override;
 
+  /// Epoch/batch execution. BeginEpoch ticks the anchor m_e; every
+  /// Protocol A bound of the epoch is evaluated at m_e exactly once per
+  /// (own class, target class) pair and shared by the whole batch —
+  /// sound because versions below A_i^j(m) are final for ANY m at or
+  /// below the clock (Theorem 1), and m_e precedes every batch I(t).
+  /// BeginBatch admits update transactions of one class under a single
+  /// shard critical section. While an epoch is open the caller must not
+  /// Begin update transactions outside it (read-only Begins are fine),
+  /// and Restructure is unsupported. See docs/TUTORIAL §10.
+  Result<EpochHandle> BeginEpoch() override;
+  Result<std::vector<TxnDescriptor>> BeginBatch(
+      const EpochHandle& epoch,
+      const std::vector<TxnOptions>& batch) override;
+  Status EndEpoch(const EpochHandle& epoch) override;
+
   /// Class currently owning a segment (identity until a Restructure).
   ClassId ClassOfSegment(SegmentId segment) const;
 
@@ -139,6 +157,10 @@ class HddController : public ConcurrencyController {
   /// legal, then returns the class that type must declare. Blocks until
   /// the classes being merged have no active transactions (partial
   /// quiescence — only affected classes drain; others keep running).
+  /// Returns Busy while an epoch is open: batch-admitted transactions run
+  /// without the per-op structure gate, so the structure must not change
+  /// until EndEpoch (which the epoch executor calls only after every
+  /// batch transaction finished).
   Result<ClassId> Restructure(const std::vector<SegmentId>& write_segments,
                               const std::vector<SegmentId>& read_segments);
 
@@ -216,6 +238,22 @@ class HddController : public ConcurrencyController {
     const HddController* owner_;
   };
 
+  /// Shared per-epoch state: the anchor m_e and a lazily filled cache of
+  /// activity-link bounds A_i^j(m_e), one slot per (own class, target
+  /// class) pair. Slots start at kTimestampInfinity (impossible as a real
+  /// bound, since A_i^j(m) <= m); the first reader of a pair evaluates
+  /// and publishes, every later reader of the epoch loads. Concurrent
+  /// fills race benignly: I^old values at or below the clock are stable,
+  /// so every evaluator computes the identical value. Batch transactions
+  /// hold the context by shared_ptr, so stragglers still running after
+  /// the epoch closed keep their (still sound) anchor.
+  struct EpochContext {
+    EpochId id = 0;
+    Timestamp anchor = kTimestampMin;
+    int num_classes = 0;
+    std::vector<std::atomic<Timestamp>> bounds;
+  };
+
   struct TxnRuntime {
     TxnDescriptor descriptor;
     std::vector<GranuleRef> writes;  // touched only by the driving thread
@@ -223,6 +261,21 @@ class HddController : public ConcurrencyController {
     /// For hosted read-only transactions (§5.0): the lowest class of the
     /// declared critical path; kReadOnlyClass when not hosted.
     ClassId hosted_below = kReadOnlyClass;
+    /// Set iff the transaction was admitted by BeginBatch: Protocol A
+    /// bounds come from the epoch's shared cache, and MVTO's
+    /// younger-reader write check is delegated to the epoch executor's
+    /// dependency graph.
+    std::shared_ptr<EpochContext> epoch;
+    /// Deferred per-operation metric counts (touched only by the driving
+    /// thread, like `writes`), flushed into the shared counters once when
+    /// the transaction finishes: one atomic per counter per transaction
+    /// instead of one per read — measurable on the Protocol A fast path.
+    std::uint32_t n_unregistered_reads = 0;
+    std::uint32_t n_version_reads = 0;
+    std::uint32_t n_read_timestamps = 0;
+    std::uint32_t n_versions_created = 0;
+    std::uint32_t n_epoch_bound_hits = 0;
+    std::uint32_t n_epoch_bound_misses = 0;
   };
 
   /// Registry of in-flight transactions, striped by id so Begin/Commit of
@@ -241,6 +294,9 @@ class HddController : public ConcurrencyController {
   /// Removes and returns the runtime (Commit/Abort claim ownership so a
   /// second finish observes FailedPrecondition).
   Result<std::unique_ptr<TxnRuntime>> ExtractTxn(const TxnDescriptor& txn);
+  /// Publishes the runtime's deferred per-operation counts (see
+  /// TxnRuntime) into the shared metric registry.
+  void FlushOpMetrics(const TxnRuntime& runtime);
 
   /// Validates a read_scope declaration and returns the lowest class of
   /// the critical path it spans, or an error. Caller holds the structure
@@ -275,6 +331,12 @@ class HddController : public ConcurrencyController {
   void MaybeTrimHistory();
   /// Announces a finished update transaction to wall computations.
   void SignalFinishEvent();
+  /// Serves A_{own}^{target}(anchor) from the epoch's shared cache,
+  /// evaluating on first use. Falls back to an uncached evaluation at the
+  /// epoch anchor when the class structure changed shape under the epoch
+  /// (the straggler path). Caller holds the structure gate (shared).
+  Result<Timestamp> EpochBound(EpochContext& ctx, ClassId own_class,
+                               ClassId target_class, TxnRuntime* runtime);
   /// ExportControlState body; caller holds the structure gate (shared).
   std::string ExportControlStateLocked() const;
 
@@ -329,6 +391,18 @@ class HddController : public ConcurrencyController {
 
   /// Serializes Restructure calls (drain + swap).
   std::mutex restructure_mu_;
+
+  /// Current epoch (nullptr between epochs). Leaf mutex: taken by
+  /// BeginEpoch/BeginBatch/EndEpoch and by the GC-horizon clamp; never
+  /// held across a wait or a shard latch. Readers on the data path reach
+  /// the context through their TxnRuntime's shared_ptr instead.
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<EpochContext> current_epoch_;
+  std::atomic<EpochId> next_epoch_id_{1};
+  /// True while a Restructure is past its epoch check (guarded by
+  /// epoch_mu_). BeginEpoch returns Busy while set — the other half of
+  /// the exclusion that lets epoch transactions skip the structure gate.
+  bool restructuring_ = false;
 
   // §5.2 wall pacer.
   std::thread pacer_;

@@ -47,6 +47,19 @@ struct TxnOptions {
   int as_of_wall = -1;
 };
 
+/// Identifies one epoch of batched execution. 0 means "not epoch
+/// admitted" — the transaction went through the plain per-txn Begin path.
+using EpochId = std::uint64_t;
+
+/// Handle returned by ConcurrencyController::BeginEpoch. `anchor` is the
+/// clock value m_e ticked before any transaction of the batch begins; all
+/// shared activity-link bounds of the epoch are evaluated at m_e, so
+/// anchor < I(t) for every transaction admitted into the epoch.
+struct EpochHandle {
+  EpochId id = 0;
+  Timestamp anchor = kTimestampMin;
+};
+
 /// Immutable identity of a running transaction, handed back by
 /// ConcurrencyController::Begin.
 struct TxnDescriptor {
@@ -55,6 +68,8 @@ struct TxnDescriptor {
   Timestamp init_ts = kTimestampMin;
   ClassId txn_class = kReadOnlyClass;
   bool read_only = false;
+  /// Epoch this transaction was batch-admitted into (0 = per-txn path).
+  EpochId epoch = 0;
 };
 
 }  // namespace hdd

@@ -33,6 +33,7 @@
 
 #include "cc/mvto.h"
 #include "cc/two_phase_locking.h"
+#include "engine/epoch_executor.h"
 #include "engine/executor.h"
 #include "engine/synthetic_workload.h"
 #include "hdd/hdd_controller.h"
@@ -103,6 +104,35 @@ SimWorkloadFn HddWorkload(WorkloadShape shape,
     options.sim = &sched;
     (void)RunWorkload(cc, workload, shape.txns, options);
     if (sched.halted()) return "";  // RunSimulation reports the finding
+    return CheckSimHistory(cc, *db, /*replay_bounds=*/true);
+  };
+}
+
+// Same run under the epoch/batch executor: BeginEpoch/BeginBatch
+// admission, per-epoch dependency graph, shared Protocol A bounds — every
+// interleaving still the scheduler's, every history through the same
+// oracle. `skip_edge` arms the epoch executor's mutation canary.
+SimWorkloadFn HddEpochWorkload(WorkloadShape shape, std::uint64_t epoch_size,
+                               HddControllerOptions copts = {},
+                               bool skip_edge = false) {
+  return [shape, epoch_size, copts, skip_edge](
+             SimScheduler& sched) -> std::string {
+    SyntheticWorkload workload(shape.params);
+    auto schema = HierarchySchema::Create(workload.Spec());
+    if (!schema.ok()) return schema.status().ToString();
+    auto db = workload.MakeDatabase();
+    SimClock clock(&sched);
+    HddController cc(db.get(), &clock, &*schema, copts);
+
+    EpochExecutorOptions options;
+    options.num_threads = shape.threads;
+    options.epoch_size = epoch_size;
+    options.seed = 77;
+    options.max_retries = shape.max_retries;
+    options.sim = &sched;
+    options.mutation_skip_dependency_edge = skip_edge;
+    (void)RunWorkloadEpochs(cc, workload, shape.txns, options);
+    if (sched.halted()) return "";
     return CheckSimHistory(cc, *db, /*replay_bounds=*/true);
   };
 }
@@ -254,6 +284,55 @@ TEST(SimExplore, CanaryMutationIsCaught) {
 }
 
 // ---------------------------------------------------------------------------
+// Epoch/batch execution under the same model checker: the admission path
+// (BeginEpoch/BeginBatch/EndEpoch), the per-epoch dependency graph, the
+// shared bound cache and the retry-into-next-epoch loop all sit on
+// scheduler-controlled yield points, so the sweep explores their
+// interleavings with the full fault mix.
+TEST(SimExplore, EpochSeedSweepPassesOracle) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  const std::uint64_t seeds = EnvOr("HDD_SIM_EPOCH_SEEDS", 2000);
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), seeds,
+      HddEpochWorkload(HddShape(), /*epoch_size=*/4),
+      "ctest -R test_sim_explore");
+  ExpectSweepClean(report, "hdd-epoch");
+  EXPECT_EQ(report.runs, seeds);
+  EXPECT_GT(report.faults_injected, 0u);
+}
+
+// The epoch canary: drop one dependency edge per epoch. HDD's epoch mode
+// delegates MVTO's younger-reader write check to exactly that graph, so
+// two conflicting same-class transactions now race unordered and the
+// sweep MUST catch the resulting non-1SR history with a replayable seed.
+TEST(SimExplore, EpochCanaryMutationIsCaught) {
+  WorkloadShape shape;
+  shape.params.depth = 1;  // Protocol B only: the graph carries everything
+  shape.params.granules_per_segment = 2;
+  shape.params.own_reads = 2;
+  shape.params.own_writes = 2;
+  shape.params.upper_reads = 0;
+  shape.params.read_only_fraction = 0.0;
+  shape.txns = 12;
+
+  SimScheduler::Options base;  // no faults: scheduling alone must expose it
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), EnvOr("HDD_SIM_EPOCH_CANARY_SEEDS", 300),
+      HddEpochWorkload(shape, /*epoch_size=*/4, {}, /*skip_edge=*/true),
+      "ctest -R test_sim_explore");
+  ASSERT_FALSE(report.failures.empty())
+      << "the skip-dependency-edge mutation survived " << report.runs
+      << " seeds — the harness cannot detect an unordered epoch conflict";
+  const SimFailure& first = report.failures.front();
+  EXPECT_TRUE(first.replayed_identically)
+      << "seed " << first.seed << " failed but did not replay";
+  std::cout << "epoch canary caught at seed " << first.seed << ": "
+            << first.message << "\n  replay: " << first.replay_command
+            << std::endl;
+}
+
+// ---------------------------------------------------------------------------
 // Crash-recovery model checking (src/wal/). The workload below runs HDD on
 // top of a SimWalStorage with whole-process crashes armed at EVERY yield
 // point (even non-interruptible ones — a power cut ignores critical
@@ -320,12 +399,15 @@ std::string CompareDurableImage(const Database& before, const Database& after,
 
 // One simulated run with durability: crash (or quiesce), recover, restart,
 // and check the combined history. `checkpoint_every` = 0 disables mid-run
-// fuzzy checkpoints.
+// fuzzy checkpoints. `epoch_size` > 0 runs era 1 under the epoch/batch
+// executor (era 2 always uses the plain per-txn path — recovery must not
+// depend on how the pre-crash era was driven).
 SimWorkloadFn WalCrashWorkload(WorkloadShape shape, WalOptions wopts,
                                std::uint64_t checkpoint_every,
-                               CrashSweepCounters* counters) {
-  return [shape, wopts, checkpoint_every,
-          counters](SimScheduler& sched) -> std::string {
+                               CrashSweepCounters* counters,
+                               std::uint64_t epoch_size = 0) {
+  return [shape, wopts, checkpoint_every, counters,
+          epoch_size](SimScheduler& sched) -> std::string {
     SyntheticWorkload workload(shape.params);
     auto schema = HierarchySchema::Create(workload.Spec());
     if (!schema.ok()) return schema.status().ToString();
@@ -337,18 +419,32 @@ SimWorkloadFn WalCrashWorkload(WorkloadShape shape, WalOptions wopts,
     SimClock clock(&sched);
     HddController cc(db.get(), &clock, &*schema);
 
-    ExecutorOptions options;
-    options.num_threads = shape.threads;
-    options.seed = 77;
-    options.max_retries = shape.max_retries;
-    options.sim = &sched;
-    options.wal_metrics = &(*wal)->metrics();
+    std::function<void(std::uint64_t)> on_txn_done;
     if (checkpoint_every > 0) {
-      options.on_txn_done = [&cc, checkpoint_every](std::uint64_t done) {
+      on_txn_done = [&cc, checkpoint_every](std::uint64_t done) {
         if (done % checkpoint_every == 0) (void)cc.CheckpointWal();
       };
     }
-    (void)RunWorkload(cc, workload, shape.txns, options);
+    if (epoch_size > 0) {
+      EpochExecutorOptions options;
+      options.num_threads = shape.threads;
+      options.epoch_size = epoch_size;
+      options.seed = 77;
+      options.max_retries = shape.max_retries;
+      options.sim = &sched;
+      options.on_txn_done = on_txn_done;
+      options.wal_metrics = &(*wal)->metrics();
+      (void)RunWorkloadEpochs(cc, workload, shape.txns, options);
+    } else {
+      ExecutorOptions options;
+      options.num_threads = shape.threads;
+      options.seed = 77;
+      options.max_retries = shape.max_retries;
+      options.sim = &sched;
+      options.on_txn_done = on_txn_done;
+      options.wal_metrics = &(*wal)->metrics();
+      (void)RunWorkload(cc, workload, shape.txns, options);
+    }
     if (sched.halted() && !sched.process_crashed()) {
       return "";  // deadlock/budget findings are RunSimulation's to report
     }
@@ -495,6 +591,32 @@ TEST(SimExplore, WalCrashRecoverySweep) {
   EXPECT_GT(counters.process_crashes.load(), 0u);
   EXPECT_GT(counters.recoveries.load(), 0u);
   std::cout << "wal crash sweep: " << counters.process_crashes.load()
+            << " process crashes, " << counters.recoveries.load()
+            << " recoveries over " << report.runs << " seeds" << std::endl;
+}
+
+// Era 1 under the epoch/batch executor: crashes now land inside batch
+// admission, mid-graph and between epochs, and the durability contract
+// plus the combined-history oracle must hold exactly as in per-txn mode.
+TEST(SimExplore, WalEpochCrashRecoverySweep) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  base.faults.process_crash_prob = 0.004;
+
+  WalOptions wopts;
+  wopts.group.mode = WalSyncMode::kGroupCommit;
+  CrashSweepCounters counters;
+  const std::uint64_t seeds = EnvOr("HDD_SIM_EPOCH_CRASH_SEEDS", 500);
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), seeds,
+      WalCrashWorkload(HddShape(), wopts, /*checkpoint_every=*/4, &counters,
+                       /*epoch_size=*/4),
+      "ctest -R test_sim_explore");
+  ExpectSweepClean(report, "wal-epoch-crash");
+  EXPECT_EQ(report.runs, seeds);
+  EXPECT_GT(counters.process_crashes.load(), 0u);
+  EXPECT_GT(counters.recoveries.load(), 0u);
+  std::cout << "wal epoch crash sweep: " << counters.process_crashes.load()
             << " process crashes, " << counters.recoveries.load()
             << " recoveries over " << report.runs << " seeds" << std::endl;
 }
