@@ -28,6 +28,11 @@ SIM_SEEDS="${HDD_SIM_SEEDS:-2000}"
 SIM_SEEDS_TSAN="${HDD_SIM_SEEDS_TSAN:-100}"
 SIM_SEEDS_ASAN="${HDD_SIM_SEEDS_ASAN:-200}"
 CRASH_SEEDS="${HDD_SIM_CRASH_SEEDS:-2000}"
+# Online re-decomposition sweeps (drift-driven Restructure under load,
+# tests/test_sim_explore.cc SimExplore.Redecomp*). One knob scales the
+# main drift sweep; the epoch/canary/crash variants keep their in-test
+# defaults in the sim stage and shrink under the sanitizers.
+REDECOMP_SEEDS="${HDD_SIM_REDECOMP_SEEDS:-500}"
 STAGES="${HDD_CHECK_STAGES:-release,bench,sim,crash,asan,tsan}"
 
 want() { [[ ",$STAGES," == *",$1,"* ]]; }
@@ -73,8 +78,9 @@ if want bench; then
 fi
 
 if want sim; then
-  echo "=== Simulation sweep ($SIM_SEEDS seeds) ==="
+  echo "=== Simulation sweep ($SIM_SEEDS seeds, $REDECOMP_SEEDS redecomp) ==="
   (cd build && HDD_SIM_SEEDS="$SIM_SEEDS" \
+    HDD_SIM_REDECOMP_SEEDS="$REDECOMP_SEEDS" \
     ctest --output-on-failure -L sim)
 fi
 
@@ -108,6 +114,8 @@ if want asan && [[ "${HDD_SKIP_ASAN:-0}" != 1 ]]; then
     HDD_SIM_CRASH_SEEDS=200 HDD_SIM_CRASH_PERCOMMIT_SEEDS=50 \
     HDD_SIM_WAL_CANARY_SEEDS=50 HDD_SIM_EPOCH_SEEDS=200 \
     HDD_SIM_EPOCH_CANARY_SEEDS=50 HDD_SIM_EPOCH_CRASH_SEEDS=100 \
+    HDD_SIM_REDECOMP_SEEDS=60 HDD_SIM_REDECOMP_EPOCH_SEEDS=40 \
+    HDD_SIM_REDECOMP_CANARY_SEEDS=30 HDD_SIM_REDECOMP_CRASH_SEEDS=40 \
     ctest --output-on-failure -j "$JOBS")
 fi
 
@@ -124,6 +132,8 @@ if want tsan && [[ "${HDD_SKIP_TSAN:-0}" != 1 ]]; then
     HDD_SIM_CRASH_SEEDS=200 HDD_SIM_CRASH_PERCOMMIT_SEEDS=50 \
     HDD_SIM_WAL_CANARY_SEEDS=50 HDD_SIM_EPOCH_SEEDS=100 \
     HDD_SIM_EPOCH_CANARY_SEEDS=50 HDD_SIM_EPOCH_CRASH_SEEDS=100 \
+    HDD_SIM_REDECOMP_SEEDS=40 HDD_SIM_REDECOMP_EPOCH_SEEDS=30 \
+    HDD_SIM_REDECOMP_CANARY_SEEDS=20 HDD_SIM_REDECOMP_CRASH_SEEDS=30 \
     ctest --output-on-failure -j "$JOBS")
 fi
 

@@ -3,18 +3,49 @@
 // partition (§7.2.2), legalizing diamonds by merging (§7.2.1), and then
 // demonstrates §7.1.1 dynamic restructuring on a live controller.
 //
-// Usage: ./build/examples/decompose_tool
-
+// Every decomposition this tool is about to trust — computed or inferred
+// — goes through the SAME loud validation pass the inference path uses
+// (ValidateDecomposition + ValidateAgainstTrace): semi-tree shape, full
+// granule cover, conflict-edge containment. A structure that fails is
+// printed and rejected, never demonstrated.
+//
+// Usage: ./build/examples/decompose_tool           # §7.2 walkthrough
+//        ./build/examples/decompose_tool --infer   # trace -> infer ->
+//                                                  # validate -> hot-swap
+#include <cstring>
 #include <iostream>
 
+#include "engine/redecompose.h"
+#include "graph/auto_decompose.h"
 #include "graph/decomposition.h"
 #include "graph/report.h"
 #include "hdd/hdd_controller.h"
+#include "obs/footprint.h"
 #include "storage/database.h"
 
-int main() {
-  using namespace hdd;
+namespace {
 
+using namespace hdd;
+
+/// The shared loud validation pass: structural invariants plus
+/// containment of every traced footprint. Returns false (after printing
+/// why) when the decomposition must not be used.
+bool ValidateLoudly(const Decomposition& dec, std::uint32_t num_granules,
+                    const FootprintTrace& trace, const char* what) {
+  if (Status s = ValidateDecomposition(dec, num_granules); !s.ok()) {
+    std::cerr << "REJECTED " << what << ": " << s << "\n";
+    return false;
+  }
+  if (Status s = ValidateAgainstTrace(dec, trace); !s.ok()) {
+    std::cerr << "REJECTED " << what << ": " << s << "\n";
+    return false;
+  }
+  std::cout << what << ": validated (TST shape, granule cover, "
+            << "conflict-edge containment)\n";
+  return true;
+}
+
+int RunMethodology() {
   // Raw footprints: an application whose naive segment graph is a diamond
   // (two derived views over one base, one consumer of both views).
   std::vector<AccessFootprint> types = {
@@ -23,11 +54,16 @@ int main() {
       {{3}, {0}},          // view B
       {{4}, {2, 3}},       // consumer of both views -> diamond!
   };
+  FootprintTrace trace;
+  for (const AccessFootprint& t : types) {
+    trace.Add(t.write_granules, t.read_granules);
+  }
   auto dec = DecomposeFromAccessSets(5, types);
   if (!dec.ok()) {
     std::cerr << dec.status() << "\n";
     return 1;
   }
+  if (!ValidateLoudly(*dec, 5, trace, "computed decomposition")) return 1;
   std::cout << "granule -> segment:";
   for (std::size_t g = 0; g < dec->granule_segment.size(); ++g) {
     std::cout << " g" << g << "->D" << dec->granule_segment[g];
@@ -36,9 +72,22 @@ int main() {
             << " (merges needed to legalize: " << dec->merges << ")\n";
   std::cout << "legal DHG:\n" << dec->dhg.ToDot();
 
-  // Spin up a controller on the inventory-style 4-level chain and then
-  // hit it with an ad-hoc transaction type that writes two segments:
-  // dynamic restructuring merges the classes without full quiescence.
+  // What the validation pass is FOR: a hand-tweaked structure that moves
+  // one co-written granule to its own segment looks plausible but lies
+  // about write ownership — it must be rejected, loudly.
+  Decomposition tampered = *dec;
+  tampered.granule_segment[1] =
+      (tampered.granule_segment[1] + 1) % tampered.num_segments;
+  std::cout << "\ntampering: moving granule 1 out of its co-write "
+               "segment...\n";
+  if (ValidateLoudly(tampered, 5, trace, "tampered decomposition")) {
+    std::cerr << "BUG: validation accepted a mis-classified granule\n";
+    return 1;
+  }
+
+  // Spin up a controller on the inventory-style chain and then hit it
+  // with an ad-hoc transaction type that writes two segments: dynamic
+  // restructuring merges the classes without full quiescence.
   PartitionSpec spec;
   spec.segment_names = {"events", "inventory", "orders"};
   spec.transaction_types = {
@@ -79,4 +128,104 @@ int main() {
   std::cout << "ad-hoc cross-segment writer committed under the merged "
                "class.\n";
   return 0;
+}
+
+/// trace -> infer -> validate -> hot-swap, on a live controller: run
+/// declared traffic with a FootprintRecorder attached, let the online
+/// Redecomposer learn the baseline, then declare an emergent cross-class
+/// pattern and watch the drift detector restructure for it.
+int RunInfer() {
+  PartitionSpec spec;
+  spec.segment_names = {"events", "inventory", "orders"};
+  spec.transaction_types = {
+      {"log", 0, {}},
+      {"post", 1, {0}},
+      {"reorder", 2, {0, 1}},
+  };
+  auto schema = HierarchySchema::Create(spec);
+  if (!schema.ok()) {
+    std::cerr << schema.status() << "\n";
+    return 1;
+  }
+  Database db(3, 4);
+  LogicalClock clock;
+  FootprintRecorder recorder;
+  HddControllerOptions options;
+  options.footprint = &recorder;
+  HddController cc(&db, &clock, &*schema, options);
+
+  // Phase 1: the declared workload, observed through commits.
+  std::cout << "tracing 24 transactions of the declared types...\n";
+  for (int round = 0; round < 8; ++round) {
+    auto log = cc.Begin({.txn_class = 0});
+    (void)cc.Write(*log, {0, static_cast<std::uint32_t>(round % 4)}, round);
+    (void)cc.Commit(*log);
+    auto post = cc.Begin({.txn_class = 1});
+    (void)cc.Read(*post, {0, 0});
+    (void)cc.Write(*post, {1, static_cast<std::uint32_t>(round % 4)}, round);
+    (void)cc.Commit(*post);
+    auto reorder = cc.Begin({.txn_class = 2});
+    (void)cc.Read(*reorder, {0, 1});
+    (void)cc.Read(*reorder, {1, 1});
+    (void)cc.Write(*reorder, {2, static_cast<std::uint32_t>(round % 4)},
+                   round);
+    (void)cc.Commit(*reorder);
+  }
+
+  Redecomposer redecomposer(&cc, &recorder, &db,
+                            {.window_txns = 16, .drift_threshold = 0.25});
+  if (Status s = redecomposer.Poll(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  const RedecomposerStats& stats = redecomposer.stats();
+  std::cout << "baseline learned: " << redecomposer.baseline().types().size()
+            << " distinct footprints, " << stats.validations
+            << " validated inference(s), " << stats.restructures
+            << " restructure(s) (declared traffic is already legal)\n";
+
+  // Phase 2: an emergent pattern — co-writing events+inventory — arrives
+  // as declared intent (it cannot even execute under the current
+  // structure). Enough support crosses the drift bar; the driver infers,
+  // validates and hot-swaps.
+  std::cout << "\ndeclaring an emergent events+inventory co-writer...\n";
+  for (int i = 0; i < 16; ++i) {
+    recorder.Declare({FootprintRecorder::Pack(0, 2),
+                      FootprintRecorder::Pack(1, 2)},
+                     /*reads=*/{});
+  }
+  if (Status s = redecomposer.Poll(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << "drift distance " << stats.last_distance << " -> "
+            << stats.drift_events << " drift event(s), "
+            << stats.restructures << " restructure(s)\n";
+  std::cout << "events now in class " << cc.ClassOfSegment(0)
+            << ", inventory in class " << cc.ClassOfSegment(1)
+            << ", orders in class " << cc.ClassOfSegment(2) << "\n";
+
+  // The emergent type runs under the merged class.
+  const ClassId merged = cc.ClassOfSegment(0);
+  auto adhoc = cc.Begin({.txn_class = merged});
+  (void)cc.Write(*adhoc, {0, 2}, 1);
+  (void)cc.Write(*adhoc, {1, 2}, 2);
+  if (Status s = cc.Commit(*adhoc); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << "emergent cross-segment writer committed under the "
+               "inferred structure.\n";
+  if (!redecomposer.last_error().ok()) {
+    std::cerr << redecomposer.last_error() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--infer") == 0) return RunInfer();
+  return RunMethodology();
 }

@@ -370,7 +370,12 @@ ExecutorStats RunWorkloadEpochs(ConcurrencyController& cc,
     }
   };
 
-  if (options.sim != nullptr) options.sim->ExpectTasks(options.num_threads);
+  if (options.sim != nullptr) {
+    options.sim->ExpectTasks(options.num_threads +
+                             (options.service ? 1 : 0));
+  }
+  std::atomic<bool> workers_done{false};
+  std::atomic<int> workers_left{options.num_threads};
 
   const auto start = std::chrono::steady_clock::now();
   auto worker_body = [&](int worker_id, Rng& rng) {
@@ -463,6 +468,7 @@ ExecutorStats RunWorkloadEpochs(ConcurrencyController& cc,
     Rng rng(options.seed * 7919 + static_cast<std::uint64_t>(worker_id));
     if (options.sim == nullptr) {
       worker_body(worker_id, rng);
+      if (workers_left.fetch_sub(1) == 1) workers_done.store(true);
       return;
     }
     try {
@@ -471,13 +477,33 @@ ExecutorStats RunWorkloadEpochs(ConcurrencyController& cc,
     } catch (const SimHalt&) {
       // Run halted (deadlock finding / budget); stack unwound via RAII.
     }
+    // Last worker raises the service shutdown flag while still registered
+    // (same determinism argument as RunWorkload: the count of trailing
+    // service steps must be schedule state, not OS-timing state).
+    if (workers_left.fetch_sub(1) == 1) workers_done.store(true);
+    options.sim->UnregisterCurrentTask();
+  };
+  auto service = [&] {
+    if (options.sim == nullptr) {
+      options.service(workers_done);
+      return;
+    }
+    try {
+      options.sim->RegisterCurrentTask(options.num_threads);
+      options.service(workers_done);
+    } catch (const SimHalt&) {
+      // Same halt contract as the workers.
+    }
     options.sim->UnregisterCurrentTask();
   };
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(options.num_threads));
   for (int i = 0; i < options.num_threads; ++i) threads.emplace_back(worker, i);
+  std::thread service_thread;
+  if (options.service) service_thread = std::thread(service);
   for (auto& t : threads) t.join();
+  if (service_thread.joinable()) service_thread.join();
   const auto end = std::chrono::steady_clock::now();
 
   ExecutorStats stats;

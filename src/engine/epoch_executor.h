@@ -1,6 +1,7 @@
 #ifndef HDD_ENGINE_EPOCH_EXECUTOR_H_
 #define HDD_ENGINE_EPOCH_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,10 @@ struct EpochExecutorOptions {
   /// Same contract as ExecutorOptions::on_txn_done.
   std::function<void(std::uint64_t)> on_txn_done;
   const WalMetrics* wal_metrics = nullptr;
+  /// Same contract as ExecutorOptions::service. Note a Restructure issued
+  /// from the service returns Busy while an epoch is open (the PR 5
+  /// exclusion) — the service retries between epochs.
+  std::function<void(const std::atomic<bool>& workers_done)> service;
   /// TEST-ONLY mutation canary (sim harness): drop the first dependency
   /// edge of every epoch's graph. Two conflicting transactions of one
   /// class then run unordered while HDD's epoch mode has delegated the

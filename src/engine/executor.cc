@@ -151,10 +151,16 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
 
   // Under simulation, task identity must be assigned by US (worker id),
   // not by thread startup order — the one nondeterminism the scheduler
-  // cannot own — and no task may run before all have registered.
-  if (options.sim != nullptr) options.sim->ExpectTasks(options.num_threads);
+  // cannot own — and no task may run before all have registered. The
+  // service loop, when present, is one more task (id = num_threads).
+  if (options.sim != nullptr) {
+    options.sim->ExpectTasks(options.num_threads +
+                             (options.service ? 1 : 0));
+  }
 
   std::atomic<std::uint64_t> done{0};
+  std::atomic<bool> workers_done{false};
+  std::atomic<int> workers_left{options.num_threads};
   const auto start = std::chrono::steady_clock::now();
   auto worker_body = [&](int worker_id, Rng& rng) {
     for (;;) {
@@ -183,6 +189,7 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
     Rng rng(options.seed * 7919 + static_cast<std::uint64_t>(worker_id));
     if (options.sim == nullptr) {
       worker_body(worker_id, rng);
+      if (workers_left.fetch_sub(1) == 1) workers_done.store(true);
       return;
     }
     try {
@@ -191,13 +198,35 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
     } catch (const SimHalt&) {
       // Run halted (deadlock finding / budget); stack unwound via RAII.
     }
+    // The LAST worker raises the shutdown flag while still registered:
+    // the service task then observes it at a schedule-determined point,
+    // not whenever the joining OS thread happens to run (which would make
+    // the number of trailing service steps — and so the whole decision
+    // trace — unreplayable).
+    if (workers_left.fetch_sub(1) == 1) workers_done.store(true);
+    options.sim->UnregisterCurrentTask();
+  };
+  auto service = [&] {
+    if (options.sim == nullptr) {
+      options.service(workers_done);
+      return;
+    }
+    try {
+      options.sim->RegisterCurrentTask(options.num_threads);
+      options.service(workers_done);
+    } catch (const SimHalt&) {
+      // Same halt contract as the workers.
+    }
     options.sim->UnregisterCurrentTask();
   };
 
   std::vector<std::thread> threads;
   threads.reserve(options.num_threads);
   for (int i = 0; i < options.num_threads; ++i) threads.emplace_back(worker, i);
+  std::thread service_thread;
+  if (options.service) service_thread = std::thread(service);
   for (auto& t : threads) t.join();
+  if (service_thread.joinable()) service_thread.join();
   const auto end = std::chrono::steady_clock::now();
 
   ExecutorStats stats;

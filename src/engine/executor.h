@@ -1,6 +1,7 @@
 #ifndef HDD_ENGINE_EXECUTOR_H_
 #define HDD_ENGINE_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -36,6 +37,17 @@ struct ExecutorOptions {
   /// When set, a snapshot of these WAL counters is folded into
   /// ExecutorStats::wal at the end of the run.
   const WalMetrics* wal_metrics = nullptr;
+  /// Optional service loop run for the whole duration of the workload,
+  /// alongside the workers (the online Redecomposer's poll loop rides
+  /// here; see engine/redecompose.h). Under simulation it registers as
+  /// one extra scheduler task (id = num_threads), so its steps interleave
+  /// under the model checker like any worker's — it must yield through
+  /// the sim hooks. The flag flips to true once every worker finished its
+  /// stream; the service must observe it and return promptly. The LAST
+  /// worker raises the flag before unregistering its task, so the number
+  /// of service steps after the final transaction is fixed by the
+  /// schedule, not by OS timing — replays stay byte-identical.
+  std::function<void(const std::atomic<bool>& workers_done)> service;
 };
 
 /// Fixed-capacity uniform sample of latency observations (Vitter's

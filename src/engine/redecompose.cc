@@ -1,0 +1,189 @@
+#include "engine/redecompose.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/sim_hook.h"
+
+namespace hdd {
+
+InferenceCosts CostsFrom(const CostModel& model) {
+  InferenceCosts costs;
+  costs.read_version_us = model.read_version_us;
+  costs.write_version_us = model.write_version_us;
+  costs.registration_us = model.registration_us;
+  costs.link_eval_us = model.link_eval_us;
+  return costs;
+}
+
+Redecomposer::Redecomposer(HddController* cc, FootprintRecorder* recorder,
+                           const Database* db, RedecomposerOptions options)
+    : cc_(cc), recorder_(recorder), options_(options) {
+  segment_base_.reserve(static_cast<std::size_t>(db->num_segments()));
+  std::uint32_t base = 0;
+  for (int s = 0; s < db->num_segments(); ++s) {
+    segment_base_.push_back(base);
+    base += db->segment(s).size();
+  }
+  num_granules_ = base;
+}
+
+std::uint32_t Redecomposer::Flatten(std::uint64_t packed) const {
+  return segment_base_[FootprintRecorder::Segment(packed)] +
+         FootprintRecorder::Index(packed);
+}
+
+SegmentId Redecomposer::SegmentOfFlat(std::uint32_t flat) const {
+  const auto it =
+      std::upper_bound(segment_base_.begin(), segment_base_.end(), flat);
+  return static_cast<SegmentId>(it - segment_base_.begin()) - 1;
+}
+
+Status Redecomposer::Poll() {
+  ++stats_.polls;
+  for (RawFootprint& fp : recorder_->Drain()) {
+    std::vector<std::uint32_t> writes;
+    std::vector<std::uint32_t> reads;
+    writes.reserve(fp.writes.size());
+    reads.reserve(fp.reads.size());
+    for (const std::uint64_t p : fp.writes) writes.push_back(Flatten(p));
+    for (const std::uint64_t p : fp.reads) reads.push_back(Flatten(p));
+    window_.Add(std::move(writes), std::move(reads), fp.declared);
+  }
+  Status status = Status::OK();
+  if (!pending_.empty()) {
+    // A previous swap is still blocked on the epoch exclusion; finish it
+    // before evaluating new windows (the plan stays valid — it was
+    // derived from a trace that only grows).
+    status = ApplyPending();
+  } else if (window_.num_transactions() >= options_.window_txns) {
+    status = EvaluateWindow();
+  }
+  if (!status.ok() && status.code() != StatusCode::kBusy) {
+    last_error_ = status;
+  }
+  return status;
+}
+
+Status Redecomposer::EvaluateWindow() {
+  ++stats_.windows;
+  const double distance = ConflictDistance(baseline_, window_);
+  stats_.last_distance = distance;
+  const bool learning = baseline_.num_transactions() == 0;
+  if (!learning && distance <= options_.drift_threshold) {
+    // Same regime: the window refines the baseline, nothing to swap.
+    baseline_.Merge(window_);
+    window_ = FootprintTrace();
+    return Status::OK();
+  }
+  if (!learning) ++stats_.drift_events;
+
+  // Infer over baseline + window: the new structure must keep serving
+  // the old traffic while legalizing the new.
+  FootprintTrace combined = baseline_;
+  combined.Merge(window_);
+  ++stats_.inferences;
+  HDD_ASSIGN_OR_RETURN(
+      InferredDecomposition inferred,
+      InferBestDecomposition(num_granules_, combined, options_.infer));
+
+  // The proof obligation: nothing unvalidated reaches the controller.
+  ++stats_.validations;
+  Status valid = ValidateDecomposition(inferred.decomposition, num_granules_);
+  if (valid.ok()) {
+    valid = ValidateAgainstTrace(inferred.decomposition, combined,
+                                 options_.infer.min_support);
+  }
+  if (!valid.ok()) {
+    if (!inferred.mutated) {
+      // InferBestDecomposition promises a provably valid structure; a
+      // rejection here (with no canary armed) is a broken inference and
+      // must stop the driver loudly, not be retried into place.
+      return valid;
+    }
+    // The canary's mis-classified granule was caught, exactly as the
+    // safety story requires. Proceed with an unmutated inference so the
+    // sweep still exercises the swap itself.
+    ++stats_.canary_catches;
+    InferenceOptions clean = options_.infer;
+    clean.mutation_misclassify_granule = false;
+    HDD_ASSIGN_OR_RETURN(
+        inferred, InferBestDecomposition(num_granules_, combined, clean));
+    HDD_RETURN_IF_ERROR(
+        ValidateDecomposition(inferred.decomposition, num_granules_));
+    HDD_RETURN_IF_ERROR(ValidateAgainstTrace(inferred.decomposition, combined,
+                                             options_.infer.min_support));
+  } else if (inferred.mutated) {
+    ++stats_.canary_escapes;
+    return Status::Internal(
+        "mutation canary escaped: a mis-classified granule passed "
+        "validation — the safety net is broken");
+  }
+
+  // Legalize every shaping access pattern on the live controller. Only
+  // patterns the CURRENT structure cannot contain need a Restructure;
+  // min-support pruning already kept rare noise out of shaping_types.
+  for (const TracedFootprint& type : inferred.shaping_types) {
+    AppliedMerge merge;
+    for (const std::uint32_t g : type.write_granules) {
+      const SegmentId s = SegmentOfFlat(g);
+      if (std::find(merge.write_segments.begin(), merge.write_segments.end(),
+                    s) == merge.write_segments.end()) {
+        merge.write_segments.push_back(s);
+      }
+    }
+    for (const std::uint32_t g : type.read_granules) {
+      const SegmentId s = SegmentOfFlat(g);
+      if (std::find(merge.read_segments.begin(), merge.read_segments.end(),
+                    s) == merge.read_segments.end()) {
+        merge.read_segments.push_back(s);
+      }
+    }
+    pending_.push_back(std::move(merge));
+  }
+  baseline_ = std::move(combined);
+  window_ = FootprintTrace();
+  return ApplyPending();
+}
+
+Status Redecomposer::ApplyPending() {
+  while (!pending_.empty()) {
+    const AppliedMerge& next = pending_.front();
+    // Re-check under the live structure: earlier merges of this very plan
+    // (or a previous one) may have legalized the pattern already, and
+    // Restructure on an already-legal pattern would still drain classes
+    // for nothing.
+    HDD_ASSIGN_OR_RETURN(
+        const bool legal,
+        cc_->IsLegalAccessPattern(next.write_segments, next.read_segments));
+    if (legal) {
+      pending_.erase(pending_.begin());
+      continue;
+    }
+    Result<ClassId> merged =
+        cc_->Restructure(next.write_segments, next.read_segments);
+    if (!merged.ok()) {
+      if (merged.status().code() == StatusCode::kBusy) ++stats_.busy_retries;
+      return merged.status();
+    }
+    ++stats_.restructures;
+    applied_.push_back(next);
+    pending_.erase(pending_.begin());
+  }
+  return Status::OK();
+}
+
+void Redecomposer::RunUntil(const std::atomic<bool>& done) {
+  while (!done.load(std::memory_order_acquire)) {
+    (void)Poll();
+    // Under simulation this is one scheduler reschedule; outside it is a
+    // real pause so the poll loop does not busy-spin a core.
+    SimSleep(std::chrono::microseconds(200));
+  }
+  // Final drain: fold trailing commits into the window and give a plan
+  // stuck behind an epoch one last chance now that the workers are done.
+  (void)Poll();
+}
+
+}  // namespace hdd

@@ -1,0 +1,129 @@
+#ifndef HDD_ENGINE_REDECOMPOSE_H_
+#define HDD_ENGINE_REDECOMPOSE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cost_model.h"
+#include "graph/auto_decompose.h"
+#include "hdd/hdd_controller.h"
+#include "obs/footprint.h"
+#include "storage/database.h"
+
+namespace hdd {
+
+/// Converts the engine's CostModel into the flat scoring prices the graph
+/// layer's inference takes (graph/auto_decompose.h keeps the fields as
+/// plain doubles to stay independent of this library).
+InferenceCosts CostsFrom(const CostModel& model);
+
+struct RedecomposerOptions {
+  /// Footprints a window must hold before it is evaluated for drift.
+  std::uint64_t window_txns = 64;
+  /// Conflict-graph distance (ConflictDistance, in [0,1]) between the
+  /// baseline trace and the current window above which the driver infers
+  /// and hot-swaps a new decomposition.
+  double drift_threshold = 0.30;
+  /// Inference knobs, including min-support pruning and the
+  /// mutation_misclassify_granule canary.
+  InferenceOptions infer;
+};
+
+struct RedecomposerStats {
+  std::uint64_t polls = 0;
+  std::uint64_t windows = 0;       // windows evaluated for drift
+  std::uint64_t drift_events = 0;  // windows whose distance crossed the bar
+  std::uint64_t inferences = 0;
+  std::uint64_t validations = 0;
+  std::uint64_t restructures = 0;  // successful Restructure calls
+  std::uint64_t busy_retries = 0;  // Restructure returned Busy (epoch open)
+  /// Canary accounting: a mutated inference rejected by validation is a
+  /// catch; a mutated inference that validation PASSED is an escape — the
+  /// sim sweep fails the run on any escape.
+  std::uint64_t canary_catches = 0;
+  std::uint64_t canary_escapes = 0;
+  double last_distance = 0;
+};
+
+/// One successful Restructure call, recorded so a crash-recovery harness
+/// can re-apply the merges (in order) to a freshly constructed controller
+/// before restoring control state — Restructure is deterministic given
+/// the same sequence, so the rebuilt class structure is identical.
+struct AppliedMerge {
+  std::vector<SegmentId> write_segments;
+  std::vector<SegmentId> read_segments;
+};
+
+/// The online re-decomposition driver: drains the FootprintRecorder the
+/// controller feeds, folds footprints into a windowed FootprintTrace,
+/// thresholds the conflict-graph distance against the running baseline,
+/// and on drift infers a new decomposition (InferBestDecomposition over
+/// baseline + window), PROVES it (ValidateDecomposition +
+/// ValidateAgainstTrace — nothing unvalidated ever reaches the
+/// controller), and legalizes every shaping access pattern through
+/// HddController::Restructure. Restructure returning Busy (an epoch is
+/// open — the PR 5 exclusion) leaves the plan pending; the next Poll
+/// retries it.
+///
+/// Threading: Poll/RunUntil must be called from one thread (the driver is
+/// the controller's only restructuring agent); the recorder side is
+/// concurrent. Under deterministic simulation, run it as the executor's
+/// service task (ExecutorOptions::service) so its steps interleave under
+/// the model checker.
+class Redecomposer {
+ public:
+  /// `db` fixes the granule flattening (segment sizes must not change
+  /// during the run). All pointers are borrowed and must outlive this.
+  Redecomposer(HddController* cc, FootprintRecorder* recorder,
+               const Database* db, RedecomposerOptions options = {});
+
+  /// One step: drain, evaluate drift, maybe infer + validate + swap.
+  /// Returns Busy when a Restructure must wait for the current epoch,
+  /// the first hard error otherwise (a validation failure with no canary
+  /// armed is a hard error — it means inference broke its own proof
+  /// obligation). Hard errors are also latched into last_error().
+  Status Poll();
+
+  /// Service loop for ExecutorOptions::service / EpochExecutorOptions::
+  /// service: polls until `done`, yielding between polls (a real sleep
+  /// outside simulation), then drains one final time.
+  void RunUntil(const std::atomic<bool>& done);
+
+  /// Convenience binding for the executor options.
+  std::function<void(const std::atomic<bool>&)> AsService() {
+    return [this](const std::atomic<bool>& done) { RunUntil(done); };
+  }
+
+  const RedecomposerStats& stats() const { return stats_; }
+  const Status& last_error() const { return last_error_; }
+  const std::vector<AppliedMerge>& applied_merges() const { return applied_; }
+  /// The trace accumulated as baseline so far (post-merge of evaluated
+  /// windows) — exposed for tests.
+  const FootprintTrace& baseline() const { return baseline_; }
+
+ private:
+  std::uint32_t Flatten(std::uint64_t packed) const;
+  SegmentId SegmentOfFlat(std::uint32_t flat) const;
+  Status EvaluateWindow();
+  Status ApplyPending();
+
+  HddController* cc_;
+  FootprintRecorder* recorder_;
+  RedecomposerOptions options_;
+  std::vector<std::uint32_t> segment_base_;  // prefix sums of segment sizes
+  std::uint32_t num_granules_ = 0;
+
+  FootprintTrace baseline_;
+  FootprintTrace window_;
+  std::vector<AppliedMerge> pending_;
+  std::vector<AppliedMerge> applied_;
+  RedecomposerStats stats_;
+  Status last_error_ = Status::OK();
+};
+
+}  // namespace hdd
+
+#endif  // HDD_ENGINE_REDECOMPOSE_H_

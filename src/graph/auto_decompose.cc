@@ -1,0 +1,416 @@
+#include "graph/auto_decompose.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "graph/semi_tree.h"
+
+namespace hdd {
+namespace {
+
+void SortUnique(std::vector<std::uint32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+std::uint32_t MaxId(const std::vector<std::uint32_t>& v) {
+  return v.empty() ? 0 : v.back() + 1;  // sorted
+}
+
+/// Whether the validity contract covers this signature: observed commits
+/// are facts and always must be containable; declared-only intents only
+/// once they reach the support bar.
+bool MustContain(const TracedFootprint& type, std::uint64_t min_support) {
+  return type.observed_count > 0 || type.count >= min_support;
+}
+
+/// Segments a footprint's writes land in, deduplicated. Usually one; more
+/// than one means the decomposition cannot contain the footprint.
+std::vector<int> WriteSegments(const TracedFootprint& type,
+                               const Decomposition& dec) {
+  std::vector<int> segs;
+  for (std::uint32_t g : type.write_granules) {
+    const int s = dec.granule_segment[g];
+    if (std::find(segs.begin(), segs.end(), s) == segs.end()) {
+      segs.push_back(s);
+    }
+  }
+  return segs;
+}
+
+/// Checks one update signature against a candidate structure. Returns an
+/// empty string when containable, else a description of the violation.
+std::string ContainmentViolation(const TracedFootprint& type,
+                                 const Decomposition& dec,
+                                 const TstAnalysis& tst) {
+  const std::vector<int> write_segs = WriteSegments(type, dec);
+  if (write_segs.size() > 1) {
+    std::ostringstream out;
+    out << "co-written granule set (first granule " << type.write_granules[0]
+        << ") split across " << write_segs.size()
+        << " segments — a type must write exactly one segment";
+    return out.str();
+  }
+  const int root = write_segs[0];
+  for (std::uint32_t g : type.read_granules) {
+    const int s = dec.granule_segment[g];
+    if (s == root || tst.Higher(s, root)) continue;
+    std::ostringstream out;
+    out << "read of granule " << g << " (segment " << s
+        << ") not on a critical path above root segment " << root
+        << " — conflict edge not containable by Protocol A/B";
+    return out.str();
+  }
+  return {};
+}
+
+}  // namespace
+
+void FootprintTrace::Add(std::vector<std::uint32_t> writes,
+                         std::vector<std::uint32_t> reads, bool declared) {
+  SortUnique(&writes);
+  SortUnique(&reads);
+  // Writes dominate: drop own rereads from the read set.
+  std::vector<std::uint32_t> pure_reads;
+  pure_reads.reserve(reads.size());
+  std::set_difference(reads.begin(), reads.end(), writes.begin(), writes.end(),
+                      std::back_inserter(pure_reads));
+  granule_upper_bound_ = std::max(
+      granule_upper_bound_, std::max(MaxId(writes), MaxId(pure_reads)));
+  ++num_transactions_;
+  for (TracedFootprint& t : types_) {
+    if (t.write_granules == writes && t.read_granules == pure_reads) {
+      ++t.count;
+      if (!declared) ++t.observed_count;
+      return;
+    }
+  }
+  const bool read_only = writes.empty();
+  types_.push_back(TracedFootprint{std::move(writes), std::move(pure_reads),
+                                   read_only, 1, declared ? 0u : 1u});
+}
+
+void FootprintTrace::Merge(const FootprintTrace& other) {
+  for (const TracedFootprint& t : other.types_) {
+    bool found = false;
+    for (TracedFootprint& mine : types_) {
+      if (mine.write_granules == t.write_granules &&
+          mine.read_granules == t.read_granules) {
+        mine.count += t.count;
+        mine.observed_count += t.observed_count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) types_.push_back(t);
+  }
+  num_transactions_ += other.num_transactions_;
+  granule_upper_bound_ =
+      std::max(granule_upper_bound_, other.granule_upper_bound_);
+}
+
+std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+FootprintTrace::ConflictEdges() const {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> edges;
+  for (const TracedFootprint& t : types_) {
+    for (std::uint32_t w : t.write_granules) {
+      for (std::uint32_t other : t.write_granules) {
+        if (other != w) edges[{w, other}] += t.count;
+      }
+      for (std::uint32_t r : t.read_granules) edges[{w, r}] += t.count;
+    }
+  }
+  return edges;
+}
+
+double ConflictDistance(const FootprintTrace& a, const FootprintTrace& b) {
+  const auto ea = a.ConflictEdges();
+  const auto eb = b.ConflictEdges();
+  if (ea.empty() && eb.empty()) return 0.0;
+  if (ea.empty() || eb.empty()) return 1.0;
+  double total_a = 0, total_b = 0;
+  for (const auto& [edge, w] : ea) total_a += static_cast<double>(w);
+  for (const auto& [edge, w] : eb) total_b += static_cast<double>(w);
+  double overlap = 0;
+  for (const auto& [edge, w] : ea) {
+    const auto it = eb.find(edge);
+    if (it == eb.end()) continue;
+    overlap += std::min(static_cast<double>(w) / total_a,
+                        static_cast<double>(it->second) / total_b);
+  }
+  return 1.0 - overlap;
+}
+
+double ModeledTraceCost(const FootprintTrace& trace, const Decomposition& dec,
+                        const InferenceCosts& costs) {
+  double total = 0;
+  for (const TracedFootprint& type : trace.types()) {
+    const double n = static_cast<double>(type.count);
+    if (type.read_only) {
+      total += n * costs.read_version_us *
+               static_cast<double>(type.read_granules.size());
+      continue;
+    }
+    total += n * costs.write_version_us *
+             static_cast<double>(type.write_granules.size());
+    const std::vector<int> roots = WriteSegments(type, dec);
+    for (std::uint32_t g : type.read_granules) {
+      const int s = dec.granule_segment[g];
+      const bool own = std::find(roots.begin(), roots.end(), s) != roots.end();
+      total += n * (costs.read_version_us +
+                    (own ? costs.registration_us : costs.link_eval_us));
+    }
+  }
+  return total;
+}
+
+Status ValidateDecomposition(const Decomposition& dec,
+                             std::uint32_t num_granules) {
+  if (dec.granule_segment.size() != num_granules) {
+    return Status::InvalidArgument(
+        "decomposition does not cover the granule space: maps " +
+        std::to_string(dec.granule_segment.size()) + " of " +
+        std::to_string(num_granules) + " granules");
+  }
+  if (num_granules > 0 && dec.num_segments <= 0) {
+    return Status::InvalidArgument("decomposition has no segments");
+  }
+  for (std::size_t g = 0; g < dec.granule_segment.size(); ++g) {
+    const int s = dec.granule_segment[g];
+    if (s < 0 || s >= dec.num_segments) {
+      return Status::InvalidArgument(
+          "granule " + std::to_string(g) + " mapped to segment " +
+          std::to_string(s) + ", outside [0, " +
+          std::to_string(dec.num_segments) + ") — not covered by exactly one "
+          "class");
+    }
+  }
+  if (dec.dhg.num_nodes() != dec.num_segments) {
+    return Status::InvalidArgument(
+        "DHG has " + std::to_string(dec.dhg.num_nodes()) + " nodes for " +
+        std::to_string(dec.num_segments) + " segments");
+  }
+  if (!IsTransitiveSemiTree(dec.dhg)) {
+    return Status::InvalidArgument("DHG is not a transitive semi-tree: " +
+                                   ExplainIllegalDhg(dec.dhg));
+  }
+  return Status::OK();
+}
+
+Status ValidateAgainstTrace(const Decomposition& dec,
+                            const FootprintTrace& trace,
+                            std::uint64_t min_declared_support) {
+  if (trace.granule_upper_bound() > dec.granule_segment.size()) {
+    return Status::InvalidArgument(
+        "trace references granule " +
+        std::to_string(trace.granule_upper_bound() - 1) +
+        " beyond the decomposition's " +
+        std::to_string(dec.granule_segment.size()) + " granules");
+  }
+  HDD_ASSIGN_OR_RETURN(TstAnalysis tst, TstAnalysis::Create(dec.dhg));
+  for (std::size_t i = 0; i < trace.types().size(); ++i) {
+    const TracedFootprint& type = trace.types()[i];
+    if (type.read_only) continue;  // Protocol C contains these under any wall.
+    if (!MustContain(type, min_declared_support)) continue;
+    const std::string violation = ContainmentViolation(type, dec, tst);
+    if (!violation.empty()) {
+      return Status::InvalidArgument("traced type " + std::to_string(i) +
+                                     " (support " +
+                                     std::to_string(type.count) +
+                                     "): " + violation);
+    }
+  }
+  return Status::OK();
+}
+
+PartitionSpec SpecFromDecomposition(
+    const Decomposition& dec, const std::vector<TracedFootprint>& types) {
+  PartitionSpec spec;
+  spec.segment_names.reserve(static_cast<std::size_t>(dec.num_segments));
+  for (int s = 0; s < dec.num_segments; ++s) {
+    spec.segment_names.push_back("S" + std::to_string(s));
+  }
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    const TracedFootprint& type = types[i];
+    if (type.read_only || type.write_granules.empty()) continue;
+    TransactionTypeSpec t;
+    t.name = "t" + std::to_string(i);
+    t.root_segment = dec.granule_segment[type.write_granules[0]];
+    for (std::uint32_t g : type.read_granules) {
+      const SegmentId s = dec.granule_segment[g];
+      if (s == t.root_segment) continue;
+      if (std::find(t.read_segments.begin(), t.read_segments.end(), s) ==
+          t.read_segments.end()) {
+        t.read_segments.push_back(s);
+      }
+    }
+    std::sort(t.read_segments.begin(), t.read_segments.end());
+    spec.transaction_types.push_back(std::move(t));
+  }
+  return spec;
+}
+
+Result<InferredDecomposition> InferDecomposition(
+    std::uint32_t num_granules, const FootprintTrace& trace,
+    const InferenceOptions& options) {
+  if (trace.granule_upper_bound() > num_granules) {
+    return Status::InvalidArgument(
+        "trace references granules beyond num_granules");
+  }
+  std::vector<std::size_t> updates;  // indices of update signatures
+  for (std::size_t i = 0; i < trace.types().size(); ++i) {
+    if (!trace.types()[i].read_only) updates.push_back(i);
+  }
+  if (updates.empty()) {
+    return Status::InvalidArgument(
+        "trace holds no update footprints — nothing to infer a class "
+        "structure from");
+  }
+  // The shaping set: signatures at or above the support threshold. Never
+  // empty — when pruning would drop everything, the heaviest signature
+  // stays (an all-pruned inference is undefined).
+  std::vector<bool> shaping(trace.types().size(), false);
+  std::size_t num_shaping = 0;
+  for (std::size_t i : updates) {
+    if (trace.types()[i].count >= options.min_support) {
+      shaping[i] = true;
+      ++num_shaping;
+    }
+  }
+  if (num_shaping == 0) {
+    std::size_t heaviest = updates[0];
+    for (std::size_t i : updates) {
+      if (trace.types()[i].count > trace.types()[heaviest].count) heaviest = i;
+    }
+    shaping[heaviest] = true;
+    ++num_shaping;
+  }
+
+  // Containment-repair loop: infer from the shaping set, then check the
+  // WHOLE trace; a pruned signature the candidate cannot contain is
+  // promoted and the inference re-run. Terminates: each round promotes at
+  // least one signature and there are finitely many.
+  Decomposition dec;
+  std::uint64_t restored = 0;
+  for (;;) {
+    std::vector<AccessFootprint> footprints;
+    footprints.reserve(num_shaping);
+    for (std::size_t i : updates) {
+      if (!shaping[i]) continue;
+      footprints.push_back(AccessFootprint{trace.types()[i].write_granules,
+                                           trace.types()[i].read_granules});
+    }
+    HDD_ASSIGN_OR_RETURN(dec,
+                         DecomposeFromAccessSets(num_granules, footprints));
+    HDD_ASSIGN_OR_RETURN(TstAnalysis tst, TstAnalysis::Create(dec.dhg));
+    bool repaired = false;
+    for (std::size_t i : updates) {
+      if (!shaping[i] && !MustContain(trace.types()[i], options.min_support)) {
+        continue;  // declared-only intent below the bar: stays pruned.
+      }
+      const std::string violation =
+          ContainmentViolation(trace.types()[i], dec, tst);
+      if (violation.empty()) continue;
+      if (shaping[i]) {
+        // DecomposeFromAccessSets guarantees containment for the
+        // footprints that shaped it; a violation here is a bug.
+        return Status::Internal("inference produced a structure violating a "
+                                "shaping footprint: " +
+                                violation);
+      }
+      shaping[i] = true;
+      ++num_shaping;
+      ++restored;
+      repaired = true;
+    }
+    if (!repaired) break;
+  }
+
+  InferredDecomposition out;
+  out.support_threshold = options.min_support;
+  out.types_observed = trace.types().size();
+  out.types_shaping = num_shaping;
+  out.types_pruned = updates.size() - num_shaping;
+  out.types_restored = restored;
+  out.modeled_cost_us = ModeledTraceCost(trace, dec, options.costs);
+  for (std::size_t i : updates) {
+    if (shaping[i]) out.shaping_types.push_back(trace.types()[i]);
+  }
+  out.spec = SpecFromDecomposition(dec, out.shaping_types);
+  out.decomposition = std::move(dec);
+
+  if (options.mutation_misclassify_granule &&
+      out.decomposition.num_segments >= 2) {
+    // TEST-ONLY canary: mis-classify one granule written by a contained
+    // signature. Not every move is a fault — shifting a lone writer into
+    // another segment that still sits below its read segments yields a
+    // DIFFERENT but valid decomposition — so the candidate search keeps
+    // the first (victim, target) whose structure the validation net must
+    // reject. A downstream "escape" can then only mean the net itself
+    // regressed, never that the mutation happened to be harmless.
+    for (std::size_t i : updates) {
+      const TracedFootprint& type = trace.types()[i];
+      if (!MustContain(type, options.min_support)) continue;
+      if (type.write_granules.empty()) continue;
+      const std::uint32_t victim = type.write_granules[0];
+      const int home = out.decomposition.granule_segment[victim];
+      for (int target = 0; target < out.decomposition.num_segments;
+           ++target) {
+        if (target == home) continue;
+        out.decomposition.granule_segment[victim] = target;
+        const bool rejected =
+            !ValidateDecomposition(out.decomposition, num_granules).ok() ||
+            !ValidateAgainstTrace(out.decomposition, trace,
+                                  options.min_support)
+                 .ok();
+        if (rejected) {
+          out.mutated = true;
+          break;
+        }
+      }
+      if (out.mutated) break;
+      out.decomposition.granule_segment[victim] = home;
+    }
+  }
+  return out;
+}
+
+Result<InferredDecomposition> InferBestDecomposition(
+    std::uint32_t num_granules, const FootprintTrace& trace,
+    const InferenceOptions& options) {
+  std::uint64_t max_count = 0;
+  for (const TracedFootprint& t : trace.types()) {
+    if (!t.read_only) max_count = std::max(max_count, t.count);
+  }
+  const std::uint64_t floor = std::max<std::uint64_t>(1, options.min_support);
+  InferenceOptions sweep = options;
+  sweep.mutation_misclassify_granule = false;
+  bool have_best = false;
+  InferredDecomposition best;
+  std::uint64_t best_threshold = floor;
+  for (std::uint64_t t = floor; t <= std::max(floor, max_count); t *= 2) {
+    sweep.min_support = t;
+    HDD_ASSIGN_OR_RETURN(InferredDecomposition candidate,
+                         InferDecomposition(num_granules, trace, sweep));
+    const bool better =
+        !have_best || candidate.modeled_cost_us < best.modeled_cost_us ||
+        (candidate.modeled_cost_us == best.modeled_cost_us &&
+         candidate.decomposition.merges < best.decomposition.merges);
+    if (better) {
+      best = std::move(candidate);
+      best_threshold = t;
+      have_best = true;
+    }
+  }
+  if (!options.mutation_misclassify_granule) return best;
+  // Re-infer the winner with the canary armed so the mutation applies to
+  // exactly the structure a healthy run would have swapped in.
+  InferenceOptions final_options = options;
+  final_options.min_support = best_threshold;
+  return InferDecomposition(num_granules, trace, final_options);
+}
+
+}  // namespace hdd

@@ -1,0 +1,237 @@
+#ifndef HDD_GRAPH_AUTO_DECOMPOSE_H_
+#define HDD_GRAPH_AUTO_DECOMPOSE_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/decomposition.h"
+#include "graph/dhg.h"
+
+namespace hdd {
+
+/// Workload-driven automatic decomposition (ROADMAP "transparent CC",
+/// after Transparent Concurrency Control and Automating Fine Concurrency
+/// Control — see PAPERS.md): accumulate per-transaction read/write
+/// granule footprints into a conflict graph, derive a legal TST
+/// decomposition from it with §7.2.2's data analysis, and prove the
+/// result valid before anything trusts it for Protocol A/B admission.
+///
+/// The flow is trace -> infer -> validate:
+///
+///   FootprintTrace trace;
+///   trace.Add(/*writes=*/{0, 1}, /*reads=*/{7});     // observed txns
+///   auto inferred = InferBestDecomposition(num_granules, trace);
+///   HDD_RETURN_IF_ERROR(ValidateDecomposition(inferred->decomposition,
+///                                             num_granules));
+///   HDD_RETURN_IF_ERROR(ValidateAgainstTrace(inferred->decomposition,
+///                                            trace));
+///
+/// Validation is not optional hygiene: the controller admits Protocol A
+/// reads and Protocol B writes purely from the class structure, so a
+/// wrong inference is a wrong admission rule. Everything downstream
+/// (decompose_tool --infer, the online Redecomposer, the sim sweeps)
+/// validates every candidate before swapping it in — and the
+/// `mutation_misclassify_granule` canary exists to prove that the
+/// validation actually catches a bad one.
+
+/// One distinct transaction footprint (signature) accumulated by a
+/// FootprintTrace, over flat granule ids in [0, num_granules). Sets are
+/// sorted and duplicate-free; `count` is the number of traced
+/// transactions sharing the signature (its support).
+struct TracedFootprint {
+  std::vector<std::uint32_t> write_granules;
+  std::vector<std::uint32_t> read_granules;
+  bool read_only = false;
+  /// Total traced transactions with this signature (observed + declared).
+  std::uint64_t count = 0;
+  /// How many of `count` were OBSERVED commits, as opposed to declared
+  /// admission-time intents. The distinction carries weight: an observed
+  /// conflict edge happened and must be containable unconditionally,
+  /// while a declared-only pattern below the min-support bar may be
+  /// pruned — don't coarsen the hierarchy for an intent announced once
+  /// and never run.
+  std::uint64_t observed_count = 0;
+};
+
+/// Accumulator of per-transaction read/write granule sets. Deduplicates
+/// identical footprints into weighted signatures and derives the
+/// intra-transaction conflict graph used for drift detection. Not
+/// thread-safe: fold from one thread (the obs-layer FootprintRecorder is
+/// the concurrent front end; see src/obs/footprint.h).
+class FootprintTrace {
+ public:
+  /// Folds one transaction's footprint. Granule ids are flat; reads that
+  /// also appear as writes are dropped from the read set (the write
+  /// dominates — the paper's types declare reads *outside* the root
+  /// segment, and Protocol B covers own-segment rereads). A transaction
+  /// with no writes is a read-only footprint. `declared` marks an
+  /// admission-time intent rather than an observed commit (see
+  /// TracedFootprint::observed_count).
+  void Add(std::vector<std::uint32_t> writes, std::vector<std::uint32_t> reads,
+           bool declared = false);
+
+  /// Folds another trace into this one (used to merge a drift window
+  /// into the running baseline).
+  void Merge(const FootprintTrace& other);
+
+  /// Distinct signatures, in first-seen order (deterministic).
+  const std::vector<TracedFootprint>& types() const { return types_; }
+  std::uint64_t num_transactions() const { return num_transactions_; }
+  /// 1 + the highest granule id seen (0 for an empty trace).
+  std::uint32_t granule_upper_bound() const { return granule_upper_bound_; }
+
+  /// The weighted intra-transaction conflict graph: key (w, a) counts
+  /// transactions that wrote granule `w` while also accessing granule
+  /// `a` (read or write, a != w). These co-access edges are exactly what
+  /// shapes the decomposition — co-writes force granules into one
+  /// segment, write+read pairs force DHG arcs — so a shift in this graph
+  /// is a shift in the structure the workload wants.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+  ConflictEdges() const;
+
+ private:
+  std::vector<TracedFootprint> types_;
+  std::uint64_t num_transactions_ = 0;
+  std::uint32_t granule_upper_bound_ = 0;
+};
+
+/// Distance in [0, 1] between the normalized conflict-edge weight
+/// distributions of two traces (1 - the weighted-Jaccard overlap of
+/// their edge multisets). 0 when the access patterns are identical up to
+/// scale, 1 when they share no conflict edge. Two empty traces are at
+/// distance 0; an empty trace is at distance 1 from any non-empty one.
+/// This is the drift signal the online Redecomposer thresholds.
+double ConflictDistance(const FootprintTrace& a, const FootprintTrace& b);
+
+/// Flat prices for scoring a candidate decomposition, mirroring the
+/// CostModel fields the score uses (engine/cost_model.h — kept as plain
+/// doubles so the graph layer does not depend on the engine library;
+/// engine/redecompose.h converts). Defaults equal the CostModel defaults.
+struct InferenceCosts {
+  double read_version_us = 1.0;
+  double write_version_us = 2.0;
+  double registration_us = 2.0;
+  double link_eval_us = 0.5;
+};
+
+struct InferenceOptions {
+  /// Minimum signature support: footprints seen fewer times than this do
+  /// not SHAPE the decomposition (they neither union co-written granules
+  /// nor add DHG arcs). Rare ad-hoc patterns would otherwise merge the
+  /// whole hierarchy into one class. The safety contract is asymmetric:
+  /// a pruned footprint with at least one OBSERVED commit that the
+  /// shaped structure cannot contain is always restored (see
+  /// InferredDecomposition::types_restored — observed conflict edges are
+  /// facts), while a DECLARED-only footprint below this bar stays pruned
+  /// — an intent announced fewer than min_support times does not get to
+  /// coarsen the hierarchy. The output is therefore always valid for
+  /// every observed footprint and every declared one at or above the
+  /// bar, which is exactly what ValidateAgainstTrace checks when handed
+  /// the same threshold.
+  std::uint64_t min_support = 1;
+  /// Prices for ModeledTraceCost scoring in InferBestDecomposition.
+  InferenceCosts costs;
+  /// TEST-ONLY mutation canary: after inference, silently move one
+  /// co-written granule to a different segment — a mis-classification
+  /// that makes the structure lie about write ownership. The validation
+  /// pass (ValidateAgainstTrace's co-write cover check) MUST reject the
+  /// result; a pipeline that swaps it in anyway has a broken safety
+  /// story, and the sim sweep's canary test proves ours is not.
+  bool mutation_misclassify_granule = false;
+};
+
+/// An inferred decomposition plus the provenance a caller needs to audit
+/// it. `spec` is the equivalent declared form (synthetic segment/type
+/// names) accepted by HierarchySchema::Create.
+struct InferredDecomposition {
+  Decomposition decomposition;
+  PartitionSpec spec;
+  /// The update signatures that shaped the structure (post-restoration),
+  /// in trace order — what an online driver must legalize through
+  /// Restructure to realize this decomposition on a live controller.
+  std::vector<TracedFootprint> shaping_types;
+  std::uint64_t support_threshold = 1;
+  std::uint64_t types_observed = 0;  // distinct signatures in the trace
+  std::uint64_t types_shaping = 0;   // signatures that shaped the result
+  std::uint64_t types_pruned = 0;    // below min_support, containable
+  std::uint64_t types_restored = 0;  // below min_support, had to shape
+  double modeled_cost_us = 0;        // ModeledTraceCost of the trace
+  /// True when the mutation canary actually fired (it needs >= 2 segments
+  /// to have a wrong one to pick) — escape accounting keys off this.
+  bool mutated = false;
+};
+
+/// §7.2.2 decomposition from traced access sets, with min-support
+/// pruning. Update signatures with count >= min_support shape the
+/// structure through DecomposeFromAccessSets; every signature (shaping
+/// or pruned, but not read-only — Protocol C contains those under any
+/// structure) is then checked for containment, and any pruned signature
+/// the candidate cannot contain is promoted into the shaping set and the
+/// inference re-run. The result therefore always satisfies
+/// ValidateDecomposition + ValidateAgainstTrace for the full trace —
+/// unless the mutation canary is armed, in which case it deliberately
+/// does not. Fails on an empty/read-only-only trace (nothing to infer).
+Result<InferredDecomposition> InferDecomposition(
+    std::uint32_t num_granules, const FootprintTrace& trace,
+    const InferenceOptions& options = {});
+
+/// Sweeps min_support over {1, 2, 4, ...} up to the trace's maximum
+/// signature count, scores each candidate with ModeledTraceCost, and
+/// returns the cheapest (ties break toward fewer merges, then lower
+/// support). This is where the max-concurrency trade-off is made: higher
+/// support keeps the hierarchy finer (more Protocol A reads at
+/// link_eval_us instead of registered reads at registration_us), at the
+/// price of restoring the pruned types that turn out uncontainable.
+Result<InferredDecomposition> InferBestDecomposition(
+    std::uint32_t num_granules, const FootprintTrace& trace,
+    const InferenceOptions& options = {});
+
+/// Models the synchronization cost of replaying `trace` under `dec`:
+/// writes create versions; reads in the transaction's own (root) segment
+/// register (registration_us + read_version_us); reads of other segments
+/// go through Protocol A (link_eval_us + read_version_us); read-only
+/// footprints read under a wall (read_version_us only). Footprints whose
+/// writes span segments (illegal under `dec`) are priced as if the
+/// spanned segments were merged — callers validate legality separately.
+double ModeledTraceCost(const FootprintTrace& trace, const Decomposition& dec,
+                        const InferenceCosts& costs);
+
+/// Structural validation shared by decompose_tool and the inference
+/// path: every granule mapped to exactly one in-range segment, the DHG
+/// over exactly num_segments nodes, and the DHG a transitive semi-tree.
+/// Errors name the violated invariant.
+Status ValidateDecomposition(const Decomposition& dec,
+                             std::uint32_t num_granules);
+
+/// Semantic validation against a trace: every update signature's writes
+/// land in exactly one segment (the co-write cover the class structure
+/// promises Protocol B), and every read it performs outside that segment
+/// targets a segment strictly higher in the DHG (containable by Protocol
+/// A). Read-only signatures are skipped — Protocol C contains them under
+/// any wall — and declared-only signatures seen fewer than
+/// `min_declared_support` times are skipped too, mirroring the inference
+/// contract (every OBSERVED signature is checked unconditionally).
+/// Together with ValidateDecomposition this proves every observed
+/// conflict edge is containable by Protocol A/B under the candidate,
+/// because any cross-transaction conflict on a granule g is mediated by
+/// g's unique segment: w-w conflicts meet in its class's Protocol B, and
+/// w-r conflicts either register in that class or cross upward through
+/// an activity link.
+Status ValidateAgainstTrace(const Decomposition& dec,
+                            const FootprintTrace& trace,
+                            std::uint64_t min_declared_support = 1);
+
+/// Builds the declared PartitionSpec equivalent to `dec` for the given
+/// shaping types: segment names "S<k>", one TransactionTypeSpec per
+/// update signature (root = its write segment, reads = the other
+/// segments it touches). HierarchySchema::Create accepts the result iff
+/// the decomposition is legal — the final word on validity.
+PartitionSpec SpecFromDecomposition(const Decomposition& dec,
+                                    const std::vector<TracedFootprint>& types);
+
+}  // namespace hdd
+
+#endif  // HDD_GRAPH_AUTO_DECOMPOSE_H_

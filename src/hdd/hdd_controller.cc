@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <optional>
+#include <thread>
 
 #include "common/sim_hook.h"
 #include "graph/algorithms.h"
@@ -16,8 +17,9 @@
 // marks a preemption/fault point and is always placed BEFORE a latch
 // acquisition, never inside a critical section — under simulation exactly
 // one task runs at a time, so a descheduled latch holder would wedge the
-// party (holding the structure gate shared is fine; only Restructure takes
-// it exclusively and is not exercised under simulation). Sites on paths
+// party (holding the structure gate shared is fine; Restructure's one
+// exclusive acquisition spins on try_lock between reschedules so parked
+// shared holders can run to their release first). Sites on paths
 // with partially applied effects (commit install, abort undo) are
 // non-interruptible: a SimFault may not unwind them. Every cv wait goes
 // through SimWait/SimNotifyAll so wakeup delivery is owned by the
@@ -117,6 +119,35 @@ void HddController::StopWallPacer() {
 ClassId HddController::ClassOfSegment(SegmentId segment) const {
   std::shared_lock<std::shared_mutex> gate(struct_mu_);
   return class_of_segment_[segment];
+}
+
+Result<bool> HddController::IsLegalAccessPattern(
+    const std::vector<SegmentId>& write_segments,
+    const std::vector<SegmentId>& read_segments) const {
+  if (write_segments.empty()) {
+    return Status::InvalidArgument("pattern needs a write segment");
+  }
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  const int num_segments = static_cast<int>(class_of_segment_.size());
+  for (SegmentId s : write_segments) {
+    if (s < 0 || s >= num_segments) {
+      return Status::InvalidArgument("write segment out of range");
+    }
+  }
+  for (SegmentId s : read_segments) {
+    if (s < 0 || s >= num_segments) {
+      return Status::InvalidArgument("read segment out of range");
+    }
+  }
+  const ClassId own = class_of_segment_[write_segments[0]];
+  for (SegmentId s : write_segments) {
+    if (class_of_segment_[s] != own) return false;
+  }
+  for (SegmentId s : read_segments) {
+    const ClassId c = class_of_segment_[s];
+    if (c != own && !tst_->Higher(c, own)) return false;
+  }
+  return true;
 }
 
 std::size_t HddController::num_walls() const {
@@ -503,6 +534,25 @@ void HddController::FlushOpMetrics(const TxnRuntime& runtime) {
   }
 }
 
+void HddController::PublishFootprint(const TxnRuntime& runtime) {
+  std::vector<std::uint64_t> writes;
+  writes.reserve(runtime.writes.size());
+  for (GranuleRef g : runtime.writes) {
+    writes.push_back(FootprintRecorder::Pack(
+        static_cast<std::uint32_t>(g.segment),
+        static_cast<std::uint32_t>(g.index)));
+  }
+  std::vector<std::uint64_t> reads;
+  reads.reserve(runtime.fp_reads.size());
+  for (GranuleRef g : runtime.fp_reads) {
+    reads.push_back(FootprintRecorder::Pack(
+        static_cast<std::uint32_t>(g.segment),
+        static_cast<std::uint32_t>(g.index)));
+  }
+  options_.footprint->Observe(std::move(writes), std::move(reads),
+                              runtime.descriptor.read_only);
+}
+
 Result<Value> HddController::Read(const TxnDescriptor& txn,
                                   GranuleRef granule) {
   HDD_RETURN_IF_ERROR(db_->Validate(granule));
@@ -515,18 +565,27 @@ Result<Value> HddController::Read(const TxnDescriptor& txn,
   std::shared_lock<std::shared_mutex> gate(struct_mu_, std::defer_lock);
   if (txn.epoch == 0) gate.lock();
   HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
-  if (runtime->descriptor.read_only) {
-    if (runtime->hosted_below != kReadOnlyClass) {
-      return ReadHosted(runtime, granule);
+  Result<Value> result = [&]() -> Result<Value> {
+    if (runtime->descriptor.read_only) {
+      if (runtime->hosted_below != kReadOnlyClass) {
+        return ReadHosted(runtime, granule);
+      }
+      return ReadUnderWall(gate, runtime, granule);
     }
-    return ReadUnderWall(gate, runtime, granule);
+    const ClassId own_class = runtime->descriptor.txn_class;
+    const ClassId target_class = class_of_segment_[granule.segment];
+    if (own_class == target_class) {
+      return ReadOwnSegment(gate, runtime, granule);
+    }
+    return ReadHigherSegment(runtime, granule, own_class, target_class);
+  }();
+  // Footprint tracing piggybacks on the dispatch so all four read paths
+  // feed the one accumulator; the per-read cost when disabled is a
+  // single predictable branch.
+  if (result.ok() && options_.footprint != nullptr) {
+    runtime->fp_reads.push_back(granule);
   }
-  const ClassId own_class = runtime->descriptor.txn_class;
-  const ClassId target_class = class_of_segment_[granule.segment];
-  if (own_class == target_class) {
-    return ReadOwnSegment(gate, runtime, granule);
-  }
-  return ReadHigherSegment(runtime, granule, own_class, target_class);
+  return result;
 }
 
 Result<Value> HddController::ReadHigherSegment(TxnRuntime* runtime,
@@ -1021,6 +1080,7 @@ Status HddController::Commit(const TxnDescriptor& txn) {
     assert(it != wall_pins_.end());
     if (--it->second == 0) wall_pins_.erase(it);
   }
+  if (options_.footprint != nullptr) PublishFootprint(*runtime);
   recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
   metrics_.commits.Add(1);
   active_txns_.fetch_sub(1);
@@ -1178,7 +1238,17 @@ Result<ClassId> HddController::Restructure(
 
   {
     // The swap: the only exclusive hold of the structure gate anywhere.
-    std::unique_lock<std::shared_mutex> gate(struct_mu_);
+    // Acquired cooperatively: reader tasks park at preemption points while
+    // holding the gate shared, so a blocking exclusive acquisition here
+    // would stall invisibly under the deterministic scheduler (it cannot
+    // see raw futex waits). Spin on try_lock with a non-interruptible
+    // reschedule instead; outside the simulation the loop degrades to a
+    // short yield-spin, and readers never park holding the gate there.
+    std::unique_lock<std::shared_mutex> gate(struct_mu_, std::defer_lock);
+    while (!gate.try_lock()) {
+      SimYield("hdd/restructure/gate", /*interruptible=*/false);
+      std::this_thread::yield();
+    }
 
     // Singleton groups keep their shard object (threads parked on its cv
     // or mid-wait stay attached to live state); merged groups get a fresh

@@ -19,6 +19,7 @@
 #include "hdd/activity.h"
 #include "hdd/link_functions.h"
 #include "hdd/time_wall.h"
+#include "obs/footprint.h"
 
 namespace hdd {
 
@@ -48,6 +49,15 @@ struct HddControllerOptions {
   /// oracle's bound replay must catch this with a replayable seed;
   /// a harness that cannot detect the mutation is broken.
   bool mutation_unsafe_protocol_a = false;
+
+  /// When set, the controller publishes one footprint (the packed
+  /// granule read/write sets) per COMMITTED transaction — the trace feed
+  /// of workload-driven automatic decomposition (graph/auto_decompose.h,
+  /// engine/redecompose.h). Reads are accumulated in the transaction's
+  /// runtime by its driving thread, so the publication costs one recorder
+  /// call per commit, not per operation. Not owned; must outlive the
+  /// controller.
+  FootprintRecorder* footprint = nullptr;
 
   std::string name = "hdd";
 };
@@ -164,6 +174,17 @@ class HddController : public ConcurrencyController {
   Result<ClassId> Restructure(const std::vector<SegmentId>& write_segments,
                               const std::vector<SegmentId>& read_segments);
 
+  /// True when a transaction type writing `write_segments` while reading
+  /// `read_segments` is already legal under the CURRENT class structure
+  /// (all writes in one class, every read segment on a critical path
+  /// above it) — i.e. Restructure for that pattern would be a no-op
+  /// merge. Takes the structure gate shared; safe alongside running
+  /// transactions. The online Redecomposer uses this to decide which
+  /// inferred types actually require a merge.
+  Result<bool> IsLegalAccessPattern(
+      const std::vector<SegmentId>& write_segments,
+      const std::vector<SegmentId>& read_segments) const;
+
   /// A version-GC horizon currently safe for garbage collection: below
   /// the initiation time of every active transaction and below every
   /// wall component still reachable by read-only transactions (§7.3).
@@ -257,6 +278,9 @@ class HddController : public ConcurrencyController {
   struct TxnRuntime {
     TxnDescriptor descriptor;
     std::vector<GranuleRef> writes;  // touched only by the driving thread
+    /// Granules read, accumulated like `writes` (driving thread only) and
+    /// only when a FootprintRecorder is attached; published on commit.
+    std::vector<GranuleRef> fp_reads;
     const TimeWall* wall = nullptr;  // Protocol C wall, fixed at first read
     /// For hosted read-only transactions (§5.0): the lowest class of the
     /// declared critical path; kReadOnlyClass when not hosted.
@@ -297,6 +321,9 @@ class HddController : public ConcurrencyController {
   /// Publishes the runtime's deferred per-operation counts (see
   /// TxnRuntime) into the shared metric registry.
   void FlushOpMetrics(const TxnRuntime& runtime);
+  /// Publishes the runtime's packed read/write granule sets to the
+  /// attached FootprintRecorder (caller checked options_.footprint).
+  void PublishFootprint(const TxnRuntime& runtime);
 
   /// Validates a read_scope declaration and returns the lowest class of
   /// the critical path it spans, or an error. Caller holds the structure

@@ -1,0 +1,49 @@
+#include "obs/footprint.h"
+
+#include <utility>
+
+namespace hdd {
+
+void FootprintRecorder::Observe(std::vector<std::uint64_t> writes,
+                                std::vector<std::uint64_t> reads,
+                                bool read_only) {
+  RawFootprint fp;
+  fp.writes = std::move(writes);
+  fp.reads = std::move(reads);
+  fp.read_only = read_only;
+  fp.declared = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  window_.push_back(std::move(fp));
+  ++total_;
+}
+
+void FootprintRecorder::Declare(std::vector<std::uint64_t> writes,
+                                std::vector<std::uint64_t> reads) {
+  RawFootprint fp;
+  fp.read_only = writes.empty();
+  fp.writes = std::move(writes);
+  fp.reads = std::move(reads);
+  fp.declared = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  window_.push_back(std::move(fp));
+  ++total_;
+}
+
+std::vector<RawFootprint> FootprintRecorder::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RawFootprint> out;
+  out.swap(window_);
+  return out;
+}
+
+std::size_t FootprintRecorder::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_.size();
+}
+
+std::uint64_t FootprintRecorder::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace hdd

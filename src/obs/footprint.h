@@ -1,0 +1,77 @@
+#ifndef HDD_OBS_FOOTPRINT_H_
+#define HDD_OBS_FOOTPRINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace hdd {
+
+/// One transaction's access footprint over (segment, index) granule
+/// coordinates, packed as raw integers: the obs layer is deliberately
+/// dependency-free (see src/obs/CMakeLists.txt), so it does not know the
+/// storage types. `declared` marks admission-time intent (the workload
+/// announced the sets before running) as opposed to an observed commit.
+struct RawFootprint {
+  std::vector<std::uint64_t> writes;
+  std::vector<std::uint64_t> reads;
+  bool read_only = false;
+  bool declared = false;
+};
+
+/// Thread-safe windowed collector of per-transaction read/write granule
+/// sets — the live front end of workload-driven automatic decomposition
+/// (graph/auto_decompose.h). The HDD controller publishes one footprint
+/// per committed transaction (HddControllerOptions::footprint) and a
+/// workload may additionally Declare intended footprints at admission
+/// time; the online Redecomposer (engine/redecompose.h) periodically
+/// Drains the window, folds it into a FootprintTrace and thresholds the
+/// conflict-graph drift.
+///
+/// Each footprint arrives in one call, so the hot-path cost is one mutex
+/// acquisition per *transaction* (not per operation) — the controller
+/// accumulates reads in its per-transaction runtime first.
+class FootprintRecorder {
+ public:
+  FootprintRecorder() = default;
+  FootprintRecorder(const FootprintRecorder&) = delete;
+  FootprintRecorder& operator=(const FootprintRecorder&) = delete;
+
+  static std::uint64_t Pack(std::uint32_t segment, std::uint32_t index) {
+    return (static_cast<std::uint64_t>(segment) << 32) | index;
+  }
+  static std::uint32_t Segment(std::uint64_t packed) {
+    return static_cast<std::uint32_t>(packed >> 32);
+  }
+  static std::uint32_t Index(std::uint64_t packed) {
+    return static_cast<std::uint32_t>(packed);
+  }
+
+  /// Appends one observed (committed) footprint to the current window.
+  void Observe(std::vector<std::uint64_t> writes,
+               std::vector<std::uint64_t> reads, bool read_only);
+
+  /// Appends one declared footprint: a transaction type announced at
+  /// admission, before (or without) executing — this is how patterns the
+  /// current structure cannot even run yet become visible to the drift
+  /// detector.
+  void Declare(std::vector<std::uint64_t> writes,
+               std::vector<std::uint64_t> reads);
+
+  /// Removes and returns the current window, in arrival order.
+  std::vector<RawFootprint> Drain();
+
+  /// Footprints currently pending in the window.
+  std::size_t pending() const;
+  /// Total footprints ever recorded (monotonic, survives Drain).
+  std::uint64_t total() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RawFootprint> window_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_OBS_FOOTPRINT_H_

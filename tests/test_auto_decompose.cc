@@ -1,0 +1,381 @@
+#include "graph/auto_decompose.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dhg.h"
+#include "graph/semi_tree.h"
+
+namespace hdd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FootprintTrace accumulation.
+
+TEST(FootprintTraceTest, DeduplicatesSignaturesAndCounts) {
+  FootprintTrace trace;
+  trace.Add({1, 0}, {2});
+  trace.Add({0, 1}, {2});  // same signature, different order
+  trace.Add({0}, {});
+  EXPECT_EQ(trace.num_transactions(), 3u);
+  ASSERT_EQ(trace.types().size(), 2u);
+  EXPECT_EQ(trace.types()[0].count, 2u);
+  EXPECT_EQ(trace.types()[0].observed_count, 2u);
+  EXPECT_EQ(trace.granule_upper_bound(), 3u);
+}
+
+TEST(FootprintTraceTest, WritesDominateRereads) {
+  FootprintTrace trace;
+  trace.Add({3}, {3, 4});
+  ASSERT_EQ(trace.types().size(), 1u);
+  EXPECT_EQ(trace.types()[0].read_granules, std::vector<std::uint32_t>{4});
+}
+
+TEST(FootprintTraceTest, NoWritesMeansReadOnly) {
+  FootprintTrace trace;
+  trace.Add({}, {0, 1});
+  ASSERT_EQ(trace.types().size(), 1u);
+  EXPECT_TRUE(trace.types()[0].read_only);
+}
+
+TEST(FootprintTraceTest, DeclaredCountsSeparately) {
+  FootprintTrace trace;
+  trace.Add({0, 1}, {}, /*declared=*/true);
+  trace.Add({0, 1}, {}, /*declared=*/false);
+  ASSERT_EQ(trace.types().size(), 1u);
+  EXPECT_EQ(trace.types()[0].count, 2u);
+  EXPECT_EQ(trace.types()[0].observed_count, 1u);
+}
+
+TEST(FootprintTraceTest, MergeFoldsCountsAndBounds) {
+  FootprintTrace a;
+  a.Add({0}, {1});
+  FootprintTrace b;
+  b.Add({0}, {1});
+  b.Add({7}, {});
+  a.Merge(b);
+  EXPECT_EQ(a.num_transactions(), 3u);
+  ASSERT_EQ(a.types().size(), 2u);
+  EXPECT_EQ(a.types()[0].count, 2u);
+  EXPECT_EQ(a.granule_upper_bound(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Conflict-graph distance (the drift signal).
+
+TEST(ConflictDistanceTest, IdenticalTracesAtZero) {
+  FootprintTrace a;
+  a.Add({0}, {1});
+  a.Add({2}, {0});
+  FootprintTrace b;
+  b.Add({0}, {1});
+  b.Add({2}, {0});
+  EXPECT_DOUBLE_EQ(ConflictDistance(a, b), 0.0);
+}
+
+TEST(ConflictDistanceTest, ScaleInvariant) {
+  FootprintTrace a;
+  a.Add({0}, {1});
+  FootprintTrace b;
+  for (int i = 0; i < 10; ++i) b.Add({0}, {1});
+  EXPECT_DOUBLE_EQ(ConflictDistance(a, b), 0.0);
+}
+
+TEST(ConflictDistanceTest, DisjointTracesAtOne) {
+  FootprintTrace a;
+  a.Add({0}, {1});
+  FootprintTrace b;
+  b.Add({5}, {6});
+  EXPECT_DOUBLE_EQ(ConflictDistance(a, b), 1.0);
+}
+
+TEST(ConflictDistanceTest, EmptyTraceConventions) {
+  FootprintTrace empty;
+  FootprintTrace full;
+  full.Add({0}, {1});
+  EXPECT_DOUBLE_EQ(ConflictDistance(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(ConflictDistance(empty, full), 1.0);
+  EXPECT_DOUBLE_EQ(ConflictDistance(full, empty), 1.0);
+}
+
+TEST(ConflictDistanceTest, PartialOverlapStrictlyBetween) {
+  FootprintTrace a;
+  a.Add({0}, {1});
+  a.Add({2}, {3});
+  FootprintTrace b;
+  b.Add({0}, {1});
+  b.Add({5}, {6});
+  const double d = ConflictDistance(a, b);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: property test over seeded random workloads. The inferred
+// decomposition must be a valid TST, cover every traced granule with
+// exactly one class, and contain every observed conflict edge under
+// Protocol A/B — re-checked here from first principles (IsSemiTree /
+// TstAnalysis), not only through ValidateDecomposition.
+
+FootprintTrace RandomTrace(Rng& rng, std::uint32_t num_granules) {
+  FootprintTrace trace;
+  const int num_types = static_cast<int>(rng.NextInRange(1, 8));
+  for (int t = 0; t < num_types; ++t) {
+    std::vector<std::uint32_t> writes;
+    std::vector<std::uint32_t> reads;
+    const int n_writes = static_cast<int>(rng.NextInRange(1, 3));
+    for (int i = 0; i < n_writes; ++i) {
+      writes.push_back(static_cast<std::uint32_t>(
+          rng.NextBounded(num_granules)));
+    }
+    const int n_reads = static_cast<int>(rng.NextInRange(0, 4));
+    for (int i = 0; i < n_reads; ++i) {
+      reads.push_back(static_cast<std::uint32_t>(
+          rng.NextBounded(num_granules)));
+    }
+    const int copies = static_cast<int>(rng.NextInRange(1, 9));
+    for (int c = 0; c < copies; ++c) trace.Add(writes, reads);
+  }
+  // Occasionally a read-only scan.
+  if (rng.NextBool(0.5)) {
+    trace.Add({}, {0, num_granules - 1});
+  }
+  return trace;
+}
+
+TEST(InferPropertyTest, RandomWorkloadsYieldValidCoveredContainedTst) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(seed);
+    const std::uint32_t num_granules =
+        static_cast<std::uint32_t>(rng.NextInRange(4, 40));
+    const FootprintTrace trace = RandomTrace(rng, num_granules);
+    InferenceOptions options;
+    options.min_support = static_cast<std::uint64_t>(rng.NextInRange(1, 3));
+    auto inferred = InferBestDecomposition(num_granules, trace, options);
+    ASSERT_TRUE(inferred.ok()) << "seed " << seed << ": "
+                               << inferred.status();
+    const Decomposition& dec = inferred->decomposition;
+
+    // The shared validation pass accepts it...
+    ASSERT_TRUE(ValidateDecomposition(dec, num_granules).ok()) << seed;
+    ASSERT_TRUE(ValidateAgainstTrace(dec, trace, options.min_support).ok())
+        << seed;
+
+    // ...and so do the first-principles checks. Semi-tree invariants:
+    ASSERT_TRUE(IsTransitiveSemiTree(dec.dhg)) << "seed " << seed;
+    ASSERT_TRUE(IsSemiTree(TransitiveReduction(dec.dhg))) << "seed " << seed;
+    auto tst = TstAnalysis::Create(dec.dhg);
+    ASSERT_TRUE(tst.ok()) << "seed " << seed;
+
+    // Every traced granule covered by exactly one class:
+    ASSERT_EQ(dec.granule_segment.size(), num_granules) << seed;
+    for (std::uint32_t g = 0; g < num_granules; ++g) {
+      ASSERT_GE(dec.granule_segment[g], 0) << seed;
+      ASSERT_LT(dec.granule_segment[g], dec.num_segments) << seed;
+    }
+
+    // Every observed conflict edge containable by Protocol A/B: for each
+    // update signature, all writes in one segment (Protocol B meets w-w
+    // and own w-r conflicts in that class) and every cross-segment read
+    // aimed at a strictly higher segment (Protocol A).
+    for (const TracedFootprint& type : trace.types()) {
+      if (type.read_only) continue;
+      const int root = dec.granule_segment[type.write_granules[0]];
+      for (std::uint32_t w : type.write_granules) {
+        ASSERT_EQ(dec.granule_segment[w], root) << "seed " << seed;
+      }
+      for (std::uint32_t r : type.read_granules) {
+        const int s = dec.granule_segment[r];
+        ASSERT_TRUE(s == root || tst->Higher(s, root))
+            << "seed " << seed << " read granule " << r;
+      }
+    }
+
+    // The declared-spec rendering of the structure is accepted by the
+    // schema validator — the same gate a controller construction runs.
+    auto schema = HierarchySchema::Create(inferred->spec);
+    ASSERT_TRUE(schema.ok()) << "seed " << seed << ": " << schema.status();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Min-support pruning semantics.
+
+TEST(InferTest, ObservedRareTypeIsAlwaysContained) {
+  FootprintTrace trace;
+  for (int i = 0; i < 20; ++i) trace.Add({0}, {});
+  for (int i = 0; i < 20; ++i) trace.Add({1}, {});
+  trace.Add({0, 1}, {});  // observed once: a fact, must be contained
+  InferenceOptions options;
+  options.min_support = 10;
+  auto inferred = InferDecomposition(2, trace, options);
+  ASSERT_TRUE(inferred.ok()) << inferred.status();
+  EXPECT_EQ(inferred->decomposition.granule_segment[0],
+            inferred->decomposition.granule_segment[1]);
+  EXPECT_EQ(inferred->types_restored, 1u);
+}
+
+TEST(InferTest, DeclaredRareIntentStaysPruned) {
+  FootprintTrace trace;
+  for (int i = 0; i < 20; ++i) trace.Add({0}, {});
+  for (int i = 0; i < 20; ++i) trace.Add({1}, {});
+  trace.Add({0, 1}, {}, /*declared=*/true);  // announced once, never ran
+  InferenceOptions options;
+  options.min_support = 10;
+  auto inferred = InferDecomposition(2, trace, options);
+  ASSERT_TRUE(inferred.ok()) << inferred.status();
+  // The hierarchy stays fine-grained: the declared one-off did not merge.
+  EXPECT_NE(inferred->decomposition.granule_segment[0],
+            inferred->decomposition.granule_segment[1]);
+  EXPECT_EQ(inferred->types_restored, 0u);
+  EXPECT_EQ(inferred->types_pruned, 1u);
+  // At the bar, the same intent does merge.
+  FootprintTrace heavy = trace;
+  for (int i = 0; i < 10; ++i) heavy.Add({0, 1}, {}, /*declared=*/true);
+  auto merged = InferDecomposition(2, heavy, options);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged->decomposition.granule_segment[0],
+            merged->decomposition.granule_segment[1]);
+}
+
+TEST(InferTest, BestDecompositionPrefersCheaperStructure) {
+  // Two independent writer types plus a reader of both: the inferred
+  // hierarchy should keep three segments (cross reads ride Protocol A at
+  // link_eval cost) rather than collapse into one class.
+  FootprintTrace trace;
+  for (int i = 0; i < 10; ++i) trace.Add({0}, {});
+  for (int i = 0; i < 10; ++i) trace.Add({1}, {});
+  for (int i = 0; i < 10; ++i) trace.Add({2}, {0, 1});
+  auto inferred = InferBestDecomposition(3, trace, {});
+  ASSERT_TRUE(inferred.ok()) << inferred.status();
+  EXPECT_EQ(inferred->decomposition.num_segments, 3);
+  EXPECT_GT(inferred->modeled_cost_us, 0.0);
+}
+
+TEST(InferTest, EmptyTraceRejected) {
+  FootprintTrace empty;
+  EXPECT_FALSE(InferDecomposition(4, empty, {}).ok());
+  FootprintTrace read_only;
+  read_only.Add({}, {0});
+  EXPECT_FALSE(InferDecomposition(4, read_only, {}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: regression for the decompose_tool gap — malformed
+// decompositions must be rejected loudly by the shared validation pass.
+
+TEST(ValidateTest, RejectsIncompleteGranuleCover) {
+  Decomposition dec;
+  dec.granule_segment = {0, 0};  // claims 2 granules
+  dec.num_segments = 1;
+  dec.dhg = Digraph(1);
+  EXPECT_FALSE(ValidateDecomposition(dec, 3).ok());
+}
+
+TEST(ValidateTest, RejectsOutOfRangeSegment) {
+  Decomposition dec;
+  dec.granule_segment = {0, 5};
+  dec.num_segments = 2;
+  dec.dhg = Digraph(2);
+  const Status s = ValidateDecomposition(dec, 2);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("outside"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsDiamondDhg) {
+  Decomposition dec;
+  dec.granule_segment = {0, 1, 2, 3};
+  dec.num_segments = 4;
+  Digraph diamond(4);
+  diamond.AddArc(3, 1);
+  diamond.AddArc(3, 2);
+  diamond.AddArc(1, 0);
+  diamond.AddArc(2, 0);
+  dec.dhg = diamond;
+  const Status s = ValidateDecomposition(dec, 4);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("semi-tree"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsDhgSegmentCountMismatch) {
+  Decomposition dec;
+  dec.granule_segment = {0, 1};
+  dec.num_segments = 2;
+  dec.dhg = Digraph(3);
+  EXPECT_FALSE(ValidateDecomposition(dec, 2).ok());
+}
+
+TEST(ValidateTest, RejectsCoWriteSplitAgainstTrace) {
+  FootprintTrace trace;
+  trace.Add({0, 1}, {});
+  Decomposition dec;
+  dec.granule_segment = {0, 1};  // the co-written pair split apart
+  dec.num_segments = 2;
+  dec.dhg = Digraph(2);
+  ASSERT_TRUE(ValidateDecomposition(dec, 2).ok());  // structurally fine...
+  EXPECT_FALSE(ValidateAgainstTrace(dec, trace).ok());  // ...but a lie.
+}
+
+TEST(ValidateTest, RejectsUncontainableRead) {
+  FootprintTrace trace;
+  trace.Add({0}, {1});
+  Decomposition dec;
+  dec.granule_segment = {0, 1};
+  dec.num_segments = 2;
+  dec.dhg = Digraph(2);  // no arc: segment 1 is not higher than 0
+  EXPECT_FALSE(ValidateAgainstTrace(dec, trace).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The mutation canary: a mis-classified granule must never survive the
+// validation pass that guards every hot-swap.
+
+TEST(CanaryTest, MisclassifiedGranuleIsCaught) {
+  FootprintTrace trace;
+  for (int i = 0; i < 8; ++i) trace.Add({0, 1}, {});  // co-writers
+  for (int i = 0; i < 8; ++i) trace.Add({2}, {0});
+  InferenceOptions options;
+  options.mutation_misclassify_granule = true;
+  auto mutated = InferBestDecomposition(3, trace, options);
+  ASSERT_TRUE(mutated.ok()) << mutated.status();
+  ASSERT_TRUE(mutated->mutated);
+  // Structural validation may pass (the mutation keeps ids in range) —
+  // the trace containment check is the net that must catch it.
+  EXPECT_FALSE(
+      ValidateAgainstTrace(mutated->decomposition, trace).ok());
+  // The same inference without the canary is clean.
+  options.mutation_misclassify_granule = false;
+  auto clean = InferBestDecomposition(3, trace, options);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->mutated);
+  EXPECT_TRUE(ValidateAgainstTrace(clean->decomposition, trace).ok());
+}
+
+TEST(CanaryTest, CaughtAcrossRandomWorkloads) {
+  int fired = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(seed + 1000);
+    const std::uint32_t num_granules =
+        static_cast<std::uint32_t>(rng.NextInRange(4, 24));
+    const FootprintTrace trace = RandomTrace(rng, num_granules);
+    InferenceOptions options;
+    options.mutation_misclassify_granule = true;
+    auto inferred = InferBestDecomposition(num_granules, trace, options);
+    ASSERT_TRUE(inferred.ok()) << seed;
+    if (!inferred->mutated) continue;  // single-segment result: no wrong id
+    ++fired;
+    const bool structural_ok =
+        ValidateDecomposition(inferred->decomposition, num_granules).ok();
+    const bool trace_ok =
+        ValidateAgainstTrace(inferred->decomposition, trace).ok();
+    ASSERT_FALSE(structural_ok && trace_ok)
+        << "seed " << seed << ": mutation escaped both validators";
+  }
+  EXPECT_GT(fired, 0);
+}
+
+}  // namespace
+}  // namespace hdd

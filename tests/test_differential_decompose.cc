@@ -1,0 +1,233 @@
+// Differential test for workload-driven decomposition: the three example
+// applications (bank_teller, inventory_app, analytics_walls) run under
+// (a) their hand-specified hierarchy and (b) a hierarchy inferred purely
+// from a traced run. Both executions must commit the exact same state
+// bytes and pass the 1SR oracle; the throughput delta is logged so the
+// bench harness has a reference point.
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "engine/banking_workload.h"
+#include "engine/executor.h"
+#include "engine/inventory_workload.h"
+#include "graph/auto_decompose.h"
+#include "hdd/hdd_controller.h"
+#include "obs/footprint.h"
+#include "txn/dependency_graph.h"
+
+namespace hdd {
+namespace {
+
+/// Every latest-committed value in segment/index order — the committed
+/// state bytes two equivalent executions must agree on.
+std::vector<Value> CommittedState(const Database& db) {
+  std::vector<Value> state;
+  for (int s = 0; s < db.num_segments(); ++s) {
+    for (std::uint32_t i = 0; i < db.segment(s).size(); ++i) {
+      const Version* v = db.segment(s).granule(i).LatestCommitted();
+      state.push_back(v != nullptr ? v->value : Value{0});
+    }
+  }
+  return state;
+}
+
+struct RunResult {
+  ExecutorStats stats;
+  std::vector<Value> state;
+  bool serializable = false;
+};
+
+RunResult RunUnder(const Workload& workload, const HierarchySchema& schema,
+                   Database* db, std::uint64_t txns, int threads,
+                   FootprintRecorder* recorder = nullptr) {
+  LogicalClock clock;
+  HddControllerOptions options;
+  options.footprint = recorder;
+  HddController cc(db, &clock, &schema, options);
+  ExecutorOptions eopts;
+  eopts.num_threads = threads;
+  eopts.seed = 7;
+  RunResult result;
+  result.stats = RunWorkload(cc, workload, txns, eopts);
+  result.serializable = CheckSerializability(cc.recorder()).serializable;
+  result.state = CommittedState(*db);
+  return result;
+}
+
+/// Runs the whole hand-vs-inferred differential for one workload:
+///  1. trace a deterministic run under the hand schema;
+///  2. infer a decomposition from the trace alone, at granule level (the
+///     full pipeline) and at segment level (the structure the controller
+///     actually runs), validating every candidate;
+///  3. re-run the same deterministic workload under the inferred schema
+///     and demand byte-identical committed state plus the 1SR oracle;
+///  4. run once more with real concurrency under the inferred schema.
+void DifferentialCheck(const char* label, const Workload& workload,
+                       const PartitionSpec& hand_spec,
+                       const std::function<std::unique_ptr<Database>()>&
+                           make_db,
+                       std::uint64_t txns) {
+  SCOPED_TRACE(label);
+  auto hand_schema = HierarchySchema::Create(hand_spec);
+  ASSERT_TRUE(hand_schema.ok()) << hand_schema.status();
+
+  // --- 1. Trace a deterministic run under the hand structure. ---------
+  auto trace_db = make_db();
+  FootprintRecorder recorder;
+  RunResult traced =
+      RunUnder(workload, *hand_schema, trace_db.get(), txns, 1, &recorder);
+  ASSERT_EQ(traced.stats.failed, 0u);
+  ASSERT_TRUE(traced.serializable);
+
+  std::vector<std::uint32_t> segment_base;
+  std::uint32_t flat_count = 0;
+  for (int s = 0; s < trace_db->num_segments(); ++s) {
+    segment_base.push_back(flat_count);
+    flat_count += trace_db->segment(s).size();
+  }
+  FootprintTrace flat_trace;
+  FootprintTrace seg_trace;
+  for (const RawFootprint& fp : recorder.Drain()) {
+    std::vector<std::uint32_t> fw, fr, sw, sr;
+    for (std::uint64_t p : fp.writes) {
+      fw.push_back(segment_base[FootprintRecorder::Segment(p)] +
+                   FootprintRecorder::Index(p));
+      sw.push_back(FootprintRecorder::Segment(p));
+    }
+    for (std::uint64_t p : fp.reads) {
+      fr.push_back(segment_base[FootprintRecorder::Segment(p)] +
+                   FootprintRecorder::Index(p));
+      sr.push_back(FootprintRecorder::Segment(p));
+    }
+    flat_trace.Add(std::move(fw), std::move(fr));
+    seg_trace.Add(std::move(sw), std::move(sr));
+  }
+  ASSERT_EQ(flat_trace.num_transactions(), traced.stats.committed);
+
+  // --- 2. Infer. Granule level first: the full automatic pipeline. ----
+  auto flat_inferred = InferBestDecomposition(flat_count, flat_trace);
+  ASSERT_TRUE(flat_inferred.ok()) << flat_inferred.status();
+  EXPECT_TRUE(
+      ValidateDecomposition(flat_inferred->decomposition, flat_count).ok());
+  EXPECT_TRUE(
+      ValidateAgainstTrace(flat_inferred->decomposition, flat_trace).ok());
+  std::cout << "[" << label << "] granule-level inference: "
+            << flat_inferred->decomposition.num_segments << " segments from "
+            << flat_count << " granules, modeled cost "
+            << flat_inferred->modeled_cost_us << "us, support "
+            << flat_inferred->support_threshold << "\n";
+
+  // Segment level: the same physical layout the database already has, so
+  // the inferred structure can host the unmodified workload programs.
+  auto seg_inferred =
+      InferBestDecomposition(trace_db->num_segments(), seg_trace);
+  ASSERT_TRUE(seg_inferred.ok()) << seg_inferred.status();
+  ASSERT_TRUE(ValidateDecomposition(seg_inferred->decomposition,
+                                    trace_db->num_segments())
+                  .ok());
+  ASSERT_TRUE(
+      ValidateAgainstTrace(seg_inferred->decomposition, seg_trace).ok());
+  // These applications' types each write one physical segment, so the
+  // inference must keep every segment its own class (max concurrency) —
+  // the same shape the hand spec declares.
+  ASSERT_EQ(seg_inferred->decomposition.num_segments,
+            trace_db->num_segments());
+
+  // Rebuild a declared spec over the PHYSICAL segment ids from the
+  // inferred shaping types: txn_class values in the workload programs are
+  // root-segment ids, so the inferred schema must speak the same ids.
+  PartitionSpec inferred_spec;
+  inferred_spec.segment_names = hand_spec.segment_names;
+  for (const TracedFootprint& type : seg_inferred->shaping_types) {
+    ASSERT_EQ(type.write_granules.size(), 1u)
+        << "a traced type wrote two physical segments under the hand "
+           "schema — the controller should have rejected it";
+    TransactionTypeSpec t;
+    t.root_segment = static_cast<SegmentId>(type.write_granules[0]);
+    t.name = "inferred_" + std::to_string(inferred_spec.transaction_types.size());
+    for (std::uint32_t r : type.read_granules) {
+      t.read_segments.push_back(static_cast<SegmentId>(r));
+    }
+    inferred_spec.transaction_types.push_back(std::move(t));
+  }
+  auto inferred_schema = HierarchySchema::Create(inferred_spec);
+  ASSERT_TRUE(inferred_schema.ok())
+      << "inferred spec rejected by the model check: "
+      << inferred_schema.status();
+
+  // --- 3. Same deterministic workload under both structures. ----------
+  auto hand_db = make_db();
+  RunResult hand =
+      RunUnder(workload, *hand_schema, hand_db.get(), txns, 1);
+  auto inferred_db = make_db();
+  RunResult inferred =
+      RunUnder(workload, *inferred_schema, inferred_db.get(), txns, 1);
+
+  ASSERT_EQ(hand.stats.failed, 0u);
+  ASSERT_EQ(inferred.stats.failed, 0u)
+      << "the inferred hierarchy rejected transactions the hand one admits";
+  EXPECT_TRUE(hand.serializable);
+  EXPECT_TRUE(inferred.serializable);
+  EXPECT_EQ(hand.state, inferred.state)
+      << "committed state diverged between hand and inferred hierarchies";
+
+  const double delta = hand.stats.Throughput() > 0
+                           ? inferred.stats.Throughput() /
+                                 hand.stats.Throughput()
+                           : 0.0;
+  std::cout << "[" << label << "] throughput hand="
+            << hand.stats.Throughput() << " txn/s, inferred="
+            << inferred.stats.Throughput() << " txn/s (ratio " << delta
+            << ")\n";
+
+  // --- 4. The inferred structure under real concurrency. --------------
+  auto concurrent_db = make_db();
+  RunResult concurrent =
+      RunUnder(workload, *inferred_schema, concurrent_db.get(), txns, 4);
+  EXPECT_EQ(concurrent.stats.failed, 0u);
+  EXPECT_TRUE(concurrent.serializable)
+      << "inferred hierarchy broke 1SR under concurrency";
+}
+
+TEST(DifferentialDecomposeTest, BankTeller) {
+  BankingWorkloadParams params;
+  params.accounts = 16;
+  params.deposit_weight = 0;
+  params.transfer_weight = 0.9;
+  params.audit_weight = 0.1;
+  BankingWorkload workload(params);
+  DifferentialCheck("bank_teller", workload, workload.Spec(),
+                    [&] { return workload.MakeDatabase(); }, 400);
+}
+
+TEST(DifferentialDecomposeTest, InventoryApp) {
+  InventoryWorkloadParams params;
+  params.items = 8;
+  params.event_slots_per_item = 2;
+  InventoryWorkload workload(params);
+  DifferentialCheck("inventory_app", workload, InventoryWorkload::Spec(),
+                    [&] { return workload.MakeDatabase(); }, 400);
+}
+
+TEST(DifferentialDecomposeTest, AnalyticsWalls) {
+  // The analytics_walls mix: a live update stream with a heavy ad-hoc
+  // read-only audit share riding Protocol C.
+  InventoryWorkloadParams params;
+  params.items = 8;
+  params.event_slots_per_item = 2;
+  params.type1_weight = 0.3;
+  params.type2_weight = 0.2;
+  params.type3_weight = 0.1;
+  params.type4_weight = 0.1;
+  params.read_only_weight = 0.3;
+  InventoryWorkload workload(params);
+  DifferentialCheck("analytics_walls", workload, InventoryWorkload::Spec(),
+                    [&] { return workload.MakeDatabase(); }, 400);
+}
+
+}  // namespace
+}  // namespace hdd

@@ -16,8 +16,11 @@
 // seed — a harness that cannot see the mutation is broken.
 //
 // Environment knobs (also used by ci/check.sh):
-//   HDD_SIM_SEEDS       number of seeds in the big HDD sweep (default 2000)
-//   HDD_SIM_FIRST_SEED  first seed of every sweep (default 1)
+//   HDD_SIM_SEEDS           number of seeds in the big HDD sweep (default 2000)
+//   HDD_SIM_FIRST_SEED      first seed of every sweep (default 1)
+//   HDD_SIM_REDECOMP_SEEDS  seeds in the online re-decomposition drift
+//                           sweep (default 500; the crash/epoch/canary
+//                           variants have their own knobs, see below)
 
 #include <gtest/gtest.h>
 
@@ -35,8 +38,10 @@
 #include "cc/two_phase_locking.h"
 #include "engine/epoch_executor.h"
 #include "engine/executor.h"
+#include "engine/redecompose.h"
 #include "engine/synthetic_workload.h"
 #include "hdd/hdd_controller.h"
+#include "obs/footprint.h"
 #include "sim/explorer.h"
 #include "sim/sim_clock.h"
 #include "sim/sim_scheduler.h"
@@ -667,6 +672,436 @@ TEST(SimExplore, WalCanaryLostAckIsCaught) {
   std::cout << "wal canary caught at seed " << first.seed << ": "
             << first.message << "\n  replay: " << first.replay_command
             << std::endl;
+}
+
+// ---------------------------------------------------------------------------
+// Online re-decomposition under the model checker. A Redecomposer runs as
+// the executor's service task: it drains the footprints the controller
+// publishes, detects drift when an emergent cross-segment co-writer is
+// declared mid-run, infers + validates a new decomposition and hot-swaps
+// it via Restructure — all while workers keep committing and the fault
+// injector fires. Every completed history must still pass the 1SR oracle,
+// bounds included.
+
+// The 3-segment chain the drift runs use: type0 writes `base`; type1
+// writes `mid` reading `base`; type2 writes `top` reading both. The
+// emergent pattern the re-decomposer must legalize co-writes base+mid.
+PartitionSpec RedecompSpec() {
+  PartitionSpec spec;
+  spec.segment_names = {"base", "mid", "top"};
+  spec.transaction_types = {
+      {"t0", 0, {}},
+      {"t1", 1, {0}},
+      {"t2", 2, {0, 1}},
+  };
+  return spec;
+}
+
+constexpr std::uint32_t kRedecompGranules = 3;
+
+// Chain workload that re-resolves its transaction class against the LIVE
+// controller at Make time, so traffic keeps flowing across hot swaps, and
+// that starts exercising the emergent base+mid co-write once the swap has
+// landed (the classes merged). A Restructure racing the tiny window
+// between Make and Begin/Write can still strand a stale class id; the
+// resulting InvalidArgument/FailedPrecondition counts as a failed txn,
+// which the controller's admission checks make harmless to 1SR.
+class RedecompDriftWorkload : public Workload {
+ public:
+  explicit RedecompDriftWorkload(const HddController* cc) : cc_(cc) {}
+
+  TxnProgram Make(std::uint64_t index, Rng& rng) const override {
+    TxnProgram program;
+    const std::uint32_t g =
+        static_cast<std::uint32_t>(rng.NextBounded(kRedecompGranules));
+    const Value value = static_cast<Value>(index + 1);
+    const bool merged = cc_->ClassOfSegment(0) == cc_->ClassOfSegment(1);
+    const double roll = rng.NextDouble();
+    if (merged && roll < 0.35) {
+      // The emergent pattern, now legal under the swapped-in structure.
+      program.options.txn_class = cc_->ClassOfSegment(0);
+      program.body = [g, value](ConcurrencyController& cc,
+                                const TxnDescriptor& txn) -> Status {
+        HDD_RETURN_IF_ERROR(cc.Write(txn, {0, g}, value));
+        return cc.Write(txn, {1, g}, value);
+      };
+      return program;
+    }
+    if (roll < 0.2) {
+      program.options.read_only = true;
+      program.body = [g](ConcurrencyController& cc,
+                         const TxnDescriptor& txn) -> Status {
+        for (SegmentId s = 0; s < 3; ++s) {
+          HDD_RETURN_IF_ERROR(cc.Read(txn, {s, g}).status());
+        }
+        return Status::OK();
+      };
+      return program;
+    }
+    const SegmentId root = static_cast<SegmentId>(rng.NextBounded(3));
+    program.options.txn_class = cc_->ClassOfSegment(root);
+    program.body = [root, g, value](ConcurrencyController& cc,
+                                    const TxnDescriptor& txn) -> Status {
+      for (SegmentId upper = 0; upper < root; ++upper) {
+        HDD_RETURN_IF_ERROR(cc.Read(txn, {upper, g}).status());
+      }
+      return cc.Write(txn, {root, g}, value);
+    };
+    return program;
+  }
+
+ private:
+  const HddController* cc_;
+};
+
+struct RedecompCounters {
+  std::atomic<std::uint64_t> restructures{0};
+  std::atomic<std::uint64_t> drift_events{0};
+  std::atomic<std::uint64_t> busy_retries{0};
+  std::atomic<std::uint64_t> canary_catches{0};
+  std::atomic<std::uint64_t> canary_escapes{0};
+};
+
+void FoldRedecompStats(const RedecomposerStats& stats,
+                       RedecompCounters* counters) {
+  counters->restructures.fetch_add(stats.restructures,
+                                   std::memory_order_relaxed);
+  counters->drift_events.fetch_add(stats.drift_events,
+                                   std::memory_order_relaxed);
+  counters->busy_retries.fetch_add(stats.busy_retries,
+                                   std::memory_order_relaxed);
+  counters->canary_catches.fetch_add(stats.canary_catches,
+                                     std::memory_order_relaxed);
+  counters->canary_escapes.fetch_add(stats.canary_escapes,
+                                     std::memory_order_relaxed);
+}
+
+// One simulated drift run: workers commit chain traffic while the
+// Redecomposer service polls; halfway through, an emergent base+mid
+// co-writer is declared often enough to cross the drift bar, and the
+// service must infer, validate and Restructure with traffic still live.
+// `epoch_size` > 0 drives the run through the epoch/batch executor so
+// pending swaps hit the BeginEpoch/Restructure exclusion (Busy) first.
+SimWorkloadFn RedecompDriftRun(std::uint64_t txns, RedecomposerOptions ropts,
+                               RedecompCounters* counters,
+                               std::uint64_t epoch_size = 0) {
+  return [txns, ropts, counters, epoch_size](
+             SimScheduler& sched) -> std::string {
+    auto schema = HierarchySchema::Create(RedecompSpec());
+    if (!schema.ok()) return schema.status().ToString();
+    Database db(3, kRedecompGranules);
+    SimClock clock(&sched);
+    FootprintRecorder recorder;
+    HddControllerOptions copts;
+    copts.footprint = &recorder;
+    HddController cc(&db, &clock, &*schema, copts);
+    Redecomposer redecomposer(&cc, &recorder, &db, ropts);
+    RedecompDriftWorkload workload(&cc);
+
+    const std::uint64_t declare_at = txns / 2;
+    auto on_txn_done = [&recorder, declare_at,
+                        &ropts](std::uint64_t done) {
+      if (done != declare_at) return;
+      // Declared emergent intent: announced at admission time, cannot yet
+      // execute. Enough copies to dominate a drift window.
+      for (std::uint64_t i = 0; i < 2 * ropts.window_txns; ++i) {
+        recorder.Declare(
+            {FootprintRecorder::Pack(0, 0), FootprintRecorder::Pack(1, 0)},
+            /*reads=*/{});
+      }
+    };
+
+    if (epoch_size > 0) {
+      EpochExecutorOptions options;
+      options.num_threads = 3;
+      options.epoch_size = epoch_size;
+      options.seed = 77;
+      options.max_retries = 50;
+      options.sim = &sched;
+      options.on_txn_done = on_txn_done;
+      options.service = redecomposer.AsService();
+      (void)RunWorkloadEpochs(cc, workload, txns, options);
+    } else {
+      ExecutorOptions options;
+      options.num_threads = 3;
+      options.seed = 77;
+      options.max_retries = 50;
+      options.sim = &sched;
+      options.on_txn_done = on_txn_done;
+      options.service = redecomposer.AsService();
+      (void)RunWorkload(cc, workload, txns, options);
+    }
+    if (sched.halted()) return "";
+    FoldRedecompStats(redecomposer.stats(), counters);
+    if (redecomposer.stats().canary_escapes > 0) {
+      return "mutation canary escaped validation";
+    }
+    if (!redecomposer.last_error().ok()) {
+      return "redecomposer error: " +
+             redecomposer.last_error().ToString();
+    }
+    return CheckSimHistory(cc, db, /*replay_bounds=*/true);
+  };
+}
+
+// The drift acceptance sweep: hundreds of seeded schedules, each with a
+// mid-run drift-driven hot swap under the full fault mix.
+TEST(SimExplore, RedecompDriftSweepPassesOracle) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  RedecomposerOptions ropts;
+  ropts.window_txns = 6;
+  ropts.drift_threshold = 0.3;
+  RedecompCounters counters;
+  const std::uint64_t seeds = EnvOr("HDD_SIM_REDECOMP_SEEDS", 500);
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), seeds, RedecompDriftRun(14, ropts, &counters),
+      "ctest -R test_sim_explore");
+  ExpectSweepClean(report, "redecomp-drift");
+  EXPECT_EQ(report.runs, seeds);
+  // The sweep is only evidence if swaps actually happened under load.
+  EXPECT_GT(counters.drift_events.load(), 0u);
+  EXPECT_GT(counters.restructures.load(), 0u);
+  std::cout << "redecomp drift sweep: " << counters.drift_events.load()
+            << " drift events, " << counters.restructures.load()
+            << " restructures over " << report.runs << " seeds"
+            << std::endl;
+}
+
+// Same drift runs through the epoch/batch executor: a swap that becomes
+// pending while an epoch is open must be refused with Busy (the PR 5
+// BeginEpoch/Restructure exclusion) and land between epochs instead.
+TEST(SimExplore, RedecompEpochSweepPassesOracle) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  RedecomposerOptions ropts;
+  ropts.window_txns = 6;
+  ropts.drift_threshold = 0.3;
+  RedecompCounters counters;
+  const std::uint64_t seeds = EnvOr("HDD_SIM_REDECOMP_EPOCH_SEEDS", 300);
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), seeds,
+      RedecompDriftRun(14, ropts, &counters, /*epoch_size=*/4),
+      "ctest -R test_sim_explore");
+  ExpectSweepClean(report, "redecomp-epoch");
+  EXPECT_EQ(report.runs, seeds);
+  EXPECT_GT(counters.restructures.load(), 0u);
+  // The exclusion must actually have been exercised somewhere in the
+  // sweep: a swap arriving mid-epoch is turned away with Busy.
+  EXPECT_GT(counters.busy_retries.load(), 0u)
+      << "no Restructure ever collided with an open epoch — the sweep "
+         "did not exercise the exclusion";
+  std::cout << "redecomp epoch sweep: " << counters.restructures.load()
+            << " restructures, " << counters.busy_retries.load()
+            << " busy retries over " << report.runs << " seeds"
+            << std::endl;
+}
+
+// The re-decomposition canary: every inference deliberately mis-classifies
+// one granule. The validation pass guarding the hot swap must catch every
+// single one (an escape fails the run), and the swap still proceeds from
+// a clean re-inference — proving the safety net, not just the happy path.
+TEST(SimExplore, RedecompCanaryMutationIsCaught) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  RedecomposerOptions ropts;
+  ropts.window_txns = 6;
+  ropts.drift_threshold = 0.3;
+  ropts.infer.mutation_misclassify_granule = true;
+  RedecompCounters counters;
+  const std::uint64_t seeds = EnvOr("HDD_SIM_REDECOMP_CANARY_SEEDS", 200);
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), seeds, RedecompDriftRun(14, ropts, &counters),
+      "ctest -R test_sim_explore");
+  ExpectSweepClean(report, "redecomp-canary");
+  EXPECT_GT(counters.canary_catches.load(), 0u)
+      << "the mis-classification canary never fired — the sweep proves "
+         "nothing about the validation net";
+  EXPECT_EQ(counters.canary_escapes.load(), 0u);
+  std::cout << "redecomp canary: " << counters.canary_catches.load()
+            << " catches, 0 escapes over " << report.runs << " seeds"
+            << std::endl;
+}
+
+// Drift + durability: the same drift runs on a WAL with whole-process
+// crashes armed. After a crash the harness recovers into a fresh
+// database, REPLAYS the completed merges (applied_merges, in order) onto
+// the fresh controller — Restructure is deterministic, so the rebuilt
+// class structure matches — and runs a second era; the combined durable
+// history must pass the full oracle. No mid-run checkpoints: control
+// state snapshots are tied to the class structure they were taken under,
+// and this sweep changes the structure mid-run.
+TEST(SimExplore, RedecompCrashRecoverySweep) {
+  SimScheduler::Options base;
+  base.faults = SweepFaults();
+  base.faults.process_crash_prob = 0.004;
+
+  RedecomposerOptions ropts;
+  ropts.window_txns = 6;
+  ropts.drift_threshold = 0.3;
+  RedecompCounters counters;
+  CrashSweepCounters crash_counters;
+
+  auto run = [&](SimScheduler& sched) -> std::string {
+    auto schema = HierarchySchema::Create(RedecompSpec());
+    if (!schema.ok()) return schema.status().ToString();
+    Database db(3, kRedecompGranules);
+    SimWalStorage storage;
+    WalOptions wopts;
+    wopts.group.mode = WalSyncMode::kGroupCommit;
+    auto wal = WalManager::Open(&storage, db.num_segments(), wopts);
+    if (!wal.ok()) return wal.status().ToString();
+    db.AttachWal(wal->get());
+    SimClock clock(&sched);
+    FootprintRecorder recorder;
+    HddControllerOptions copts;
+    copts.footprint = &recorder;
+    HddController cc(&db, &clock, &*schema, copts);
+    Redecomposer redecomposer(&cc, &recorder, &db, ropts);
+    RedecompDriftWorkload workload(&cc);
+
+    const std::uint64_t txns = 14;
+    auto on_txn_done = [&recorder, &ropts](std::uint64_t done) {
+      if (done != 7) return;
+      for (std::uint64_t i = 0; i < 2 * ropts.window_txns; ++i) {
+        recorder.Declare(
+            {FootprintRecorder::Pack(0, 0), FootprintRecorder::Pack(1, 0)},
+            /*reads=*/{});
+      }
+    };
+    ExecutorOptions options;
+    options.num_threads = 3;
+    options.seed = 77;
+    options.max_retries = 50;
+    options.sim = &sched;
+    options.on_txn_done = on_txn_done;
+    options.service = redecomposer.AsService();
+    options.wal_metrics = &(*wal)->metrics();
+    (void)RunWorkload(cc, workload, txns, options);
+    if (sched.halted() && !sched.process_crashed()) return "";
+    if (sched.process_crashed()) {
+      crash_counters.process_crashes.fetch_add(1, std::memory_order_relaxed);
+    }
+    FoldRedecompStats(redecomposer.stats(), &counters);
+    if (!redecomposer.last_error().ok()) {
+      return "redecomposer error: " + redecomposer.last_error().ToString();
+    }
+
+    Rng crash_rng(sched.seed() ^ 0xC0FFEEULL);
+    storage.Crash(crash_rng);
+
+    const auto pre_steps = cc.recorder().steps();
+    const auto pre_outcomes = cc.recorder().outcomes();
+    const auto pre_identities = cc.recorder().identities();
+
+    Database db2(3, kRedecompGranules);
+    const auto report = RecoverDatabase(&storage, &db2);
+    if (!report.ok()) {
+      return "recovery failed: " + report.status().ToString();
+    }
+    crash_counters.recoveries.fetch_add(1, std::memory_order_relaxed);
+
+    std::unordered_set<TxnId> writers;
+    for (const Step& s : pre_steps) {
+      if (s.action == Step::Action::kWrite) writers.insert(s.txn);
+    }
+    for (const auto& [txn, state] : pre_outcomes) {
+      if (state != TxnState::kCommitted) continue;
+      if (writers.count(txn) == 0) continue;
+      if (report->durable_commits.count(txn) == 0) {
+        return "acked commit lost across crash: txn " + std::to_string(txn);
+      }
+    }
+    std::string mismatch =
+        CompareDurableImage(db, db2, report->durable_commits);
+    if (!mismatch.empty()) return mismatch;
+
+    // Restart, replaying the completed merges before the second era so
+    // the class structure the survivors committed under is rebuilt.
+    WalOptions wopts2 = wopts;
+    wopts2.initial_ticket = report->frontier_ticket;
+    auto wal2 = WalManager::Open(&storage, db2.num_segments(), wopts2);
+    if (!wal2.ok()) return wal2.status().ToString();
+    db2.AttachWal(wal2->get());
+    LogicalClock clock2;
+    clock2.AdvanceTo(report->max_timestamp);
+    HddController cc2(&db2, &clock2, &*schema);
+    const Status restored = cc2.RestoreControlState(report->control_state);
+    if (!restored.ok()) {
+      return "control-state restore failed: " + restored.ToString();
+    }
+    for (const AppliedMerge& merge : redecomposer.applied_merges()) {
+      auto merged = cc2.Restructure(merge.write_segments,
+                                    merge.read_segments);
+      if (!merged.ok()) {
+        return "merge replay failed: " + merged.status().ToString();
+      }
+    }
+
+    RedecompDriftWorkload workload2(&cc2);
+    ExecutorOptions era2;
+    era2.num_threads = 1;
+    era2.seed = 177;
+    era2.max_retries = 50;
+    (void)RunWorkload(cc2, workload2, /*total_txns=*/6, era2);
+
+    std::unordered_set<TxnId> keep;
+    for (const auto& [txn, state] : pre_outcomes) {
+      if (state != TxnState::kCommitted) continue;
+      const auto it = pre_identities.find(txn);
+      const bool read_only =
+          it != pre_identities.end() && it->second.read_only;
+      if (read_only || report->durable_commits.count(txn) > 0) {
+        keep.insert(txn);
+      }
+    }
+    for (const TxnId txn : report->durable_commits) keep.insert(txn);
+    std::vector<Step> combined;
+    std::uint64_t seq_base = 0;
+    for (const Step& s : pre_steps) {
+      if (keep.count(s.txn) == 0) continue;
+      combined.push_back(s);
+      if (s.seq >= seq_base) seq_base = s.seq + 1;
+    }
+    constexpr TxnId kEraOffset = 1ull << 32;
+    for (const Step& s : cc2.recorder().steps()) {
+      Step t = s;
+      t.txn += kEraOffset;
+      t.seq += seq_base;
+      combined.push_back(t);
+    }
+    std::unordered_map<TxnId, TxnState> outcomes;
+    std::unordered_map<TxnId, ScheduleRecorder::TxnIdentity> identities;
+    for (const TxnId txn : keep) {
+      outcomes[txn] = TxnState::kCommitted;
+      const auto it = pre_identities.find(txn);
+      if (it != pre_identities.end()) identities[txn] = it->second;
+    }
+    for (const auto& [txn, state] : cc2.recorder().outcomes()) {
+      outcomes[txn + kEraOffset] = state;
+    }
+    for (const auto& [txn, identity] : cc2.recorder().identities()) {
+      identities[txn + kEraOffset] = identity;
+    }
+    const std::string verdict = CheckRecordedHistory(
+        combined, outcomes, identities, db2, /*replay_bounds=*/true);
+    if (!verdict.empty()) return "combined history: " + verdict;
+    return "";
+  };
+
+  const std::uint64_t seeds = EnvOr("HDD_SIM_REDECOMP_CRASH_SEEDS", 300);
+  const SeedSweepReport report = RunSeedSweep(
+      base, FirstSeed(), seeds, run, "ctest -R test_sim_explore");
+  ExpectSweepClean(report, "redecomp-crash");
+  EXPECT_EQ(report.runs, seeds);
+  EXPECT_GT(crash_counters.process_crashes.load(), 0u);
+  EXPECT_GT(crash_counters.recoveries.load(), 0u);
+  EXPECT_GT(counters.restructures.load(), 0u);
+  std::cout << "redecomp crash sweep: "
+            << crash_counters.process_crashes.load() << " crashes, "
+            << crash_counters.recoveries.load() << " recoveries, "
+            << counters.restructures.load() << " restructures over "
+            << report.runs << " seeds" << std::endl;
 }
 
 // ---------------------------------------------------------------------------
