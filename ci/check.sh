@@ -2,10 +2,14 @@
 # Full verification, in escalating tiers:
 #   1. Release build + tier-1 tests (the fast gate), then the full suite.
 #   2. Bench smoke + regression gate: the report-emitting benches run
-#      with small iteration counts, their reports merge into BENCH_6.json
+#      with small iteration counts, their reports merge into BENCH_7.json
 #      at the repo root, and ci/compare_bench.py fails the stage if any
 #      throughput metric regressed >15% vs the committed baseline (the
 #      first run commits the baseline; the comparator self-tests first).
+#      bench_server rides along at a CI-sized connection count.
+#   2b. Server stage: the loopback smoke test (1k connections, pipelined
+#      requests, clean shutdown, zero leaked fds; ctest label `server`)
+#      in the Release build and again under ThreadSanitizer.
 #   3. Deterministic-simulation stage: the model checker sweeps seeded
 #      schedules of the HDD workload under fault injection (seed count
 #      overridable via HDD_SIM_SEEDS; failing seeds print a replay
@@ -33,7 +37,7 @@ CRASH_SEEDS="${HDD_SIM_CRASH_SEEDS:-2000}"
 # main drift sweep; the epoch/canary/crash variants keep their in-test
 # defaults in the sim stage and shrink under the sanitizers.
 REDECOMP_SEEDS="${HDD_SIM_REDECOMP_SEEDS:-500}"
-STAGES="${HDD_CHECK_STAGES:-release,bench,sim,crash,asan,tsan}"
+STAGES="${HDD_CHECK_STAGES:-release,bench,server,sim,crash,asan,tsan}"
 
 want() { [[ ",$STAGES," == *",$1,"* ]]; }
 
@@ -70,11 +74,32 @@ if want bench; then
   HDD_BENCH_TXNS="${HDD_BENCH_TXNS_OBS:-10000}" \
     HDD_BENCH_REPS="${HDD_BENCH_REPS:-9}" \
     ./build/bench/bench_obs_overhead --report="$REPORTS/obs_overhead.json"
+  # Network front end, CI-sized: 1k loopback connections through the
+  # forked driver (the standalone default is 10k; see bench_server.cc).
+  HDD_BENCH_SERVER_CONNS="${HDD_BENCH_SERVER_CONNS:-1000}" \
+    HDD_BENCH_SERVER_REQS="${HDD_BENCH_SERVER_REQS:-10}" \
+    ./build/bench/bench_server --report="$REPORTS/server.json"
   python3 ci/compare_bench.py merge "$REPORTS/current.json" \
-    "$REPORTS"/scaling.json "$REPORTS"/wal.json "$REPORTS"/obs_overhead.json
+    "$REPORTS"/scaling.json "$REPORTS"/wal.json \
+    "$REPORTS"/obs_overhead.json "$REPORTS"/server.json
   python3 ci/compare_bench.py compare \
-    --baseline BENCH_6.json --current "$REPORTS/current.json" \
+    --baseline BENCH_7.json --current "$REPORTS/current.json" \
     --threshold "${HDD_BENCH_THRESHOLD:-0.15}"
+fi
+
+if want server; then
+  echo "=== Server stage: loopback smoke, Release ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j "$JOBS" --target test_net_smoke
+  (cd build && ctest --output-on-failure -L server)
+  if [[ "${HDD_SKIP_TSAN:-0}" != 1 ]]; then
+    echo "=== Server stage: loopback smoke, TSan ==="
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DHDD_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "$JOBS" --target test_net_smoke
+    (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ctest --output-on-failure -L server)
+  fi
 fi
 
 if want sim; then

@@ -43,7 +43,8 @@ bool Intersects(const std::vector<GranuleRef>& a,
 /// it, during execution only the executing worker does.
 struct Slot {
   TxnProgram program;
-  int attempts = 0;  // aborted attempts consumed
+  std::uint64_t index = 0;  // position in the workload stream
+  int attempts = 0;         // aborted attempts consumed
   std::chrono::steady_clock::time_point t0;
 };
 
@@ -161,6 +162,11 @@ ExecutorStats RunWorkloadEpochs(ConcurrencyController& cc,
                            options.seed * 6271 + static_cast<std::uint64_t>(i));
   }
 
+  // Per-worker class breakdowns, merged after the join (finish_program may
+  // run on any worker, but never concurrently for one worker_id).
+  std::vector<std::map<ClassId, PerClassStats>> per_class_by_worker(
+      static_cast<std::size_t>(options.num_threads));
+
   const auto finish_program = [&](int slot_idx, Outcome outcome,
                                   int worker_id) {
     Slot* slot = state.slots[static_cast<std::size_t>(slot_idx)].get();
@@ -181,6 +187,21 @@ ExecutorStats RunWorkloadEpochs(ConcurrencyController& cc,
       case Outcome::kRetry:
         return;  // not terminal; no completion callback
     }
+    ProgramResult result;
+    result.committed = outcome == Outcome::kCommitted;
+    result.failed = outcome == Outcome::kFailed;
+    result.crashed = outcome == Outcome::kCrashed;
+    result.aborted_attempts = static_cast<std::uint64_t>(slot->attempts);
+    const ClassId cls = slot->program.options.read_only
+                            ? kReadOnlyClass
+                            : slot->program.options.txn_class;
+    PerClassStats& row =
+        per_class_by_worker[static_cast<std::size_t>(worker_id)][cls];
+    row.committed += result.committed ? 1 : 0;
+    row.aborted_attempts += result.aborted_attempts;
+    row.failed += result.failed ? 1 : 0;
+    row.crashed += result.crashed ? 1 : 0;
+    if (options.on_program_done) options.on_program_done(slot->index, result);
     if (options.on_txn_done) options.on_txn_done(done.fetch_add(1) + 1);
   };
 
@@ -248,6 +269,7 @@ ExecutorStats RunWorkloadEpochs(ConcurrencyController& cc,
           const std::uint64_t index = state.next_stream++;
           auto slot = std::make_unique<Slot>();
           slot->program = workload.Make(index, rng);
+          slot->index = index;
           slot->t0 = std::chrono::steady_clock::now();
           state.slots.push_back(std::move(slot));
           batch_slots.push_back(static_cast<int>(state.slots.size()) - 1);
@@ -521,6 +543,15 @@ ExecutorStats RunWorkloadEpochs(ConcurrencyController& cc,
   stats.latency_max_us = digest.max_us;
   stats.cc = cc.metrics().ToMap();
   if (options.wal_metrics != nullptr) stats.wal = options.wal_metrics->ToMap();
+  for (const auto& worker_map : per_class_by_worker) {
+    for (const auto& [cls, row] : worker_map) {
+      PerClassStats& merged = stats.per_class[cls];
+      merged.committed += row.committed;
+      merged.aborted_attempts += row.aborted_attempts;
+      merged.failed += row.failed;
+      merged.crashed += row.crashed;
+    }
+  }
   return stats;
 }
 

@@ -13,21 +13,16 @@
 
 namespace hdd {
 
-namespace {
-
 // Runs one program to completion (commit, or failure after the retry
-// budget). Returns the number of aborted attempts consumed; sets *failed
-// and *crashed. Under simulation this is also the fault boundary: a
-// SimFault thrown from an interruptible yield point inside the controller
-// unwinds to here, the in-flight transaction is aborted (modelling
-// recovery), and the attempt is retried (kAbort) or abandoned (kCrash).
-std::uint64_t RunOne(ConcurrencyController& cc, const TxnProgram& program,
-                     int max_retries, SimScheduler* sim, bool* failed,
-                     bool* crashed) {
+// budget). Under simulation this is also the fault boundary: a SimFault
+// thrown from an interruptible yield point inside the controller unwinds
+// to here, the in-flight transaction is aborted (modelling recovery), and
+// the attempt is retried (kAbort) or abandoned (kCrash).
+ProgramResult RunProgram(ConcurrencyController& cc, const TxnProgram& program,
+                         int max_retries, SimScheduler* sim) {
   HDD_TRACE_SPAN("exec", "txn");
-  std::uint64_t aborted = 0;
-  *failed = false;
-  *crashed = false;
+  ProgramResult result;
+  std::uint64_t& aborted = result.aborted_attempts;
   for (int attempt = 0; attempt <= max_retries; ++attempt) {
     if (sim != nullptr) sim->OnTxnAttemptStart();
     std::optional<Result<TxnDescriptor>> txn;
@@ -36,15 +31,15 @@ std::uint64_t RunOne(ConcurrencyController& cc, const TxnProgram& program,
     } catch (const SimFault& fault) {
       // Fault before the transaction existed: nothing to clean up.
       if (fault.kind == SimFaultKind::kCrash) {
-        *crashed = true;
-        return aborted;
+        result.crashed = true;
+        return result;
       }
       ++aborted;
       continue;
     }
     if (!txn->ok()) {
-      *failed = true;
-      return aborted;
+      result.failed = true;
+      return result;
     }
     Status status;
     bool fault_crash = false;
@@ -53,15 +48,18 @@ std::uint64_t RunOne(ConcurrencyController& cc, const TxnProgram& program,
       status = program.body(cc, **txn);
       if (status.ok()) {
         status = cc.Commit(**txn);
-        if (status.ok()) return aborted;
+        if (status.ok()) {
+          result.committed = true;
+          return result;
+        }
         if (status.IsRetryable()) {
           // Commit-time validation failure (e.g. OCC): the controller has
           // already discarded the transaction; just restart the program.
           ++aborted;
           continue;
         }
-        *failed = true;
-        return aborted;
+        result.failed = true;
+        return result;
       }
     } catch (const SimFault& fault) {
       faulted = true;
@@ -73,8 +71,8 @@ std::uint64_t RunOne(ConcurrencyController& cc, const TxnProgram& program,
     (void)cc.Abort(**txn);  // best effort; the txn may already be gone
     if (faulted) {
       if (fault_crash) {
-        *crashed = true;
-        return aborted;
+        result.crashed = true;
+        return result;
       }
       ++aborted;
       continue;
@@ -90,14 +88,12 @@ std::uint64_t RunOne(ConcurrencyController& cc, const TxnProgram& program,
       }
       continue;
     }
-    *failed = true;
-    return aborted;
+    result.failed = true;
+    return result;
   }
-  *failed = true;
-  return aborted;
+  result.failed = true;
+  return result;
 }
-
-}  // namespace
 
 LatencyDigest MergeReservoirs(const std::vector<LatencyReservoir>& parts) {
   LatencyDigest digest;
@@ -148,6 +144,10 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
                            options.seed * 6271 +
                                static_cast<std::uint64_t>(i));
   }
+  // Per-worker class breakdowns, merged after the join (no contention on
+  // the hot path).
+  std::vector<std::map<ClassId, PerClassStats>> per_class_by_worker(
+      static_cast<std::size_t>(options.num_threads));
 
   // Under simulation, task identity must be assigned by US (worker id),
   // not by thread startup order — the one nondeterminism the scheduler
@@ -167,21 +167,29 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
       const std::uint64_t index = next_index.fetch_add(1);
       if (index >= total_txns) return;
       const TxnProgram program = workload.Make(index, rng);
-      bool this_failed = false;
-      bool this_crashed = false;
       const auto t0 = std::chrono::steady_clock::now();
-      aborted.fetch_add(RunOne(cc, program, options.max_retries, options.sim,
-                               &this_failed, &this_crashed));
+      const ProgramResult result =
+          RunProgram(cc, program, options.max_retries, options.sim);
       const auto t1 = std::chrono::steady_clock::now();
-      if (this_crashed) {
+      aborted.fetch_add(result.aborted_attempts);
+      if (result.crashed) {
         crashed.fetch_add(1);
-      } else if (this_failed) {
+      } else if (result.failed) {
         failed.fetch_add(1);
       } else {
         committed.fetch_add(1);
         latencies[worker_id].Add(
             std::chrono::duration<double, std::micro>(t1 - t0).count());
       }
+      const ClassId cls = program.options.read_only ? kReadOnlyClass
+                                                    : program.options.txn_class;
+      PerClassStats& row =
+          per_class_by_worker[static_cast<std::size_t>(worker_id)][cls];
+      row.committed += result.committed ? 1 : 0;
+      row.aborted_attempts += result.aborted_attempts;
+      row.failed += result.failed ? 1 : 0;
+      row.crashed += result.crashed ? 1 : 0;
+      if (options.on_program_done) options.on_program_done(index, result);
       if (options.on_txn_done) options.on_txn_done(done.fetch_add(1) + 1);
     }
   };
@@ -243,6 +251,15 @@ ExecutorStats RunWorkload(ConcurrencyController& cc, const Workload& workload,
   stats.latency_max_us = digest.max_us;
   stats.cc = cc.metrics().ToMap();
   if (options.wal_metrics != nullptr) stats.wal = options.wal_metrics->ToMap();
+  for (const auto& worker_map : per_class_by_worker) {
+    for (const auto& [cls, row] : worker_map) {
+      PerClassStats& merged = stats.per_class[cls];
+      merged.committed += row.committed;
+      merged.aborted_attempts += row.aborted_attempts;
+      merged.failed += row.failed;
+      merged.crashed += row.crashed;
+    }
+  }
   return stats;
 }
 

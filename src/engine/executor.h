@@ -17,6 +17,25 @@ namespace hdd {
 
 class SimScheduler;
 
+/// Terminal result of driving one program to completion (commit, budget
+/// exhaustion, or sim-crash abandonment). Exactly one of committed /
+/// failed / crashed is set.
+struct ProgramResult {
+  bool committed = false;
+  bool failed = false;   // budget exhausted / hard error
+  bool crashed = false;  // abandoned by an injected mid-txn crash (sim)
+  std::uint64_t aborted_attempts = 0;  // retries consumed by conflicts
+};
+
+/// Runs one program to completion against `cc`: Begin/body/Commit with
+/// retry on retryable conflicts (kAborted, kDeadlock, kBusy) up to
+/// `max_retries`, exponential backoff after repeated aborts, and (under
+/// simulation) the attempt-level fault boundary. This is the executor's
+/// core, exposed so push-based drivers — the network server's worker
+/// pool — run exactly the engine the workload executor runs.
+ProgramResult RunProgram(ConcurrencyController& cc, const TxnProgram& program,
+                         int max_retries = 10000, SimScheduler* sim = nullptr);
+
 struct ExecutorOptions {
   int num_threads = 4;
   /// Restart budget per transaction before it is counted as failed.
@@ -48,6 +67,12 @@ struct ExecutorOptions {
   /// of service steps after the final transaction is fixed by the
   /// schedule, not by OS timing — replays stay byte-identical.
   std::function<void(const std::atomic<bool>& workers_done)> service;
+  /// Called on the worker thread after each program reaches its terminal
+  /// result, with the program's stream index. May run concurrently for
+  /// different programs; the callee synchronizes. The network server uses
+  /// it to turn completions into responses.
+  std::function<void(std::uint64_t index, const ProgramResult&)>
+      on_program_done;
 };
 
 /// Fixed-capacity uniform sample of latency observations (Vitter's
@@ -103,6 +128,16 @@ struct LatencyDigest {
 };
 LatencyDigest MergeReservoirs(const std::vector<LatencyReservoir>& parts);
 
+/// One class's slice of an executor run — the end-of-run report carries a
+/// row per class so server-side admission/shed decisions are auditable
+/// against what each class actually committed and aborted.
+struct PerClassStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted_attempts = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t crashed = 0;
+};
+
 struct ExecutorStats {
   std::uint64_t committed = 0;
   std::uint64_t aborted_attempts = 0;  // retries consumed by conflicts
@@ -128,6 +163,11 @@ struct ExecutorStats {
   /// WAL counters at end of run (empty unless ExecutorOptions::wal_metrics
   /// was set); keys as in WalMetrics::ToMap.
   std::map<std::string, std::uint64_t> wal;
+
+  /// Per-class admission/abort breakdown, keyed by the program's declared
+  /// class (kReadOnlyClass = ad-hoc read-only). Populated by RunWorkload
+  /// and RunWorkloadEpochs.
+  std::map<ClassId, PerClassStats> per_class;
 
   double Throughput() const {
     return seconds > 0 ? static_cast<double>(committed) / seconds : 0;

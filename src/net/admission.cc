@@ -1,0 +1,144 @@
+#include "net/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace hdd {
+
+namespace {
+
+std::string ClassLabel(ClassId cls) {
+  return cls == kReadOnlyClass ? std::string("ro")
+                               : "c" + std::to_string(cls);
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions& options,
+                                         int num_classes,
+                                         MetricsRegistry* metrics)
+    : total_cap_(options.total_inflight_cap),
+      shed_threshold_(options.shed_threshold),
+      shed_weight_floor_(options.shed_weight_floor) {
+  cells_ = std::vector<Cell>(static_cast<std::size_t>(num_classes) + 1);
+  std::uint64_t weight_sum = 0;
+  const auto policy_for = [&](ClassId cls) -> ClassPolicy {
+    if (cls == kReadOnlyClass) return options.read_only;
+    auto it = options.per_class.find(cls);
+    return it != options.per_class.end() ? it->second : options.default_update;
+  };
+  for (int i = 0; i <= num_classes; ++i) {
+    const ClassId cls = i == num_classes ? kReadOnlyClass : ClassId{i};
+    weight_sum += std::max<std::uint32_t>(1, policy_for(cls).weight);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (int i = 0; i <= num_classes; ++i) {
+    const ClassId cls = i == num_classes ? kReadOnlyClass : ClassId{i};
+    Cell& cell = cells_[CellIndex(cls)];
+    cell.policy = policy_for(cls);
+    cell.cap = cell.policy.inflight_cap != 0
+                   ? cell.policy.inflight_cap
+                   : std::max<std::size_t>(
+                         1, total_cap_ *
+                                std::max<std::uint32_t>(1, cell.policy.weight) /
+                                weight_sum);
+    cell.tokens = cell.policy.burst;
+    cell.last_refill = now;
+    if (metrics != nullptr) {
+      const std::string label = ClassLabel(cls);
+      cell.admitted = &metrics->GetCounter("net_class_" + label + "_admitted");
+      cell.shed = &metrics->GetCounter("net_class_" + label + "_shed");
+      cell.inflight_gauge =
+          &metrics->GetGauge("net_class_" + label + "_inflight");
+    }
+  }
+}
+
+std::size_t AdmissionController::CellIndex(ClassId cls) const {
+  return cls == kReadOnlyClass ? cells_.size() - 1
+                               : static_cast<std::size_t>(cls);
+}
+
+bool AdmissionController::KnowsClass(ClassId cls) const {
+  if (cls == kReadOnlyClass) return true;
+  return cls >= 0 && static_cast<std::size_t>(cls) + 1 < cells_.size();
+}
+
+AdmitDecision AdmissionController::TryAdmit(ClassId cls) {
+  AdmitDecision decision;
+  Cell& cell = cells_[CellIndex(cls)];
+  std::lock_guard<std::mutex> lock(cell.mu);
+  if (closed_.load(std::memory_order_relaxed)) {
+    decision.retry_after_ms = 1000;
+    if (cell.shed != nullptr) cell.shed->Add();
+    return decision;
+  }
+  // Overload shedding: once the server-wide inflight pool is past the
+  // threshold, low-weight classes (Protocol C analytics by default) are
+  // refused outright so the remaining headroom serves update classes.
+  const std::uint64_t total = total_inflight_.load(std::memory_order_relaxed);
+  if (cell.policy.weight < shed_weight_floor_ &&
+      static_cast<double>(total) >=
+          shed_threshold_ * static_cast<double>(total_cap_)) {
+    decision.retry_after_ms = 50;
+    if (cell.shed != nullptr) cell.shed->Add();
+    return decision;
+  }
+  if (total >= total_cap_ || cell.inflight >= cell.cap) {
+    decision.retry_after_ms = 20;
+    if (cell.shed != nullptr) cell.shed->Add();
+    return decision;
+  }
+  if (cell.policy.rate_per_sec > 0.0) {
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - cell.last_refill).count();
+    cell.last_refill = now;
+    cell.tokens = std::min(cell.policy.burst,
+                           cell.tokens + elapsed * cell.policy.rate_per_sec);
+    if (cell.tokens < 1.0) {
+      decision.retry_after_ms = static_cast<std::uint32_t>(std::ceil(
+          (1.0 - cell.tokens) / cell.policy.rate_per_sec * 1000.0));
+      if (cell.shed != nullptr) cell.shed->Add();
+      return decision;
+    }
+    cell.tokens -= 1.0;
+  }
+  ++cell.inflight;
+  total_inflight_.fetch_add(1, std::memory_order_relaxed);
+  decision.admitted = true;
+  if (cell.admitted != nullptr) cell.admitted->Add();
+  if (cell.inflight_gauge != nullptr) cell.inflight_gauge->Add();
+  return decision;
+}
+
+void AdmissionController::Finish(ClassId cls) {
+  Cell& cell = cells_[CellIndex(cls)];
+  {
+    std::lock_guard<std::mutex> lock(cell.mu);
+    if (cell.inflight > 0) --cell.inflight;
+  }
+  total_inflight_.fetch_sub(1, std::memory_order_relaxed);
+  if (cell.inflight_gauge != nullptr) cell.inflight_gauge->Sub();
+}
+
+void AdmissionController::Close() {
+  closed_.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t AdmissionController::total_inflight() const {
+  return total_inflight_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t AdmissionController::inflight(ClassId cls) const {
+  const Cell& cell = cells_[CellIndex(cls)];
+  std::lock_guard<std::mutex> lock(cell.mu);
+  return cell.inflight;
+}
+
+std::uint32_t AdmissionController::weight(ClassId cls) const {
+  return cells_[CellIndex(cls)].policy.weight;
+}
+
+}  // namespace hdd

@@ -1,0 +1,119 @@
+#ifndef HDD_NET_ADMISSION_H_
+#define HDD_NET_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "graph/dhg.h"
+#include "obs/metrics_registry.h"
+
+namespace hdd {
+
+/// Per-class admission policy. HDD's class hierarchy is the server's QoS
+/// boundary: every transaction declares its class up front (the paper's
+/// a-priori analysis), so the server can rate-shape and queue-bound per
+/// class *before* any concurrency-control work happens — and shed
+/// Protocol C analytics first, because by construction those never
+/// invalidate update transactions and are the cheapest traffic to retry.
+struct ClassPolicy {
+  /// Relative service share in the worker pool's deficit-round-robin
+  /// scheduling, and the shed-priority signal: classes with weight below
+  /// AdmissionOptions::shed_weight_floor are refused outright once the
+  /// server is past the overload threshold.
+  std::uint32_t weight = 8;
+  /// Max requests of this class admitted but not yet answered
+  /// (queued + executing). 0 = derive from weight:
+  /// total_inflight_cap * weight / (sum of weights).
+  std::size_t inflight_cap = 0;
+  /// Token-bucket rate limit in requests/second; 0 = unlimited.
+  double rate_per_sec = 0.0;
+  /// Bucket depth (burst allowance), in requests.
+  double burst = 256.0;
+};
+
+struct AdmissionOptions {
+  /// Policy override per update class; classes not listed use
+  /// default_update.
+  std::map<ClassId, ClassPolicy> per_class;
+  ClassPolicy default_update{.weight = 8};
+  /// Ad-hoc read-only (Protocol C) traffic: lowest weight by default, so
+  /// it sheds first under overload.
+  ClassPolicy read_only{.weight = 1};
+  /// Cap on total admitted-but-unanswered requests across all classes.
+  /// This is the server's ONLY elastic buffer; everything past it pushes
+  /// back to the socket (paused reads), never into memory.
+  std::size_t total_inflight_cap = 4096;
+  /// Fraction of total_inflight_cap past which sheddable classes (weight
+  /// < shed_weight_floor) are refused even when their own queue has room.
+  double shed_threshold = 0.5;
+  std::uint32_t shed_weight_floor = 2;
+};
+
+/// Decision for one decoded request.
+struct AdmitDecision {
+  bool admitted = false;
+  /// When shed: how long the client should back off. Derived from the
+  /// token deficit (rate-limited classes) or the queue drain estimate.
+  std::uint32_t retry_after_ms = 0;
+};
+
+/// Tracks per-class tokens and inflight counts. Thread-safe; one short
+/// critical section per decision. Publishes per-class admitted/shed
+/// counters and inflight gauges into the server's MetricsRegistry as
+/// net_class_<name>_{admitted,shed} / net_class_<name>_inflight, where
+/// <name> is "c<id>" for update classes and "ro" for read-only.
+class AdmissionController {
+ public:
+  /// `num_classes` = number of update classes (ids 0..num_classes-1);
+  /// kReadOnlyClass is always accepted as a class argument. `metrics` is
+  /// not owned and must outlive the controller.
+  AdmissionController(const AdmissionOptions& options, int num_classes,
+                      MetricsRegistry* metrics);
+
+  /// Classifies and decides one request. Out-of-range classes are the
+  /// caller's problem (answer kError); this accepts only ids it knows.
+  bool KnowsClass(ClassId cls) const;
+  AdmitDecision TryAdmit(ClassId cls);
+
+  /// The admitted request was answered (committed, failed, or dropped on
+  /// a dead connection) — its inflight slot frees up.
+  void Finish(ClassId cls);
+
+  /// Refuse everything from now on (graceful shutdown).
+  void Close();
+
+  std::uint64_t total_inflight() const;
+  std::uint64_t inflight(ClassId cls) const;
+  std::uint32_t weight(ClassId cls) const;
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+
+ private:
+  struct Cell {
+    mutable std::mutex mu;
+    ClassPolicy policy;
+    std::size_t cap = 0;  // resolved inflight cap
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last_refill;
+    std::uint64_t inflight = 0;
+    Counter* admitted = nullptr;
+    Counter* shed = nullptr;
+    Gauge* inflight_gauge = nullptr;
+  };
+
+  std::size_t CellIndex(ClassId cls) const;
+
+  std::vector<Cell> cells_;  // update classes, then read-only last
+  std::size_t total_cap_;
+  double shed_threshold_;
+  std::uint32_t shed_weight_floor_;
+  std::atomic<std::uint64_t> total_inflight_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace hdd
+
+#endif  // HDD_NET_ADMISSION_H_

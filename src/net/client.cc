@@ -1,0 +1,441 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "net/epoll_loop.h"
+
+namespace hdd {
+
+namespace {
+
+int ConnectTcp(const std::string& host, std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    close(fd);
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool WriteAll(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SyncClient::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  fd_ = ConnectTcp(host, port);
+  if (fd_ < 0) {
+    return Status::IoError("connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SyncClient::Send(const RequestMsg& msg) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string frame;
+  AppendNetFrame(&frame, EncodeRequest(msg));
+  if (!WriteAll(fd_, frame)) return Status::IoError("send failed");
+  return Status::OK();
+}
+
+Result<ResponseMsg> SyncClient::Recv() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string payload;
+  char buf[16384];
+  for (;;) {
+    const FrameDecoder::Next next = decoder_.Poll(&payload);
+    if (next == FrameDecoder::Next::kFrame) return DecodeResponse(payload);
+    if (next == FrameDecoder::Next::kCorrupt) {
+      return Status::Corruption("corrupt response frame");
+    }
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n == 0) return Status::IoError("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    decoder_.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+Result<ResponseMsg> SyncClient::Call(const RequestMsg& msg) {
+  Status status = Send(msg);
+  if (!status.ok()) return status;
+  return Recv();
+}
+
+void SyncClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder();
+}
+
+std::string SerializeDriverStats(const DriverStats& stats) {
+  std::ostringstream out;
+  out << "connected " << stats.connected << "\n"
+      << "connect_failures " << stats.connect_failures << "\n"
+      << "sent " << stats.sent << "\n"
+      << "responses " << stats.responses << "\n"
+      << "committed " << stats.committed << "\n"
+      << "failed " << stats.failed << "\n"
+      << "overload " << stats.overload << "\n"
+      << "errors " << stats.errors << "\n"
+      << "seconds " << stats.seconds << "\n"
+      << "lat_count " << stats.latency.count << "\n"
+      << "lat_p50 " << stats.latency.p50_us << "\n"
+      << "lat_p95 " << stats.latency.p95_us << "\n"
+      << "lat_p99 " << stats.latency.p99_us << "\n"
+      << "lat_max " << stats.latency.max_us << "\n";
+  for (const auto& [cls, row] : stats.per_class) {
+    out << "class " << cls << " " << row.sent << " " << row.committed << " "
+        << row.failed << " " << row.overload << "\n";
+  }
+  return out.str();
+}
+
+bool ParseDriverStats(const std::string& text, DriverStats* stats) {
+  std::istringstream in(text);
+  std::string key;
+  while (in >> key) {
+    if (key == "connected") {
+      if (!(in >> stats->connected)) return false;
+    } else if (key == "connect_failures") {
+      if (!(in >> stats->connect_failures)) return false;
+    } else if (key == "sent") {
+      if (!(in >> stats->sent)) return false;
+    } else if (key == "responses") {
+      if (!(in >> stats->responses)) return false;
+    } else if (key == "committed") {
+      if (!(in >> stats->committed)) return false;
+    } else if (key == "failed") {
+      if (!(in >> stats->failed)) return false;
+    } else if (key == "overload") {
+      if (!(in >> stats->overload)) return false;
+    } else if (key == "errors") {
+      if (!(in >> stats->errors)) return false;
+    } else if (key == "seconds") {
+      if (!(in >> stats->seconds)) return false;
+    } else if (key == "lat_count") {
+      if (!(in >> stats->latency.count)) return false;
+    } else if (key == "lat_p50") {
+      if (!(in >> stats->latency.p50_us)) return false;
+    } else if (key == "lat_p95") {
+      if (!(in >> stats->latency.p95_us)) return false;
+    } else if (key == "lat_p99") {
+      if (!(in >> stats->latency.p99_us)) return false;
+    } else if (key == "lat_max") {
+      if (!(in >> stats->latency.max_us)) return false;
+    } else if (key == "class") {
+      int cls = 0;
+      DriverClassStats row;
+      if (!(in >> cls >> row.sent >> row.committed >> row.failed >>
+            row.overload)) {
+        return false;
+      }
+      stats->per_class[cls] = row;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct DriverConn {
+  int fd = -1;
+  FrameDecoder decoder;
+  std::string outbox;
+  std::size_t outbox_off = 0;
+  std::uint64_t next_seq = 0;
+  std::uint64_t responses = 0;
+  bool want_out = false;
+  bool dead = false;
+  // request_id -> (send time, class); bounded by the pipeline depth.
+  std::unordered_map<std::uint64_t,
+                     std::pair<std::chrono::steady_clock::time_point, int>>
+      inflight;
+};
+
+}  // namespace
+
+DriverStats RunLoadDriver(const DriverOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  DriverStats stats;
+  if (!options.make_request) return stats;
+  EpollLoop loop;
+  if (!loop.ok()) return stats;
+  Rng rng(options.seed);
+  LatencyReservoir reservoir(4096, options.seed + 1);
+
+  std::vector<DriverConn> conns(options.connections);
+  // Connect in paced chunks so the server's accept loop keeps up and the
+  // listen backlog never overflows into SYN retransmit stalls.
+  constexpr std::size_t kConnectChunk = 256;
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    conns[i].fd = ConnectTcp(options.host, options.port);
+    if (conns[i].fd < 0) {
+      conns[i].dead = true;
+      ++stats.connect_failures;
+      continue;
+    }
+    SetNonBlocking(conns[i].fd);
+    if (!loop.AddPersistent(conns[i].fd, EPOLLIN, i).ok()) {
+      close(conns[i].fd);
+      conns[i].dead = true;
+      ++stats.connect_failures;
+      continue;
+    }
+    ++stats.connected;
+    if ((i + 1) % kConnectChunk == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  const auto start = Clock::now();
+  const auto send_deadline =
+      options.requests_per_connection == 0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            options.duration_seconds))
+          : Clock::time_point::max();
+  const auto hard_deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.deadline_seconds));
+
+  std::uint64_t live_inflight = 0;
+  std::uint64_t live_conns = stats.connected;
+
+  auto kill_conn = [&](DriverConn& conn) {
+    if (conn.dead) return;
+    conn.dead = true;
+    live_inflight -= conn.inflight.size();
+    conn.inflight.clear();
+    (void)loop.Remove(conn.fd);
+    close(conn.fd);
+    conn.fd = -1;
+    --live_conns;
+  };
+
+  auto flush = [&](std::size_t index) {
+    DriverConn& conn = conns[index];
+    while (conn.outbox_off < conn.outbox.size()) {
+      const ssize_t n = write(conn.fd, conn.outbox.data() + conn.outbox_off,
+                              conn.outbox.size() - conn.outbox_off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        ++stats.errors;
+        kill_conn(conn);
+        return;
+      }
+      conn.outbox_off += static_cast<std::size_t>(n);
+    }
+    if (conn.outbox_off >= conn.outbox.size()) {
+      conn.outbox.clear();
+      conn.outbox_off = 0;
+    }
+    const bool want_out = !conn.outbox.empty();
+    if (want_out != conn.want_out) {
+      conn.want_out = want_out;
+      (void)loop.Modify(conn.fd, want_out ? (EPOLLIN | EPOLLOUT) : EPOLLIN,
+                        index);
+    }
+  };
+
+  auto top_up = [&](std::size_t index) {
+    DriverConn& conn = conns[index];
+    if (conn.dead) return;
+    const auto now = Clock::now();
+    while (conn.inflight.size() < options.pipeline && now < send_deadline &&
+           (options.requests_per_connection == 0 ||
+            conn.next_seq < options.requests_per_connection)) {
+      RequestMsg msg = options.make_request(index, conn.next_seq, rng);
+      const std::uint64_t id = conn.next_seq++;
+      if (msg.type == NetMsgType::kSubmit) {
+        msg.submit.request_id = id;
+      } else {
+        msg.request_id = id;
+      }
+      const int cls = msg.type == NetMsgType::kSubmit
+                          ? (msg.submit.read_only
+                                 ? static_cast<int>(kReadOnlyClass)
+                                 : static_cast<int>(msg.submit.txn_class))
+                          : 0;
+      AppendNetFrame(&conn.outbox, EncodeRequest(msg));
+      conn.inflight.emplace(id, std::make_pair(Clock::now(), cls));
+      ++live_inflight;
+      ++stats.sent;
+      ++stats.per_class[cls].sent;
+    }
+    flush(index);
+  };
+
+  auto handle_response = [&](DriverConn& conn, const ResponseMsg& msg) {
+    ++stats.responses;
+    ++conn.responses;
+    auto it = conn.inflight.find(msg.request_id);
+    if (it != conn.inflight.end()) {
+      const double us =
+          std::chrono::duration<double, std::micro>(Clock::now() -
+                                                    it->second.first)
+              .count();
+      reservoir.Add(us);
+      DriverClassStats& row = stats.per_class[it->second.second];
+      switch (msg.type) {
+        case NetMsgType::kResult:
+          if (msg.committed) {
+            ++stats.committed;
+            ++row.committed;
+          } else {
+            ++stats.failed;
+            ++row.failed;
+          }
+          break;
+        case NetMsgType::kOverload:
+          ++stats.overload;
+          ++row.overload;
+          break;
+        default:
+          ++stats.errors;
+          break;
+      }
+      conn.inflight.erase(it);
+      --live_inflight;
+    }
+  };
+
+  auto drain_read = [&](std::size_t index) {
+    DriverConn& conn = conns[index];
+    char buf[16384];
+    for (int i = 0; i < 16 && !conn.dead; ++i) {
+      const ssize_t n = read(conn.fd, buf, sizeof(buf));
+      if (n == 0) {
+        ++stats.errors;
+        kill_conn(conn);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+          ++stats.errors;
+          kill_conn(conn);
+        }
+        return;
+      }
+      conn.decoder.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      std::string payload;
+      for (;;) {
+        const FrameDecoder::Next next = conn.decoder.Poll(&payload);
+        if (next == FrameDecoder::Next::kNeedMore) break;
+        if (next == FrameDecoder::Next::kCorrupt) {
+          ++stats.errors;
+          kill_conn(conn);
+          return;
+        }
+        Result<ResponseMsg> msg = DecodeResponse(payload);
+        if (!msg.ok()) {
+          ++stats.errors;
+          kill_conn(conn);
+          return;
+        }
+        handle_response(conn, *msg);
+      }
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+    }
+  };
+
+  // Prime every connection's pipeline, then run the event loop until all
+  // work is answered (count mode) or the send window closed and inflight
+  // drained (duration mode).
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    if (!conns[i].dead) top_up(i);
+  }
+  std::vector<EpollLoop::Event> events;
+  for (;;) {
+    const auto now = Clock::now();
+    if (now >= hard_deadline) break;
+    bool work_left = live_inflight > 0;
+    if (!work_left && options.requests_per_connection != 0) {
+      for (std::size_t i = 0; i < conns.size() && !work_left; ++i) {
+        work_left = !conns[i].dead &&
+                    conns[i].next_seq < options.requests_per_connection;
+      }
+    }
+    if (!work_left && options.requests_per_connection == 0 &&
+        now < send_deadline && live_conns > 0) {
+      work_left = true;  // duration window still open
+    }
+    if (!work_left || live_conns == 0) break;
+    events.clear();
+    loop.Wait(&events, 100);
+    if (events.empty()) {
+      // Idle tick: nothing readable/writable, but pipelines may have gone
+      // empty (e.g. a burst of overload replies) — refill them.
+      for (std::size_t i = 0; i < conns.size(); ++i) {
+        if (!conns[i].dead) top_up(i);
+      }
+      continue;
+    }
+    for (const EpollLoop::Event& ev : events) {
+      if (ev.data == EpollLoop::kWakeData) continue;
+      const std::size_t index = static_cast<std::size_t>(ev.data);
+      DriverConn& conn = conns[index];
+      if (conn.dead) continue;
+      if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0) {
+        ++stats.errors;
+        kill_conn(conn);
+        continue;
+      }
+      if ((ev.events & EPOLLOUT) != 0) flush(index);
+      if ((ev.events & EPOLLIN) != 0 && !conn.dead) drain_read(index);
+      if (!conn.dead) top_up(index);
+    }
+  }
+  stats.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  for (DriverConn& conn : conns) {
+    if (!conn.dead && conn.fd >= 0) {
+      close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+  std::vector<LatencyReservoir> parts;
+  parts.push_back(std::move(reservoir));
+  stats.latency = MergeReservoirs(parts);
+  return stats;
+}
+
+}  // namespace hdd

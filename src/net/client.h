@@ -1,0 +1,100 @@
+#ifndef HDD_NET_CLIENT_H_
+#define HDD_NET_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/executor.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace hdd {
+
+/// Blocking single-connection client, the simplest correct speaker of the
+/// wire protocol — tests and tools. Send() and Recv() are independent, so
+/// a caller can pipeline: N Sends, then N Recvs (responses arrive in
+/// completion order; match by request_id).
+class SyncClient {
+ public:
+  SyncClient() = default;
+  ~SyncClient() { Close(); }
+  SyncClient(const SyncClient&) = delete;
+  SyncClient& operator=(const SyncClient&) = delete;
+
+  Status Connect(const std::string& host, std::uint16_t port);
+  Status Send(const RequestMsg& msg);
+  /// Blocks for the next response frame. IoError on EOF/socket error,
+  /// Corruption on framing violation.
+  Result<ResponseMsg> Recv();
+  /// Send + Recv for the unpipelined case.
+  Result<ResponseMsg> Call(const RequestMsg& msg);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  /// The raw socket, for tests that need to write hostile bytes.
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+/// Aggregated outcome of a load run; mergeable across driver processes
+/// (the 10k-connection bench forks the driver so client fds live in a
+/// child process, see bench/bench_server.cc).
+struct DriverClassStats {
+  std::uint64_t sent = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t overload = 0;
+};
+
+struct DriverStats {
+  std::uint64_t connected = 0;
+  std::uint64_t connect_failures = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t overload = 0;
+  std::uint64_t errors = 0;  // kError responses + socket/framing failures
+  double seconds = 0.0;
+  LatencyDigest latency;  // request write -> response decode
+  std::map<int, DriverClassStats> per_class;  // key: ClassId (-1 = RO)
+};
+
+/// Serialization over the bench's fork pipe: plain "key value" lines.
+std::string SerializeDriverStats(const DriverStats& stats);
+bool ParseDriverStats(const std::string& text, DriverStats* stats);
+
+struct DriverOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Simulated client connections, multiplexed on one epoll thread.
+  std::size_t connections = 100;
+  /// Requests kept in flight per connection (pipelining depth).
+  std::size_t pipeline = 4;
+  /// Requests per connection; 0 = run until `duration_seconds` elapses.
+  std::uint64_t requests_per_connection = 0;
+  double duration_seconds = 1.0;
+  /// Hard cap on the whole run (connect + run + drain), a hang backstop.
+  double deadline_seconds = 120.0;
+  std::uint64_t seed = 1;
+  /// Produces the `seq`-th request of connection `conn`. The driver
+  /// overwrites request_id with `seq` (ids are per-connection).
+  std::function<RequestMsg(std::size_t conn, std::uint64_t seq, Rng& rng)>
+      make_request;
+};
+
+/// Epoll-driven open-loop load driver: `connections` sockets, each keeping
+/// `pipeline` requests in flight, single thread. Counts every response by
+/// type and class and samples end-to-end latency.
+DriverStats RunLoadDriver(const DriverOptions& options);
+
+}  // namespace hdd
+
+#endif  // HDD_NET_CLIENT_H_

@@ -1,0 +1,67 @@
+#ifndef HDD_NET_EPOLL_LOOP_H_
+#define HDD_NET_EPOLL_LOOP_H_
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hdd {
+
+/// Thin RAII wrapper over an epoll instance plus an eventfd wakeup.
+///
+/// Connections are registered EPOLLONESHOT: after the kernel delivers an
+/// event for a fd, that fd is disarmed until Rearm() — so exactly one IO
+/// thread services a connection at a time without a lock around the event
+/// loop, and "pause reads" (backpressure) is simply *not* re-arming
+/// EPOLLIN. The listener and the eventfd are registered persistent
+/// (level-triggered, no ONESHOT) because they are single-reader by
+/// construction.
+class EpollLoop {
+ public:
+  EpollLoop();
+  ~EpollLoop();
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  /// Registers `fd` with EPOLLONESHOT | events. `data` comes back in
+  /// Event::data (typically a connection id).
+  Status AddOneshot(int fd, std::uint32_t events, std::uint64_t data);
+  /// Re-arms a oneshot fd with a fresh event mask (EPOLL_CTL_MOD).
+  Status Rearm(int fd, std::uint32_t events, std::uint64_t data);
+  /// Registers `fd` level-triggered without ONESHOT (listener, eventfd).
+  Status AddPersistent(int fd, std::uint32_t events, std::uint64_t data);
+  /// Changes a persistent registration's mask (EPOLL_CTL_MOD, no ONESHOT).
+  Status Modify(int fd, std::uint32_t events, std::uint64_t data);
+  Status Remove(int fd);
+
+  struct Event {
+    std::uint32_t events = 0;
+    std::uint64_t data = 0;
+  };
+
+  /// Blocks up to timeout_ms (-1 = forever) and appends ready events to
+  /// `*out`. Wakeup events (the eventfd) are consumed internally and
+  /// reported with data == kWakeData so pollers can notice shutdown.
+  int Wait(std::vector<Event>* out, int timeout_ms);
+
+  /// Makes any number of concurrent/future Wait() calls return promptly.
+  void Wakeup();
+
+  static constexpr std::uint64_t kWakeData = ~std::uint64_t{0};
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+};
+
+/// Makes `fd` non-blocking (O_NONBLOCK). Returns false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+}  // namespace hdd
+
+#endif  // HDD_NET_EPOLL_LOOP_H_

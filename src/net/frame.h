@@ -1,0 +1,58 @@
+#ifndef HDD_NET_FRAME_H_
+#define HDD_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hdd {
+
+/// The wire framing is byte-identical to the WAL's (src/wal/log_format.h):
+///
+///   +----------------+----------------+=====================+
+///   | length  u32 LE | crc32   u32 LE | payload (length B)  |
+///   +----------------+----------------+=====================+
+///
+/// with the CRC over the payload only. The semantics differ from disk
+/// recovery, though: a socket has no torn tail — an incomplete frame just
+/// means more bytes are in flight — while a CRC mismatch or an insane
+/// header is a protocol violation that closes the connection loudly.
+
+/// Sanity cap on one network frame's payload. Requests and responses are
+/// small; a complete header announcing more is treated as garbage (a
+/// stray client, a desynchronized stream) rather than a huge message, so
+/// a malicious or broken peer cannot make the server buffer unboundedly.
+inline constexpr std::uint32_t kMaxNetFramePayload = 1u << 20;
+
+/// Appends one frame around `payload` to `out` (delegates to the WAL
+/// encoder — same layout, same CRC).
+void AppendNetFrame(std::string* out, std::string_view payload);
+
+/// Incremental decoder over a socket byte stream. Feed() appends whatever
+/// arrived; Poll() yields complete frames until the buffer runs dry.
+/// Consumed bytes are compacted away lazily, so long-lived pipelined
+/// connections keep a small, bounded buffer.
+class FrameDecoder {
+ public:
+  enum class Next {
+    kFrame,     // *payload filled with one complete frame's payload
+    kNeedMore,  // buffer holds no complete frame; Feed() more bytes
+    kCorrupt,   // CRC mismatch or insane header: close the connection
+  };
+
+  void Feed(std::string_view bytes);
+  Next Poll(std::string* payload);
+
+  /// Bytes buffered but not yet consumed by Poll().
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_NET_FRAME_H_

@@ -1,0 +1,74 @@
+#include "net/loopback.h"
+
+#include <utility>
+
+namespace hdd {
+
+std::unique_ptr<ServerWorld> MakeServerWorld(
+    ControllerKind kind, const SyntheticWorkloadParams& params) {
+  auto world = std::make_unique<ServerWorld>();
+  world->params = params;
+  SyntheticWorkload workload(params);
+  auto schema = HierarchySchema::Create(workload.Spec());
+  if (!schema.ok()) return nullptr;
+  world->schema.emplace(std::move(schema).value());
+  world->db = workload.MakeDatabase();
+  world->clock = std::make_unique<LogicalClock>();
+  world->cc = CreateController(kind, world->db.get(), world->clock.get(),
+                               &*world->schema);
+  // The server's traffic is open-ended, not a recorded batch: schedule
+  // recording would grow without bound.
+  world->cc->recorder().set_enabled(false);
+  return world;
+}
+
+RequestMsg MakeSyntheticRequest(const SyntheticWorkloadParams& params,
+                                Rng& rng) {
+  RequestMsg msg;
+  msg.type = NetMsgType::kSubmit;
+  SubmitRequest& submit = msg.submit;
+  const auto granule = [&](int segment) {
+    GranuleRef ref;
+    ref.segment = segment;
+    ref.index =
+        static_cast<std::uint32_t>(rng.NextBounded(params.granules_per_segment));
+    return ref;
+  };
+  if (rng.NextBool(params.read_only_fraction)) {
+    submit.read_only = true;
+    for (int level = 0; level < params.depth; ++level) {
+      WireOp op;
+      op.kind = WireOp::Kind::kRead;
+      op.granule = granule(level);
+      submit.ops.push_back(op);
+    }
+    return msg;
+  }
+  const int cls = static_cast<int>(
+      rng.NextBounded(static_cast<std::uint64_t>(params.depth)));
+  submit.txn_class = cls;
+  for (int upper = 0; upper < cls; ++upper) {
+    for (int i = 0; i < params.upper_reads; ++i) {
+      WireOp op;
+      op.kind = WireOp::Kind::kRead;
+      op.granule = granule(upper);
+      submit.ops.push_back(op);
+    }
+  }
+  for (int i = 0; i < params.own_reads; ++i) {
+    WireOp op;
+    op.kind = WireOp::Kind::kRead;
+    op.granule = granule(cls);
+    submit.ops.push_back(op);
+  }
+  for (int i = 0; i < params.own_writes; ++i) {
+    WireOp op;
+    op.kind = WireOp::Kind::kWrite;
+    op.granule = granule(cls);
+    op.value = static_cast<Value>(rng.Next() % 1000003);
+    submit.ops.push_back(op);
+  }
+  return msg;
+}
+
+}  // namespace hdd

@@ -1,0 +1,43 @@
+#ifndef HDD_NET_LOOPBACK_H_
+#define HDD_NET_LOOPBACK_H_
+
+#include <memory>
+#include <optional>
+
+#include "engine/harness.h"
+#include "engine/synthetic_workload.h"
+#include "net/protocol.h"
+#include "storage/database.h"
+
+namespace hdd {
+
+/// Everything a served HDD instance needs to exist: the synthetic chain
+/// hierarchy's database, clock, schema and a controller over them. Shared
+/// by hdd_server_main, bench_server and the loopback tests so they all
+/// serve the same world.
+struct ServerWorld {
+  SyntheticWorkloadParams params;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<LogicalClock> clock;
+  std::optional<HierarchySchema> schema;
+  std::unique_ptr<ConcurrencyController> cc;
+};
+
+/// Builds the world for `params` under controller `kind` (schema-requiring
+/// kinds get the chain schema). Null on schema rejection (can only happen
+/// with out-of-contract params).
+std::unique_ptr<ServerWorld> MakeServerWorld(
+    ControllerKind kind, const SyntheticWorkloadParams& params = {});
+
+/// One random wire request against the chain hierarchy, mirroring what
+/// SyntheticWorkload::Make generates natively: with probability
+/// read_only_fraction an ad-hoc read across every segment, otherwise an
+/// update of a random class with own-segment reads/writes plus
+/// `upper_reads` reads against each segment above. The caller assigns
+/// request_id.
+RequestMsg MakeSyntheticRequest(const SyntheticWorkloadParams& params,
+                                Rng& rng);
+
+}  // namespace hdd
+
+#endif  // HDD_NET_LOOPBACK_H_

@@ -1,0 +1,203 @@
+#ifndef HDD_NET_SERVER_H_
+#define HDD_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/controller.h"
+#include "engine/executor.h"
+#include "net/admission.h"
+#include "net/epoll_loop.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "obs/metrics_registry.h"
+
+namespace hdd {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is available via port() after Start().
+  std::uint16_t port = 0;
+  int listen_backlog = 1024;
+  /// Threads multiplexing socket IO (accept + read/decode + write). Each
+  /// connection is EPOLLONESHOT, so any IO thread may service any
+  /// connection, one at a time.
+  int num_io_threads = 2;
+  /// Threads executing admitted transaction programs.
+  int num_workers = 4;
+
+  /// How admitted programs reach the engine. kPerTxn: each worker drives
+  /// RunProgram (the workload executor's core) per request. kEpoch:
+  /// admitted programs are collected into batches and driven through
+  /// RunWorkloadEpochs, so remote traffic gets the epoch executor's
+  /// dependency-graph ordering.
+  enum class Backend { kPerTxn, kEpoch };
+  Backend backend = Backend::kPerTxn;
+  /// kEpoch: max programs per collected batch.
+  std::uint64_t epoch_size = 64;
+  int max_retries = 10000;
+
+  /// Number of update classes the server accepts (ids 0..num_classes-1);
+  /// read-only traffic is always accepted as kReadOnlyClass.
+  int num_classes = 1;
+  AdmissionOptions admission;
+
+  /// Backpressure bounds. A connection with this many admitted-but-
+  /// unanswered requests stops being read (EPOLLIN not re-armed) until
+  /// responses drain — pipelining deeper than this parks bytes in the
+  /// kernel socket buffer, never in server memory.
+  std::size_t per_connection_inflight_cap = 64;
+  /// A connection whose pending response bytes exceed this also stops
+  /// being read until the client drains its receive side.
+  std::size_t outbox_pause_bytes = 1u << 20;
+
+  /// TEST-ONLY: while the pointee is true, workers idle without popping,
+  /// so a test can pile up an admitted backlog deterministically (on a
+  /// one-core host, timing-based backlogs are unwinnable races) and
+  /// observe admission decisions against it.
+  std::shared_ptr<std::atomic<bool>> test_pause_workers;
+};
+
+/// The HDD network front end: a non-blocking epoll server speaking the
+/// length-prefixed CRC-framed protocol of net/frame.h + net/protocol.h,
+/// decoding submits into TxnPrograms and driving the existing engine
+/// (RunProgram / RunWorkloadEpochs) through a worker pool behind per-class
+/// admission control.
+///
+/// Metrics (all through the MetricsRegistry passed in):
+///   counters   net_accepted, net_closed, net_frames,
+///              net_protocol_errors, net_admitted, net_shed,
+///              net_committed, net_failed,
+///              net_class_<c>_{admitted,shed,committed} per class
+///   gauges     net_connections, net_queue_depth,
+///              net_class_<c>_inflight per class
+///   histogram  net_request_us (admission to response enqueue)
+class HddServer {
+ public:
+  /// `cc` and `metrics` are borrowed and must outlive the server.
+  HddServer(ConcurrencyController* cc, const ServerOptions& options,
+            MetricsRegistry* metrics);
+  ~HddServer();
+
+  HddServer(const HddServer&) = delete;
+  HddServer& operator=(const HddServer&) = delete;
+
+  /// Binds, listens and spawns the IO + worker threads.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, refuse new admissions, drain
+  /// already-admitted programs and flush their responses, then join all
+  /// threads and close every connection. Idempotent.
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t connection_count() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::mutex mu;
+    FrameDecoder decoder;
+    std::string outbox;       // encoded frames not yet written
+    std::size_t outbox_off = 0;
+    std::uint32_t inflight = 0;  // admitted, not yet answered
+    bool closed = false;
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  /// One admitted program waiting for (or in) execution.
+  struct WorkItem {
+    ConnPtr conn;
+    std::uint64_t request_id = 0;
+    ClassId cls = 0;  // admission class (kReadOnlyClass for read-only)
+    TxnProgram program;
+    std::shared_ptr<std::vector<Value>> values;
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  void IoThread();
+  void WorkerThread();
+  void EpochBatcherThread();
+
+  void HandleAccept();
+  void HandleConnEvent(std::uint64_t id, std::uint32_t events);
+  /// Reads + decodes under conn->mu; returns false if the connection died.
+  bool DrainReadable(const ConnPtr& conn);
+  void HandleFrame(const ConnPtr& conn, std::string_view payload);
+  /// Appends an encoded response frame and tries to flush. Caller holds
+  /// conn->mu.
+  void EnqueueResponseLocked(Connection& conn, const ResponseMsg& msg);
+  /// write()s as much of the outbox as the socket takes. Caller holds
+  /// conn->mu. Returns false on fatal socket error.
+  bool FlushOutboxLocked(Connection& conn);
+  /// Recomputes the EPOLLONESHOT mask from inflight/outbox state and
+  /// re-arms. Caller holds conn->mu.
+  void RearmLocked(Connection& conn);
+  void CloseConn(const ConnPtr& conn);
+  void Respond(const ConnPtr& conn, const ResponseMsg& msg);
+
+  /// Completion path shared by both backends.
+  void FinishItem(const WorkItem& item, const ProgramResult& result);
+
+  bool PopItemLocked(WorkItem* item);
+  std::size_t QueueIndex(ClassId cls) const;
+
+  ConcurrencyController* cc_;
+  ServerOptions options_;
+  MetricsRegistry* metrics_;
+  AdmissionController admission_;
+
+  EpollLoop loop_;
+  // Atomic: Stop() retires it while IO threads may be mid-accept.
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> io_stop_{false};
+  std::atomic<bool> workers_stop_{false};
+
+  mutable std::mutex conns_mu_;
+  std::unordered_map<std::uint64_t, ConnPtr> conns_;
+  std::uint64_t next_conn_id_ = 1;
+
+  // Per-class work queues (update classes 0..n-1, read-only last) with
+  // deficit-round-robin service weighted by the class policy weights.
+  std::mutex dispatch_mu_;
+  std::condition_variable dispatch_cv_;
+  std::vector<std::deque<WorkItem>> queues_;
+  std::vector<std::uint32_t> deficits_;
+  std::size_t drr_cursor_ = 0;
+  std::size_t queued_ = 0;
+  std::uint64_t executing_ = 0;
+
+  std::vector<std::thread> io_threads_;
+  std::vector<std::thread> worker_threads_;
+
+  // Flat metric handles (per-class handles live in admission_).
+  Counter* m_accepted_ = nullptr;
+  Counter* m_closed_ = nullptr;
+  Counter* m_frames_ = nullptr;
+  Counter* m_protocol_errors_ = nullptr;
+  Counter* m_admitted_ = nullptr;
+  Counter* m_shed_ = nullptr;
+  Counter* m_committed_ = nullptr;
+  Counter* m_failed_ = nullptr;
+  Gauge* m_connections_ = nullptr;
+  Gauge* m_queue_depth_ = nullptr;
+  Histogram* m_request_us_ = nullptr;
+  std::vector<Counter*> m_class_committed_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_NET_SERVER_H_

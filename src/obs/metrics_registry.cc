@@ -119,6 +119,13 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
   return *slot;
 }
 
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
@@ -136,11 +143,23 @@ std::map<std::string, std::uint64_t> MetricsRegistry::SnapshotCounters()
   return out;
 }
 
+std::map<std::string, std::uint64_t> MetricsRegistry::SnapshotGauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, gauge] : gauges_) {
+    out[name] = gauge->Value();
+  }
+  return out;
+}
+
 std::map<std::string, std::uint64_t> MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, counter] : counters_) {
     out[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out[name] = gauge->Value();
   }
   for (const auto& [name, histogram] : histograms_) {
     const Histogram::Snapshot snap = histogram->snapshot();
@@ -161,6 +180,14 @@ std::vector<std::string> MetricsRegistry::CounterNames() const {
   return names;
 }
 
+std::vector<std::string> MetricsRegistry::GaugeNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) names.push_back(name);
+  return names;
+}
+
 std::vector<std::string> MetricsRegistry::HistogramNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
@@ -172,6 +199,7 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Set(0);
+  for (auto& [name, gauge] : gauges_) gauge->Set(0);
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 

@@ -70,6 +70,48 @@ class Counter {
   std::array<Cell, kStripes> stripes_{};
 };
 
+/// Up/down level metric (live connection counts, queue depths): striped
+/// like Counter so concurrent Add/Sub on hot paths never contend, but
+/// signed — a stripe may go negative when the decrement lands on a
+/// different stripe than the increment; only the merged sum is
+/// meaningful, and reads clamp it at zero (a level can transiently read
+/// low while an Add is in flight, never negative). Merged across shards
+/// exactly like counters: sums add.
+class Gauge {
+ public:
+  static constexpr std::size_t kStripes = 8;
+
+  void Add(std::int64_t n = 1) noexcept {
+    stripes_[obs_internal::ThreadStripe() & (kStripes - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Sub(std::int64_t n = 1) noexcept { Add(-n); }
+
+  /// Merged level, clamped at zero (see class comment).
+  std::uint64_t Value() const noexcept {
+    std::int64_t total = 0;
+    for (const Cell& cell : stripes_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total < 0 ? 0 : static_cast<std::uint64_t>(total);
+  }
+
+  /// Sets the level (stripe 0 := v, others zeroed). Like Counter::Set,
+  /// only meaningful while no writer is concurrently adding.
+  void Set(std::int64_t v) noexcept {
+    stripes_[0].value.store(v, std::memory_order_relaxed);
+    for (std::size_t i = 1; i < kStripes; ++i) {
+      stripes_[i].value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> value{0};
+  };
+  std::array<Cell, kStripes> stripes_{};
+};
+
 /// HDR-style log-linear histogram of non-negative integer values (the
 /// unit is the caller's; latencies are recorded in microseconds by
 /// convention). Each power-of-two octave splits into 16 linear
@@ -135,17 +177,21 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
 
   /// All counters, name -> value.
   std::map<std::string, std::uint64_t> SnapshotCounters() const;
+  /// All gauges, name -> merged (clamped) level.
+  std::map<std::string, std::uint64_t> SnapshotGauges() const;
 
-  /// Counters plus derived histogram stats, flattened as
+  /// Counters and gauges plus derived histogram stats, flattened as
   /// "<name>_count", "<name>_p50", "<name>_p95", "<name>_p99",
   /// "<name>_max" — one uniform map for reports and table printers.
   std::map<std::string, std::uint64_t> Snapshot() const;
 
   std::vector<std::string> CounterNames() const;
+  std::vector<std::string> GaugeNames() const;
   std::vector<std::string> HistogramNames() const;
 
   /// Zeroes every registered metric (counters and histograms). Like
@@ -155,6 +201,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

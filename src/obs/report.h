@@ -11,7 +11,7 @@ namespace hdd {
 
 /// Machine-readable result of one benchmark run, in the stable schema
 /// ci/compare_bench.py diffs against the checked-in baseline
-/// (BENCH_6.json at the repo root):
+/// (BENCH_7.json at the repo root):
 ///
 ///   {
 ///     "schema_version": 1,

@@ -42,6 +42,44 @@ TEST(CounterTest, ConcurrentAddsAreExact) {
             static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(GaugeTest, AddSubSetAndClamp) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0u);
+  g.Add(5);
+  g.Sub(2);
+  EXPECT_EQ(g.Value(), 3u);
+  g.Set(10);
+  EXPECT_EQ(g.Value(), 10u);
+  // A transiently negative merged sum reads as zero, never wraps.
+  g.Set(0);
+  g.Sub(4);
+  EXPECT_EQ(g.Value(), 0u);
+  g.Add(6);
+  EXPECT_EQ(g.Value(), 2u);
+}
+
+TEST(GaugeTest, ConcurrentUpDownIsExact) {
+  // Paired Add/Sub across threads: the level must return to the number
+  // of unmatched Adds even though increments and decrements land on
+  // different stripes.
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) {
+        g.Add();
+        g.Sub();
+      }
+      g.Add();  // one unmatched increment per thread
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(g.Value(), static_cast<std::uint64_t>(kThreads));
+}
+
 TEST(HistogramTest, BucketIndexMonotoneAndBoundsConsistent) {
   std::size_t prev = 0;
   for (std::uint64_t v : {0ull, 1ull, 15ull, 16ull, 17ull, 31ull, 32ull,
@@ -154,6 +192,12 @@ TEST(MetricsRegistryTest, SameNameSameMetric) {
   Histogram& h1 = registry.GetHistogram("latency_us");
   Histogram& h2 = registry.GetHistogram("latency_us");
   EXPECT_EQ(&h1, &h2);
+  Gauge& g1 = registry.GetGauge("connections");
+  Gauge& g2 = registry.GetGauge("connections");
+  EXPECT_EQ(&g1, &g2);
+  g1.Add(2);
+  EXPECT_EQ(registry.SnapshotGauges().at("connections"), 2u);
+  EXPECT_EQ(registry.Snapshot().at("connections"), 2u);
 }
 
 TEST(MetricsRegistryTest, SnapshotFlattensHistograms) {
@@ -172,9 +216,11 @@ TEST(MetricsRegistryTest, SnapshotFlattensHistograms) {
 TEST(MetricsRegistryTest, ResetZeroesEverything) {
   MetricsRegistry registry;
   registry.GetCounter("c").Add(9);
+  registry.GetGauge("g").Add(4);
   registry.GetHistogram("h").Record(42);
   registry.Reset();
   EXPECT_EQ(registry.SnapshotCounters().at("c"), 0u);
+  EXPECT_EQ(registry.SnapshotGauges().at("g"), 0u);
   EXPECT_EQ(registry.GetHistogram("h").Count(), 0u);
 }
 

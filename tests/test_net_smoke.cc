@@ -1,0 +1,93 @@
+// Loopback smoke test at CI scale (ctest label `server`, run in Release
+// and TSan builds by ci/check.sh): 1k concurrent connections with
+// pipelined requests against an in-process server, clean shutdown, zero
+// leaked fds. The 10k-connection version lives in bench/bench_server.cc
+// (it needs a forked client to stay inside the fd ulimit).
+
+#include <dirent.h>
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "net/client.h"
+#include "net/loopback.h"
+#include "net/server.h"
+#include "obs/metrics_registry.h"
+#include "obs/report.h"
+
+namespace hdd {
+namespace {
+
+int CountOpenFds() {
+  int count = 0;
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  return count;
+}
+
+TEST(NetSmoke, ThousandConnectionsPipelinedCleanShutdown) {
+  // HDD_SMOKE_CONNS trims the run for constrained environments.
+  const std::size_t kConns =
+      static_cast<std::size_t>(EnvOr("HDD_SMOKE_CONNS", 1000));
+  const std::uint64_t kRequestsPerConn =
+      EnvOr("HDD_SMOKE_REQUESTS_PER_CONN", 10);
+
+  const int fds_before = CountOpenFds();
+  SyntheticWorkloadParams params;
+  params.depth = 4;
+  params.granules_per_segment = 256;
+  auto world = MakeServerWorld(ControllerKind::kHdd, params);
+  ASSERT_NE(world, nullptr);
+
+  MetricsRegistry metrics;
+  ServerOptions options;
+  options.num_io_threads = 2;
+  options.num_workers = 4;
+  options.num_classes = params.depth;
+  options.listen_backlog = 4096;
+  options.admission.total_inflight_cap = 4096;
+  auto server = std::make_unique<HddServer>(world->cc.get(), options,
+                                            &metrics);
+  ASSERT_TRUE(server->Start().ok());
+
+  DriverOptions driver;
+  driver.port = server->port();
+  driver.connections = kConns;
+  driver.pipeline = 2;
+  driver.requests_per_connection = kRequestsPerConn;
+  driver.deadline_seconds = 240.0;
+  driver.make_request = [&params](std::size_t, std::uint64_t, Rng& rng) {
+    return MakeSyntheticRequest(params, rng);
+  };
+  const DriverStats stats = RunLoadDriver(driver);
+
+  EXPECT_EQ(stats.connected, kConns);
+  EXPECT_EQ(stats.connect_failures, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+  // Every request answered: committed, failed, or an overload bounce.
+  EXPECT_EQ(stats.responses, kConns * kRequestsPerConn);
+  EXPECT_EQ(stats.committed + stats.failed + stats.overload,
+            stats.responses);
+  EXPECT_GT(stats.committed, 0u);
+
+  // Server saw every connection and every frame.
+  EXPECT_EQ(metrics.GetCounter("net_accepted").Value(), kConns);
+  EXPECT_EQ(metrics.GetCounter("net_frames").Value(),
+            kConns * kRequestsPerConn);
+  EXPECT_EQ(metrics.GetCounter("net_protocol_errors").Value(), 0u);
+
+  // Clean shutdown: connections torn down, queues empty, no fd leaks.
+  server->Stop();
+  EXPECT_EQ(server->connection_count(), 0u);
+  EXPECT_EQ(metrics.GetGauge("net_connections").Value(), 0u);
+  EXPECT_EQ(metrics.GetGauge("net_queue_depth").Value(), 0u);
+  server.reset();
+  world.reset();
+  EXPECT_EQ(CountOpenFds(), fds_before);
+}
+
+}  // namespace
+}  // namespace hdd
