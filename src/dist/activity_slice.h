@@ -1,0 +1,61 @@
+#ifndef HDD_DIST_ACTIVITY_SLICE_H_
+#define HDD_DIST_ACTIVITY_SLICE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "hdd/hdd_controller.h"
+#include "hdd/link_functions.h"
+
+namespace hdd {
+
+/// Wire codec for ActivitySlice (hdd/hdd_controller.h). Append-style
+/// encode and cursor-style decode so slices embed in larger messages.
+void EncodeActivitySlice(const ActivitySlice& slice, std::string* out);
+Result<ActivitySlice> DecodeActivitySlice(std::string_view* in);
+
+/// Rebuilds a queryable activity table from a shipped slice: every
+/// active initiation is re-begun, every finished record replayed. The
+/// result answers I^old(v) for any v <= slice.frontier exactly as the
+/// owning node's live table would have at the moment the slice was taken
+/// — and, for earlier v, exactly as it would ever answer (stability).
+ClassActivityTable BuildSliceTable(const ActivitySlice& slice);
+
+/// ActivityTableSource over shipped slices: the requester-side evaluator
+/// (hdd/link_functions.h) walks a critical path against REMOTE activity
+/// state without sending one more message — the zero-registration
+/// Protocol A read. The caller must Install() a slice for every class the
+/// evaluation can touch (all classes strictly above the start of the
+/// path, plus the host class for hosted read-only transactions); querying
+/// a missing class returns `m` (as if idle), which is only sound because
+/// the session installs the full path before evaluating.
+class SliceSource : public ActivityTableSource {
+ public:
+  void Install(const ActivitySlice& slice) {
+    tables_[slice.class_id] = BuildSliceTable(slice);
+  }
+
+  bool Has(ClassId c) const { return tables_.count(c) > 0; }
+
+  Timestamp OldestActiveAt(ClassId c, Timestamp m) const override {
+    const auto it = tables_.find(c);
+    return it == tables_.end() ? m : it->second.OldestActiveAt(m);
+  }
+
+  Result<Timestamp> LatestEndAt(ClassId c, Timestamp m) const override {
+    const auto it = tables_.find(c);
+    if (it == tables_.end()) {
+      return Status::Busy("no activity slice for class");
+    }
+    return it->second.LatestEndAt(m);
+  }
+
+ private:
+  std::map<ClassId, ClassActivityTable> tables_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_DIST_ACTIVITY_SLICE_H_

@@ -1,0 +1,89 @@
+#ifndef HDD_DIST_DIST_MESSAGE_H_
+#define HDD_DIST_DIST_MESSAGE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hdd/hdd_controller.h"
+#include "storage/version.h"
+
+namespace hdd {
+
+/// Wire messages of the sharded deployment. Every request starts with one
+/// type byte; the transport's counters index by it, which is what the
+/// bench's per-transaction message table is built from. Note what is NOT
+/// here: there is no registration message of any kind — a cross-node
+/// Protocol A read costs activity slices (once per transaction per remote
+/// home) plus one snapshot fetch per read, and writes nothing anywhere.
+enum class DistMsgType : std::uint8_t {
+  kActivityReq = 1,  // frontier + class list -> activity slices
+  kSnapshotReq = 2,  // segment + granule -> committed version chain
+  kPrepareReq = 3,   // 2PC phase 1: install + log shipped writes
+  kCommitReq = 4,    // 2PC phase 2: mark committed + log
+  kAbortReq = 5,     // 2PC abort: remove installed writes
+  kClockTickReq = 6, // clock service (socket deployments): issue a tick
+  kClockNowReq = 7,  // clock service: read the latest timestamp
+};
+
+/// One past the largest type value (counter array size).
+inline constexpr int kNumDistMsgTypes = 8;
+
+/// Type byte of an encoded request (0 when empty/garbage).
+DistMsgType PeekDistMsgType(std::string_view payload);
+const char* DistMsgTypeName(DistMsgType type);
+
+struct ActivityReq {
+  Timestamp frontier = kTimestampMin;
+  std::vector<ClassId> classes;
+};
+
+struct SnapshotReq {
+  SegmentId segment = 0;
+  std::uint32_t index = 0;
+};
+
+struct PrepareReq {
+  TxnId txn = kInvalidTxn;
+  Timestamp init_ts = kTimestampMin;
+  SegmentId segment = 0;
+  std::vector<std::pair<std::uint32_t, Value>> writes;  // (granule, value)
+};
+
+/// Commit/abort share one body (type byte disambiguates).
+struct TxnSegmentReq {
+  TxnId txn = kInvalidTxn;
+  Timestamp init_ts = kTimestampMin;
+  SegmentId segment = 0;
+};
+
+// Requests. Encoders produce [type byte][body]; decoders take the full
+// request (type byte included) and verify it.
+std::string EncodeActivityReq(const ActivityReq& req);
+Result<ActivityReq> DecodeActivityReq(std::string_view payload);
+std::string EncodeSnapshotReq(const SnapshotReq& req);
+Result<SnapshotReq> DecodeSnapshotReq(std::string_view payload);
+std::string EncodePrepareReq(const PrepareReq& req);
+Result<PrepareReq> DecodePrepareReq(std::string_view payload);
+std::string EncodeTxnSegmentReq(DistMsgType type, const TxnSegmentReq& req);
+Result<TxnSegmentReq> DecodeTxnSegmentReq(std::string_view payload);
+std::string EncodeClockReq(DistMsgType type);
+
+// Response bodies (the transport's envelope carries ok/error).
+std::string EncodeSlices(const std::vector<ActivitySlice>& slices);
+Result<std::vector<ActivitySlice>> DecodeSlices(std::string_view payload);
+std::string EncodeVersions(const std::vector<Version>& versions);
+Result<std::vector<Version>> DecodeVersions(std::string_view payload);
+std::string EncodeTimestamp(Timestamp ts);
+Result<Timestamp> DecodeTimestamp(std::string_view payload);
+
+/// Response envelope: [0x01][body] on success, [0x00][code u32][message]
+/// on error. Lets a handler's Status travel back to the calling node.
+std::string EncodeDistResponse(const Result<std::string>& result);
+Result<std::string> DecodeDistResponse(std::string_view payload);
+
+}  // namespace hdd
+
+#endif  // HDD_DIST_DIST_MESSAGE_H_

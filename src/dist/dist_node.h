@@ -1,0 +1,37 @@
+#ifndef HDD_DIST_DIST_NODE_H_
+#define HDD_DIST_DIST_NODE_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "hdd/hdd_controller.h"
+
+namespace hdd {
+
+/// Server side of one shard: dispatches incoming dist messages to the
+/// node's HddController. Handlers are strictly local — they never issue
+/// outbound RPCs (see DistHandler's contract) — and idempotent, so a
+/// duplicated delivery is harmless.
+class DistNode {
+ public:
+  /// `clock` may be null on nodes that do not host the clock service
+  /// (clock requests then fail; in sim deployments the shared SimClock is
+  /// reached directly and no clock messages are ever sent).
+  DistNode(int node_id, HddController* cc, LogicalClock* clock)
+      : node_id_(node_id), cc_(cc), clock_(clock) {}
+
+  /// Full request bytes in (type byte included), response body out.
+  Result<std::string> Handle(int from, const std::string& request);
+
+  int node_id() const { return node_id_; }
+
+ private:
+  int node_id_;
+  HddController* cc_;
+  LogicalClock* clock_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_DIST_DIST_NODE_H_

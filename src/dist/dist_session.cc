@@ -1,0 +1,371 @@
+#include "dist/dist_session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "common/sim_hook.h"
+#include "dist/dist_message.h"
+#include "sim/sim_scheduler.h"
+
+namespace hdd {
+
+DistSession::DistSession(int node_id, const ShardMap* map,
+                         Transport* transport, HddController* cc,
+                         DistOptions options)
+    : node_id_(node_id),
+      map_(map),
+      transport_(transport),
+      cc_(cc),
+      options_(options) {}
+
+Status DistSession::EnsureSlices(AttemptState& state,
+                                 const std::vector<ClassId>& classes,
+                                 Timestamp frontier) {
+  std::map<int, std::vector<ClassId>> remote;  // home node -> classes
+  for (const ClassId c : classes) {
+    if (state.slices.Has(c)) continue;
+    const int home = map_->home(c);
+    if (home == node_id_) {
+      HDD_ASSIGN_OR_RETURN(ActivitySlice slice,
+                           cc_->ExportActivitySlice(c, frontier));
+      state.slices.Install(slice);
+    } else {
+      remote[home].push_back(c);
+    }
+  }
+  for (const auto& [home, cls] : remote) {
+    ActivityReq req;
+    req.frontier = frontier;
+    req.classes = cls;
+    HDD_ASSIGN_OR_RETURN(
+        std::string body,
+        transport_->Call(node_id_, home, EncodeActivityReq(req),
+                         /*interruptible=*/true));
+    HDD_ASSIGN_OR_RETURN(std::vector<ActivitySlice> slices,
+                         DecodeSlices(body));
+    for (const ActivitySlice& slice : slices) state.slices.Install(slice);
+  }
+  return Status::OK();
+}
+
+Result<Value> DistSession::BoundedRead(const TxnDescriptor& txn,
+                                       GranuleRef granule, Timestamp bound,
+                                       AttemptState& state) {
+  (void)state;
+  // Chains are fetched strictly AFTER the slices that produced `bound`.
+  std::vector<Version> chain;
+  if (map_->owner(granule.segment) == node_id_) {
+    HDD_ASSIGN_OR_RETURN(chain,
+                         cc_->ExportVersions(granule.segment, granule.index));
+  } else {
+    SnapshotReq req;
+    req.segment = granule.segment;
+    req.index = granule.index;
+    HDD_ASSIGN_OR_RETURN(
+        std::string body,
+        transport_->Call(node_id_, map_->owner(granule.segment),
+                         EncodeSnapshotReq(req), /*interruptible=*/true));
+    HDD_ASSIGN_OR_RETURN(chain, DecodeVersions(body));
+  }
+  const Version* pick = nullptr;
+  for (const Version& v : chain) {
+    if (v.order_key < bound && (pick == nullptr || v.order_key > pick->order_key)) {
+      pick = &v;
+    }
+  }
+  if (pick == nullptr) {
+    return Status::Internal("dist: no committed version below bound");
+  }
+  HDD_RETURN_IF_ERROR(
+      cc_->RecordExternalRead(txn, granule, pick->order_key, bound));
+  return pick->value;
+}
+
+Result<Value> DistSession::ReadOp(const TxnDescriptor& txn, GranuleRef granule,
+                                  bool local_plain,
+                                  const std::vector<SegmentId>& scope,
+                                  AttemptState& state) {
+  if (local_plain) return cc_->Read(txn, granule);
+  const TstAnalysis& tst = cc_->class_tst();
+  const ClassId target = cc_->ClassOfSegment(granule.segment);
+
+  if (!txn.read_only) {
+    const ClassId own = txn.txn_class;
+    // Own-segment accesses are Protocol B against the home node's chain,
+    // which is write-authoritative: every transaction of this class runs
+    // here. (With an owner override the owner's copy trails until the 2PC
+    // commit, but no local reader consults it.)
+    if (target == own) return cc_->Read(txn, granule);
+    std::optional<std::vector<NodeId>> path = tst.CriticalPath(own, target);
+    if (!path.has_value()) {
+      return Status::InvalidArgument(
+          "dist: no critical path to the read segment");
+    }
+    // Local fast path: the bound only composes I^old of classes homed
+    // here, and the chain is owned here — the plain controller read is
+    // byte-identical to the slice evaluation. A remote-homed class on the
+    // path makes the local activity table a stand-in (empty => I^old = m,
+    // an unsound overestimate), so those reads MUST take the slice path.
+    bool all_local = map_->owner(granule.segment) == node_id_;
+    for (const NodeId c : *path) {
+      if (map_->home(static_cast<ClassId>(c)) != node_id_) all_local = false;
+    }
+    if (all_local && !options_.mutation_stale_bound_snapshot) {
+      return cc_->Read(txn, granule);
+    }
+    Timestamp bound = txn.init_ts;  // the canary's "unbounded" snapshot
+    if (!options_.mutation_stale_bound_snapshot) {
+      std::vector<ClassId> above(path->begin() + 1, path->end());
+      HDD_RETURN_IF_ERROR(EnsureSlices(state, above, txn.init_ts));
+      ActivityLinkEvaluator eval(&tst, &state.slices);
+      HDD_ASSIGN_OR_RETURN(bound, eval.A(own, target, txn.init_ts));
+    }
+    return BoundedRead(txn, granule, bound, state);
+  }
+
+  // Hosted read-only transaction on the slice path (§5.0 generalized):
+  // reads must stay inside the declared scope.
+  if (std::find(scope.begin(), scope.end(), granule.segment) == scope.end()) {
+    return Status::InvalidArgument("dist: read outside declared scope");
+  }
+  Timestamp bound = txn.init_ts;  // the canary's "unbounded" snapshot
+  if (!options_.mutation_stale_bound_snapshot) {
+    if (!state.base_ready) {
+      HDD_RETURN_IF_ERROR(EnsureSlices(state, {state.host}, txn.init_ts));
+      state.base = state.slices.OldestActiveAt(state.host, txn.init_ts);
+      state.base_ready = true;
+    }
+    if (target == state.host) {
+      bound = state.base;
+    } else {
+      std::optional<std::vector<NodeId>> path =
+          tst.CriticalPath(state.host, target);
+      if (!path.has_value()) {
+        return Status::InvalidArgument("dist: scope is not host-reachable");
+      }
+      std::vector<ClassId> above(path->begin() + 1, path->end());
+      HDD_RETURN_IF_ERROR(EnsureSlices(state, above, txn.init_ts));
+      ActivityLinkEvaluator eval(&tst, &state.slices);
+      HDD_ASSIGN_OR_RETURN(bound, eval.A(state.host, target, state.base));
+    }
+  }
+  return BoundedRead(txn, granule, bound, state);
+}
+
+Status DistSession::PrepareRemotes(const TxnDescriptor& txn,
+                                   AttemptState& state) {
+  for (const auto& [segment, writes] : state.remote_writes) {
+    PrepareReq req;
+    req.txn = txn.id;
+    req.init_ts = txn.init_ts;
+    req.segment = segment;
+    req.writes = writes;
+    Result<std::string> ack =
+        transport_->Call(node_id_, map_->owner(segment), EncodePrepareReq(req),
+                         /*interruptible=*/true);
+    if (!ack.ok()) return ack.status();
+    state.prepared.push_back(segment);
+  }
+  return Status::OK();
+}
+
+void DistSession::AbortRemotes(const TxnDescriptor& txn, AttemptState& state) {
+  for (const SegmentId segment : state.prepared) {
+    TxnSegmentReq req;
+    req.txn = txn.id;
+    req.init_ts = txn.init_ts;
+    req.segment = segment;
+    (void)transport_->Call(node_id_, map_->owner(segment),
+                           EncodeTxnSegmentReq(DistMsgType::kAbortReq, req),
+                           /*interruptible=*/false);
+  }
+  state.prepared.clear();
+}
+
+void DistSession::CommitRemotes(const TxnDescriptor& txn,
+                                AttemptState& state) {
+  // The decision is durable: roll forward until every participant acked.
+  // CommitExternal is idempotent, so retrying a possibly-delivered call
+  // is safe; calls are non-interruptible (no fault may unwind this).
+  for (const SegmentId segment : state.prepared) {
+    TxnSegmentReq req;
+    req.txn = txn.id;
+    req.init_ts = txn.init_ts;
+    req.segment = segment;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      Result<std::string> ack = transport_->Call(
+          node_id_, map_->owner(segment),
+          EncodeTxnSegmentReq(DistMsgType::kCommitReq, req),
+          /*interruptible=*/false);
+      if (ack.ok()) break;
+      SimSleep(std::chrono::microseconds(50));
+    }
+  }
+  state.prepared.clear();
+}
+
+DistTxnResult DistSession::Run(const DistProgram& program, int max_retries,
+                               SimScheduler* sim) {
+  DistTxnResult result;
+  const TstAnalysis& tst = cc_->class_tst();
+
+  // Placement + path selection, fixed across attempts.
+  bool local_plain = false;
+  ClassId host = kReadOnlyClass;
+  TxnOptions begin_options = program.options;
+  if (!program.options.read_only) {
+    if (map_->home(program.options.txn_class) != node_id_) {
+      result.failed = true;  // misrouted: update txns run at their home
+      return result;
+    }
+  } else {
+    const std::vector<SegmentId>& scope = program.options.read_scope;
+    if (scope.empty()) {
+      // Time walls are node-local consistent cuts; a cross-shard wall
+      // read would be unsound, so ad-hoc unscoped RO is not offered.
+      result.failed = true;
+      return result;
+    }
+    local_plain = true;
+    for (const SegmentId s : scope) {
+      const ClassId c = cc_->ClassOfSegment(s);
+      if (map_->home(c) != node_id_ || map_->owner(s) != node_id_) {
+        local_plain = false;
+      }
+    }
+    if (options_.mutation_stale_bound_snapshot) local_plain = false;
+    if (!local_plain) {
+      // Resolve the host class ourselves (the §5.0 rule: the unique
+      // scope class every other scope class is higher than) and begin an
+      // UNSCOPED read-only transaction: the local controller would
+      // otherwise host it against stand-in activity tables.
+      begin_options.read_scope.clear();
+      for (const SegmentId cand : scope) {
+        const ClassId c = cc_->ClassOfSegment(cand);
+        bool hosts_all = true;
+        for (const SegmentId other : scope) {
+          const ClassId o = cc_->ClassOfSegment(other);
+          if (o != c && !tst.Higher(o, c)) hosts_all = false;
+        }
+        if (hosts_all) {
+          host = c;
+          break;
+        }
+      }
+      if (host == kReadOnlyClass) {
+        result.failed = true;  // scope spans no single critical-path fan
+        return result;
+      }
+    }
+  }
+
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    if (sim != nullptr) sim->OnTxnAttemptStart();
+    AttemptState state;
+    state.host = host;
+    std::optional<Result<TxnDescriptor>> txn;
+    try {
+      txn.emplace(cc_->Begin(begin_options));
+    } catch (const SimFault& fault) {
+      if (fault.kind == SimFaultKind::kCrash) {
+        result.crashed = true;
+        return result;
+      }
+      ++result.aborted_attempts;
+      continue;
+    }
+    if (!txn->ok()) {
+      result.failed = true;
+      return result;
+    }
+    Status status;
+    bool faulted = false;
+    bool fault_crash = false;
+    bool committed = false;
+    try {
+      for (const DistOp& op : program.ops) {
+        if (op.is_write) {
+          status = cc_->Write(**txn, op.granule, op.value);
+          if (status.ok() &&
+              map_->owner(op.granule.segment) != node_id_) {
+            state.remote_writes[op.granule.segment].emplace_back(
+                op.granule.index, op.value);
+          }
+        } else {
+          Result<Value> value = ReadOp(**txn, op.granule, local_plain,
+                                       program.options.read_scope, state);
+          status = value.status();
+          if (value.ok()) state.values.push_back(*value);
+        }
+        if (!status.ok()) break;
+      }
+      if (status.ok()) {
+        if (state.remote_writes.empty()) {
+          status = cc_->Commit(**txn);
+          committed = status.ok();
+        } else {
+          status = PrepareRemotes(**txn, state);
+          if (status.ok()) {
+            // The local durable commit record IS the decision: before it
+            // an abort is still possible, after it only roll-forward.
+            status = cc_->CommitDurablePhase(**txn);
+          }
+          if (status.ok()) {
+            CommitRemotes(**txn, state);
+            (void)cc_->FinishDistributedCommit(**txn);
+            committed = true;
+          }
+        }
+        if (committed) {
+          result.committed = true;
+          result.values = std::move(state.values);
+          return result;
+        }
+        if (status.IsRetryable()) {
+          AbortRemotes(**txn, state);
+          (void)cc_->Abort(**txn);
+          ++result.aborted_attempts;
+          continue;
+        }
+        AbortRemotes(**txn, state);
+        (void)cc_->Abort(**txn);
+        result.failed = true;
+        return result;
+      }
+    } catch (const SimFault& fault) {
+      faulted = true;
+      fault_crash = fault.kind == SimFaultKind::kCrash;
+    }
+    if (faulted && fault_crash) {
+      // Coordinator "crash": the driver vanishes without aborting its
+      // prepared participants. Their versions stay uncommitted — invisible
+      // to every bounded read — which is exactly the classic blocked-2PC
+      // residue the sweep is meant to exercise.
+      result.crashed = true;
+      return result;
+    }
+    AbortRemotes(**txn, state);
+    (void)cc_->Abort(**txn);  // best effort; the txn may already be gone
+    if (faulted) {
+      ++result.aborted_attempts;
+      continue;
+    }
+    if (status.IsRetryable() || status.code() == StatusCode::kBusy) {
+      ++result.aborted_attempts;
+      if (attempt > 2) {
+        SimSleep(std::chrono::microseconds(
+            std::min(1 << std::min(attempt, 12), 2000)));
+      }
+      continue;
+    }
+    result.failed = true;
+    return result;
+  }
+  result.failed = true;
+  return result;
+}
+
+}  // namespace hdd

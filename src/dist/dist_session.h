@@ -1,0 +1,129 @@
+#ifndef HDD_DIST_DIST_SESSION_H_
+#define HDD_DIST_DIST_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dist/activity_slice.h"
+#include "dist/shard_map.h"
+#include "dist/transport.h"
+#include "hdd/hdd_controller.h"
+
+namespace hdd {
+
+class SimScheduler;
+
+struct DistOptions {
+  /// TEST-ONLY mutation switch, the canary of the distributed simulation
+  /// harness: when set, cross-node reads are served at the reader's raw
+  /// initiation time instead of the slice-evaluated activity-link bound
+  /// A_i^j(I(t)) — the "unbounded snapshot" a broken implementation would
+  /// ship. An older remote transaction of the target class still active
+  /// at I(t) may commit a version below the served bound afterwards, so
+  /// the merged-history oracle must catch this with a replayable seed.
+  bool mutation_stale_bound_snapshot = false;
+};
+
+/// One client-visible operation of a distributed transaction program.
+struct DistOp {
+  bool is_write = false;
+  GranuleRef granule;
+  Value value = 0;  // writes only
+};
+
+struct DistProgram {
+  TxnOptions options;
+  std::vector<DistOp> ops;
+};
+
+struct DistTxnResult {
+  bool committed = false;
+  bool failed = false;
+  bool crashed = false;
+  std::uint64_t aborted_attempts = 0;
+  /// Values read by the committed attempt, in op order (reads only).
+  std::vector<Value> values;
+};
+
+/// Drives transactions on one shard node of a distributed HDD deployment.
+///
+/// Placement rules (class ids are identical to segment ids — Restructure
+/// is not supported in sharded mode):
+///  * an update transaction of class c runs at home(c); its own-segment
+///    accesses go through the local controller (Protocol B), and the home
+///    node's stand-in chain for c's segment is write-authoritative since
+///    every writer of that segment runs here;
+///  * a cross-segment Protocol A read is served locally when every class
+///    on the critical path is homed here AND the segment is owned here;
+///    otherwise the session fetches the path classes' activity slices
+///    (once per transaction per remote home — classes are batched into
+///    one message per node), evaluates A_i^j(I(t)) LOCALLY against the
+///    shipped slices, and picks the read version out of the owner's
+///    shipped committed chain. No registration message exists: the owner
+///    never learns the read happened.
+///  * a read-only transaction must declare a read_scope (time walls are
+///    node-local and therefore unsound across shards); it is hosted below
+///    the scope's lowest class per §5.0, with the base I^old_h(m) and all
+///    bounds evaluated from slices when any piece is remote;
+///  * an update transaction whose own segment is owned by ANOTHER node
+///    (ShardMap::SetSegmentOwner override) two-phases its commit: shipped
+///    writes are prepared at the owner through the owner's WAL, the
+///    coordinator makes the commit durable locally, participants commit,
+///    and only then does the transaction deregister — so no activity-link
+///    bound anywhere can pass I(t) before every copy is committed.
+class DistSession {
+ public:
+  DistSession(int node_id, const ShardMap* map, Transport* transport,
+              HddController* cc, DistOptions options = {});
+
+  /// Runs one program to completion with the executor's attempt loop
+  /// (fault boundary under simulation; `sim` may be null).
+  DistTxnResult Run(const DistProgram& program, int max_retries,
+                    SimScheduler* sim);
+
+  HddController& controller() { return *cc_; }
+  int node_id() const { return node_id_; }
+
+ private:
+  struct AttemptState {
+    SliceSource slices;
+    bool base_ready = false;
+    ClassId host = kReadOnlyClass;  // hosted read-only txns (slice path)
+    Timestamp base = kTimestampMin;
+    /// Writes destined for remotely-owned segments, accumulated by the op
+    /// loop and two-phased at commit.
+    std::map<SegmentId, std::vector<std::pair<std::uint32_t, Value>>>
+        remote_writes;
+    /// Segments successfully prepared at their owners (abort targets).
+    std::vector<SegmentId> prepared;
+    std::vector<Value> values;
+  };
+
+  Result<Value> ReadOp(const TxnDescriptor& txn, GranuleRef granule,
+                       bool local_plain, const std::vector<SegmentId>& scope,
+                       AttemptState& state);
+  /// Slice-path read: evaluate `bound` locally, fetch the owner's
+  /// committed chain, serve the latest version below the bound.
+  Result<Value> BoundedRead(const TxnDescriptor& txn, GranuleRef granule,
+                            Timestamp bound, AttemptState& state);
+  /// Fetches activity slices for every class in `classes` not yet cached
+  /// (local classes directly, remote ones batched into one message per
+  /// home node). Slices are always fetched BEFORE the chains they bound:
+  /// a slice can only be "stale" in the safe direction (lower bound).
+  Status EnsureSlices(AttemptState& state, const std::vector<ClassId>& classes,
+                      Timestamp frontier);
+  Status PrepareRemotes(const TxnDescriptor& txn, AttemptState& state);
+  void AbortRemotes(const TxnDescriptor& txn, AttemptState& state);
+  void CommitRemotes(const TxnDescriptor& txn, AttemptState& state);
+
+  int node_id_;
+  const ShardMap* map_;
+  Transport* transport_;
+  HddController* cc_;
+  DistOptions options_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_DIST_DIST_SESSION_H_

@@ -1,0 +1,227 @@
+#include "dist/dist_world.h"
+
+#include <thread>
+#include <utility>
+
+#include "sim/explorer.h"
+#include "sim/sim_scheduler.h"
+
+namespace hdd {
+
+namespace {
+
+SyntheticWorkloadParams MakeParams(const DistWorldOptions& options) {
+  SyntheticWorkloadParams params;
+  params.depth = options.depth;
+  params.granules_per_segment = options.granules_per_segment;
+  params.own_reads = options.own_reads;
+  params.own_writes = options.own_writes;
+  params.upper_reads = options.upper_reads;
+  params.read_only_fraction = options.read_only_fraction;
+  return params;
+}
+
+}  // namespace
+
+DistWorld::DistWorld(DistWorldOptions options, SimScheduler* sched)
+    : options_(options),
+      sched_(sched),
+      workload_(MakeParams(options)),
+      map_(ShardMap::Contiguous(options.depth, options.num_nodes)),
+      clock_(sched) {
+  Result<HierarchySchema> schema = HierarchySchema::Create(workload_.Spec());
+  if (!schema.ok()) {
+    init_error_ = schema.status().ToString();
+    return;
+  }
+  schema_.emplace(std::move(*schema));
+  for (const auto& [segment, node] : options_.owner_overrides) {
+    map_.SetSegmentOwner(segment, node);
+  }
+  SimTransportOptions topts = options_.transport;
+  transport_ = std::make_unique<SimTransport>(options_.num_nodes, topts);
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    dbs_.push_back(workload_.MakeDatabase());
+    if (options_.with_wal) {
+      storages_.push_back(std::make_unique<SimWalStorage>());
+      Result<std::unique_ptr<WalManager>> wal = WalManager::Open(
+          storages_.back().get(), dbs_.back()->num_segments(), options_.wal);
+      if (!wal.ok()) {
+        init_error_ = wal.status().ToString();
+        return;
+      }
+      wals_.push_back(std::move(*wal));
+      dbs_.back()->AttachWal(wals_.back().get());
+    }
+    HddControllerOptions copts;
+    // Disjoint id ranges per node: the merged multi-node history needs
+    // globally unique transaction ids.
+    copts.first_txn_id = static_cast<TxnId>(n) * (1ull << 32) + 1;
+    // Idle-point trimming is node-local reasoning and therefore UNSOUND
+    // here: a remote reader's bound may stab below this node's clock
+    // while the node itself is idle.
+    copts.auto_trim_history = false;
+    copts.name = "hdd-dist-" + std::to_string(n);
+    controllers_.push_back(std::make_unique<HddController>(
+        dbs_.back().get(), &clock_, &*schema_, copts));
+    nodes_.push_back(
+        std::make_unique<DistNode>(n, controllers_.back().get(), &clock_));
+    DistNode* dist_node = nodes_.back().get();
+    transport_->RegisterHandler(
+        n, [dist_node](int from, const std::string& request) {
+          return dist_node->Handle(from, request);
+        });
+    sessions_.push_back(std::make_unique<DistSession>(
+        n, &map_, transport_.get(), controllers_.back().get(),
+        options_.session));
+    next_index_.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+}
+
+DistWorld::~DistWorld() = default;
+
+DistProgram DistWorld::MakeProgram(int node, int index) const {
+  Rng rng(options_.workload_seed * 0x9E3779B97F4A7C15ULL +
+          static_cast<std::uint64_t>(node) * 8191 +
+          static_cast<std::uint64_t>(index) * 131 + 1);
+  const auto granule = [&](SegmentId s) {
+    return GranuleRef{s, static_cast<std::uint32_t>(
+                             rng.NextBounded(options_.granules_per_segment))};
+  };
+  DistProgram program;
+  if (rng.NextBool(options_.read_only_fraction)) {
+    // Hosted read-only: scope = the chain from the root down to a random
+    // class h (every scoped class above h is critical-path-reachable).
+    const int h = static_cast<int>(rng.NextBounded(
+        static_cast<std::uint64_t>(options_.depth)));
+    program.options.read_only = true;
+    for (int s = 0; s <= h; ++s) {
+      program.options.read_scope.push_back(static_cast<SegmentId>(s));
+    }
+    for (int s = 0; s <= h; ++s) {
+      program.ops.push_back(
+          DistOp{false, granule(static_cast<SegmentId>(s)), 0});
+    }
+    return program;
+  }
+  const std::vector<ClassId> classes = map_.ClassesHomedAt(node);
+  const ClassId c = classes[rng.NextBounded(classes.size())];
+  program.options.txn_class = c;
+  for (SegmentId s = 0; s < c; ++s) {
+    for (int r = 0; r < options_.upper_reads; ++r) {
+      program.ops.push_back(DistOp{false, granule(s), 0});
+    }
+  }
+  for (int r = 0; r < options_.own_reads; ++r) {
+    program.ops.push_back(DistOp{false, granule(c), 0});
+  }
+  for (int w = 0; w < options_.own_writes; ++w) {
+    program.ops.push_back(DistOp{
+        true, granule(c), static_cast<Value>(rng.NextBounded(1000000))});
+  }
+  return program;
+}
+
+void DistWorld::WorkerBody(int node) {
+  std::atomic<int>& next = *next_index_[node];
+  for (;;) {
+    const int index = next.fetch_add(1);
+    if (index >= options_.txns_per_node) break;
+    const DistProgram program = MakeProgram(node, index);
+    const DistTxnResult r =
+        sessions_[node]->Run(program, options_.max_retries, sched_);
+    if (r.committed) committed_.fetch_add(1);
+    if (r.failed) failed_.fetch_add(1);
+    if (r.crashed) crashed_.fetch_add(1);
+    aborted_attempts_.fetch_add(r.aborted_attempts);
+  }
+  // The LAST worker stops the pumps — from a registered sim task, so the
+  // scheduler delivers the wakeups (a notify from a non-sim thread is
+  // invisible to parked sim tasks).
+  if (workers_left_.fetch_sub(1) == 1) transport_->Stop();
+}
+
+int DistWorld::TotalTasks() const {
+  return options_.num_nodes *
+         (options_.workers_per_node + options_.pumps_per_node);
+}
+
+std::string DistWorld::RunWorkload() {
+  if (!init_error_.empty()) return init_error_;
+  const int num_workers = options_.num_nodes * options_.workers_per_node;
+  const int num_pumps = options_.num_nodes * options_.pumps_per_node;
+  workers_left_.store(num_workers);
+  if (sched_ != nullptr) sched_->ExpectTasks(num_workers + num_pumps);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_workers + num_pumps));
+  const auto launch = [&](int task_id, auto body) {
+    threads.emplace_back([this, task_id, body] {
+      if (sched_ == nullptr) {
+        body();
+        return;
+      }
+      try {
+        sched_->RegisterCurrentTask(task_id);
+        body();
+      } catch (const SimHalt&) {
+      }
+      sched_->UnregisterCurrentTask();
+    });
+  };
+  int task_id = 0;
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    for (int w = 0; w < options_.workers_per_node; ++w) {
+      launch(task_id++, [this, n] { WorkerBody(n); });
+    }
+  }
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    for (int p = 0; p < options_.pumps_per_node; ++p) {
+      launch(task_id++, [this, n] { transport_->PumpLoop(n); });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  if (sched_ != nullptr && sched_->halted() && !sched_->process_crashed()) {
+    return "halted: " + sched_->halt_reason();
+  }
+  return "";
+}
+
+std::string DistWorld::CheckHistory() {
+  std::vector<Step> combined;
+  std::unordered_map<TxnId, TxnState> outcomes;
+  std::unordered_map<TxnId, ScheduleRecorder::TxnIdentity> identities;
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    const ScheduleRecorder& rec = controllers_[n]->recorder();
+    AppendRebased(combined, rec.steps());
+    for (const auto& [id, outcome] : rec.outcomes()) outcomes[id] = outcome;
+    for (const auto& [id, ident] : rec.identities()) identities[id] = ident;
+  }
+  // The final database: each segment's chains come from its OWNER node
+  // (committed versions only — 2PC leftovers of crashed coordinators are
+  // uncommitted residue no bounded read could observe).
+  std::unique_ptr<Database> merged = workload_.MakeDatabase();
+  for (int s = 0; s < options_.depth; ++s) {
+    const int owner = map_.owner(static_cast<SegmentId>(s));
+    for (std::uint32_t g = 0; g < options_.granules_per_segment; ++g) {
+      Result<std::vector<Version>> chain =
+          controllers_[owner]->ExportVersions(static_cast<SegmentId>(s), g);
+      if (!chain.ok()) return chain.status().ToString();
+      Status restored =
+          merged->granule(GranuleRef{static_cast<SegmentId>(s), g})
+              .RestoreVersions(std::move(*chain));
+      if (!restored.ok()) return restored.ToString();
+    }
+  }
+  return CheckRecordedHistory(combined, outcomes, identities, *merged,
+                              /*replay_bounds=*/true);
+}
+
+void AppendRebased(std::vector<Step>& combined, std::vector<Step> steps) {
+  const std::uint64_t base = combined.empty() ? 0 : combined.back().seq + 1;
+  for (Step& step : steps) step.seq += base;
+  combined.insert(combined.end(), steps.begin(), steps.end());
+}
+
+}  // namespace hdd

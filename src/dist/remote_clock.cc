@@ -1,0 +1,33 @@
+#include "dist/remote_clock.h"
+
+#include "dist/dist_message.h"
+
+namespace hdd {
+
+Timestamp RemoteClock::Call(DistMsgType type) {
+  // Not interruptible: a fault-aborted clock fetch would abort whatever
+  // transaction attempt happened to need a timestamp, for no model value.
+  Result<std::string> response = transport_->Call(
+      node_id_, clock_node_, EncodeClockReq(type), /*interruptible=*/false);
+  if (response.ok()) {
+    const Result<Timestamp> ts = DecodeTimestamp(*response);
+    if (ts.ok()) {
+      // Keep the fallback floor above everything the service issued.
+      Timestamp seen = last_seen_.load(std::memory_order_relaxed);
+      while (seen < *ts && !last_seen_.compare_exchange_weak(
+                               seen, *ts, std::memory_order_relaxed)) {
+      }
+      return *ts;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (last_error_.ok()) last_error_ = ts.status();
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (last_error_.ok()) last_error_ = response.status();
+  }
+  // Degraded: locally monotone, globally meaningless. last_error() is
+  // latched; the deployment must treat the run as failed.
+  return last_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace hdd

@@ -1,0 +1,62 @@
+#ifndef HDD_DIST_REMOTE_CLOCK_H_
+#define HDD_DIST_REMOTE_CLOCK_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "dist/transport.h"
+
+namespace hdd {
+
+/// LogicalClock backed by the cluster's clock service (the node hosting
+/// the real clock — node 0 by convention — answers kClockTickReq /
+/// kClockNowReq, see DistNode). Socket deployments use this on every
+/// other node so all initiation and commit timestamps across the cluster
+/// stay totally ordered, exactly as the paper's single logical clock
+/// requires.
+///
+/// Each Tick is one synchronous RPC. That is the honest price of a
+/// centralized timestamp authority and is acceptable for the shard
+/// deployment's scale; a controller latch may be held across the call,
+/// which delays local peers but cannot deadlock — the clock handler
+/// touches no controller state.
+///
+/// Transport failure cannot be surfaced through Tick's signature, so the
+/// first error is latched (last_error()) and the clock falls back to a
+/// locally monotone counter seeded above the last remote value. The
+/// deployment is broken at that point — callers must check last_error()
+/// at shutdown — but the fallback keeps the process coherent enough to
+/// shut down instead of handing out duplicate or zero timestamps.
+class RemoteClock : public LogicalClock {
+ public:
+  RemoteClock(Transport* transport, int node_id, int clock_node = 0)
+      : transport_(transport), node_id_(node_id), clock_node_(clock_node) {}
+
+  Timestamp Tick() override { return Call(DistMsgType::kClockTickReq); }
+  Timestamp Now() const override {
+    return const_cast<RemoteClock*>(this)->Call(DistMsgType::kClockNowReq);
+  }
+
+  Status last_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_error_;
+  }
+
+ private:
+  Timestamp Call(DistMsgType type);
+
+  Transport* transport_;
+  int node_id_;
+  int clock_node_;
+  mutable std::mutex mu_;
+  Status last_error_ = Status::OK();
+  /// Highest timestamp seen from the service; the failure fallback counts
+  /// on from here.
+  std::atomic<Timestamp> last_seen_{0};
+};
+
+}  // namespace hdd
+
+#endif  // HDD_DIST_REMOTE_CLOCK_H_

@@ -1,0 +1,52 @@
+#include "dist/shard_map.h"
+
+#include <cassert>
+
+namespace hdd {
+
+ShardMap ShardMap::Contiguous(int num_segments, int num_nodes) {
+  assert(num_nodes >= 1 && num_nodes <= num_segments);
+  ShardMap map;
+  map.num_nodes_ = num_nodes;
+  map.home_of_class_.resize(static_cast<std::size_t>(num_segments));
+  // Balanced split: the first `num_segments % num_nodes` nodes take one
+  // extra class, so every node homes at least one class (a ceil-split can
+  // starve the tail — 4 classes over 3 nodes would leave node 2 empty).
+  const int base = num_segments / num_nodes;
+  const int extra = num_segments % num_nodes;
+  int c = 0;
+  for (int n = 0; n < num_nodes; ++n) {
+    const int take = base + (n < extra ? 1 : 0);
+    for (int i = 0; i < take; ++i) {
+      map.home_of_class_[static_cast<std::size_t>(c++)] = n;
+    }
+  }
+  map.owner_of_segment_ = map.home_of_class_;
+  return map;
+}
+
+void ShardMap::SetSegmentOwner(SegmentId s, int node) {
+  assert(s >= 0 && s < num_segments());
+  assert(node >= 0 && node < num_nodes_);
+  owner_of_segment_[static_cast<std::size_t>(s)] = node;
+}
+
+std::vector<SegmentId> ShardMap::SegmentsOwnedBy(int node) const {
+  std::vector<SegmentId> out;
+  for (int s = 0; s < num_segments(); ++s) {
+    if (owner_of_segment_[static_cast<std::size_t>(s)] == node) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<ClassId> ShardMap::ClassesHomedAt(int node) const {
+  std::vector<ClassId> out;
+  for (std::size_t c = 0; c < home_of_class_.size(); ++c) {
+    if (home_of_class_[c] == node) out.push_back(static_cast<ClassId>(c));
+  }
+  return out;
+}
+
+}  // namespace hdd

@@ -1,0 +1,63 @@
+#ifndef HDD_DIST_SHARD_MAP_H_
+#define HDD_DIST_SHARD_MAP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/version.h"
+#include "txn/transaction.h"
+
+namespace hdd {
+
+/// How a sharded HDD deployment (src/dist/) splits the class hierarchy
+/// across processes. Two independent assignments:
+///
+///  * home(class):   the node that REGISTERS the class — runs its update
+///    transactions, keeps its activity table, and coordinates its
+///    commits. Derived from the hierarchy: contiguous class-id ranges, so
+///    a class and its neighbours on the critical path tend to co-locate
+///    and most Protocol A bounds resolve without leaving the node.
+///  * owner(segment): the node holding the AUTHORITATIVE version chains
+///    of the segment. Defaults to the home of the segment's class; an
+///    override (SetSegmentOwner) separates the two, which is exactly the
+///    cross-shard-update scenario — the class's transactions still
+///    execute at its home, but their commits must two-phase into the
+///    owner's chains and WAL.
+///
+/// Every node runs the full schema; segments it does not own are local
+/// stand-in copies (the home's stand-in sees every write of its own
+/// classes, which is what keeps Protocol B single-sited and correct).
+/// Dynamic restructuring is NOT supported in sharded mode, so class ids
+/// and segment ids coincide for the deployment's lifetime.
+class ShardMap {
+ public:
+  /// Contiguous split of `num_segments` classes over `num_nodes` nodes
+  /// (node 0 gets the highest classes). num_nodes must be >= 1 and at
+  /// most num_segments.
+  static ShardMap Contiguous(int num_segments, int num_nodes);
+
+  int home(ClassId c) const { return home_of_class_[c]; }
+  int owner(SegmentId s) const { return owner_of_segment_[s]; }
+
+  /// Re-assigns a segment's chains to another node (see class comment).
+  void SetSegmentOwner(SegmentId s, int node);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_segments() const {
+    return static_cast<int>(owner_of_segment_.size());
+  }
+
+  std::vector<SegmentId> SegmentsOwnedBy(int node) const;
+  std::vector<ClassId> ClassesHomedAt(int node) const;
+
+ private:
+  ShardMap() = default;
+
+  int num_nodes_ = 1;
+  std::vector<int> home_of_class_;
+  std::vector<int> owner_of_segment_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_DIST_SHARD_MAP_H_

@@ -1,0 +1,122 @@
+#include "dist/sim_transport.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/sim_hook.h"
+
+namespace hdd {
+
+SimTransport::SimTransport(int num_nodes, SimTransportOptions options)
+    : options_(options), handlers_(static_cast<std::size_t>(num_nodes)) {
+  assert(num_nodes > 0);
+  inboxes_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    auto inbox = std::make_unique<Inbox>();
+    inbox->rng.Seed(options_.seed ^ (0x9E3779B97F4A7C15ULL * (n + 1)));
+    inboxes_.push_back(std::move(inbox));
+  }
+}
+
+SimTransport::~SimTransport() = default;
+
+void SimTransport::RegisterHandler(int node, DistHandler handler) {
+  handlers_[static_cast<std::size_t>(node)] = std::move(handler);
+}
+
+Result<std::string> SimTransport::Call(int from, int to,
+                                       const std::string& request,
+                                       bool interruptible) {
+  assert(to >= 0 && to < num_nodes());
+  assert(!request.empty());
+  // The send is the fault point: an injected abort fires before anything
+  // was enqueued, so the attempt unwinds with no message in flight.
+  SimYield("dist/transport/call", interruptible);
+  counters_.Bump(PeekDistMsgType(request));
+
+  auto rpc = std::make_shared<PendingRpc>();
+  Inbox& inbox = *inboxes_[static_cast<std::size_t>(to)];
+  {
+    std::unique_lock<std::mutex> lock(inbox.mu);
+    inbox.queue.push_back(Message{from, request, 0, rpc});
+  }
+  SimNotifyAll(inbox.cv, &inbox);
+
+  std::unique_lock<std::mutex> lock(rpc->mu);
+  while (!rpc->done) SimWait(rpc->cv, lock, rpc.get());
+  if (!rpc->status.ok()) return rpc->status;
+  return rpc->response;
+}
+
+void SimTransport::PumpLoop(int node) {
+  Inbox& inbox = *inboxes_[static_cast<std::size_t>(node)];
+  const DistHandler& handler = handlers_[static_cast<std::size_t>(node)];
+  for (;;) {
+    Message msg;
+    {
+      std::unique_lock<std::mutex> lock(inbox.mu);
+      while (inbox.queue.empty()) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        SimWait(inbox.cv, lock, &inbox);
+      }
+      // Reorder fault: deliver a random queued message instead of the
+      // head. Harmless for correctness — the protocol orders nothing by
+      // arrival — but it perturbs which handler's effects land first.
+      std::size_t pick = 0;
+      if (inbox.queue.size() > 1 && inbox.rng.NextBool(options_.reorder_prob)) {
+        pick = inbox.rng.NextBounded(inbox.queue.size());
+      }
+      msg = inbox.queue[pick];
+      inbox.queue.erase(inbox.queue.begin() + static_cast<std::ptrdiff_t>(pick));
+
+      // Delay fault (the loss model: a lost message is a delayed
+      // retransmit — true loss would wedge the synchronous caller).
+      if (msg.delays < options_.max_delays_per_message &&
+          inbox.rng.NextBool(options_.delay_prob)) {
+        Message delayed = msg;
+        ++delayed.delays;
+        inbox.queue.push_back(std::move(delayed));
+        continue;
+      }
+      // Duplicate fault: re-queue a copy and ALSO deliver this one.
+      // Handlers are idempotent; the caller takes the first response.
+      if (msg.delays < options_.max_delays_per_message &&
+          inbox.rng.NextBool(options_.duplicate_prob)) {
+        Message dup = msg;
+        ++dup.delays;
+        inbox.queue.push_back(std::move(dup));
+      }
+    }
+
+    // Handler runs outside the inbox lock; pump tasks never arm faults
+    // (no OnTxnAttemptStart), so SimFault cannot unwind a half-applied
+    // handler. SimHalt still can — it propagates out to the task wrapper.
+    Result<std::string> result =
+        handler ? handler(msg.from, msg.request)
+                : Result<std::string>(
+                      Status::Internal("dist: no handler registered"));
+    {
+      std::unique_lock<std::mutex> lock(msg.rpc->mu);
+      if (!msg.rpc->done) {  // first response wins (duplicates discarded)
+        msg.rpc->done = true;
+        if (result.ok()) {
+          msg.rpc->response = std::move(*result);
+        } else {
+          msg.rpc->status = result.status();
+        }
+      }
+    }
+    SimNotifyAll(msg.rpc->cv, msg.rpc.get());
+  }
+}
+
+void SimTransport::Stop() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& inbox : inboxes_) {
+    std::unique_lock<std::mutex> lock(inbox->mu);
+    lock.unlock();
+    SimNotifyAll(inbox->cv, inbox.get());
+  }
+}
+
+}  // namespace hdd

@@ -1,0 +1,94 @@
+#ifndef HDD_DIST_SIM_TRANSPORT_H_
+#define HDD_DIST_SIM_TRANSPORT_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/transport.h"
+
+namespace hdd {
+
+struct SimTransportOptions {
+  /// Seed for the message-fault draws (derive from the run's seed so
+  /// failing sweeps replay byte-for-byte).
+  std::uint64_t seed = 1;
+
+  /// Message faults, decided per delivery attempt by the inbox's seeded
+  /// RNG. A "delayed" message is re-queued at the back (bounded times —
+  /// this is also the loss model: true loss would wedge the synchronous
+  /// caller, so a dropped message is a delayed retransmit, which is what
+  /// a retrying sender produces anyway). "Reordered" delivers a random
+  /// queued message instead of the head. "Duplicated" re-queues a copy
+  /// AND delivers — handlers are idempotent and the caller takes the
+  /// first response per RPC.
+  double delay_prob = 0.0;
+  double reorder_prob = 0.0;
+  double duplicate_prob = 0.0;
+  int max_delays_per_message = 3;
+};
+
+/// In-process message hub for N logical nodes: per-node inboxes drained
+/// by pump loops the harness runs as sim tasks (deterministic simulation)
+/// or plain threads (bench). All waits go through SimWait/SimNotifyAll,
+/// so under the sim scheduler every delivery decision — who pumps next,
+/// which message, whether a fault fires — is part of the replayable
+/// schedule. Requests are byte-encoded even in process: the same codec
+/// the socket transport ships is exercised by every simulated run.
+class SimTransport : public Transport {
+ public:
+  SimTransport(int num_nodes, SimTransportOptions options);
+  ~SimTransport() override;
+
+  void RegisterHandler(int node, DistHandler handler);
+
+  Result<std::string> Call(int from, int to, const std::string& request,
+                           bool interruptible) override;
+
+  /// Body of one pump task for `node`'s inbox; returns when Stop() was
+  /// called and the inbox is drained. Run it on a registered sim task
+  /// (the harness) or a plain thread (bench).
+  void PumpLoop(int node);
+
+  /// Stops every pump loop once their inboxes drain. Under simulation,
+  /// call from a REGISTERED sim task (the last finishing worker): the
+  /// wakeups must be delivered by the scheduler.
+  void Stop();
+
+  int num_nodes() const { return static_cast<int>(inboxes_.size()); }
+
+ private:
+  struct PendingRpc {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;  // non-OK: handler failed
+    std::string response;
+  };
+
+  struct Message {
+    int from = 0;
+    std::string request;
+    int delays = 0;
+    std::shared_ptr<PendingRpc> rpc;
+  };
+
+  struct Inbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+    Rng rng{1};
+  };
+
+  SimTransportOptions options_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::vector<DistHandler> handlers_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace hdd
+
+#endif  // HDD_DIST_SIM_TRANSPORT_H_

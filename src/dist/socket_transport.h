@@ -1,0 +1,90 @@
+#ifndef HDD_DIST_SOCKET_TRANSPORT_H_
+#define HDD_DIST_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/transport.h"
+
+namespace hdd {
+
+/// Address of one shard node. Loopback deployments leave host empty
+/// (= 127.0.0.1).
+struct SocketPeer {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Transport over real TCP sockets, one process per shard node, framed
+/// exactly like the net/ front end (length + crc32 + payload):
+///
+///   request  frame payload: [rpc_id u64 LE][from u32 LE][request bytes]
+///   response frame payload: [rpc_id u64 LE][response envelope]
+///
+/// The server side runs one acceptor thread plus one thread per inbound
+/// connection (peers keep one long-lived connection each, so this is
+/// num_nodes-1 threads, not a thread-per-request model). The client side
+/// lazily connects one socket per peer and serializes calls on it — the
+/// session's RPCs are synchronous, so per-peer pipelining buys nothing.
+/// Every socket this object opens is counted; open_fds() must be zero
+/// after Stop() (the smoke test's fd-leak assert).
+class SocketTransport : public Transport {
+ public:
+  /// `peers[i]` is node i's address; this node listens on
+  /// `peers[node_id].port`.
+  SocketTransport(int node_id, std::vector<SocketPeer> peers);
+  ~SocketTransport() override;
+
+  /// Binds, listens and starts the acceptor. Call once before any Call.
+  Status Start(DistHandler handler);
+
+  /// Closes the listener, every server connection and every client
+  /// connection, and joins all threads. Idempotent.
+  void Stop();
+
+  Result<std::string> Call(int from, int to, const std::string& request,
+                           bool interruptible) override;
+
+  /// Sockets currently open (listener + inbound + outbound).
+  int open_fds() const { return open_fds_.load(std::memory_order_relaxed); }
+
+  /// Port actually bound (when constructed with port 0 the OS picks one).
+  std::uint16_t bound_port() const { return bound_port_; }
+
+ private:
+  struct PeerConn {
+    std::mutex mu;
+    int fd = -1;
+    std::uint64_t next_rpc = 1;
+  };
+
+  void AcceptLoop(int listen_fd);
+  void ServeConnection(int fd);
+  /// Opens (or reuses) the outbound connection to `to`; caller holds the
+  /// peer mutex.
+  Status EnsureConnected(PeerConn& peer, int to);
+  void CloseFd(int& fd);
+
+  int node_id_;
+  std::vector<SocketPeer> peers_;
+  DistHandler handler_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::thread acceptor_;
+  std::mutex server_mu_;  // guards server_threads_ and server_fds_
+  std::vector<std::thread> server_threads_;
+  std::vector<int> server_fds_;
+  std::vector<std::unique_ptr<PeerConn>> clients_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<int> open_fds_{0};
+};
+
+}  // namespace hdd
+
+#endif  // HDD_DIST_SOCKET_TRANSPORT_H_

@@ -1,0 +1,82 @@
+#ifndef HDD_DIST_TRANSPORT_H_
+#define HDD_DIST_TRANSPORT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "dist/dist_message.h"
+
+namespace hdd {
+
+/// Per-type message counters, the data behind the §7.5-style message
+/// table of bench_dist. One counter per request type; responses ride the
+/// same exchange and are not counted separately (a Call is one
+/// request/response round trip).
+struct MessageCounters {
+  std::array<std::atomic<std::uint64_t>, kNumDistMsgTypes> sent{};
+
+  void Bump(DistMsgType type) {
+    const auto i = static_cast<std::size_t>(type);
+    if (i < sent.size()) sent[i].fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t Get(DistMsgType type) const {
+    const auto i = static_cast<std::size_t>(type);
+    return i < sent.size() ? sent[i].load(std::memory_order_relaxed) : 0;
+  }
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : sent) sum += c.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// The paper's claim (§4.2), made structural: the protocol has NO
+  /// registration message type — a remote Protocol A read leaves no
+  /// trace at the owner — so this is zero by construction. bench_dist
+  /// still asserts it against the SDD-1-lite comparator, whose model
+  /// charges one registration message per remote read.
+  std::uint64_t registration_messages() const { return 0; }
+
+  void Reset() {
+    for (auto& c : sent) c.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Handler a node registers for incoming requests: full request bytes in
+/// (type byte included), response body out. Handlers must never issue
+/// outbound RPCs — a handler blocked on another node's handler would be a
+/// distributed deadlock the cooperative simulation cannot break.
+using DistHandler =
+    std::function<Result<std::string>(int from, const std::string& request)>;
+
+/// Message layer between shard nodes. Two implementations: SimTransport
+/// (N logical nodes in one process — deterministic under the sim
+/// scheduler with message faults, plain condition variables under real
+/// threads) and SocketTransport (real processes over TCP, reusing the
+/// net/frame framing).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Synchronous RPC: sends `request` from node `from` to node `to` and
+  /// blocks until the response arrives. `interruptible` marks whether an
+  /// injected fault may abort the calling transaction attempt at this
+  /// boundary — pass false on the 2PC roll-forward path, where the
+  /// commit decision is already durable.
+  virtual Result<std::string> Call(int from, int to,
+                                   const std::string& request,
+                                   bool interruptible) = 0;
+
+  MessageCounters& counters() { return counters_; }
+  const MessageCounters& counters() const { return counters_; }
+
+ protected:
+  MessageCounters counters_;
+};
+
+}  // namespace hdd
+
+#endif  // HDD_DIST_TRANSPORT_H_

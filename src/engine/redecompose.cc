@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/sim_hook.h"
@@ -17,9 +18,41 @@ InferenceCosts CostsFrom(const CostModel& model) {
   return costs;
 }
 
+std::uint64_t DeriveWindowTxns(const std::vector<double>& recent_distances,
+                               std::uint64_t current, std::uint64_t min_txns,
+                               std::uint64_t max_txns, double cov_lo,
+                               double cov_hi) {
+  const auto clamp = [min_txns, max_txns](std::uint64_t w) {
+    w = std::max<std::uint64_t>(w, 1);
+    return std::min(max_txns, std::max(min_txns, w));
+  };
+  if (recent_distances.size() < 3) return clamp(current);
+  double mean = 0;
+  for (const double d : recent_distances) mean += d;
+  mean /= static_cast<double>(recent_distances.size());
+  if (mean < 1e-9) {
+    // Every recent window sat exactly on the baseline; a smaller window
+    // reacts faster when the workload finally moves.
+    return clamp(current / 2);
+  }
+  double variance = 0;
+  for (const double d : recent_distances) {
+    variance += (d - mean) * (d - mean);
+  }
+  variance /= static_cast<double>(recent_distances.size());
+  const double cov = std::sqrt(variance) / mean;
+  if (cov > cov_hi) return clamp(current * 2);
+  if (cov < cov_lo) return clamp(current / 2);
+  return clamp(current);
+}
+
 Redecomposer::Redecomposer(HddController* cc, FootprintRecorder* recorder,
                            const Database* db, RedecomposerOptions options)
     : cc_(cc), recorder_(recorder), options_(options) {
+  window_txns_ = std::max<std::uint64_t>(options_.window_txns, 1);
+  window_floor_ = std::min(options_.window_min_txns, window_txns_);
+  window_ceil_ = std::max(options_.window_max_txns, window_txns_);
+  stats_.window_txns_current = window_txns_;
   segment_base_.reserve(static_cast<std::size_t>(db->num_segments()));
   std::uint32_t base = 0;
   for (int s = 0; s < db->num_segments(); ++s) {
@@ -57,7 +90,7 @@ Status Redecomposer::Poll() {
     // before evaluating new windows (the plan stays valid — it was
     // derived from a trace that only grows).
     status = ApplyPending();
-  } else if (window_.num_transactions() >= options_.window_txns) {
+  } else if (window_.num_transactions() >= window_txns_) {
     status = EvaluateWindow();
   }
   if (!status.ok() && status.code() != StatusCode::kBusy) {
@@ -71,6 +104,9 @@ Status Redecomposer::EvaluateWindow() {
   const double distance = ConflictDistance(baseline_, window_);
   stats_.last_distance = distance;
   const bool learning = baseline_.num_transactions() == 0;
+  // The learning window's distance is measured against an empty baseline
+  // — it says nothing about drift, so it must not feed the window sizer.
+  if (!learning) ResizeWindow(distance);
   if (!learning && distance <= options_.drift_threshold) {
     // Same regime: the window refines the baseline, nothing to swap.
     baseline_.Merge(window_);
@@ -145,6 +181,27 @@ Status Redecomposer::EvaluateWindow() {
   baseline_ = std::move(combined);
   window_ = FootprintTrace();
   return ApplyPending();
+}
+
+void Redecomposer::ResizeWindow(double distance) {
+  constexpr std::size_t kMaxRecentDistances = 8;
+  recent_distances_.push_back(distance);
+  if (recent_distances_.size() > kMaxRecentDistances) {
+    recent_distances_.pop_front();
+  }
+  if (!options_.adaptive_window) return;
+  const std::vector<double> recent(recent_distances_.begin(),
+                                   recent_distances_.end());
+  const std::uint64_t next =
+      DeriveWindowTxns(recent, window_txns_, window_floor_, window_ceil_,
+                       options_.window_cov_lo, options_.window_cov_hi);
+  if (next > window_txns_) {
+    ++stats_.window_grows;
+  } else if (next < window_txns_) {
+    ++stats_.window_shrinks;
+  }
+  window_txns_ = next;
+  stats_.window_txns_current = next;
 }
 
 Status Redecomposer::ApplyPending() {

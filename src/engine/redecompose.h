@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -22,7 +23,26 @@ InferenceCosts CostsFrom(const CostModel& model);
 
 struct RedecomposerOptions {
   /// Footprints a window must hold before it is evaluated for drift.
+  /// With `adaptive_window` set this is only the STARTING size; the
+  /// effective size is re-derived after every evaluated window (see
+  /// DeriveWindowTxns).
   std::uint64_t window_txns = 64;
+  /// Size the window from the observed dispersion of recent window
+  /// distances instead of holding `window_txns` fixed. The window is the
+  /// drift estimator's sample size: when the coefficient of variation of
+  /// recent distances is above `window_cov_hi` the estimate is too noisy
+  /// to threshold and the window doubles (more footprints per estimate);
+  /// below `window_cov_lo` the estimate is steadier than it needs to be
+  /// and the window halves (drift is detected sooner). Inside the band
+  /// the size holds.
+  bool adaptive_window = true;
+  /// Bounds for the adaptive size. A configured `window_txns` outside
+  /// this range widens the range to include it, so explicitly small (or
+  /// large) windows keep working unclamped.
+  std::uint64_t window_min_txns = 16;
+  std::uint64_t window_max_txns = 256;
+  double window_cov_lo = 0.15;
+  double window_cov_hi = 0.50;
   /// Conflict-graph distance (ConflictDistance, in [0,1]) between the
   /// baseline trace and the current window above which the driver infers
   /// and hot-swaps a new decomposition.
@@ -46,7 +66,25 @@ struct RedecomposerStats {
   std::uint64_t canary_catches = 0;
   std::uint64_t canary_escapes = 0;
   double last_distance = 0;
+  /// Adaptive window accounting: the size currently in force and how
+  /// often DeriveWindowTxns moved it.
+  std::uint64_t window_txns_current = 0;
+  std::uint64_t window_grows = 0;
+  std::uint64_t window_shrinks = 0;
 };
+
+/// Derives the next drift-window size from the coefficient of variation
+/// (stddev / mean) of the distances the most recent windows produced.
+/// Fewer than three samples, or a CoV inside [cov_lo, cov_hi], keep
+/// `current`; a CoV above the band doubles it (noisy estimates need more
+/// samples); a CoV below the band — or a mean of ~zero, the workload
+/// sitting exactly on the baseline — halves it (a stable estimate can
+/// afford to react faster). Results are clamped to [min_txns, max_txns]
+/// (floored at 1). Exposed as a free function for direct unit testing.
+std::uint64_t DeriveWindowTxns(const std::vector<double>& recent_distances,
+                               std::uint64_t current, std::uint64_t min_txns,
+                               std::uint64_t max_txns, double cov_lo,
+                               double cov_hi);
 
 /// One successful Restructure call, recorded so a crash-recovery harness
 /// can re-apply the merges (in order) to a freshly constructed controller
@@ -109,12 +147,25 @@ class Redecomposer {
   SegmentId SegmentOfFlat(std::uint32_t flat) const;
   Status EvaluateWindow();
   Status ApplyPending();
+  /// Records an evaluated window's distance and, under adaptive sizing,
+  /// re-derives the effective window size from the recent history.
+  void ResizeWindow(double distance);
 
   HddController* cc_;
   FootprintRecorder* recorder_;
   RedecomposerOptions options_;
   std::vector<std::uint32_t> segment_base_;  // prefix sums of segment sizes
   std::uint32_t num_granules_ = 0;
+
+  /// Effective window size (== options_.window_txns unless adaptive
+  /// sizing has moved it) and its clamp range, widened in the constructor
+  /// to include the configured starting size.
+  std::uint64_t window_txns_ = 0;
+  std::uint64_t window_floor_ = 1;
+  std::uint64_t window_ceil_ = 1;
+  /// Distances of the most recent evaluated windows (bounded history;
+  /// the CoV input to DeriveWindowTxns).
+  std::deque<double> recent_distances_;
 
   FootprintTrace baseline_;
   FootprintTrace window_;

@@ -81,6 +81,7 @@ HddController::HddController(Database* db, LogicalClock* clock,
     shards_.push_back(std::make_shared<ClassShard>());
   }
   eval_ = std::make_unique<ActivityLinkEvaluator>(tst_.get(), &shard_source_);
+  next_txn_id_.store(options_.first_txn_id, std::memory_order_relaxed);
 }
 
 HddController::~HddController() {
@@ -1582,6 +1583,280 @@ void HddController::MaybeTrimHistory() {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
     shard->table.TrimFinishedBefore(now);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Distribution hooks (src/dist/). See the header for the protocol; the key
+// ordering invariant lives in CommitDurablePhase/FinishDistributedCommit.
+// ---------------------------------------------------------------------------
+
+Result<ActivitySlice> HddController::ExportActivitySlice(ClassId c,
+                                                         Timestamp frontier) {
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  if (c < 0 || c >= num_classes_) {
+    return Status::InvalidArgument("no such class");
+  }
+  ActivitySlice slice;
+  slice.class_id = c;
+  slice.frontier = frontier;
+  ClassShard* shard = shards_[c].get();
+  std::lock_guard<std::mutex> shard_lock(shard->mu);
+  // Only initiations below the frontier can affect I^old(v) for
+  // v <= frontier; transactions begun after the frontier tick are
+  // invisible to every evaluation the slice is valid for.
+  for (const Timestamp init : shard->table.active()) {
+    if (init < frontier) slice.active.push_back(init);
+  }
+  slice.finished.reserve(shard->table.finished().size());
+  for (const auto& [init, end] : shard->table.finished()) {
+    slice.finished.emplace_back(init, end);
+  }
+  return slice;
+}
+
+Result<std::vector<Version>> HddController::ExportVersions(
+    SegmentId segment, std::uint32_t granule) {
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  const GranuleRef ref{segment, granule};
+  HDD_RETURN_IF_ERROR(db_->Validate(ref));
+  ClassShard* shard = shards_[class_of_segment_[segment]].get();
+  std::lock_guard<std::mutex> shard_lock(shard->mu);
+  std::vector<Version> committed;
+  for (const Version& v : db_->granule(ref).versions()) {
+    if (v.committed) committed.push_back(v);
+  }
+  return committed;
+}
+
+Status HddController::RecordExternalRead(const TxnDescriptor& txn,
+                                         GranuleRef granule,
+                                         Timestamp version_key,
+                                         Timestamp bound) {
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  // Same accounting as ReadHigherSegment: remote Protocol A reads are
+  // unregistered version reads, and the oracle replays them by bound.
+  ++runtime->n_unregistered_reads;
+  ++runtime->n_version_reads;
+  if (options_.footprint != nullptr) runtime->fp_reads.push_back(granule);
+  recorder_.RecordRead(runtime->descriptor.id, granule, version_key,
+                       /*registered=*/false, bound);
+  return Status::OK();
+}
+
+Status HddController::AwaitWalReadStable() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->AwaitReadStable();
+}
+
+Status HddController::PrepareExternal(
+    SegmentId segment, TxnId txn, Timestamp init_ts,
+    const std::vector<std::pair<std::uint32_t, Value>>& writes) {
+  // Participant effects must not unwind mid-way: the coordinator resolves
+  // a failed prepare with AbortExternal, not by stack unwinding here.
+  SimYield("hdd/dist/prepare", /*interruptible=*/false);
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  if (segment < 0 || segment >= static_cast<int>(class_of_segment_.size())) {
+    return Status::InvalidArgument("no such segment");
+  }
+  ClassShard* shard = shards_[class_of_segment_[segment]].get();
+  std::uint64_t prepare_ticket = 0;
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [index, value] : writes) {
+      const GranuleRef ref{segment, index};
+      HDD_RETURN_IF_ERROR(db_->Validate(ref));
+      Granule& g = db_->granule(ref);
+      if (Version* existing = g.Find(init_ts)) {
+        // Duplicated prepare (the transport may redeliver) or a
+        // same-granule re-write in the shipped list: update in place and
+        // re-log, mirroring the local Write overwrite path (replay applies
+        // write records for a present order key as value updates, in log
+        // order), then fall through to re-log the marker and re-ack.
+        if (existing->creator != txn) {
+          return Status::FailedPrecondition(
+              "prepare: order key owned by another transaction");
+        }
+        existing->value = value;
+        if (wal_ != nullptr) {
+          HDD_RETURN_IF_ERROR(
+              wal_->LogWrite(segment, txn, init_ts, index, value).status());
+        }
+        continue;
+      }
+      Version v;
+      v.order_key = init_ts;
+      v.wts = init_ts;
+      v.creator = txn;
+      v.value = value;
+      v.committed = false;
+      HDD_RETURN_IF_ERROR(g.Insert(v));
+      if (wal_ != nullptr) {
+        auto logged = wal_->LogWrite(segment, txn, init_ts, index, value);
+        if (!logged.ok()) {
+          (void)g.Remove(init_ts);
+          return logged.status();
+        }
+      }
+    }
+    if (wal_ != nullptr) {
+      HDD_ASSIGN_OR_RETURN(prepare_ticket,
+                           wal_->LogPrepare(segment, txn, init_ts));
+    }
+  }
+  if (wal_ != nullptr) {
+    // Ack only once the shipped writes and the marker are on disk: the
+    // coordinator's commit decision assumes this node can redo them.
+    const bool had_gate = gate.owns_lock();
+    if (had_gate) gate.unlock();
+    const Status durable = wal_->WaitDurable(prepare_ticket);
+    if (had_gate) gate.lock();
+    HDD_RETURN_IF_ERROR(durable);
+  }
+  return Status::OK();
+}
+
+Status HddController::CommitExternal(SegmentId segment, TxnId txn,
+                                     Timestamp init_ts) {
+  // Phase 2 rolls forward, never unwinds (the verdict is already durable
+  // at the coordinator).
+  SimYield("hdd/dist/commit_ext", /*interruptible=*/false);
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  if (segment < 0 || segment >= static_cast<int>(class_of_segment_.size())) {
+    return Status::InvalidArgument("no such segment");
+  }
+  ClassShard* shard = shards_[class_of_segment_[segment]].get();
+  std::uint64_t commit_ticket = 0;
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    Segment& seg = db_->segment(segment);
+    for (std::uint32_t i = 0; i < seg.size(); ++i) {
+      Version* v = seg.granule(i).Find(init_ts);
+      if (v != nullptr && v->creator == txn) v->committed = true;
+    }
+    if (wal_ != nullptr) {
+      HDD_ASSIGN_OR_RETURN(commit_ticket,
+                           wal_->LogCommit(segment, txn, init_ts, {segment}));
+    }
+  }
+  SimNotifyAll(shard->cv, shard);
+  if (wal_ != nullptr) {
+    const bool had_gate = gate.owns_lock();
+    if (had_gate) gate.unlock();
+    const Status durable = wal_->WaitDurable(commit_ticket);
+    if (had_gate) gate.lock();
+    HDD_RETURN_IF_ERROR(durable);
+  }
+  return Status::OK();
+}
+
+Status HddController::AbortExternal(SegmentId segment, TxnId txn,
+                                    Timestamp init_ts) {
+  SimYield("hdd/dist/abort_ext", /*interruptible=*/false);
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  if (segment < 0 || segment >= static_cast<int>(class_of_segment_.size())) {
+    return Status::InvalidArgument("no such segment");
+  }
+  ClassShard* shard = shards_[class_of_segment_[segment]].get();
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    Segment& seg = db_->segment(segment);
+    for (std::uint32_t i = 0; i < seg.size(); ++i) {
+      Granule& g = seg.granule(i);
+      const Version* v = g.Find(init_ts);
+      if (v != nullptr && v->creator == txn && !v->committed) {
+        (void)g.Remove(init_ts);
+      }
+    }
+    if (wal_ != nullptr) {
+      // Replay hygiene like Abort's records: a lost copy just means
+      // recovery discards the unresolved prepare itself.
+      (void)wal_->LogAbort(segment, txn, init_ts);
+    }
+  }
+  SimNotifyAll(shard->cv, shard);
+  return Status::OK();
+}
+
+Status HddController::CommitDurablePhase(const TxnDescriptor& txn) {
+  // First half of Commit, with the transaction left REGISTERED: its
+  // initiation stays in the activity table, so no activity-link bound on
+  // any node can pass I(t) while remote participants are still marking
+  // their versions committed. Past this point the coordinator rolls
+  // forward (the fault injector may stall but not unwind).
+  SimYield("hdd/dist/commit_local", /*interruptible=*/false);
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  HDD_ASSIGN_OR_RETURN(TxnRuntime * runtime, FindTxn(txn));
+  if (runtime->descriptor.read_only) {
+    return Status::InvalidArgument(
+        "distributed commit is for update transactions");
+  }
+  ClassShard* shard = shards_[runtime->descriptor.txn_class].get();
+  std::vector<SegmentId> written_segments;
+  for (GranuleRef granule : runtime->writes) {
+    if (std::find(written_segments.begin(), written_segments.end(),
+                  granule.segment) == written_segments.end()) {
+      written_segments.push_back(granule.segment);
+    }
+  }
+  std::uint64_t commit_ticket = 0;
+  Status logged = Status::OK();
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (GranuleRef granule : runtime->writes) {
+      Version* version =
+          db_->granule(granule).Find(runtime->descriptor.init_ts);
+      assert(version != nullptr);
+      version->committed = true;
+    }
+    if (wal_ != nullptr) {
+      for (const SegmentId s : written_segments) {
+        auto ticket = wal_->LogCommit(s, runtime->descriptor.id,
+                                      runtime->descriptor.init_ts,
+                                      written_segments);
+        if (!ticket.ok()) {
+          logged = ticket.status();
+          break;
+        }
+        commit_ticket = *ticket;
+      }
+    }
+  }
+  SimNotifyAll(shard->cv, shard);
+  HDD_RETURN_IF_ERROR(logged);
+  if (wal_ != nullptr && commit_ticket != 0) {
+    const bool had_gate = gate.owns_lock();
+    if (had_gate) gate.unlock();
+    const Status durable = wal_->WaitDurable(commit_ticket);
+    if (had_gate) gate.lock();
+    HDD_RETURN_IF_ERROR(durable);
+  }
+  return Status::OK();
+}
+
+Status HddController::FinishDistributedCommit(const TxnDescriptor& txn) {
+  // Second half of Commit: deregister and run the bookkeeping. Called
+  // only after every remote participant acked CommitExternal — the
+  // ordering that keeps remote bounded reads sound (a bound can pass
+  // I(t) only once OnFinish ran, by which time all of t's versions are
+  // committed everywhere).
+  SimYield("hdd/dist/finish", /*interruptible=*/false);
+  std::shared_lock<std::shared_mutex> gate(struct_mu_);
+  HDD_ASSIGN_OR_RETURN(std::unique_ptr<TxnRuntime> runtime, ExtractTxn(txn));
+  FlushOpMetrics(*runtime);
+  ClassShard* shard = shards_[runtime->descriptor.txn_class].get();
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->table.OnFinish(runtime->descriptor.init_ts, clock_->Tick());
+  }
+  SimNotifyAll(shard->cv, shard);
+  SignalFinishEvent();
+  if (options_.footprint != nullptr) PublishFootprint(*runtime);
+  recorder_.RecordOutcome(txn.id, TxnState::kCommitted);
+  metrics_.commits.Add(1);
+  active_txns_.fetch_sub(1);
+  MaybeTrimHistory();
+  return Status::OK();
 }
 
 }  // namespace hdd

@@ -59,7 +59,29 @@ struct HddControllerOptions {
   /// controller.
   FootprintRecorder* footprint = nullptr;
 
+  /// First transaction id this controller issues. A sharded deployment
+  /// (src/dist/) gives each node's controller a disjoint id range so the
+  /// merged multi-node history has globally unique transaction ids.
+  TxnId first_txn_id = 1;
+
   std::string name = "hdd";
+};
+
+/// A copy of one class's activity state, bounded by a frontier timestamp:
+/// everything needed to evaluate I^old (and C^late, when computable) at
+/// any time v <= frontier. Shipped between nodes by src/dist/ so a remote
+/// reader evaluates its activity-link bound locally — values at or below
+/// the frontier are stable because initiation timestamps are issued
+/// monotonically by the shared clock and registered under the owning
+/// shard's latch before the frontier timestamp could have been issued.
+struct ActivitySlice {
+  ClassId class_id = 0;
+  Timestamp frontier = kTimestampMin;
+  /// Initiation times of transactions still active when the slice was
+  /// taken (only those below the frontier matter to the evaluation).
+  std::vector<Timestamp> active;
+  /// Finished records, (initiation, end) pairs.
+  std::vector<std::pair<Timestamp, Timestamp>> finished;
 };
 
 /// The paper's contribution: concurrency control by Hierarchical Database
@@ -226,6 +248,72 @@ class HddController : public ConcurrencyController {
   /// a concurrent Restructure).
   const ActivityLinkEvaluator& evaluator() const { return *eval_; }
   const TstAnalysis& class_tst() const { return *tst_; }
+
+  // ---------------------------------------------------------------------
+  // Distribution hooks (src/dist/). A sharded deployment runs one
+  // controller per node over the full schema; segments a node does not
+  // own are stand-ins. These entry points let a remote peer read this
+  // node's activity tables and version chains, and let a coordinator
+  // two-phase a cross-node update commit through this node's WAL.
+  // ---------------------------------------------------------------------
+
+  /// Copies class `c`'s activity table, stable for evaluations at any
+  /// v <= `frontier` (a clock reading the CALLER took before asking).
+  /// Taken under the class's shard latch; never blocks on transactions.
+  Result<ActivitySlice> ExportActivitySlice(ClassId c, Timestamp frontier);
+
+  /// Copies the COMMITTED versions of one granule, under the owning
+  /// class's shard latch. Uncommitted versions are withheld: a remote
+  /// reader's bound can only pass I(W) once W's versions here are marked
+  /// committed (the 2PC commit step runs before the home node's
+  /// OnFinish), so withholding them never starves a legal bounded read.
+  Result<std::vector<Version>> ExportVersions(SegmentId segment,
+                                              std::uint32_t granule);
+
+  /// Blocks until every WAL record appended so far is durable — in
+  /// particular the commit records of every committed version a
+  /// concurrent ExportVersions returned. The snapshot handler runs this
+  /// before replying, extending the local acked-reads-are-durable ticket
+  /// argument across nodes. No-op without a WAL.
+  Status AwaitWalReadStable();
+
+  /// Books a Protocol A read this node's txn performed against a REMOTE
+  /// owner's shipped chain: bumps the unregistered-read metrics and
+  /// records the (bound, version) pair with the history recorder so the
+  /// merged-history oracle replays it.
+  Status RecordExternalRead(const TxnDescriptor& txn, GranuleRef granule,
+                            Timestamp version_key, Timestamp bound);
+
+  /// 2PC participant, phase 1: installs `txn`'s shipped writes into the
+  /// locally owned `segment` as uncommitted versions (order key
+  /// `init_ts`), logging each plus a kPrepare marker, then awaits
+  /// durability. Idempotent — a duplicated prepare re-acks without
+  /// reinstalling. The transaction itself is registered at the
+  /// COORDINATOR only; it never appears in this node's activity tables.
+  Status PrepareExternal(SegmentId segment, TxnId txn, Timestamp init_ts,
+                         const std::vector<std::pair<std::uint32_t, Value>>&
+                             writes);
+
+  /// 2PC participant, phase 2: marks `txn`'s versions in `segment`
+  /// committed, logs the commit record and awaits durability. Idempotent.
+  Status CommitExternal(SegmentId segment, TxnId txn, Timestamp init_ts);
+
+  /// 2PC participant abort: removes `txn`'s uncommitted versions from
+  /// `segment` (best-effort abort record). Idempotent.
+  Status AbortExternal(SegmentId segment, TxnId txn, Timestamp init_ts);
+
+  /// Coordinator, local half of phase 2: marks the transaction's LOCAL
+  /// versions committed, logs commit records and awaits durability — but
+  /// leaves the transaction registered and active, so no activity-link
+  /// bound anywhere can pass I(t) yet. Pair with FinishDistributedCommit
+  /// after every remote participant acked its CommitExternal.
+  Status CommitDurablePhase(const TxnDescriptor& txn);
+
+  /// Coordinator, final step: deregisters the transaction (OnFinish) and
+  /// runs the commit bookkeeping. Only after this can a reader's bound
+  /// pass I(t) — by which time every participant's versions are already
+  /// committed, keeping remote bounded reads sound.
+  Status FinishDistributedCommit(const TxnDescriptor& txn);
 
  private:
   /// Per-class concurrency-control state. `mu` guards the activity table,

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -101,6 +102,68 @@ void SyncClient::Close() {
     fd_ = -1;
   }
   decoder_ = FrameDecoder();
+}
+
+RetryingClient::RetryingClient(RetryPolicy policy)
+    : policy_(policy), rng_(policy.seed) {}
+
+Status RetryingClient::Connect(const std::string& host, std::uint16_t port) {
+  host_ = host;
+  port_ = port;
+  return client_.Connect(host, port);
+}
+
+std::uint32_t RetryingClient::DelayMs(int attempt,
+                                      std::uint32_t server_hint_ms) const {
+  const std::uint64_t exp = static_cast<std::uint64_t>(policy_.base_backoff_ms)
+                            << std::min(attempt, 20);
+  const std::uint64_t want = std::max<std::uint64_t>(exp, server_hint_ms);
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(want, policy_.max_backoff_ms));
+}
+
+void RetryingClient::Backoff(std::uint32_t delay_ms) {
+  if (delay_ms == 0) return;
+  // Jitter factor in [0.5, 1.5): a fleet shed at the same instant must
+  // not come back at the same instant.
+  const std::uint64_t us = static_cast<std::uint64_t>(delay_ms) * 500 +
+                           rng_.NextBounded(1000) * delay_ms;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+Result<ResponseMsg> RetryingClient::Call(const RequestMsg& msg) {
+  Status last = Status::IoError("no attempt made");
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (!client_.connected()) {
+      if (host_.empty()) return Status::FailedPrecondition("not connected");
+      if (!policy_.reconnect) return last;
+      const Status reopened = client_.Connect(host_, port_);
+      if (!reopened.ok()) {
+        last = reopened;
+        Backoff(DelayMs(attempt, 0));
+        continue;
+      }
+      ++stats_.reconnects;
+    }
+    ++stats_.attempts;
+    Result<ResponseMsg> result = client_.Call(msg);
+    if (result.ok()) {
+      if (result->type == NetMsgType::kOverload &&
+          attempt + 1 < policy_.max_attempts) {
+        ++stats_.overload_retries;
+        Backoff(DelayMs(attempt, result->retry_after_ms));
+        continue;
+      }
+      return result;
+    }
+    // Transport failure (peer close, socket error, corrupt frame): the
+    // stream is beyond resync; drop it and resend on a fresh connection.
+    last = result.status();
+    client_.Close();
+    if (!policy_.reconnect) return last;
+    Backoff(DelayMs(attempt, 0));
+  }
+  return last;
 }
 
 std::string SerializeDriverStats(const DriverStats& stats) {

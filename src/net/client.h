@@ -43,6 +43,62 @@ class SyncClient {
   FrameDecoder decoder_;
 };
 
+/// Backoff/retry policy for RetryingClient.
+struct RetryPolicy {
+  /// Total send attempts per Call (first try included).
+  int max_attempts = 8;
+  /// Exponential backoff base: attempt n waits ~base << n ms, capped.
+  std::uint32_t base_backoff_ms = 1;
+  std::uint32_t max_backoff_ms = 200;
+  /// Seed for the backoff jitter (factor in [0.5, 1.5) — herds of
+  /// clients shed together must not retry together).
+  std::uint64_t seed = 1;
+  /// Reopen the connection and resend after a socket/framing failure.
+  bool reconnect = true;
+};
+
+struct RetryStats {
+  std::uint64_t attempts = 0;          // wire round trips tried
+  std::uint64_t overload_retries = 0;  // kOverload responses retried
+  std::uint64_t reconnects = 0;        // successful re-Connects
+};
+
+/// SyncClient wrapped in the client-side half of admission control: a
+/// kOverload response is retried after max(server retry-after hint,
+/// exponential backoff) with jitter, and a dead connection (peer close,
+/// socket error, corrupt frame) is transparently reopened and the request
+/// resent. Retrying resubmits the program, so a request that is not
+/// idempotent may execute more than once when its response was lost —
+/// at-most-once is the caller's to layer on top.
+class RetryingClient {
+ public:
+  explicit RetryingClient(RetryPolicy policy = {});
+
+  Status Connect(const std::string& host, std::uint16_t port);
+  /// One request to a terminal answer: retries overloads and transport
+  /// failures within the attempt budget. Returns the last kOverload
+  /// response when the budget ends on overload, the last transport error
+  /// when it ends on one.
+  Result<ResponseMsg> Call(const RequestMsg& msg);
+  void Close() { client_.Close(); }
+  bool connected() const { return client_.connected(); }
+  const RetryStats& stats() const { return stats_; }
+  /// The wrapped client, for tests that need the raw socket.
+  SyncClient& sync() { return client_; }
+
+ private:
+  /// Jittered sleep of ~delay_ms scaled by [0.5, 1.5).
+  void Backoff(std::uint32_t delay_ms);
+  std::uint32_t DelayMs(int attempt, std::uint32_t server_hint_ms) const;
+
+  RetryPolicy policy_;
+  RetryStats stats_;
+  SyncClient client_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  Rng rng_;
+};
+
 /// Aggregated outcome of a load run; mergeable across driver processes
 /// (the 10k-connection bench forks the driver so client fds live in a
 /// child process, see bench/bench_server.cc).

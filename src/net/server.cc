@@ -75,6 +75,11 @@ HddServer::~HddServer() { Stop(); }
 
 Status HddServer::Start() {
   if (!loop_.ok()) return Status::IoError("epoll/eventfd setup failed");
+  if (options_.shard_execute &&
+      options_.backend == ServerOptions::Backend::kEpoch) {
+    return Status::InvalidArgument(
+        "shard_execute requires the per-txn backend");
+  }
   const int lfd =
       socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (lfd < 0) return Status::IoError("socket() failed");
@@ -342,7 +347,11 @@ void HddServer::HandleFrame(const ConnPtr& conn, std::string_view payload) {
   item.request_id = submit.request_id;
   item.cls = cls;
   item.values = std::make_shared<std::vector<Value>>();
-  item.program = ToTxnProgram(submit, item.values);
+  if (options_.shard_execute) {
+    item.submit = submit;
+  } else {
+    item.program = ToTxnProgram(submit, item.values);
+  }
   item.admitted_at = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(dispatch_mu_);
@@ -519,8 +528,16 @@ void HddServer::WorkerThread() {
       ++executing_;
     }
     m_queue_depth_->Sub();
-    const ProgramResult result =
-        RunProgram(*cc_, item.program, options_.max_retries);
+    ProgramResult result;
+    if (options_.shard_execute) {
+      ServerOptions::ShardOutcome out = options_.shard_execute(item.submit);
+      result.committed = out.committed;
+      result.failed = !out.committed;
+      result.aborted_attempts = out.aborted_attempts;
+      *item.values = std::move(out.values);
+    } else {
+      result = RunProgram(*cc_, item.program, options_.max_retries);
+    }
     FinishItem(item, result);
     {
       std::lock_guard<std::mutex> lock(dispatch_mu_);

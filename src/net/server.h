@@ -65,6 +65,21 @@ struct ServerOptions {
   /// one-core host, timing-based backlogs are unwinnable races) and
   /// observe admission decisions against it.
   std::shared_ptr<std::atomic<bool>> test_pause_workers;
+
+  /// Terminal outcome of a shard-executed submit (see shard_execute).
+  struct ShardOutcome {
+    bool committed = false;
+    std::uint32_t aborted_attempts = 0;
+    std::vector<Value> values;  // reads of the committed attempt, in order
+  };
+  /// Sharded deployment hook (hdd_server --shard): when set, workers run
+  /// each admitted submit through this callback instead of the local
+  /// engine. The binding bridges to dist/DistSession — routing remote
+  /// Protocol A reads and two-phasing remotely-owned writes — while net/
+  /// stays independent of dist/. Per-txn backend only (Start refuses
+  /// kEpoch: batching across shards would need a distributed epoch
+  /// barrier that does not exist).
+  std::function<ShardOutcome(const SubmitRequest&)> shard_execute;
 };
 
 /// The HDD network front end: a non-blocking epoll server speaking the
@@ -121,6 +136,9 @@ class HddServer {
     std::uint64_t request_id = 0;
     ClassId cls = 0;  // admission class (kReadOnlyClass for read-only)
     TxnProgram program;
+    /// Shard mode keeps the wire form instead of a compiled program (the
+    /// dist session routes raw ops; `program` stays empty).
+    SubmitRequest submit;
     std::shared_ptr<std::vector<Value>> values;
     std::chrono::steady_clock::time_point admitted_at;
   };

@@ -124,6 +124,7 @@ std::string EncodeWalRecord(const WalRecord& record) {
       break;
     case WalRecordType::kAbort:
     case WalRecordType::kReadBound:
+    case WalRecordType::kPrepare:
       break;
     case WalRecordType::kSegmentCheckpoint:
     case WalRecordType::kControlCheckpoint:
@@ -139,7 +140,7 @@ Result<WalRecord> DecodeWalRecord(std::string_view payload) {
   const auto type = static_cast<std::uint8_t>(payload[0]);
   payload.remove_prefix(1);
   if (type < static_cast<std::uint8_t>(WalRecordType::kWrite) ||
-      type > static_cast<std::uint8_t>(WalRecordType::kReadBound)) {
+      type > static_cast<std::uint8_t>(WalRecordType::kPrepare)) {
     return Status::Corruption("unknown WAL record type " +
                               std::to_string(type));
   }
@@ -172,6 +173,7 @@ Result<WalRecord> DecodeWalRecord(std::string_view payload) {
     }
     case WalRecordType::kAbort:
     case WalRecordType::kReadBound:
+    case WalRecordType::kPrepare:
       break;
     case WalRecordType::kSegmentCheckpoint:
     case WalRecordType::kControlCheckpoint:

@@ -70,6 +70,14 @@ enum class WalRecordType : std::uint8_t {
   /// writer could slip a version underneath that reader — an external-
   /// consistency violation the combined-history oracle would flag.
   kReadBound = 6,
+  /// Two-phase-commit participant marker (src/dist/): the writes of `txn`
+  /// shipped to this segment are fully logged and the participant is
+  /// promising to commit them iff the coordinator's commit record becomes
+  /// durable at the transaction's home node. Recovery keeps such writes
+  /// aside (RecoveryReport::prepared_writes) instead of discarding them,
+  /// so the distributed restart can resolve them against the
+  /// coordinator's durable-commit verdict.
+  kPrepare = 7,
 };
 
 /// One decoded redo-log record. `init_ts` doubles as the version

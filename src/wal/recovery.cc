@@ -176,8 +176,15 @@ Result<RecoveryReport> RecoverDatabase(WalStorage* storage, Database* db,
               HDD_RETURN_IF_ERROR(g.Remove(record.init_ts));
             }
           }
+          report.prepared.erase(record.txn);
           break;
         }
+        case WalRecordType::kPrepare:
+          // A 2PC participant promise; the verdict may be in the
+          // coordinator's log only. Resolved below (and by the
+          // distributed restart for transactions still in doubt).
+          report.prepared.insert(record.txn);
+          break;
         case WalRecordType::kReadBound:
           break;  // only its timestamp matters, folded in above
         case WalRecordType::kSegmentCheckpoint:
@@ -201,6 +208,12 @@ Result<RecoveryReport> RecoverDatabase(WalStorage* storage, Database* db,
         if (v.creator != kInvalidTxn &&
             report.durable_commits.count(v.creator) == 0) {
           doomed.push_back(v.order_key);
+          if (report.prepared.count(v.creator) > 0) {
+            // In-doubt 2PC write: keep it aside for the distributed
+            // restart (the coordinator's log holds the verdict).
+            report.prepared_writes.push_back(RecoveryReport::PreparedWrite{
+                v.creator, s, i, v.order_key, v.value});
+          }
           continue;
         }
         report.max_timestamp = std::max({report.max_timestamp, v.wts, v.rts});
@@ -215,6 +228,13 @@ Result<RecoveryReport> RecoverDatabase(WalStorage* storage, Database* db,
         if (survivor != nullptr) survivor->committed = true;
       }
     }
+  }
+
+  // A locally durable commit/abort verdict resolves the prepare; only the
+  // rest stays in doubt for the distributed restart.
+  for (auto it = report.prepared.begin(); it != report.prepared.end();) {
+    it = report.durable_commits.count(*it) > 0 ? report.prepared.erase(it)
+                                               : std::next(it);
   }
 
   HDD_ASSIGN_OR_RETURN(std::optional<std::string> control,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
@@ -51,6 +52,23 @@ struct RecoveryReport {
   /// encodes walls, activity history and the GC horizon). Empty when no
   /// control checkpoint was ever taken.
   std::string control_state;
+
+  /// Two-phase-commit residue (src/dist/): transactions whose kPrepare
+  /// marker survived here but whose commit/abort verdict did not — the
+  /// decision lives in the COORDINATOR's log (the transaction's home
+  /// node). Their writes are NOT in the recovered database; they are kept
+  /// aside in `prepared_writes` so the distributed restart can re-install
+  /// them once the coordinator's durable_commits says committed, or drop
+  /// them for good otherwise.
+  std::set<TxnId> prepared;
+  struct PreparedWrite {
+    TxnId txn = kInvalidTxn;
+    SegmentId segment = 0;
+    std::uint32_t granule = 0;
+    Timestamp init_ts = kTimestampMin;
+    Value value = 0;
+  };
+  std::vector<PreparedWrite> prepared_writes;
 };
 
 /// Rebuilds `db` (freshly constructed, same shape as before the crash)

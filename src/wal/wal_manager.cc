@@ -85,6 +85,15 @@ Result<std::uint64_t> WalManager::LogAbort(SegmentId segment, TxnId txn,
   return AppendRecord(segment, record);
 }
 
+Result<std::uint64_t> WalManager::LogPrepare(SegmentId segment, TxnId txn,
+                                             Timestamp init_ts) {
+  WalRecord record;
+  record.type = WalRecordType::kPrepare;
+  record.txn = txn;
+  record.init_ts = init_ts;
+  return AppendRecord(segment, record);
+}
+
 Result<std::uint64_t> WalManager::LogReadBound(Timestamp now) {
   WalRecord record;
   record.type = WalRecordType::kReadBound;

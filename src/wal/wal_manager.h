@@ -95,6 +95,12 @@ class WalManager {
   Result<std::uint64_t> LogAbort(SegmentId segment, TxnId txn,
                                  Timestamp init_ts);
 
+  /// 2PC participant marker (see WalRecordType::kPrepare): append after
+  /// every shipped write of `txn` for `segment` is logged, then await the
+  /// returned ticket before acking the prepare.
+  Result<std::uint64_t> LogPrepare(SegmentId segment, TxnId txn,
+                                   Timestamp init_ts);
+
   /// Clock marker for read-only commits (see WalRecordType::kReadBound):
   /// records `now` so recovery never rewinds the clock below an acked
   /// reader's bound. Lands in segment 0's log; call before AwaitReadStable.

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "dist/activity_slice.h"
+#include "dist/dist_message.h"
+#include "dist/shard_map.h"
+#include "hdd/hdd_controller.h"
+#include "hdd/link_functions.h"
+#include "storage/database.h"
+
+namespace hdd {
+namespace {
+
+TEST(ShardMapTest, ContiguousSplit) {
+  ShardMap map = ShardMap::Contiguous(4, 2);
+  EXPECT_EQ(map.num_nodes(), 2);
+  EXPECT_EQ(map.num_segments(), 4);
+  EXPECT_EQ(map.home(0), 0);
+  EXPECT_EQ(map.home(1), 0);
+  EXPECT_EQ(map.home(2), 1);
+  EXPECT_EQ(map.home(3), 1);
+  // Owner defaults to home.
+  for (SegmentId s = 0; s < 4; ++s) EXPECT_EQ(map.owner(s), map.home(s));
+  EXPECT_EQ(map.SegmentsOwnedBy(0), (std::vector<SegmentId>{0, 1}));
+  EXPECT_EQ(map.ClassesHomedAt(1), (std::vector<ClassId>{2, 3}));
+}
+
+TEST(ShardMapTest, UnevenSplitCoversEverySegment) {
+  ShardMap map = ShardMap::Contiguous(7, 3);
+  std::vector<int> seen(7, 0);
+  for (int n = 0; n < 3; ++n) {
+    for (SegmentId s : map.SegmentsOwnedBy(n)) seen[s]++;
+  }
+  for (SegmentId s = 0; s < 7; ++s) EXPECT_EQ(seen[s], 1) << "segment " << s;
+  // Contiguity: the home assignment never decreases with the class id.
+  for (SegmentId s = 1; s < 7; ++s) EXPECT_GE(map.home(s), map.home(s - 1));
+}
+
+TEST(ShardMapTest, EveryNodeHomesAtLeastOneClass) {
+  // 4 classes over 3 nodes starved the tail node under a ceil-split; the
+  // balanced split must leave no node without a class to run transactions
+  // of.
+  for (int nodes = 1; nodes <= 4; ++nodes) {
+    ShardMap map = ShardMap::Contiguous(4, nodes);
+    for (int n = 0; n < nodes; ++n) {
+      EXPECT_FALSE(map.ClassesHomedAt(n).empty())
+          << nodes << " nodes: node " << n << " homes no class";
+    }
+  }
+}
+
+TEST(ShardMapTest, OwnerOverrideSeparatesHomeAndOwner) {
+  ShardMap map = ShardMap::Contiguous(4, 2);
+  map.SetSegmentOwner(3, 0);
+  EXPECT_EQ(map.home(3), 1);   // class still registers at its home
+  EXPECT_EQ(map.owner(3), 0);  // chains live elsewhere -> 2PC commits
+  EXPECT_EQ(map.SegmentsOwnedBy(0), (std::vector<SegmentId>{0, 1, 3}));
+  EXPECT_EQ(map.SegmentsOwnedBy(1), (std::vector<SegmentId>{2}));
+}
+
+TEST(DistCodecTest, ActivityReqRoundTrip) {
+  ActivityReq req;
+  req.frontier = 4711;
+  req.classes = {0, 3, 5};
+  const std::string wire = EncodeActivityReq(req);
+  EXPECT_EQ(PeekDistMsgType(wire), DistMsgType::kActivityReq);
+  auto got = DecodeActivityReq(wire);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->frontier, req.frontier);
+  EXPECT_EQ(got->classes, req.classes);
+}
+
+TEST(DistCodecTest, SnapshotReqRoundTrip) {
+  SnapshotReq req;
+  req.segment = 2;
+  req.index = 9;
+  auto got = DecodeSnapshotReq(EncodeSnapshotReq(req));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->segment, req.segment);
+  EXPECT_EQ(got->index, req.index);
+}
+
+TEST(DistCodecTest, PrepareReqRoundTrip) {
+  PrepareReq req;
+  req.txn = (7ull << 32) + 42;
+  req.init_ts = 1234;
+  req.segment = 1;
+  req.writes = {{0, 17}, {2, -5}};
+  auto got = DecodePrepareReq(EncodePrepareReq(req));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->txn, req.txn);
+  EXPECT_EQ(got->init_ts, req.init_ts);
+  EXPECT_EQ(got->segment, req.segment);
+  EXPECT_EQ(got->writes, req.writes);
+}
+
+TEST(DistCodecTest, TxnSegmentReqRoundTripBothTypes) {
+  TxnSegmentReq req;
+  req.txn = 99;
+  req.init_ts = 1000;
+  req.segment = 3;
+  for (DistMsgType type : {DistMsgType::kCommitReq, DistMsgType::kAbortReq}) {
+    const std::string wire = EncodeTxnSegmentReq(type, req);
+    EXPECT_EQ(PeekDistMsgType(wire), type);
+    auto got = DecodeTxnSegmentReq(wire);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->txn, req.txn);
+    EXPECT_EQ(got->init_ts, req.init_ts);
+    EXPECT_EQ(got->segment, req.segment);
+  }
+}
+
+TEST(DistCodecTest, SlicesRoundTrip) {
+  ActivitySlice a;
+  a.class_id = 1;
+  a.frontier = 500;
+  a.active = {100, 220};
+  a.finished = {{10, 50}, {60, 90}};
+  ActivitySlice b;
+  b.class_id = 4;
+  b.frontier = 500;
+  auto got = DecodeSlices(EncodeSlices({a, b}));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ((*got)[0].class_id, a.class_id);
+  EXPECT_EQ((*got)[0].frontier, a.frontier);
+  EXPECT_EQ((*got)[0].active, a.active);
+  EXPECT_EQ((*got)[0].finished, a.finished);
+  EXPECT_EQ((*got)[1].class_id, b.class_id);
+  EXPECT_TRUE((*got)[1].active.empty());
+  EXPECT_TRUE((*got)[1].finished.empty());
+}
+
+TEST(DistCodecTest, VersionsRoundTripMarksCommitted) {
+  Version v1;
+  v1.order_key = 10;
+  v1.wts = 10;
+  v1.rts = 12;
+  v1.creator = 3;
+  v1.value = 77;
+  v1.committed = true;
+  Version v2 = v1;
+  v2.order_key = 20;
+  v2.wts = 20;
+  v2.value = -9;
+  auto got = DecodeVersions(EncodeVersions({v1, v2}));
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ((*got)[0].order_key, v1.order_key);
+  EXPECT_EQ((*got)[0].value, v1.value);
+  EXPECT_EQ((*got)[1].order_key, v2.order_key);
+  EXPECT_EQ((*got)[1].value, v2.value);
+  EXPECT_TRUE((*got)[0].committed);
+  EXPECT_TRUE((*got)[1].committed);
+}
+
+TEST(DistCodecTest, ResponseEnvelope) {
+  auto ok = DecodeDistResponse(EncodeDistResponse(std::string("payload")));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "payload");
+
+  auto err = DecodeDistResponse(
+      EncodeDistResponse(Result<std::string>(Status::Busy("try later"))));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kBusy);
+  EXPECT_EQ(err.status().message(), "remote: try later");
+}
+
+TEST(DistCodecTest, TruncatedPayloadsAreRejected) {
+  const std::string wire = EncodePrepareReq(
+      PrepareReq{12, 34, 1, {{0, 1}, {1, 2}}});
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(DecodePrepareReq(wire.substr(0, len)).ok()) << len;
+  }
+  const std::string slices = EncodeSlices(
+      {ActivitySlice{0, 100, {50}, {{10, 20}}}});
+  for (std::size_t len = 0; len < slices.size(); ++len) {
+    EXPECT_FALSE(DecodeSlices(slices.substr(0, len)).ok()) << len;
+  }
+  EXPECT_FALSE(DecodeDistResponse(std::string_view()).ok());
+}
+
+// A slice rebuilt through the wire codec must answer I^old / C^late at
+// every time at or below its frontier exactly like the live table.
+TEST(SliceSourceTest, RebuiltTableMatchesDirectTable) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    ClassActivityTable direct;
+    std::vector<Timestamp> active;
+    Timestamp now = 0;
+    for (int event = 0; event < 60; ++event) {
+      if (!active.empty() && rng.NextBool(0.45)) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.NextBounded(active.size()));
+        direct.OnFinish(active[pick], ++now);
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        direct.OnBegin(++now);
+        active.push_back(now);
+      }
+    }
+    const Timestamp frontier = now + 1;
+    ActivitySlice slice;
+    slice.class_id = 0;
+    slice.frontier = frontier;
+    slice.active.assign(direct.active().begin(), direct.active().end());
+    slice.finished.assign(direct.finished().begin(),
+                          direct.finished().end());
+    auto decoded = DecodeSlices(EncodeSlices({slice}));
+    ASSERT_TRUE(decoded.ok());
+    SliceSource source;
+    source.Install((*decoded)[0]);
+    ASSERT_TRUE(source.Has(0));
+    for (Timestamp m = 0; m <= frontier; ++m) {
+      EXPECT_EQ(source.OldestActiveAt(0, m), direct.OldestActiveAt(m))
+          << "seed " << seed << " m " << m;
+      auto from_slice = source.LatestEndAt(0, m);
+      auto from_direct = direct.LatestEndAt(m);
+      EXPECT_EQ(from_slice.ok(), from_direct.ok());
+      if (from_slice.ok() && from_direct.ok()) {
+        EXPECT_EQ(*from_slice, *from_direct) << "seed " << seed << " m " << m;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// The distributed-soundness property (satellite of the sharded subsystem):
+// evaluating A_i^j(m) LOCALLY against shipped activity slices equals the
+// single-process bound on the same history — the whole basis of the
+// zero-registration cross-node Protocol A read.
+// ------------------------------------------------------------------------
+
+struct RandomHierarchy {
+  PartitionSpec spec;
+  std::vector<std::vector<SegmentId>> ancestors;  // per class, bottom-up
+};
+
+// Random tree with FULL ancestor closure as declared reads, so a critical
+// path exists from every class to each of its ancestors.
+RandomHierarchy MakeRandomHierarchy(Rng& rng) {
+  RandomHierarchy h;
+  const int n = static_cast<int>(rng.NextInRange(2, 7));
+  std::vector<int> parent(n, -1);
+  h.ancestors.resize(n);
+  for (int v = 1; v < n; ++v) {
+    parent[v] = static_cast<int>(rng.NextBounded(v));
+    for (int a = parent[v]; a != -1; a = parent[a]) {
+      h.ancestors[v].push_back(a);
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    h.spec.segment_names.push_back("S" + std::to_string(v));
+    TransactionTypeSpec type;
+    type.name = "class" + std::to_string(v);
+    type.root_segment = v;
+    type.read_segments = h.ancestors[v];
+    h.spec.transaction_types.push_back(type);
+  }
+  return h;
+}
+
+TEST(DistBoundTest, SliceEvaluatedBoundEqualsSingleProcessBound) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    RandomHierarchy h = MakeRandomHierarchy(rng);
+    auto schema = HierarchySchema::Create(h.spec);
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    const int n = schema->num_segments();
+
+    Database db(n, 2);
+    LogicalClock clock;
+    HddController cc(&db, &clock, &*schema,
+                     HddControllerOptions{.auto_trim_history = false});
+
+    // Random activity: begins and commits of update transactions across
+    // all classes, leaving some still active.
+    std::vector<TxnDescriptor> open;
+    for (int event = 0; event < 80; ++event) {
+      if (!open.empty() && rng.NextBool(0.4)) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.NextBounded(open.size()));
+        ASSERT_TRUE(cc.Commit(open[pick]).ok());
+        open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        TxnOptions options;
+        options.txn_class = static_cast<ClassId>(rng.NextBounded(n));
+        auto txn = cc.Begin(options);
+        ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+        open.push_back(*txn);
+      }
+    }
+
+    // Ship every class's slice through the wire codec — exactly what a
+    // remote requester receives — and evaluate against the copies.
+    const Timestamp frontier = clock.Now() + 1;
+    std::vector<ActivitySlice> slices;
+    for (ClassId c = 0; c < n; ++c) {
+      auto slice = cc.ExportActivitySlice(c, frontier);
+      ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+      EXPECT_EQ(slice->class_id, c);
+      EXPECT_EQ(slice->frontier, frontier);
+      slices.push_back(*slice);
+    }
+    auto shipped = DecodeSlices(EncodeSlices(slices));
+    ASSERT_TRUE(shipped.ok());
+    SliceSource source;
+    for (const ActivitySlice& s : *shipped) source.Install(s);
+
+    ActivityLinkEvaluator remote_eval(&cc.class_tst(), &source);
+    const ActivityLinkEvaluator& local_eval = cc.evaluator();
+    for (ClassId i = 0; i < n; ++i) {
+      std::vector<ClassId> targets = h.ancestors[static_cast<std::size_t>(i)];
+      targets.push_back(i);  // A_i^i(m) = m on both sides
+      for (ClassId j : targets) {
+        for (Timestamp m = 1; m <= frontier; m += 1 + m / 7) {
+          auto remote = remote_eval.A(i, j, m);
+          auto local = local_eval.A(i, j, m);
+          ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+          ASSERT_TRUE(local.ok()) << local.status().ToString();
+          EXPECT_EQ(*remote, *local)
+              << "seed " << seed << " A_" << i << "^" << j << "(" << m << ")";
+          EXPECT_LE(*remote, m);  // A never exceeds its argument
+        }
+      }
+    }
+    for (auto& txn : open) ASSERT_TRUE(cc.Commit(txn).ok());
+  }
+}
+
+}  // namespace
+}  // namespace hdd

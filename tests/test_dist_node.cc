@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "dist/dist_message.h"
+#include "dist/dist_node.h"
+#include "dist/dist_world.h"
+#include "engine/synthetic_workload.h"
+#include "hdd/hdd_controller.h"
+#include "storage/database.h"
+
+namespace hdd {
+namespace {
+
+// Two logical shard nodes in one process on plain threads (no sim
+// scheduler): the full distributed path — slice-shipped Protocol A
+// bounds, hosted read-only scopes, owner chains — with the merged
+// multi-node history run through the 1SR + bound-replay oracle.
+TEST(DistWorldTest, TwoNodeWorkloadPassesMergedOracle) {
+  DistWorldOptions options;
+  options.num_nodes = 2;
+  options.depth = 4;
+  options.txns_per_node = 12;
+  DistWorld world(options, /*sched=*/nullptr);
+  ASSERT_EQ(world.init_error(), "");
+
+  ASSERT_EQ(world.RunWorkload(), "");
+  EXPECT_GT(world.committed(), 0u);
+  EXPECT_EQ(world.failed(), 0u);
+  EXPECT_EQ(world.crashed(), 0u);
+  EXPECT_EQ(world.CheckHistory(), "");
+
+  // Node 1 homes classes {2,3}; their upper reads reach segments owned by
+  // node 0, so the slice + snapshot path must have been exercised...
+  const MessageCounters& counters = world.transport().counters();
+  EXPECT_GT(counters.Get(DistMsgType::kActivityReq), 0u);
+  EXPECT_GT(counters.Get(DistMsgType::kSnapshotReq), 0u);
+  // ...and no 2PC traffic without owner overrides, and — the paper's
+  // claim, structural in this implementation — no registration messages.
+  EXPECT_EQ(counters.Get(DistMsgType::kPrepareReq), 0u);
+  EXPECT_EQ(counters.registration_messages(), 0u);
+}
+
+// Owner override: class 3 still registers (and runs) at its home node 1,
+// but its segment's authoritative chains live at node 0 — every commit of
+// class 3 must two-phase across the nodes.
+TEST(DistWorldTest, OwnerOverrideTwoPhasesCommits) {
+  DistWorldOptions options;
+  options.num_nodes = 2;
+  options.depth = 4;
+  options.txns_per_node = 12;
+  options.read_only_fraction = 0.0;  // updates only: exercise 2PC hard
+  options.owner_overrides = {{3, 0}};
+  DistWorld world(options, /*sched=*/nullptr);
+  ASSERT_EQ(world.init_error(), "");
+
+  ASSERT_EQ(world.RunWorkload(), "");
+  EXPECT_GT(world.committed(), 0u);
+  EXPECT_EQ(world.CheckHistory(), "");
+
+  const MessageCounters& counters = world.transport().counters();
+  EXPECT_GT(counters.Get(DistMsgType::kPrepareReq), 0u);
+  EXPECT_GT(counters.Get(DistMsgType::kCommitReq), 0u);
+  EXPECT_EQ(counters.registration_messages(), 0u);
+
+  // The prepared-then-committed writes materialized in the OWNER's chains:
+  // node 0's segment-3 granules grew beyond the initial version.
+  std::size_t versions = 0;
+  for (std::uint32_t g = 0; g < options.granules_per_segment; ++g) {
+    auto chain = world.controller(0).ExportVersions(3, g);
+    ASSERT_TRUE(chain.ok());
+    versions += chain->size();
+  }
+  EXPECT_GT(versions, options.granules_per_segment);
+}
+
+// All-read-only mix: every transaction is hosted below its scope's lowest
+// class; cross-node scopes evaluate base and bounds from shipped slices.
+TEST(DistWorldTest, HostedReadOnlyScopesAcrossNodes) {
+  DistWorldOptions options;
+  options.num_nodes = 2;
+  options.depth = 4;
+  options.txns_per_node = 10;
+  options.read_only_fraction = 1.0;
+  DistWorld world(options, /*sched=*/nullptr);
+  ASSERT_EQ(world.init_error(), "");
+
+  ASSERT_EQ(world.RunWorkload(), "");
+  EXPECT_EQ(world.committed(),
+            static_cast<std::uint64_t>(options.num_nodes) *
+                static_cast<std::uint64_t>(options.txns_per_node));
+  EXPECT_EQ(world.failed(), 0u);
+  EXPECT_EQ(world.CheckHistory(), "");
+  // Node 1 sessions host scopes rooted at segment 0, owned by node 0.
+  EXPECT_GT(world.transport().counters().Get(DistMsgType::kSnapshotReq), 0u);
+}
+
+// Four nodes, one class each: every upper read leaves the node.
+TEST(DistWorldTest, FourNodeChainPassesMergedOracle) {
+  DistWorldOptions options;
+  options.num_nodes = 4;
+  options.depth = 4;
+  options.txns_per_node = 8;
+  options.workers_per_node = 1;
+  DistWorld world(options, /*sched=*/nullptr);
+  ASSERT_EQ(world.init_error(), "");
+  ASSERT_EQ(world.RunWorkload(), "");
+  EXPECT_GT(world.committed(), 0u);
+  EXPECT_EQ(world.CheckHistory(), "");
+  EXPECT_EQ(world.transport().counters().registration_messages(), 0u);
+}
+
+TEST(DistNodeTest, HandleDispatchesAndRejectsGarbage) {
+  SyntheticWorkloadParams params;
+  params.depth = 2;
+  SyntheticWorkload workload(params);
+  auto schema = HierarchySchema::Create(workload.Spec());
+  ASSERT_TRUE(schema.ok());
+  std::unique_ptr<Database> db = workload.MakeDatabase();
+  LogicalClock clock;
+  HddController cc(db.get(), &clock, &*schema,
+                   HddControllerOptions{.auto_trim_history = false});
+  DistNode node(0, &cc, &clock);
+
+  // Garbage and unknown types are rejected, not crashed on.
+  EXPECT_FALSE(node.Handle(1, "").ok());
+  EXPECT_FALSE(node.Handle(1, std::string("\xff junk")).ok());
+
+  // Clock service round trip.
+  auto tick = node.Handle(1, EncodeClockReq(DistMsgType::kClockTickReq));
+  ASSERT_TRUE(tick.ok());
+  auto ts = DecodeTimestamp(*tick);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_GT(*ts, 0u);
+  auto now = node.Handle(1, EncodeClockReq(DistMsgType::kClockNowReq));
+  ASSERT_TRUE(now.ok());
+  auto ts2 = DecodeTimestamp(*now);
+  ASSERT_TRUE(ts2.ok());
+  EXPECT_GE(*ts2, *ts);
+
+  // Activity request for both classes comes back decodable.
+  ActivityReq areq;
+  areq.frontier = clock.Now() + 1;
+  areq.classes = {0, 1};
+  auto slices_raw = node.Handle(1, EncodeActivityReq(areq));
+  ASSERT_TRUE(slices_raw.ok());
+  auto slices = DecodeSlices(*slices_raw);
+  ASSERT_TRUE(slices.ok());
+  ASSERT_EQ(slices->size(), 2u);
+  EXPECT_EQ((*slices)[0].class_id, 0);
+  EXPECT_EQ((*slices)[1].class_id, 1);
+
+  // Snapshot of a fresh granule: exactly the initial committed version.
+  auto chain_raw =
+      node.Handle(1, EncodeSnapshotReq(SnapshotReq{0, 0}));
+  ASSERT_TRUE(chain_raw.ok());
+  auto chain = DecodeVersions(*chain_raw);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->size(), 1u);
+  EXPECT_TRUE((*chain)[0].committed);
+
+  // Out-of-range snapshot fails cleanly.
+  EXPECT_FALSE(node.Handle(1, EncodeSnapshotReq(SnapshotReq{9, 0})).ok());
+}
+
+TEST(DistNodeTest, ClockServiceUnavailableWithoutClock) {
+  SyntheticWorkloadParams params;
+  params.depth = 2;
+  SyntheticWorkload workload(params);
+  auto schema = HierarchySchema::Create(workload.Spec());
+  ASSERT_TRUE(schema.ok());
+  std::unique_ptr<Database> db = workload.MakeDatabase();
+  LogicalClock clock;
+  HddController cc(db.get(), &clock, &*schema, HddControllerOptions{});
+  DistNode node(1, &cc, /*clock=*/nullptr);
+  auto got = node.Handle(0, EncodeClockReq(DistMsgType::kClockTickReq));
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,172 @@
+// Adaptive drift-window sizing: DeriveWindowTxns targets a
+// coefficient-of-variation band over recent window distances — noisy
+// estimates grow the window, stable ones shrink it — and the Redecomposer
+// wires it into Poll()'s trigger. The unit tests pin the derivation's
+// edges; the integration tests check the live wiring.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/redecompose.h"
+#include "hdd/hdd_controller.h"
+#include "obs/footprint.h"
+#include "storage/database.h"
+
+namespace hdd {
+namespace {
+
+constexpr std::uint64_t kMin = 16;
+constexpr std::uint64_t kMax = 256;
+constexpr double kCovLo = 0.15;
+constexpr double kCovHi = 0.50;
+
+std::uint64_t Derive(const std::vector<double>& distances,
+                     std::uint64_t current) {
+  return DeriveWindowTxns(distances, current, kMin, kMax, kCovLo, kCovHi);
+}
+
+TEST(DeriveWindowTxns, FewerThanThreeSamplesHoldsCurrent) {
+  EXPECT_EQ(Derive({}, 64), 64u);
+  EXPECT_EQ(Derive({0.5}, 64), 64u);
+  EXPECT_EQ(Derive({0.1, 0.9}, 64), 64u);
+}
+
+TEST(DeriveWindowTxns, ZeroMeanShrinks) {
+  // The workload sits exactly on the baseline: react faster.
+  EXPECT_EQ(Derive({0.0, 0.0, 0.0}, 64), 32u);
+}
+
+TEST(DeriveWindowTxns, HighCovGrows) {
+  // CoV ~1.2, far above the band: the estimate is too noisy to threshold.
+  EXPECT_EQ(Derive({0.0, 0.1, 0.9}, 64), 128u);
+}
+
+TEST(DeriveWindowTxns, GrowCapsAtMax) {
+  EXPECT_EQ(Derive({0.0, 0.1, 0.9}, kMax), kMax);
+  EXPECT_EQ(Derive({0.0, 0.1, 0.9}, 200), kMax);
+}
+
+TEST(DeriveWindowTxns, LowCovShrinks) {
+  // CoV ~0.02: the estimate is steadier than it needs to be.
+  EXPECT_EQ(Derive({0.40, 0.41, 0.39}, 64), 32u);
+}
+
+TEST(DeriveWindowTxns, ShrinkFloorsAtMin) {
+  EXPECT_EQ(Derive({0.40, 0.41, 0.39}, kMin), kMin);
+  EXPECT_EQ(Derive({0.0, 0.0, 0.0}, kMin), kMin);
+}
+
+TEST(DeriveWindowTxns, InBandHolds) {
+  // CoV ~0.20, inside [0.15, 0.50]: hold.
+  EXPECT_EQ(Derive({0.3, 0.4, 0.5}, 64), 64u);
+}
+
+TEST(DeriveWindowTxns, NeverReturnsZero) {
+  // Degenerate bounds still produce a usable (>= 1) window.
+  EXPECT_EQ(DeriveWindowTxns({0.0, 0.0, 0.0}, 1, 0, kMax, kCovLo, kCovHi),
+            1u);
+}
+
+// ---------------------------------------------------------------------
+// Integration: the sizer in a live Redecomposer. Footprints are fed via
+// FootprintRecorder::Declare (single-segment writes are legal under any
+// structure, so no Restructure interferes).
+
+PartitionSpec ChainSpec() {
+  PartitionSpec spec;
+  spec.segment_names = {"base", "mid", "top"};
+  spec.transaction_types = {
+      {"t0", 0, {}},
+      {"t1", 1, {0}},
+      {"t2", 2, {0, 1}},
+  };
+  return spec;
+}
+
+class RedecomposeWindowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = HierarchySchema::Create(ChainSpec());
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    schema_ = std::make_unique<HierarchySchema>(*std::move(schema));
+    db_ = std::make_unique<Database>(3, 2);
+    HddControllerOptions copts;
+    copts.footprint = &recorder_;
+    cc_ = std::make_unique<HddController>(db_.get(), &clock_, schema_.get(),
+                                          copts);
+  }
+
+  // One window's worth of identical single-granule writes.
+  void FeedWindow(std::uint64_t txns) {
+    for (std::uint64_t i = 0; i < txns; ++i) {
+      recorder_.Declare({FootprintRecorder::Pack(0, 0)}, /*reads=*/{});
+    }
+  }
+
+  std::unique_ptr<HierarchySchema> schema_;
+  std::unique_ptr<Database> db_;
+  LogicalClock clock_;
+  FootprintRecorder recorder_;
+  std::unique_ptr<HddController> cc_;
+};
+
+TEST_F(RedecomposeWindowTest, SteadyDistancesShrinkToFloor) {
+  RedecomposerOptions ropts;
+  ropts.window_txns = 8;
+  ropts.window_min_txns = 2;
+  ropts.window_max_txns = 32;
+  Redecomposer redecomposer(cc_.get(), &recorder_, db_.get(), ropts);
+  EXPECT_EQ(redecomposer.stats().window_txns_current, 8u);
+
+  // Identical windows produce distance 0 against the merged baseline
+  // (the learning window is excluded from the sizer). After three
+  // recorded zero-distance windows each further evaluation halves the
+  // window until the floor.
+  for (int round = 0; round < 12; ++round) {
+    FeedWindow(redecomposer.stats().window_txns_current);
+    const Status status = redecomposer.Poll();
+    ASSERT_TRUE(status.ok()) << status;
+  }
+  EXPECT_TRUE(redecomposer.last_error().ok()) << redecomposer.last_error();
+  EXPECT_GE(redecomposer.stats().windows, 5u);
+  EXPECT_GT(redecomposer.stats().window_shrinks, 0u);
+  EXPECT_EQ(redecomposer.stats().window_txns_current, 2u);
+  EXPECT_EQ(redecomposer.stats().window_grows, 0u);
+}
+
+TEST_F(RedecomposeWindowTest, DisabledAdaptiveHoldsConfiguredSize) {
+  RedecomposerOptions ropts;
+  ropts.window_txns = 8;
+  ropts.adaptive_window = false;
+  Redecomposer redecomposer(cc_.get(), &recorder_, db_.get(), ropts);
+  for (int round = 0; round < 12; ++round) {
+    FeedWindow(8);
+    const Status status = redecomposer.Poll();
+    ASSERT_TRUE(status.ok()) << status;
+  }
+  EXPECT_GE(redecomposer.stats().windows, 5u);
+  EXPECT_EQ(redecomposer.stats().window_txns_current, 8u);
+  EXPECT_EQ(redecomposer.stats().window_grows, 0u);
+  EXPECT_EQ(redecomposer.stats().window_shrinks, 0u);
+}
+
+TEST_F(RedecomposeWindowTest, ConfiguredSizeBelowFloorWidensTheRange) {
+  // window_txns = 4 with the default floor of 16: the range widens so the
+  // explicitly small window is honored and can shrink no further.
+  RedecomposerOptions ropts;
+  ropts.window_txns = 4;
+  Redecomposer redecomposer(cc_.get(), &recorder_, db_.get(), ropts);
+  EXPECT_EQ(redecomposer.stats().window_txns_current, 4u);
+  for (int round = 0; round < 12; ++round) {
+    FeedWindow(redecomposer.stats().window_txns_current);
+    const Status status = redecomposer.Poll();
+    ASSERT_TRUE(status.ok()) << status;
+  }
+  EXPECT_EQ(redecomposer.stats().window_txns_current, 4u);
+  EXPECT_EQ(redecomposer.stats().window_grows, 0u);
+}
+
+}  // namespace
+}  // namespace hdd
